@@ -1,0 +1,75 @@
+//! Compressor throughput benches: SZ-, ZFP- and MGARD-style compression (and
+//! decompression) on fields of varying correlation range and at the paper's
+//! error bounds. These support the discussion of assessment cost in the
+//! paper's future-work section and make regressions in the coders visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcc_mgard::MgardCompressor;
+use lcc_pressio::{Compressor, ErrorBound};
+use lcc_synth::{generate_single_range, GaussianFieldConfig};
+use lcc_sz::SzCompressor;
+use lcc_zfp::ZfpCompressor;
+
+const FIELD_SIZE: usize = 256;
+
+fn compressors() -> Vec<(&'static str, Box<dyn Compressor>)> {
+    vec![
+        ("sz", Box::new(SzCompressor::default())),
+        ("zfp", Box::new(ZfpCompressor::default())),
+        ("mgard", Box::new(MgardCompressor::default())),
+    ]
+}
+
+fn bench_compress_by_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_256x256_eb1e-3");
+    group.throughput(Throughput::Bytes((FIELD_SIZE * FIELD_SIZE * 8) as u64));
+    group.sample_size(10);
+    for range in [4.0, 32.0] {
+        let field =
+            generate_single_range(&GaussianFieldConfig::new(FIELD_SIZE, FIELD_SIZE, range, 11));
+        for (name, compressor) in compressors() {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("range{range}")),
+                &field,
+                |b, f| {
+                    b.iter(|| {
+                        compressor.compress_field(f, ErrorBound::Absolute(1e-3)).expect("compress")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_compress_by_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_256x256_by_bound");
+    group.throughput(Throughput::Bytes((FIELD_SIZE * FIELD_SIZE * 8) as u64));
+    group.sample_size(10);
+    let field = generate_single_range(&GaussianFieldConfig::new(FIELD_SIZE, FIELD_SIZE, 16.0, 3));
+    for eb in [1e-5, 1e-2] {
+        for (name, compressor) in compressors() {
+            group.bench_with_input(BenchmarkId::new(name, format!("eb{eb:.0e}")), &field, |b, f| {
+                b.iter(|| compressor.compress_field(f, ErrorBound::Absolute(eb)).expect("compress"))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompress_256x256_eb1e-3");
+    group.throughput(Throughput::Bytes((FIELD_SIZE * FIELD_SIZE * 8) as u64));
+    group.sample_size(10);
+    let field = generate_single_range(&GaussianFieldConfig::new(FIELD_SIZE, FIELD_SIZE, 16.0, 7));
+    for (name, compressor) in compressors() {
+        let stream = compressor.compress_field(&field, ErrorBound::Absolute(1e-3)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &stream, |b, s| {
+            b.iter(|| compressor.decompress_field(s).expect("decompress"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress_by_range, bench_compress_by_bound, bench_decompress);
+criterion_main!(benches);

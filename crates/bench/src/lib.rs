@@ -1,0 +1,201 @@
+//! # lcc-bench — figure-reproduction binaries and Criterion benches
+//!
+//! The `src/bin/figure*.rs` binaries regenerate every figure and table of
+//! the paper's evaluation (see DESIGN.md §3 for the experiment index); the
+//! Criterion benches under `benches/` measure compressor and statistic
+//! throughput plus the ablations called out in DESIGN.md §4.
+//!
+//! This library holds the small amount of shared plumbing: a dependency-free
+//! command-line option parser and helpers that print fitted panels and write
+//! their CSV files.
+
+use lcc_core::dataset::StudyDatasets;
+use lcc_core::experiment::FittedSeries;
+use lcc_core::figures::{FigurePanel, GaussianFigureConfig, MirandaFigureConfig};
+use lcc_grid::io::CsvSeries;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Parsed command-line options shared by the figure binaries.
+///
+/// Supported flags (all optional):
+/// `--size N`, `--ranges N`, `--replicates N`, `--slices N`, `--seed N`,
+/// `--threads N`, `--out DIR`, `--quick`, `--full-paper-scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Raw `--key value` pairs.
+    values: BTreeMap<String, String>,
+    /// Flags present without a value.
+    flags: Vec<String>,
+}
+
+impl CliOptions {
+    /// Parse from an iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> CliOptions {
+        let mut values = BTreeMap::new();
+        let mut flags = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                continue;
+            };
+            let key = key.to_string();
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    values.insert(key, iter.next().expect("peeked value exists"));
+                }
+                _ => flags.push(key),
+            }
+        }
+        CliOptions { values, flags }
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> CliOptions {
+        CliOptions::parse(std::env::args().skip(1))
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Fetch a numeric option with a default.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.values.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Fetch a u64 option with a default.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.values.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Fetch a float option with a default.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.values.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Fetch a string option with a default.
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.values.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Output directory for CSV series (default `target/figures`).
+    pub fn output_dir(&self) -> PathBuf {
+        PathBuf::from(self.get_str("out", "target/figures"))
+    }
+}
+
+/// Build the Gaussian-figure configuration (figures 3, 5, 6) from the
+/// command line: `--quick`, `--full-paper-scale`, or explicit `--size`,
+/// `--ranges`, `--min-range`, `--max-range`, `--replicates`, `--seed`.
+pub fn gaussian_config(opts: &CliOptions) -> GaussianFigureConfig {
+    if opts.flag("full-paper-scale") {
+        return GaussianFigureConfig::paper_scale();
+    }
+    if opts.flag("quick") {
+        return GaussianFigureConfig::quick();
+    }
+    let mut config = GaussianFigureConfig::standard();
+    config.datasets = StudyDatasets {
+        gaussian_size: opts.get_usize("size", config.datasets.gaussian_size),
+        n_ranges: opts.get_usize("ranges", config.datasets.n_ranges),
+        min_range: opts.get_f64("min-range", config.datasets.min_range),
+        max_range: opts.get_f64("max-range", config.datasets.max_range),
+        replicates: opts.get_usize("replicates", config.datasets.replicates),
+        seed: opts.get_u64("seed", config.datasets.seed),
+    };
+    config
+}
+
+/// Build the Miranda-figure configuration (figures 4 and 7) from the command
+/// line: `--quick`, `--full-paper-scale`, or explicit `--slices`,
+/// `--slice-size`, `--seed`.
+pub fn miranda_config(opts: &CliOptions) -> MirandaFigureConfig {
+    if opts.flag("full-paper-scale") {
+        return MirandaFigureConfig::paper_scale();
+    }
+    if opts.flag("quick") {
+        return MirandaFigureConfig::quick();
+    }
+    let mut config = MirandaFigureConfig::standard();
+    config.slices = opts.get_usize("slices", config.slices);
+    config.slice_size = opts.get_usize("slice-size", config.slice_size);
+    config.seed = opts.get_u64("seed", config.seed);
+    config
+}
+
+/// Print one fitted series as the paper's legend line.
+pub fn print_series(series: &FittedSeries) {
+    println!(
+        "  {:>6} {:>9}  alpha={:>8.3}  beta={:>8.3}  R2={:>6.3}  n={}",
+        series.compressor,
+        series.bound.to_string(),
+        series.fit.alpha,
+        series.fit.beta,
+        series.fit.r_squared,
+        series.fit.n_points
+    );
+}
+
+/// Print a whole panel (header + every series) and return the number of
+/// series printed.
+pub fn print_panel(title: &str, panel: &FigurePanel) -> usize {
+    println!("{title}");
+    println!("  x-axis: {}", panel.statistic.label());
+    for s in &panel.series {
+        print_series(s);
+    }
+    panel.series.len()
+}
+
+/// Write a panel's per-record CSV and fitted-coefficients CSV under
+/// `dir/<stem>_records.csv` and `dir/<stem>_fits.csv`.
+pub fn write_panel_csv(panel: &FigurePanel, dir: &Path, stem: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let records = lcc_core::experiment::records_to_csv(&panel.records);
+    records
+        .write(dir.join(format!("{stem}_records.csv")))
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    panel
+        .fits_to_csv()
+        .write(dir.join(format!("{stem}_fits.csv")))
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    Ok(())
+}
+
+/// Write an arbitrary CSV series under the output directory.
+pub fn write_csv(csv: &CsvSeries, dir: &Path, name: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    csv.write(dir.join(name)).map_err(|e| std::io::Error::other(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_parsing_handles_values_and_flags() {
+        let opts = CliOptions::parse(
+            ["--size", "256", "--quick", "--seed", "9", "--out", "/tmp/x"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(opts.get_usize("size", 64), 256);
+        assert_eq!(opts.get_u64("seed", 1), 9);
+        assert!(opts.flag("quick"));
+        assert!(!opts.flag("full-paper-scale"));
+        assert_eq!(opts.output_dir(), PathBuf::from("/tmp/x"));
+        // Defaults for missing keys.
+        assert_eq!(opts.get_usize("ranges", 10), 10);
+        assert_eq!(opts.get_f64("min-range", 2.0), 2.0);
+        assert_eq!(opts.get_str("missing", "d"), "d");
+    }
+
+    #[test]
+    fn cli_parsing_ignores_stray_tokens() {
+        let opts = CliOptions::parse(["stray", "--flag"].iter().map(|s| s.to_string()));
+        assert!(opts.flag("flag"));
+        assert_eq!(opts.get_usize("size", 7), 7);
+    }
+}

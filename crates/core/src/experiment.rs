@@ -1,0 +1,265 @@
+//! The (field × compressor × error bound) sweep driver.
+
+use crate::dataset::LabeledField;
+use crate::statistics::{CorrelationStatistics, StatisticsConfig};
+use crate::CoreError;
+use lcc_geostat::{log_regression, LogRegression};
+use lcc_grid::io::CsvSeries;
+use lcc_par::{parallel_map_with, ThreadPoolConfig};
+use lcc_pressio::{ErrorBound, Registry};
+
+/// Configuration of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Error bounds to evaluate (the paper uses 1e-5 … 1e-2 absolute).
+    pub bounds: Vec<ErrorBound>,
+    /// Statistics configuration applied to every field.
+    pub statistics: StatisticsConfig,
+    /// Worker threads (`None` = automatic).
+    pub threads: Option<usize>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            bounds: ErrorBound::paper_bounds().to_vec(),
+            statistics: StatisticsConfig::default(),
+            threads: None,
+        }
+    }
+}
+
+/// One row of the experiment: a (field, compressor, bound) cell with its
+/// compression outcome and the field's correlation statistics.
+#[derive(Debug, Clone)]
+pub struct ExperimentRecord {
+    /// Name of the field (dataset member).
+    pub field_name: String,
+    /// Ground-truth correlation range for synthetic fields.
+    pub true_range: Option<f64>,
+    /// Compressor name.
+    pub compressor: String,
+    /// Error bound used.
+    pub bound: ErrorBound,
+    /// Measured compression ratio.
+    pub compression_ratio: f64,
+    /// Measured maximum absolute error.
+    pub max_abs_error: f64,
+    /// Measured PSNR (dB).
+    pub psnr: f64,
+    /// Correlation statistics of the field.
+    pub statistics: CorrelationStatistics,
+}
+
+/// Run the full sweep: every field is measured once per compressor per
+/// bound, and its statistics are computed once. Fields are processed in
+/// parallel (they are independent), compressors/bounds sequentially within a
+/// field to keep memory bounded.
+pub fn run_sweep(
+    fields: &[LabeledField],
+    registry: &Registry,
+    config: &SweepConfig,
+) -> Result<Vec<ExperimentRecord>, CoreError> {
+    if fields.is_empty() {
+        return Ok(Vec::new());
+    }
+    if registry.is_empty() {
+        return Err(CoreError::Compression("no compressors registered".into()));
+    }
+    let pool = match config.threads {
+        Some(t) => ThreadPoolConfig::with_threads(t),
+        None => ThreadPoolConfig::auto(),
+    };
+    let compressors = registry.compressors();
+    let per_field: Vec<Result<Vec<ExperimentRecord>, CoreError>> =
+        parallel_map_with(pool, fields, |labeled| {
+            let stats = CorrelationStatistics::compute(&labeled.field, &config.statistics);
+            let mut records = Vec::with_capacity(compressors.len() * config.bounds.len());
+            for compressor in &compressors {
+                for &bound in &config.bounds {
+                    let result = compressor.compress(&labeled.field, bound).map_err(|e| {
+                        CoreError::Compression(format!(
+                            "{} on {}: {e}",
+                            compressor.name(),
+                            labeled.name
+                        ))
+                    })?;
+                    records.push(ExperimentRecord {
+                        field_name: labeled.name.clone(),
+                        true_range: labeled.true_range,
+                        compressor: compressor.name().to_string(),
+                        bound,
+                        compression_ratio: result.metrics.compression_ratio,
+                        max_abs_error: result.metrics.max_abs_error,
+                        psnr: result.metrics.psnr,
+                        statistics: stats,
+                    });
+                }
+            }
+            Ok(records)
+        });
+
+    let mut out = Vec::new();
+    for r in per_field {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// A fitted (compressor, bound) series of a figure: the x/y points plus the
+/// logarithmic regression the paper reports in its legends.
+#[derive(Debug, Clone)]
+pub struct FittedSeries {
+    /// Compressor name.
+    pub compressor: String,
+    /// Error bound of the series.
+    pub bound: ErrorBound,
+    /// x values (the correlation statistic).
+    pub x: Vec<f64>,
+    /// y values (compression ratios).
+    pub y: Vec<f64>,
+    /// Fitted `CR = α + β·log(x)` regression.
+    pub fit: LogRegression,
+}
+
+/// Group experiment records by (compressor, bound), extract the requested
+/// statistic as x and the compression ratio as y, and fit the log
+/// regression. Series with too few valid points are dropped.
+pub fn fit_series(
+    records: &[ExperimentRecord],
+    statistic: crate::statistics::StatisticKind,
+) -> Vec<FittedSeries> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(String, String), Vec<&ExperimentRecord>> = BTreeMap::new();
+    for r in records {
+        groups.entry((r.compressor.clone(), r.bound.to_string())).or_default().push(r);
+    }
+    let mut out = Vec::new();
+    for ((compressor, _), rows) in groups {
+        let x: Vec<f64> = rows.iter().map(|r| r.statistics.get(statistic)).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r.compression_ratio).collect();
+        let Ok(fit) = log_regression(&x, &y) else {
+            continue;
+        };
+        out.push(FittedSeries { compressor, bound: rows[0].bound, x, y, fit });
+    }
+    out
+}
+
+/// Serialize experiment records as a flat CSV (one row per cell), the format
+/// the figure binaries write next to their fitted-series output.
+pub fn records_to_csv(records: &[ExperimentRecord]) -> CsvSeries {
+    let mut csv = CsvSeries::new([
+        "true_range",
+        "error_bound",
+        "compression_ratio",
+        "max_abs_error",
+        "psnr",
+        "global_variogram_range",
+        "local_range_std",
+        "local_svd_std",
+        "compressor_id",
+    ]);
+    for (idx, r) in records.iter().enumerate() {
+        let _ = idx;
+        csv.push_row(vec![
+            r.true_range.unwrap_or(f64::NAN),
+            r.bound.raw_epsilon(),
+            r.compression_ratio,
+            r.max_abs_error,
+            r.psnr,
+            r.statistics.global_range,
+            r.statistics.local_range_std,
+            r.statistics.local_svd_std,
+            compressor_id(&r.compressor),
+        ]);
+    }
+    csv
+}
+
+/// Stable numeric id for a compressor name (CSV cells are numeric).
+fn compressor_id(name: &str) -> f64 {
+    match name {
+        "sz" => 0.0,
+        "zfp" => 1.0,
+        "mgard" => 2.0,
+        _ => -1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::StudyDatasets;
+    use crate::registry::default_registry;
+    use crate::statistics::StatisticKind;
+
+    fn quick_config() -> SweepConfig {
+        SweepConfig {
+            bounds: vec![ErrorBound::Absolute(1e-3), ErrorBound::Absolute(1e-2)],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_record_per_cell() {
+        let fields = StudyDatasets::tiny().single_range_fields();
+        let registry = default_registry();
+        let records = run_sweep(&fields, &registry, &quick_config()).unwrap();
+        assert_eq!(records.len(), fields.len() * registry.len() * 2);
+        for r in &records {
+            assert!(r.compression_ratio > 0.0);
+            assert!(r.max_abs_error <= r.bound.raw_epsilon() * 1.0000001);
+            assert!(r.statistics.global_range.is_finite());
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        let registry = default_registry();
+        assert!(run_sweep(&[], &registry, &quick_config()).unwrap().is_empty());
+        let fields = StudyDatasets::tiny().single_range_fields();
+        let empty = lcc_pressio::Registry::new();
+        assert!(run_sweep(&fields, &empty, &quick_config()).is_err());
+    }
+
+    #[test]
+    fn fitted_series_cover_every_compressor_bound_pair() {
+        let fields = StudyDatasets::tiny().single_range_fields();
+        let registry = default_registry();
+        let records = run_sweep(&fields, &registry, &quick_config()).unwrap();
+        let series = fit_series(&records, StatisticKind::GlobalVariogramRange);
+        assert_eq!(series.len(), registry.len() * 2);
+        for s in &series {
+            assert_eq!(s.x.len(), fields.len());
+            assert!(s.fit.n_points >= 3);
+        }
+    }
+
+    #[test]
+    fn csv_export_has_one_row_per_record() {
+        let fields = StudyDatasets::tiny().single_range_fields();
+        let registry = default_registry();
+        let records = run_sweep(&fields, &registry, &quick_config()).unwrap();
+        let csv = records_to_csv(&records);
+        assert_eq!(csv.len(), records.len());
+        assert_eq!(csv.header().len(), 9);
+        assert!(csv.to_csv_string().contains("compression_ratio"));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let fields = StudyDatasets::tiny().single_range_fields();
+        let registry = default_registry();
+        let mut cfg = quick_config();
+        cfg.threads = Some(1);
+        let a = run_sweep(&fields, &registry, &cfg).unwrap();
+        cfg.threads = Some(4);
+        let b = run_sweep(&fields, &registry, &cfg).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.compression_ratio, y.compression_ratio);
+            assert_eq!(x.statistics, y.statistics);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! The default compressor registry — the Rust analogue of Table I.
+
+use lcc_mgard::MgardCompressor;
+use lcc_pressio::Registry;
+use lcc_sz::SzCompressor;
+use lcc_zfp::ZfpCompressor;
+use std::sync::Arc;
+
+/// Version strings mirror the releases used by the paper (Table I), with an
+/// `-rs` suffix marking the from-scratch Rust reimplementations.
+pub const SZ_VERSION: &str = "2.1.11.1-rs";
+/// See [`SZ_VERSION`].
+pub const ZFP_VERSION: &str = "0.5.5-rs";
+/// See [`SZ_VERSION`].
+pub const MGARD_VERSION: &str = "0.1.0-rs";
+
+/// Build the registry holding the three study compressors.
+pub fn default_registry() -> Registry {
+    let mut registry = Registry::new();
+    registry.register(Arc::new(SzCompressor::default()), SZ_VERSION);
+    registry.register(Arc::new(ZfpCompressor::default()), ZFP_VERSION);
+    registry.register(Arc::new(MgardCompressor::default()), MGARD_VERSION);
+    registry
+}
+
+/// Build a registry holding only SZ and ZFP (the paper omits MGARD from the
+/// local-SVD figures because it is insensitive to those statistics).
+pub fn sz_zfp_registry() -> Registry {
+    let mut registry = Registry::new();
+    registry.register(Arc::new(SzCompressor::default()), SZ_VERSION);
+    registry.register(Arc::new(ZfpCompressor::default()), ZFP_VERSION);
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcc_grid::Field2D;
+    use lcc_pressio::ErrorBound;
+
+    #[test]
+    fn default_registry_has_the_three_study_compressors() {
+        let registry = default_registry();
+        assert_eq!(registry.names(), vec!["mgard", "sz", "zfp"]);
+        let infos = registry.infos();
+        assert!(infos.iter().any(|i| i.version == SZ_VERSION));
+        assert!(infos.iter().any(|i| i.version == ZFP_VERSION));
+        assert!(infos.iter().any(|i| i.version == MGARD_VERSION));
+    }
+
+    #[test]
+    fn sz_zfp_registry_omits_mgard() {
+        let registry = sz_zfp_registry();
+        assert_eq!(registry.names(), vec!["sz", "zfp"]);
+    }
+
+    #[test]
+    fn every_registered_compressor_round_trips_a_field() {
+        let field = Field2D::from_fn(48, 48, |i, j| (i as f64 * 0.1).sin() + (j as f64 * 0.2).cos());
+        for compressor in default_registry().compressors() {
+            let r = compressor.compress(&field, ErrorBound::Absolute(1e-3)).unwrap();
+            assert!(
+                r.metrics.max_abs_error <= 1e-3,
+                "{} violated the bound: {}",
+                compressor.name(),
+                r.metrics.max_abs_error
+            );
+        }
+    }
+}

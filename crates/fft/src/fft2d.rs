@@ -1,0 +1,179 @@
+//! Row–column 2D FFT over power-of-two grids.
+
+use crate::{fft, ifft, is_pow2, Complex};
+
+/// A 2D FFT plan for an `ny × nx` grid (both extents powers of two).
+///
+/// The "plan" carries only the dimensions; the transforms are simple
+/// row–column applications of the 1D kernels with an explicit transpose-free
+/// column pass (a scratch column buffer is reused across columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fft2D {
+    ny: usize,
+    nx: usize,
+}
+
+impl Fft2D {
+    /// Create a plan; both dimensions must be powers of two.
+    pub fn new(ny: usize, nx: usize) -> Self {
+        assert!(is_pow2(ny) && is_pow2(nx), "2D FFT dimensions must be powers of two ({ny}x{nx})");
+        Fft2D { ny, nx }
+    }
+
+    /// Number of rows.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of columns.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.ny * self.nx
+    }
+
+    /// Always false: a plan has non-zero dimensions by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward 2D FFT of a row-major buffer of length `ny * nx`.
+    pub fn forward(&self, data: &mut [Complex]) {
+        self.check_len(data);
+        // Rows.
+        for row in data.chunks_exact_mut(self.nx) {
+            fft(row);
+        }
+        // Columns.
+        let mut col = vec![Complex::ZERO; self.ny];
+        for j in 0..self.nx {
+            for i in 0..self.ny {
+                col[i] = data[i * self.nx + j];
+            }
+            fft(&mut col);
+            for i in 0..self.ny {
+                data[i * self.nx + j] = col[i];
+            }
+        }
+    }
+
+    /// In-place inverse 2D FFT (normalized: `inverse(forward(x)) == x`).
+    pub fn inverse(&self, data: &mut [Complex]) {
+        self.check_len(data);
+        for row in data.chunks_exact_mut(self.nx) {
+            ifft(row);
+        }
+        let mut col = vec![Complex::ZERO; self.ny];
+        for j in 0..self.nx {
+            for i in 0..self.ny {
+                col[i] = data[i * self.nx + j];
+            }
+            ifft(&mut col);
+            for i in 0..self.ny {
+                data[i * self.nx + j] = col[i];
+            }
+        }
+    }
+
+    /// Forward transform of a real field, returning the complex spectrum.
+    pub fn forward_real(&self, field: &[f64]) -> Vec<Complex> {
+        assert_eq!(field.len(), self.len(), "field length must match the plan");
+        let mut data: Vec<Complex> = field.iter().map(|&v| Complex::from_real(v)).collect();
+        self.forward(&mut data);
+        data
+    }
+
+    /// Inverse transform returning only the real part (callers use this when
+    /// the spectrum is Hermitian by construction, or when the imaginary part
+    /// carries an independent second realization that they discard).
+    pub fn inverse_real(&self, spectrum: &[Complex]) -> Vec<f64> {
+        assert_eq!(spectrum.len(), self.len(), "spectrum length must match the plan");
+        let mut data = spectrum.to_vec();
+        self.inverse(&mut data);
+        data.into_iter().map(|c| c.re).collect()
+    }
+
+    fn check_len(&self, data: &[Complex]) {
+        assert_eq!(data.len(), self.len(), "buffer length must be ny * nx");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_2d() {
+        let plan = Fft2D::new(16, 8);
+        let field: Vec<f64> =
+            (0..plan.len()).map(|i| ((i * 37 % 101) as f64 - 50.0) / 17.0).collect();
+        let spec = plan.forward_real(&field);
+        let back = plan.inverse_real(&spec);
+        for (a, b) in field.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dc_component_is_sum() {
+        let plan = Fft2D::new(4, 4);
+        let field = vec![1.5; 16];
+        let spec = plan.forward_real(&field);
+        assert!((spec[0].re - 24.0).abs() < 1e-12);
+        for v in &spec[1..] {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn separable_plane_wave_lands_on_single_mode() {
+        let (ny, nx) = (8usize, 8usize);
+        let plan = Fft2D::new(ny, nx);
+        let (ky, kx) = (2usize, 3usize);
+        let field: Vec<f64> = (0..ny * nx)
+            .map(|idx| {
+                let i = idx / nx;
+                let j = idx % nx;
+                (2.0 * std::f64::consts::PI * (ky * i) as f64 / ny as f64
+                    + 2.0 * std::f64::consts::PI * (kx * j) as f64 / nx as f64)
+                    .cos()
+            })
+            .collect();
+        let spec = plan.forward_real(&field);
+        // Energy should be concentrated on (ky,kx) and its conjugate mode.
+        let mut mags: Vec<(usize, f64)> = spec.iter().map(|c| c.abs()).enumerate().collect();
+        mags.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top: Vec<usize> = mags.iter().take(2).map(|&(i, _)| i).collect();
+        assert!(top.contains(&(ky * nx + kx)));
+        assert!(top.contains(&((ny - ky) * nx + (nx - kx))));
+        // Everything else is numerically zero.
+        assert!(mags[2].1 < 1e-9);
+    }
+
+    #[test]
+    fn parseval_2d() {
+        let plan = Fft2D::new(8, 16);
+        let field: Vec<f64> = (0..plan.len()).map(|i| ((i as f64) * 0.71).sin()).collect();
+        let spec = plan.forward_real(&field);
+        let e_time: f64 = field.iter().map(|v| v * v).sum();
+        let e_freq: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / plan.len() as f64;
+        assert!((e_time - e_freq).abs() / e_time < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn non_pow2_plan_panics() {
+        let _ = Fft2D::new(12, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "ny * nx")]
+    fn wrong_buffer_length_panics() {
+        let plan = Fft2D::new(4, 4);
+        let mut buf = vec![Complex::ZERO; 15];
+        plan.forward(&mut buf);
+    }
+}

@@ -1,0 +1,61 @@
+//! # lcc-geostat — correlation statistics of gridded fields
+//!
+//! The statistical toolbox of the study (the role gstat + numpy play in the
+//! paper):
+//!
+//! * [`variogram`] — the empirical (Matheron) semi-variogram of a 2D field
+//!   (Equation 1 of the paper), a squared-exponential model fit by damped
+//!   Gauss–Newton, and [`variogram::estimate_range`] returning the paper's
+//!   "estimated variogram range",
+//! * [`local`] — the same statistic estimated on `H × H` windows tiling the
+//!   field, and its standard deviation ("Std estimated of local variogram
+//!   range (H=32)"),
+//! * [`svdstat`] — the number of singular modes needed to capture 99 % of a
+//!   window's variance, and the standard deviation of that truncation level
+//!   across windows ("Std of truncation level of local SVD (H=32)"),
+//! * [`regression`] — the logarithmic regression `CR = α + β·log(a) + ε`
+//!   used in every figure legend, with goodness-of-fit summaries.
+
+pub mod local;
+pub mod regression;
+pub mod svdstat;
+pub mod variogram;
+
+pub use local::{local_range_std, local_variogram_ranges, LocalStatConfig};
+pub use regression::{log_regression, LogRegression};
+pub use svdstat::{local_svd_truncation_levels, local_svd_truncation_std};
+pub use variogram::{
+    empirical_variogram, estimate_range, fit_squared_exponential, EmpiricalVariogram,
+    VariogramConfig, VariogramFit,
+};
+
+/// Errors produced by the statistics routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeostatError {
+    /// The input is too small or degenerate for the requested statistic.
+    DegenerateInput(String),
+    /// The model fit did not converge to a usable estimate.
+    FitFailed(String),
+}
+
+impl std::fmt::Display for GeostatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeostatError::DegenerateInput(m) => write!(f, "degenerate input: {m}"),
+            GeostatError::FitFailed(m) => write!(f, "variogram fit failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GeostatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(GeostatError::DegenerateInput("x".into()).to_string().contains("degenerate"));
+        assert!(GeostatError::FitFailed("y".into()).to_string().contains("fit"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Logarithmic regression `y = α + β·log(x) + ε`.
+//!
+//! Every panel of the paper's Figures 3–7 reports the coefficients of a
+//! least-squares logarithmic regression of the compression ratio on the
+//! correlation statistic; this module provides that fit plus the usual
+//! goodness-of-fit summaries.
+
+use crate::GeostatError;
+use lcc_grid::stats;
+use lcc_linalg::{lstsq, Matrix};
+
+/// Result of the logarithmic regression `y = α + β·ln(x)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogRegression {
+    /// Intercept α.
+    pub alpha: f64,
+    /// Slope β multiplying `ln(x)`.
+    pub beta: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Number of (x, y) points used (points with non-positive or non-finite
+    /// x are dropped).
+    pub n_points: usize,
+}
+
+impl LogRegression {
+    /// Evaluate the fitted curve at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.alpha + self.beta * x.ln()
+    }
+}
+
+impl std::fmt::Display for LogRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "alpha={:.3} beta={:.3} (R2={:.3}, n={})",
+            self.alpha, self.beta, self.r_squared, self.n_points
+        )
+    }
+}
+
+/// Fit `y = α + β·ln(x)` by least squares.
+///
+/// Points with `x ≤ 0`, non-finite `x`, or non-finite `y` are dropped (they
+/// correspond to degenerate statistic estimates). At least three valid
+/// points are required.
+pub fn log_regression(x: &[f64], y: &[f64]) -> Result<LogRegression, GeostatError> {
+    if x.len() != y.len() {
+        return Err(GeostatError::DegenerateInput("x and y lengths differ".into()));
+    }
+    let pairs: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y.iter())
+        .filter(|(&xi, &yi)| xi.is_finite() && xi > 0.0 && yi.is_finite())
+        .map(|(&xi, &yi)| (xi.ln(), yi))
+        .collect();
+    if pairs.len() < 3 {
+        return Err(GeostatError::DegenerateInput(format!(
+            "need at least 3 valid points, got {}",
+            pairs.len()
+        )));
+    }
+
+    let design = Matrix::from_fn(pairs.len(), 2, |i, j| if j == 0 { 1.0 } else { pairs[i].0 });
+    let rhs: Vec<f64> = pairs.iter().map(|&(_, yi)| yi).collect();
+    let coeffs = lstsq(&design, &rhs).map_err(|e| GeostatError::FitFailed(e.to_string()))?;
+
+    // R² against the mean-only model.
+    let mean_y = stats::mean(&rhs);
+    let ss_tot: f64 = rhs.iter().map(|&v| (v - mean_y) * (v - mean_y)).sum();
+    let ss_res: f64 = pairs
+        .iter()
+        .map(|&(lx, yi)| {
+            let pred = coeffs[0] + coeffs[1] * lx;
+            (yi - pred) * (yi - pred)
+        })
+        .sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+
+    Ok(LogRegression { alpha: coeffs[0], beta: coeffs[1], r_squared, n_points: pairs.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_logarithmic_data_is_recovered() {
+        let x: Vec<f64> = (1..40).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 2.5 + 3.0 * v.ln()).collect();
+        let fit = log_regression(&x, &y).unwrap();
+        assert!((fit.alpha - 2.5).abs() < 1e-9);
+        assert!((fit.beta - 3.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(fit.n_points, 39);
+        assert!((fit.predict(std::f64::consts::E) - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_data_still_yields_reasonable_fit() {
+        let x: Vec<f64> = (1..200).map(|i| i as f64 * 0.5).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 1.0 + 2.0 * v.ln() + 0.05 * (((i * 37) % 11) as f64 - 5.0))
+            .collect();
+        let fit = log_regression(&x, &y).unwrap();
+        assert!((fit.alpha - 1.0).abs() < 0.15);
+        assert!((fit.beta - 2.0).abs() < 0.1);
+        assert!(fit.r_squared > 0.95);
+    }
+
+    #[test]
+    fn invalid_points_are_dropped() {
+        let x = [0.0, -1.0, f64::NAN, 1.0, 2.0, 4.0, 8.0];
+        let y = [9.0, 9.0, 9.0, 1.0, 1.5, 2.0, 2.5];
+        let fit = log_regression(&x, &y).unwrap();
+        assert_eq!(fit.n_points, 4);
+        assert!(fit.beta > 0.0);
+    }
+
+    #[test]
+    fn too_few_valid_points_is_an_error() {
+        assert!(log_regression(&[1.0, 2.0], &[1.0, 2.0]).is_err());
+        assert!(log_regression(&[0.0, -1.0, 1.0, 2.0], &[1.0; 4]).is_err());
+        assert!(log_regression(&[1.0, 2.0, 3.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn constant_y_has_unit_r_squared_and_zero_slope() {
+        let x = [1.0, 2.0, 4.0, 8.0];
+        let y = [5.0; 4];
+        let fit = log_regression(&x, &y).unwrap();
+        assert!(fit.beta.abs() < 1e-9);
+        assert!((fit.alpha - 5.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_coefficients() {
+        let fit = LogRegression { alpha: 1.0, beta: 2.0, r_squared: 0.9, n_points: 10 };
+        let s = fit.to_string();
+        assert!(s.contains("alpha=1.000"));
+        assert!(s.contains("beta=2.000"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Local SVD truncation-level statistics.
+//!
+//! For every `H × H` window the paper computes the number of singular modes
+//! needed to recover 99 % of the window's variance; the standard deviation
+//! of that truncation level across windows ("Std of truncation level of
+//! local SVD (H=32)") is the multiscale-sensitive statistic of Section V-C.
+//!
+//! "Variance" is taken literally: each window is centred (its mean removed)
+//! before the decomposition, so the truncation level measures the complexity
+//! of the window's *fluctuations* rather than being dominated by the rank-1
+//! mean component. This is what makes the statistic discriminate windows of
+//! smooth large-scale flow from windows of developed turbulence.
+
+use lcc_grid::{stats, Field2D};
+use lcc_linalg::svd::truncation_level;
+use lcc_linalg::{singular_values, Matrix};
+use lcc_par::{parallel_map_with, ThreadPoolConfig};
+
+/// Compute the 99 %-variance (or any `fraction`) truncation level of every
+/// full `window × window` tile of the field.
+pub fn local_svd_truncation_levels(
+    field: &Field2D,
+    window: usize,
+    fraction: f64,
+    threads: Option<usize>,
+) -> Vec<usize> {
+    assert!(window >= 2, "windows must be at least 2x2");
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let tiles: Vec<(lcc_grid::Window, Field2D)> = field.window_fields(window, window);
+    let pool = match threads {
+        Some(t) => ThreadPoolConfig::with_threads(t),
+        None => ThreadPoolConfig::auto(),
+    };
+    let levels = parallel_map_with(pool, &tiles, |(win, sub)| {
+        if !win.is_full(window, window) {
+            return usize::MAX; // sentinel: dropped below
+        }
+        // Centre the window so the decomposition captures the variance
+        // (fluctuation) structure, not the rank-1 mean component.
+        let mean = sub.summary().mean;
+        let centred: Vec<f64> = sub.as_slice().iter().map(|v| v - mean).collect();
+        let m = Matrix::from_vec(sub.ny(), sub.nx(), centred)
+            .expect("window buffer matches its shape");
+        match singular_values(&m) {
+            Ok(sv) => truncation_level(&sv, fraction),
+            Err(_) => usize::MAX,
+        }
+    });
+    levels.into_iter().filter(|&l| l != usize::MAX).collect()
+}
+
+/// Standard deviation of the local SVD truncation levels — the statistic on
+/// the x-axis of Figure 6 and the right column of Figure 7.
+pub fn local_svd_truncation_std(
+    field: &Field2D,
+    window: usize,
+    fraction: f64,
+    threads: Option<usize>,
+) -> f64 {
+    let levels = local_svd_truncation_levels(field, window, fraction, threads);
+    let as_f64: Vec<f64> = levels.iter().map(|&l| l as f64).collect();
+    stats::std_dev(&as_f64)
+}
+
+/// Mean local truncation level (companion statistic for the extended
+/// analyses).
+pub fn local_svd_truncation_mean(
+    field: &Field2D,
+    window: usize,
+    fraction: f64,
+    threads: Option<usize>,
+) -> f64 {
+    let levels = local_svd_truncation_levels(field, window, fraction, threads);
+    let as_f64: Vec<f64> = levels.iter().map(|&l| l as f64).collect();
+    stats::mean(&as_f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcc_synth::{generate_single_range, GaussianFieldConfig};
+
+    #[test]
+    fn rank_one_windows_need_one_mode() {
+        // A separable product field has rank-1 windows.
+        let f = Field2D::from_fn(64, 64, |i, j| (1.0 + i as f64) * (1.0 + j as f64).ln().max(0.1));
+        let levels = local_svd_truncation_levels(&f, 32, 0.99, Some(2));
+        assert_eq!(levels.len(), 4);
+        assert!(levels.iter().all(|&l| l <= 2), "{levels:?}");
+    }
+
+    #[test]
+    fn noise_needs_many_modes_smooth_needs_few() {
+        let smooth = generate_single_range(&GaussianFieldConfig::new(96, 96, 20.0, 3));
+        let mut s = 11u64;
+        let noise = Field2D::from_fn(96, 96, |_, _| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        });
+        let smooth_mean = local_svd_truncation_mean(&smooth, 32, 0.99, None);
+        let noise_mean = local_svd_truncation_mean(&noise, 32, 0.99, None);
+        assert!(
+            noise_mean > 2.0 * smooth_mean,
+            "noise {noise_mean} vs smooth {smooth_mean}"
+        );
+    }
+
+    #[test]
+    fn std_statistic_is_finite_and_deterministic() {
+        let f = generate_single_range(&GaussianFieldConfig::new(96, 96, 6.0, 8));
+        let a = local_svd_truncation_std(&f, 32, 0.99, Some(1));
+        let b = local_svd_truncation_std(&f, 32, 0.99, Some(4));
+        assert!(a.is_finite());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partial_windows_are_ignored() {
+        let f = generate_single_range(&GaussianFieldConfig::new(70, 70, 6.0, 8));
+        let levels = local_svd_truncation_levels(&f, 32, 0.99, None);
+        assert_eq!(levels.len(), 4); // only the 2x2 grid of full windows
+    }
+
+    #[test]
+    fn fraction_controls_the_level() {
+        let f = generate_single_range(&GaussianFieldConfig::new(64, 64, 5.0, 2));
+        let strict = local_svd_truncation_mean(&f, 32, 0.999, None);
+        let loose = local_svd_truncation_mean(&f, 32, 0.5, None);
+        assert!(strict > loose);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_fraction_panics() {
+        let f = Field2D::zeros(32, 32);
+        let _ = local_svd_truncation_levels(&f, 32, 1.5, None);
+    }
+}

@@ -1,0 +1,390 @@
+//! Row-major dense 2D field of `f64` values.
+
+use crate::window::{Window, WindowIter};
+use crate::{GridError, Summary};
+
+/// A dense, row-major 2D field of `f64` values.
+///
+/// `ny` is the number of rows (the slow axis), `nx` the number of columns
+/// (the fast axis). Element `(i, j)` — row `i`, column `j` — lives at flat
+/// offset `i * nx + j`.
+///
+/// ```
+/// use lcc_grid::Field2D;
+/// let mut f = Field2D::zeros(4, 6);
+/// f.set(2, 3, 1.5);
+/// assert_eq!(f.get(2, 3), 1.5);
+/// assert_eq!(f.len(), 24);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field2D {
+    ny: usize,
+    nx: usize,
+    data: Vec<f64>,
+}
+
+impl Field2D {
+    /// Create a field of the given shape filled with zeros.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(ny: usize, nx: usize) -> Self {
+        assert!(ny > 0 && nx > 0, "field dimensions must be non-zero");
+        Field2D { ny, nx, data: vec![0.0; ny * nx] }
+    }
+
+    /// Create a field of the given shape filled with `value`.
+    pub fn filled(ny: usize, nx: usize, value: f64) -> Self {
+        assert!(ny > 0 && nx > 0, "field dimensions must be non-zero");
+        Field2D { ny, nx, data: vec![value; ny * nx] }
+    }
+
+    /// Wrap an existing row-major buffer.
+    ///
+    /// Returns [`GridError::ShapeMismatch`] if `data.len() != ny * nx` and
+    /// [`GridError::EmptyDimension`] if either dimension is zero.
+    pub fn from_vec(ny: usize, nx: usize, data: Vec<f64>) -> Result<Self, GridError> {
+        if ny == 0 || nx == 0 {
+            return Err(GridError::EmptyDimension);
+        }
+        if data.len() != ny * nx {
+            return Err(GridError::ShapeMismatch { expected: ny * nx, actual: data.len() });
+        }
+        Ok(Field2D { ny, nx, data })
+    }
+
+    /// Build a field by evaluating `f(i, j)` at every grid point.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(ny: usize, nx: usize, mut f: F) -> Self {
+        let mut out = Field2D::zeros(ny, nx);
+        for i in 0..ny {
+            for j in 0..nx {
+                out.data[i * nx + j] = f(i, j);
+            }
+        }
+        out
+    }
+
+    /// Number of rows (slow axis extent).
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of columns (fast axis extent).
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// `(ny, nx)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.ny, self.nx)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the field holds no elements (never true for a constructed field).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable flat view of the row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat view of the row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the field and return the flat buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Bounds-checked element read.
+    ///
+    /// # Panics
+    /// Panics if `i >= ny` or `j >= nx`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.ny && j < self.nx, "index ({i},{j}) out of bounds");
+        self.data[i * self.nx + j]
+    }
+
+    /// Element read without bounds checks beyond the slice's own.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.ny && j < self.nx);
+        self.data[i * self.nx + j]
+    }
+
+    /// Bounds-checked element write.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.ny && j < self.nx, "index ({i},{j}) out of bounds");
+        self.data[i * self.nx + j] = value;
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.ny, "row {i} out of bounds");
+        &self.data[i * self.nx..(i + 1) * self.nx]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.ny, "row {i} out of bounds");
+        &mut self.data[i * self.nx..(i + 1) * self.nx]
+    }
+
+    /// Copy column `j` into a new vector.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.nx, "column {j} out of bounds");
+        (0..self.ny).map(|i| self.data[i * self.nx + j]).collect()
+    }
+
+    /// Extract the rectangular sub-field starting at `(i0, j0)` with shape
+    /// `(h, w)`, clamped to the field boundary.
+    pub fn subfield(&self, i0: usize, j0: usize, h: usize, w: usize) -> Field2D {
+        let i1 = (i0 + h).min(self.ny);
+        let j1 = (j0 + w).min(self.nx);
+        assert!(i0 < i1 && j0 < j1, "empty subfield requested");
+        let mut out = Field2D::zeros(i1 - i0, j1 - j0);
+        for (oi, i) in (i0..i1).enumerate() {
+            let src = &self.data[i * self.nx + j0..i * self.nx + j1];
+            out.row_mut(oi).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Iterate over non-overlapping `h × w` tiles covering the field
+    /// (trailing partial tiles at the right/bottom edges are included).
+    pub fn windows(&self, h: usize, w: usize) -> WindowIter<'_> {
+        WindowIter::new(self, h, w)
+    }
+
+    /// Collect all windows into owned sub-fields together with their
+    /// placement metadata.
+    pub fn window_fields(&self, h: usize, w: usize) -> Vec<(Window, Field2D)> {
+        self.windows(h, w)
+            .map(|win| (win, self.subfield(win.i0, win.j0, win.height, win.width)))
+            .collect()
+    }
+
+    /// Summary statistics of the field values.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.data)
+    }
+
+    /// `max - min` of the field, used to convert value-range-relative error
+    /// bounds to absolute bounds.
+    pub fn value_range(&self) -> f64 {
+        let s = self.summary();
+        s.max - s.min
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_inplace<F: FnMut(f64) -> f64>(&mut self, mut f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise addition of another field of identical shape.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign_field(&mut self, other: &Field2D) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add_assign_field");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Scale every element by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Maximum absolute difference to another field of identical shape.
+    pub fn max_abs_diff(&self, other: &Field2D) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Mean squared difference to another field of identical shape.
+    pub fn mse(&self, other: &Field2D) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in mse");
+        let n = self.data.len() as f64;
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / n
+    }
+
+    /// Transpose the field (rows become columns).
+    pub fn transpose(&self) -> Field2D {
+        let mut out = Field2D::zeros(self.nx, self.ny);
+        for i in 0..self.ny {
+            for j in 0..self.nx {
+                out.data[j * self.ny + i] = self.data[i * self.nx + j];
+            }
+        }
+        out
+    }
+
+    /// Downsample by an integer stride in both axes (keeps every `stride`-th
+    /// sample), useful for cheap previews and sampled statistics.
+    pub fn downsample(&self, stride: usize) -> Field2D {
+        assert!(stride > 0, "stride must be positive");
+        let ny = self.ny.div_ceil(stride);
+        let nx = self.nx.div_ceil(stride);
+        Field2D::from_fn(ny, nx, |i, j| self.at(i * stride, j * stride))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(ny: usize, nx: usize) -> Field2D {
+        Field2D::from_fn(ny, nx, |i, j| (i * nx + j) as f64)
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let f = Field2D::zeros(3, 5);
+        assert_eq!(f.shape(), (3, 5));
+        assert_eq!(f.len(), 15);
+        assert!(!f.is_empty());
+        assert!(f.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zeros_panics_on_zero_dim() {
+        let _ = Field2D::zeros(0, 5);
+    }
+
+    #[test]
+    fn from_vec_checks_shape() {
+        assert!(Field2D::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert_eq!(
+            Field2D::from_vec(2, 2, vec![1.0; 5]).unwrap_err(),
+            GridError::ShapeMismatch { expected: 4, actual: 5 }
+        );
+        assert_eq!(Field2D::from_vec(0, 2, vec![]).unwrap_err(), GridError::EmptyDimension);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut f = Field2D::zeros(4, 7);
+        f.set(3, 6, 2.25);
+        assert_eq!(f.get(3, 6), 2.25);
+        assert_eq!(f.at(3, 6), 2.25);
+        assert_eq!(f.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let f = Field2D::zeros(2, 2);
+        let _ = f.get(2, 0);
+    }
+
+    #[test]
+    fn rows_and_columns() {
+        let f = ramp(3, 4);
+        assert_eq!(f.row(1), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(f.column(2), vec![2.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn subfield_extracts_and_clamps() {
+        let f = ramp(4, 4);
+        let s = f.subfield(1, 1, 2, 2);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.as_slice(), &[5.0, 6.0, 9.0, 10.0]);
+        // Clamped at the boundary.
+        let s = f.subfield(3, 3, 5, 5);
+        assert_eq!(s.shape(), (1, 1));
+        assert_eq!(s.get(0, 0), 15.0);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let f = ramp(3, 5);
+        let t = f.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t.get(4, 2), f.get(2, 4));
+        assert_eq!(t.transpose(), f);
+    }
+
+    #[test]
+    fn max_abs_diff_and_mse() {
+        let a = ramp(2, 3);
+        let mut b = a.clone();
+        b.set(1, 2, b.get(1, 2) + 0.5);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-12);
+        assert!((a.mse(&b) - 0.25 / 6.0).abs() < 1e-12);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn value_range_and_summary() {
+        let f = ramp(2, 2);
+        assert_eq!(f.value_range(), 3.0);
+        let s = f.summary();
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_scale_add() {
+        let mut f = ramp(2, 2);
+        f.scale(2.0);
+        assert_eq!(f.as_slice(), &[0.0, 2.0, 4.0, 6.0]);
+        f.map_inplace(|v| v + 1.0);
+        assert_eq!(f.as_slice(), &[1.0, 3.0, 5.0, 7.0]);
+        let g = f.clone();
+        f.add_assign_field(&g);
+        assert_eq!(f.as_slice(), &[2.0, 6.0, 10.0, 14.0]);
+    }
+
+    #[test]
+    fn downsample_keeps_strided_samples() {
+        let f = ramp(4, 6);
+        let d = f.downsample(2);
+        assert_eq!(d.shape(), (2, 3));
+        assert_eq!(d.get(1, 2), f.get(2, 4));
+    }
+
+    #[test]
+    fn window_fields_cover_everything() {
+        let f = ramp(5, 7);
+        let wins = f.window_fields(2, 3);
+        let total: usize = wins.iter().map(|(_, sub)| sub.len()).sum();
+        assert_eq!(total, f.len());
+    }
+}

@@ -1,0 +1,276 @@
+//! Curve fitting: polynomial least squares and Gauss–Newton nonlinear
+//! least squares.
+//!
+//! `polyfit`/`polyval` replace the paper's use of `numpy.polyfit` to draw the
+//! fitted regression curves; `gauss_newton` fits the parametric
+//! squared-exponential variogram model to the empirical variogram.
+
+use crate::{lstsq, LinalgError, Matrix};
+
+/// Fit a polynomial of the given `degree` to `(x, y)` samples by least
+/// squares; the returned coefficients are ordered from the constant term up
+/// (`c[0] + c[1] x + c[2] x² + …`).
+pub fn polyfit(x: &[f64], y: &[f64], degree: usize) -> Result<Vec<f64>, LinalgError> {
+    if x.len() != y.len() {
+        return Err(LinalgError::DimensionMismatch("x and y lengths differ".into()));
+    }
+    if x.len() < degree + 1 {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "need at least {} samples for degree {degree}",
+            degree + 1
+        )));
+    }
+    let a = Matrix::from_fn(x.len(), degree + 1, |i, j| x[i].powi(j as i32));
+    lstsq(&a, y)
+}
+
+/// Evaluate a polynomial with coefficients ordered from the constant term up.
+pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
+    // Horner evaluation from the highest coefficient down.
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Options controlling the Gauss–Newton iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussNewtonOptions {
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the parameter update norm.
+    pub tolerance: f64,
+    /// Initial Levenberg–Marquardt style damping added to the normal matrix
+    /// diagonal; adapts up and down as steps are rejected/accepted.
+    pub damping: f64,
+}
+
+impl Default for GaussNewtonOptions {
+    fn default() -> Self {
+        GaussNewtonOptions { max_iterations: 100, tolerance: 1e-10, damping: 1e-6 }
+    }
+}
+
+/// Damped Gauss–Newton (Levenberg–Marquardt) minimization of
+/// `sum_i (model(x_i, params) - y_i)²`.
+///
+/// `model` evaluates the model at one sample; `jacobian` returns the partial
+/// derivatives of the model with respect to each parameter at one sample.
+/// Returns the fitted parameters.
+pub fn gauss_newton<M, J>(
+    x: &[f64],
+    y: &[f64],
+    initial: &[f64],
+    model: M,
+    jacobian: J,
+    options: GaussNewtonOptions,
+) -> Result<Vec<f64>, LinalgError>
+where
+    M: Fn(f64, &[f64]) -> f64,
+    J: Fn(f64, &[f64]) -> Vec<f64>,
+{
+    if x.len() != y.len() {
+        return Err(LinalgError::DimensionMismatch("x and y lengths differ".into()));
+    }
+    let n_params = initial.len();
+    if x.len() < n_params {
+        return Err(LinalgError::DimensionMismatch("fewer samples than parameters".into()));
+    }
+    let mut params = initial.to_vec();
+    let mut lambda = options.damping.max(1e-12);
+
+    let sse = |p: &[f64]| -> f64 {
+        x.iter().zip(y.iter()).map(|(&xi, &yi)| (model(xi, p) - yi).powi(2)).sum()
+    };
+    let mut current_sse = sse(&params);
+
+    for _ in 0..options.max_iterations {
+        // Build JᵀJ and Jᵀr for the current parameters.
+        let mut jtj = vec![0.0; n_params * n_params];
+        let mut jtr = vec![0.0; n_params];
+        for (&xi, &yi) in x.iter().zip(y.iter()) {
+            let r = yi - model(xi, &params);
+            let grad = jacobian(xi, &params);
+            debug_assert_eq!(grad.len(), n_params);
+            for p in 0..n_params {
+                jtr[p] += grad[p] * r;
+                for q in 0..n_params {
+                    jtj[p * n_params + q] += grad[p] * grad[q];
+                }
+            }
+        }
+
+        // Solve the damped system (JᵀJ + λ diag(JᵀJ)) δ = Jᵀ r.
+        let mut step = None;
+        for _attempt in 0..8 {
+            let mut a = jtj.clone();
+            for p in 0..n_params {
+                let d = a[p * n_params + p];
+                a[p * n_params + p] = d + lambda * d.max(1e-12);
+            }
+            let mut rhs = jtr.clone();
+            if solve_inplace(&mut a, &mut rhs, n_params).is_err() {
+                lambda *= 10.0;
+                continue;
+            }
+            let candidate: Vec<f64> =
+                params.iter().zip(rhs.iter()).map(|(p, d)| p + d).collect();
+            let new_sse = sse(&candidate);
+            if new_sse.is_finite() && new_sse <= current_sse {
+                step = Some((candidate, rhs, new_sse));
+                lambda = (lambda * 0.3).max(1e-14);
+                break;
+            }
+            lambda *= 10.0;
+        }
+
+        let Some((candidate, delta, new_sse)) = step else {
+            // Could not find a descent step; treat current params as converged.
+            return Ok(params);
+        };
+        let delta_norm: f64 = delta.iter().map(|d| d * d).sum::<f64>().sqrt();
+        params = candidate;
+        current_sse = new_sse;
+        if delta_norm < options.tolerance {
+            return Ok(params);
+        }
+    }
+    Ok(params)
+}
+
+fn solve_inplace(a: &mut [f64], rhs: &mut [f64], n: usize) -> Result<(), LinalgError> {
+    for k in 0..n {
+        let mut piv = k;
+        let mut best = a[k * n + k].abs();
+        for i in k + 1..n {
+            if a[i * n + k].abs() > best {
+                best = a[i * n + k].abs();
+                piv = i;
+            }
+        }
+        if best < 1e-300 {
+            return Err(LinalgError::Singular);
+        }
+        if piv != k {
+            for j in 0..n {
+                a.swap(k * n + j, piv * n + j);
+            }
+            rhs.swap(k, piv);
+        }
+        for i in k + 1..n {
+            let f = a[i * n + k] / a[k * n + k];
+            if f == 0.0 {
+                continue;
+            }
+            for j in k..n {
+                a[i * n + j] -= f * a[k * n + j];
+            }
+            rhs[i] -= f * rhs[k];
+        }
+    }
+    for k in (0..n).rev() {
+        let mut acc = rhs[k];
+        for j in k + 1..n {
+            acc -= a[k * n + j] * rhs[j];
+        }
+        rhs[k] = acc / a[k * n + k];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polyfit_recovers_exact_polynomial() {
+        let xs: Vec<f64> = (0..25).map(|i| i as f64 * 0.2 - 2.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 - 2.0 * x + 0.5 * x * x * x).collect();
+        let c = polyfit(&xs, &ys, 3).unwrap();
+        assert!((c[0] - 1.5).abs() < 1e-8);
+        assert!((c[1] + 2.0).abs() < 1e-8);
+        assert!(c[2].abs() < 1e-8);
+        assert!((c[3] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn polyval_matches_direct_evaluation() {
+        let c = [2.0, -1.0, 0.5];
+        for x in [-3.0, 0.0, 1.5, 7.0] {
+            let direct = 2.0 - x + 0.5 * x * x;
+            assert!((polyval(&c, x) - direct).abs() < 1e-12);
+        }
+        assert_eq!(polyval(&[], 3.0), 0.0);
+    }
+
+    #[test]
+    fn polyfit_validates_inputs() {
+        assert!(polyfit(&[1.0, 2.0], &[1.0], 1).is_err());
+        assert!(polyfit(&[1.0, 2.0], &[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn gauss_newton_fits_exponential_decay() {
+        // y = A exp(-x / tau) with A = 2, tau = 3.
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.25).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * (-x / 3.0).exp()).collect();
+        let model = |x: f64, p: &[f64]| p[0] * (-x / p[1]).exp();
+        let jac = |x: f64, p: &[f64]| {
+            let e = (-x / p[1]).exp();
+            vec![e, p[0] * e * x / (p[1] * p[1])]
+        };
+        let fitted =
+            gauss_newton(&xs, &ys, &[1.0, 1.0], model, jac, GaussNewtonOptions::default()).unwrap();
+        assert!((fitted[0] - 2.0).abs() < 1e-6, "{fitted:?}");
+        assert!((fitted[1] - 3.0).abs() < 1e-6, "{fitted:?}");
+    }
+
+    #[test]
+    fn gauss_newton_fits_squared_exponential_variogram_shape() {
+        // gamma(h) = c0 (1 - exp(-(h/a)^2)) with c0 = 1.2, a = 14.
+        let hs: Vec<f64> = (1..60).map(|i| i as f64).collect();
+        let ys: Vec<f64> = hs.iter().map(|h| 1.2 * (1.0 - (-(h / 14.0).powi(2)).exp())).collect();
+        let model = |h: f64, p: &[f64]| p[0] * (1.0 - (-(h / p[1]).powi(2)).exp());
+        let jac = |h: f64, p: &[f64]| {
+            let e = (-(h / p[1]).powi(2)).exp();
+            vec![1.0 - e, -p[0] * e * 2.0 * h * h / (p[1] * p[1] * p[1])]
+        };
+        let fitted = gauss_newton(&hs, &ys, &[0.5, 5.0], model, jac, GaussNewtonOptions::default())
+            .unwrap();
+        assert!((fitted[0] - 1.2).abs() < 1e-5, "{fitted:?}");
+        assert!((fitted[1] - 14.0).abs() < 1e-4, "{fitted:?}");
+    }
+
+    #[test]
+    fn gauss_newton_with_noise_stays_close() {
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 * 0.1).collect();
+        // Deterministic pseudo-noise so the test is reproducible.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 5.0 * (-x / 2.0).exp() + 0.01 * ((i * 2654435761) % 1000) as f64 / 1000.0)
+            .collect();
+        let model = |x: f64, p: &[f64]| p[0] * (-x / p[1]).exp();
+        let jac = |x: f64, p: &[f64]| {
+            let e = (-x / p[1]).exp();
+            vec![e, p[0] * e * x / (p[1] * p[1])]
+        };
+        let fitted =
+            gauss_newton(&xs, &ys, &[1.0, 1.0], model, jac, GaussNewtonOptions::default()).unwrap();
+        assert!((fitted[0] - 5.0).abs() < 0.05);
+        assert!((fitted[1] - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn gauss_newton_validates_inputs() {
+        let model = |_x: f64, p: &[f64]| p[0];
+        let jac = |_x: f64, _p: &[f64]| vec![1.0];
+        assert!(gauss_newton(&[1.0], &[1.0, 2.0], &[0.0], model, jac, Default::default()).is_err());
+        assert!(gauss_newton(
+            &[] as &[f64],
+            &[],
+            &[0.0],
+            |_x, p: &[f64]| p[0],
+            |_x, _p| vec![1.0],
+            Default::default()
+        )
+        .is_err());
+    }
+}

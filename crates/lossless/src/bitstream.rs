@@ -1,0 +1,211 @@
+//! MSB-first bit-level writer and reader.
+
+use crate::CodecError;
+
+/// Accumulates bits most-significant-bit first into a byte vector.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of bits already used in the trailing partial byte (0..=7).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Number of whole bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.bit_pos == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= 1 << (7 - self.bit_pos);
+        }
+        self.bit_pos = (self.bit_pos + 1) % 8;
+    }
+
+    /// Append the lowest `count` bits of `value`, most significant first.
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Append a whole byte (8 bits).
+    pub fn write_byte(&mut self, byte: u8) {
+        self.write_bits(u64::from(byte), 8);
+    }
+
+    /// Finish writing and return the padded byte vector (trailing bits are
+    /// zero).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrow the bytes written so far (including the partial last byte).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Reads bits most-significant-bit first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit to read, counted from the start of the stream.
+    cursor: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Create a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, cursor: 0 }
+    }
+
+    /// Total number of bits available.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8
+    }
+
+    /// Number of bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bit_len().saturating_sub(self.cursor)
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        if self.cursor >= self.bit_len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let byte = self.bytes[self.cursor / 8];
+        let bit = (byte >> (7 - (self.cursor % 8))) & 1 == 1;
+        self.cursor += 1;
+        Ok(bit)
+    }
+
+    /// Read `count` bits (MSB first) into the low bits of a `u64`.
+    pub fn read_bits(&mut self, count: u32) -> Result<u64, CodecError> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        let mut value = 0u64;
+        for _ in 0..count {
+            value = (value << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(value)
+    }
+
+    /// Read a whole byte.
+    pub fn read_byte(&mut self) -> Result<u8, CodecError> {
+        Ok(self.read_bits(8)? as u8)
+    }
+
+    /// Current bit position from the start of the stream.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let pattern = [true, false, true, true, false, false, true, false, true, true, true];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), pattern.len());
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+        // Padding bits are zero.
+        while r.remaining() > 0 {
+            assert!(!r.read_bit().unwrap());
+        }
+        assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn multi_bit_values_roundtrip() {
+        let values: [(u64, u32); 6] =
+            [(0, 1), (1, 1), (5, 3), (0xDEADBEEF, 32), (u64::MAX, 64), (0b1011, 4)];
+        let mut w = BitWriter::new();
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.read_bits(n).unwrap(), v, "value {v} width {n}");
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_alignment() {
+        let mut w = BitWriter::new();
+        w.write_bit(true); // force misalignment
+        for b in 0u8..=255 {
+            w.write_byte(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bit().unwrap());
+        for b in 0u8..=255 {
+            assert_eq!(r.read_byte().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn bit_len_and_position_track_progress() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0b101, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0xFF, 8);
+        assert_eq!(w.bit_len(), 11);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bit_len(), 16);
+        let _ = r.read_bits(5).unwrap();
+        assert_eq!(r.position(), 5);
+        assert_eq!(r.remaining(), 11);
+    }
+
+    #[test]
+    fn eof_is_detected_mid_value() {
+        let bytes = [0xAB];
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bits(8).is_ok());
+        assert_eq!(r.read_bits(1), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn msb_first_layout_is_stable() {
+        // Guard the exact bit layout: 0b1010_0000 after writing bits 1,0,1,0.
+        let mut w = BitWriter::new();
+        for b in [true, false, true, false] {
+            w.write_bit(b);
+        }
+        assert_eq!(w.as_bytes(), &[0b1010_0000]);
+    }
+}

@@ -1,0 +1,371 @@
+//! Canonical Huffman coding over `u32` symbols.
+//!
+//! SZ encodes its quantization codes with a Huffman coder before the final
+//! lossless pass; this module provides the equivalent, self-describing
+//! encoder/decoder:
+//!
+//! * symbol alphabet is discovered from the input (arbitrary `u32` symbols),
+//! * code lengths are derived from a standard binary-heap Huffman tree,
+//! * codes are made *canonical* so only (symbol, length) pairs need to be
+//!   stored in the header,
+//! * decode uses a table over (length, first-code, index) triples — the
+//!   classic canonical decoding loop.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::{read_varint, write_varint, CodecError};
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Maximum accepted code length. With ≤ 2^20 distinct symbols and the
+/// depth-balancing property of Huffman trees over realistic count
+/// distributions, 48 bits is far beyond anything reachable in practice but
+/// protects the decoder against corrupt headers.
+const MAX_CODE_LEN: u32 = 48;
+
+/// Encode `symbols` into a self-describing byte stream.
+///
+/// The stream layout is:
+/// `varint n_symbols | varint alphabet_size | (varint symbol, varint code_len)* | varint payload_bit_len | payload bits`
+pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, symbols.len() as u64);
+    if symbols.is_empty() {
+        return out;
+    }
+
+    // Histogram.
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for &s in symbols {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+    let code_lengths = code_lengths_from_counts(&counts);
+    let canonical = canonical_codes(&code_lengths);
+
+    // Header: alphabet description.
+    write_varint(&mut out, canonical.len() as u64);
+    let mut ordered: Vec<(&u32, &(u32, u64))> = canonical.iter().collect();
+    ordered.sort_by_key(|(sym, _)| **sym);
+    for (sym, (len, _code)) in &ordered {
+        write_varint(&mut out, u64::from(**sym));
+        write_varint(&mut out, u64::from(*len));
+    }
+
+    // Payload.
+    let mut writer = BitWriter::new();
+    for &s in symbols {
+        let (len, code) = canonical[&s];
+        writer.write_bits(code, len);
+    }
+    write_varint(&mut out, writer.bit_len() as u64);
+    out.extend_from_slice(&writer.into_bytes());
+    out
+}
+
+/// Decode a stream produced by [`huffman_encode`]. Returns the symbols and
+/// the number of bytes consumed from `bytes` (so callers can embed the
+/// stream inside a larger container).
+pub fn huffman_decode(bytes: &[u8]) -> Result<(Vec<u32>, usize), CodecError> {
+    let mut offset = 0usize;
+    let (n_symbols, used) = read_varint(&bytes[offset..])?;
+    offset += used;
+    if n_symbols == 0 {
+        return Ok((Vec::new(), offset));
+    }
+    let (alphabet_size, used) = read_varint(&bytes[offset..])?;
+    offset += used;
+    if alphabet_size == 0 {
+        return Err(CodecError::Corrupt("empty alphabet with non-empty payload".into()));
+    }
+
+    let mut lengths: Vec<(u32, u32)> = Vec::with_capacity(alphabet_size as usize);
+    for _ in 0..alphabet_size {
+        let (sym, used) = read_varint(&bytes[offset..])?;
+        offset += used;
+        let (len, used) = read_varint(&bytes[offset..])?;
+        offset += used;
+        if len == 0 || len > u64::from(MAX_CODE_LEN) {
+            return Err(CodecError::Corrupt(format!("invalid code length {len}")));
+        }
+        lengths.push((sym as u32, len as u32));
+    }
+
+    let (payload_bits, used) = read_varint(&bytes[offset..])?;
+    offset += used;
+    let payload_bytes = (payload_bits as usize).div_ceil(8);
+    if bytes.len() < offset + payload_bytes {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let payload = &bytes[offset..offset + payload_bytes];
+
+    // Rebuild canonical codes from (symbol, length) pairs.
+    let mut table: HashMap<u32, (u32, u64)> = HashMap::new();
+    for (sym, len) in &lengths {
+        table.insert(*sym, (*len, 0));
+    }
+    let lengths_map: HashMap<u32, u32> = lengths.iter().copied().collect();
+    let canonical = canonical_codes(&lengths_map);
+
+    // Decoding structure: for each length, the first canonical code of that
+    // length and the symbols ordered canonically.
+    let mut by_len: Vec<Vec<(u64, u32)>> = vec![Vec::new(); (MAX_CODE_LEN + 1) as usize];
+    for (sym, (len, code)) in &canonical {
+        by_len[*len as usize].push((*code, *sym));
+    }
+    for bucket in &mut by_len {
+        bucket.sort_unstable();
+    }
+
+    // Special case: a single distinct symbol gets a 1-bit code.
+    let single_symbol = if canonical.len() == 1 {
+        Some(*canonical.keys().next().expect("non-empty map"))
+    } else {
+        None
+    };
+
+    let mut reader = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n_symbols as usize);
+    while out.len() < n_symbols as usize {
+        if let Some(sym) = single_symbol {
+            // Consume the placeholder bit and emit the symbol.
+            let _ = reader.read_bit()?;
+            out.push(sym);
+            continue;
+        }
+        let mut code = 0u64;
+        let mut len = 0u32;
+        loop {
+            code = (code << 1) | u64::from(reader.read_bit()?);
+            len += 1;
+            if len > MAX_CODE_LEN {
+                return Err(CodecError::Corrupt("code longer than maximum".into()));
+            }
+            let bucket = &by_len[len as usize];
+            if bucket.is_empty() {
+                continue;
+            }
+            if let Ok(pos) = bucket.binary_search_by_key(&code, |&(c, _)| c) {
+                out.push(bucket[pos].1);
+                break;
+            }
+            // Canonical codes of a given length form a contiguous range; if
+            // the current prefix is below that range we must read more bits.
+            if code < bucket[0].0 || code > bucket[bucket.len() - 1].0 {
+                continue;
+            }
+            return Err(CodecError::Corrupt("invalid Huffman code".into()));
+        }
+    }
+    let _ = table;
+    Ok((out, offset + payload_bytes))
+}
+
+/// Huffman code lengths from symbol counts using a binary heap; a single
+/// distinct symbol gets length 1.
+fn code_lengths_from_counts(counts: &HashMap<u32, u64>) -> HashMap<u32, u32> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        // Tie-break on the smallest symbol in the subtree for determinism.
+        order: u32,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for a min-heap.
+            other.weight.cmp(&self.weight).then(other.order.cmp(&self.order))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut lengths: HashMap<u32, u32> = HashMap::new();
+    if counts.is_empty() {
+        return lengths;
+    }
+    if counts.len() == 1 {
+        let sym = *counts.keys().next().expect("non-empty");
+        lengths.insert(sym, 1);
+        return lengths;
+    }
+
+    // Tree nodes: leaves first, then internal nodes referencing children.
+    let mut symbols: Vec<(u32, u64)> = counts.iter().map(|(&s, &c)| (s, c)).collect();
+    symbols.sort_unstable();
+    let mut children: Vec<Option<(usize, usize)>> = vec![None; symbols.len()];
+    let mut leaf_symbol: Vec<Option<u32>> = symbols.iter().map(|&(s, _)| Some(s)).collect();
+
+    let mut heap = BinaryHeap::new();
+    for (id, &(sym, count)) in symbols.iter().enumerate() {
+        heap.push(Node { weight: count, order: sym, id });
+    }
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        let id = children.len();
+        children.push(Some((a.id, b.id)));
+        leaf_symbol.push(None);
+        heap.push(Node { weight: a.weight + b.weight, order: a.order.min(b.order), id });
+    }
+    let root = heap.pop().expect("one node remains").id;
+
+    // Depth-first traversal assigning depths to leaves.
+    let mut stack = vec![(root, 0u32)];
+    while let Some((node, depth)) = stack.pop() {
+        match children[node] {
+            Some((a, b)) => {
+                stack.push((a, depth + 1));
+                stack.push((b, depth + 1));
+            }
+            None => {
+                let sym = leaf_symbol[node].expect("leaf has a symbol");
+                lengths.insert(sym, depth.max(1));
+            }
+        }
+    }
+    lengths
+}
+
+/// Assign canonical codes given code lengths: symbols are sorted by
+/// (length, symbol) and receive consecutive codes.
+fn canonical_codes(lengths: &HashMap<u32, u32>) -> HashMap<u32, (u32, u64)> {
+    let mut items: Vec<(u32, u32)> = lengths.iter().map(|(&s, &l)| (s, l)).collect();
+    items.sort_by_key(|&(sym, len)| (len, sym));
+    let mut out = HashMap::with_capacity(items.len());
+    let mut code = 0u64;
+    let mut prev_len = 0u32;
+    for (sym, len) in items {
+        if prev_len != 0 {
+            code = (code + 1) << (len - prev_len);
+        }
+        out.insert(sym, (len, code));
+        prev_len = len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32]) {
+        let encoded = huffman_encode(symbols);
+        let (decoded, used) = huffman_decode(&encoded).unwrap();
+        assert_eq!(decoded, symbols);
+        assert_eq!(used, encoded.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn single_distinct_symbol() {
+        roundtrip(&[7; 100]);
+    }
+
+    #[test]
+    fn two_symbols() {
+        roundtrip(&[0, 1, 0, 0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 90% zeros: the encoded stream must be much smaller than 4 bytes per
+        // symbol.
+        let mut symbols = vec![0u32; 9000];
+        symbols.extend((0..1000).map(|i| (i % 17) as u32 + 1));
+        let encoded = huffman_encode(&symbols);
+        assert!(encoded.len() < symbols.len(), "{} vs {}", encoded.len(), symbols.len());
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn uniform_large_alphabet() {
+        let symbols: Vec<u32> = (0..4096u32).map(|i| i % 256).collect();
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn sparse_large_symbol_values() {
+        let symbols = vec![0u32, u32::MAX, 123_456_789, 42, u32::MAX, 42, 0, 0];
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn pseudorandom_sequence() {
+        let mut state = 0x12345678u64;
+        let symbols: Vec<u32> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) % 300) as u32
+            })
+            .collect();
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let mut counts = HashMap::new();
+        for (s, c) in [(1u32, 40u64), (2, 30), (3, 20), (4, 9), (5, 1)] {
+            counts.insert(s, c);
+        }
+        let lengths = code_lengths_from_counts(&counts);
+        let codes = canonical_codes(&lengths);
+        let entries: Vec<(u32, u64)> = codes.values().copied().collect();
+        for (i, &(len_a, code_a)) in entries.iter().enumerate() {
+            for (j, &(len_b, code_b)) in entries.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let (short, long) = if len_a <= len_b {
+                    ((len_a, code_a), (len_b, code_b))
+                } else {
+                    ((len_b, code_b), (len_a, code_a))
+                };
+                let prefix = long.1 >> (long.0 - short.0);
+                assert!(
+                    !(short.0 != long.0 && prefix == short.1),
+                    "code {:b}/{} is a prefix of {:b}/{}",
+                    short.1,
+                    short.0,
+                    long.1,
+                    long.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_symbols_get_shorter_codes() {
+        let mut counts = HashMap::new();
+        counts.insert(0u32, 1000u64);
+        counts.insert(1, 10);
+        counts.insert(2, 10);
+        counts.insert(3, 10);
+        let lengths = code_lengths_from_counts(&counts);
+        assert!(lengths[&0] <= lengths[&1]);
+        assert!(lengths[&0] <= lengths[&3]);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let encoded = huffman_encode(&[1, 2, 3, 1, 2, 3, 3, 3]);
+        for cut in [1, encoded.len() / 2, encoded.len() - 1] {
+            assert!(huffman_decode(&encoded[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_reports_consumed_length_inside_container() {
+        let encoded = huffman_encode(&[9, 9, 8, 7]);
+        let mut container = encoded.clone();
+        container.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        let (decoded, used) = huffman_decode(&container).unwrap();
+        assert_eq!(decoded, vec![9, 9, 8, 7]);
+        assert_eq!(used, encoded.len());
+    }
+}

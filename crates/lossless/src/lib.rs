@@ -1,0 +1,120 @@
+//! # lcc-lossless — lossless back-end coders for the lossy compressors
+//!
+//! SZ and MGARD both end their pipelines with an entropy stage (Huffman over
+//! quantization codes) followed by a general-purpose lossless compressor
+//! (Zstd in the reference implementations). This crate provides those
+//! building blocks from scratch:
+//!
+//! * [`bitstream`] — MSB-first bit-level writer/reader used by every coder
+//!   (and by the ZFP-style embedded bit-plane coder),
+//! * [`huffman`] — canonical Huffman coding over `u32` symbols with an
+//!   embedded code-length table,
+//! * [`lz77`] — greedy hash-chain LZ77 with byte-oriented token encoding,
+//! * [`rle`] — zero-run-length pre-pass that pairs well with quantization
+//!   codes dominated by the "perfectly predicted" symbol,
+//! * [`pipeline`] — the composition `Huffman → LZ77` exposed through the
+//!   [`pipeline::ByteCodec`] trait, mirroring the role Zstd plays for
+//!   SZ/MGARD.
+//!
+//! All encoders produce self-describing byte streams (length-prefixed
+//! sections), so decoding needs no out-of-band metadata.
+
+pub mod bitstream;
+pub mod huffman;
+pub mod lz77;
+pub mod pipeline;
+pub mod rle;
+
+pub use bitstream::{BitReader, BitWriter};
+pub use huffman::{huffman_decode, huffman_encode};
+pub use lz77::{lz77_compress, lz77_decompress};
+pub use pipeline::{ByteCodec, HuffLzCodec, RawCodec};
+
+/// Errors produced while decoding a lossless stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended before the decoder expected it to.
+    UnexpectedEof,
+    /// The stream contains a structural inconsistency (bad header, invalid
+    /// code, impossible back-reference…).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of stream"),
+            CodecError::Corrupt(msg) => write!(f, "corrupt stream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Write a `u64` as a variable-length LEB128-style integer.
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a varint written by [`write_varint`]; returns the value and the
+/// number of bytes consumed.
+pub fn read_varint(bytes: &[u8]) -> Result<(u64, usize), CodecError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in bytes.iter().enumerate() {
+        if shift >= 64 {
+            return Err(CodecError::Corrupt("varint too long".into()));
+        }
+        value |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(CodecError::UnexpectedEof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 255, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let (back, used) = read_varint(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_detects_truncation() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1_000_000);
+        buf.pop();
+        assert_eq!(read_varint(&buf), Err(CodecError::UnexpectedEof));
+        assert_eq!(read_varint(&[]), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        let buf = [0x80u8; 11];
+        assert!(matches!(read_varint(&buf), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CodecError::UnexpectedEof.to_string().contains("end of stream"));
+        assert!(CodecError::Corrupt("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Greedy hash-chain LZ77 with a byte-oriented token format.
+//!
+//! This plays the role Zstd plays behind SZ/MGARD: it removes repeated byte
+//! patterns left over after entropy coding of quantization codes (long runs
+//! of identical codes turn into highly repetitive Huffman output only when
+//! codes straddle byte boundaries irregularly, and exact-stored IEEE doubles
+//! often share exponent/sign bytes).
+//!
+//! Token stream format (after a varint original length):
+//! * literal run: `0x00, varint len, len raw bytes`
+//! * match: `0x01, varint distance, varint length`
+//!
+//! Greedy matching with a 3-byte hash head + chained previous positions,
+//! bounded chain walk. Window size 64 KiB, minimum match length 4.
+
+use crate::{read_varint, write_varint, CodecError};
+
+const WINDOW: usize = 1 << 16;
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 1 << 12;
+const MAX_CHAIN: usize = 64;
+const HASH_BITS: u32 = 15;
+
+#[inline]
+fn hash3(bytes: &[u8]) -> usize {
+    let h = (u32::from(bytes[0]) << 16) | (u32::from(bytes[1]) << 8) | u32::from(bytes[2]);
+    ((h.wrapping_mul(2654435761)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input` with greedy LZ77. The output always starts with a varint
+/// holding the original length.
+pub fn lz77_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    write_varint(&mut out, input.len() as u64);
+    if input.is_empty() {
+        return out;
+    }
+
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; input.len()];
+
+    let mut literals_start = 0usize;
+    let mut pos = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, input: &[u8]| {
+        if to > from {
+            out.push(0x00);
+            write_varint(out, (to - from) as u64);
+            out.extend_from_slice(&input[from..to]);
+        }
+    };
+
+    while pos < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+
+        if pos + MIN_MATCH <= input.len() {
+            let h = hash3(&input[pos..]);
+            let mut candidate = head[h];
+            let mut chain = 0usize;
+            while candidate != usize::MAX && chain < MAX_CHAIN {
+                if pos - candidate > WINDOW {
+                    break;
+                }
+                // Extend the match.
+                let max_len = (input.len() - pos).min(MAX_MATCH);
+                let mut len = 0usize;
+                while len < max_len && input[candidate + len] == input[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - candidate;
+                    if len >= MAX_MATCH {
+                        break;
+                    }
+                }
+                candidate = prev[candidate];
+                chain += 1;
+            }
+            // Insert the current position into the hash chain.
+            prev[pos] = head[h];
+            head[h] = pos;
+        }
+
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, literals_start, pos, input);
+            out.push(0x01);
+            write_varint(&mut out, best_dist as u64);
+            write_varint(&mut out, best_len as u64);
+            // Insert skipped positions into the chains so later matches can
+            // reference them (bounded to keep the encoder linear-ish).
+            let end = pos + best_len;
+            let mut p = pos + 1;
+            while p < end && p + MIN_MATCH <= input.len() {
+                let h = hash3(&input[p..]);
+                prev[p] = head[h];
+                head[h] = p;
+                p += 1;
+            }
+            pos = end;
+            literals_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    flush_literals(&mut out, literals_start, input.len(), input);
+    out
+}
+
+/// Decompress a stream produced by [`lz77_compress`].
+pub fn lz77_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut offset = 0usize;
+    let (orig_len, used) = read_varint(bytes)?;
+    offset += used;
+    let mut out: Vec<u8> = Vec::with_capacity(orig_len as usize);
+
+    while (out.len() as u64) < orig_len {
+        if offset >= bytes.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let tag = bytes[offset];
+        offset += 1;
+        match tag {
+            0x00 => {
+                let (len, used) = read_varint(&bytes[offset..])?;
+                offset += used;
+                let len = len as usize;
+                if offset + len > bytes.len() {
+                    return Err(CodecError::UnexpectedEof);
+                }
+                out.extend_from_slice(&bytes[offset..offset + len]);
+                offset += len;
+            }
+            0x01 => {
+                let (dist, used) = read_varint(&bytes[offset..])?;
+                offset += used;
+                let (len, used) = read_varint(&bytes[offset..])?;
+                offset += used;
+                let dist = dist as usize;
+                let len = len as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(CodecError::Corrupt(format!(
+                        "match distance {dist} exceeds output length {}",
+                        out.len()
+                    )));
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are legal (classic LZ77 run extension).
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            other => {
+                return Err(CodecError::Corrupt(format!("unknown token tag {other:#x}")));
+            }
+        }
+    }
+    if out.len() as u64 != orig_len {
+        return Err(CodecError::Corrupt("decoded length mismatch".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let compressed = lz77_compress(data);
+        let back = lz77_decompress(&compressed).unwrap();
+        assert_eq!(back, data);
+        compressed.len()
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn long_run_compresses_massively() {
+        let data = vec![0u8; 100_000];
+        let size = roundtrip(&data);
+        assert!(size < 200, "run of zeros compressed to {size} bytes");
+    }
+
+    #[test]
+    fn repeated_pattern_compresses() {
+        let data: Vec<u8> = b"hello world, ".iter().copied().cycle().take(10_000).collect();
+        let size = roundtrip(&data);
+        assert!(size < 1_000, "repetitive text compressed to {size} bytes");
+    }
+
+    #[test]
+    fn overlapping_match_is_reproduced() {
+        // "ababab..." forces overlapping copies with distance 2.
+        let data: Vec<u8> = b"ab".iter().copied().cycle().take(4097).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn incompressible_data_roundtrips() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state & 0xFF) as u8
+            })
+            .collect();
+        let size = roundtrip(&data);
+        // Pseudo-random bytes should not blow up by more than the token framing.
+        assert!(size < data.len() + data.len() / 8 + 64);
+    }
+
+    #[test]
+    fn structured_float_bytes_compress() {
+        // Little-endian doubles from a piecewise-constant field repeat whole
+        // 8-byte words, which LZ77 folds into matches.
+        let mut data = Vec::new();
+        for i in 0..8192 {
+            let v = (i / 16) as f64 * 0.125 + 1.0;
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        let size = roundtrip(&data);
+        assert!(size < data.len() / 4, "piecewise-constant doubles: {size} vs {}", data.len());
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        let compressed = lz77_compress(b"some reasonably long input to compress, repeated, repeated");
+        // Truncation.
+        assert!(lz77_decompress(&compressed[..compressed.len() - 3]).is_err());
+        // Bad tag.
+        let mut bad = compressed.clone();
+        // Find the first token tag (right after the length varint) and clobber it.
+        let (_, used) = read_varint(&bad).unwrap();
+        bad[used] = 0x7F;
+        assert!(lz77_decompress(&bad).is_err());
+        // Empty stream.
+        assert!(lz77_decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn match_distance_validation() {
+        // Hand-craft a stream with an impossible back-reference.
+        let mut bad = Vec::new();
+        write_varint(&mut bad, 10);
+        bad.push(0x01); // match
+        write_varint(&mut bad, 5); // distance 5 with empty output
+        write_varint(&mut bad, 5);
+        assert!(matches!(lz77_decompress(&bad), Err(CodecError::Corrupt(_))));
+    }
+}

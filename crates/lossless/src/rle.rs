@@ -1,0 +1,136 @@
+//! Zero-run-length coding over `u32` symbol streams.
+//!
+//! Quantization-code streams from predictive compressors are dominated by a
+//! single "perfect prediction" symbol on smooth data. Collapsing runs of that
+//! symbol before Huffman coding gives the entropy coder a shorter, less
+//! skewed stream to work on.
+//!
+//! Encoding: the stream is mapped to a sequence of `u32` tokens where
+//! `ESCAPE` (= `u32::MAX`) is followed by the run length of the designated
+//! `run_symbol`. Occurrences of `ESCAPE` itself in the input are doubled so
+//! the mapping stays reversible.
+
+use crate::CodecError;
+
+/// Escape token marking a run (and escaping itself).
+pub const ESCAPE: u32 = u32::MAX;
+
+/// Encode runs of `run_symbol` in `symbols`.
+pub fn rle_encode(symbols: &[u32], run_symbol: u32) -> Vec<u32> {
+    let mut out = Vec::with_capacity(symbols.len() / 2 + 8);
+    let mut i = 0usize;
+    while i < symbols.len() {
+        let s = symbols[i];
+        if s == run_symbol {
+            let mut j = i;
+            while j < symbols.len() && symbols[j] == run_symbol {
+                j += 1;
+            }
+            let run = (j - i) as u32;
+            if run >= 3 {
+                out.push(ESCAPE);
+                out.push(run);
+                i = j;
+                continue;
+            }
+            // Short runs are cheaper verbatim (unless the symbol is ESCAPE,
+            // handled below).
+        }
+        if s == ESCAPE {
+            // Escape the escape: ESCAPE followed by 0 means a literal ESCAPE.
+            out.push(ESCAPE);
+            out.push(0);
+        } else {
+            out.push(s);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Decode a stream produced by [`rle_encode`] with the same `run_symbol`.
+pub fn rle_decode(tokens: &[u32], run_symbol: u32) -> Result<Vec<u32>, CodecError> {
+    let mut out = Vec::with_capacity(tokens.len() * 2);
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = tokens[i];
+        if t == ESCAPE {
+            let Some(&arg) = tokens.get(i + 1) else {
+                return Err(CodecError::UnexpectedEof);
+            };
+            if arg == 0 {
+                out.push(ESCAPE);
+            } else {
+                out.extend(std::iter::repeat(run_symbol).take(arg as usize));
+            }
+            i += 2;
+        } else {
+            out.push(t);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32], run_symbol: u32) -> usize {
+        let encoded = rle_encode(symbols, run_symbol);
+        let decoded = rle_decode(&encoded, run_symbol).unwrap();
+        assert_eq!(decoded, symbols);
+        encoded.len()
+    }
+
+    #[test]
+    fn empty_and_short() {
+        assert_eq!(roundtrip(&[], 0), 0);
+        roundtrip(&[1, 2, 3], 0);
+        roundtrip(&[0, 0], 0); // run shorter than 3 stays verbatim
+    }
+
+    #[test]
+    fn long_runs_shrink() {
+        let mut symbols = vec![512u32; 10_000];
+        symbols.push(7);
+        symbols.extend(vec![512u32; 5_000]);
+        let n = roundtrip(&symbols, 512);
+        assert!(n <= 5, "rle produced {n} tokens");
+    }
+
+    #[test]
+    fn runs_of_other_symbols_are_untouched() {
+        let symbols = vec![3u32; 100];
+        let encoded = rle_encode(&symbols, 5);
+        assert_eq!(encoded.len(), 100);
+        assert_eq!(rle_decode(&encoded, 5).unwrap(), symbols);
+    }
+
+    #[test]
+    fn escape_symbol_is_preserved() {
+        let symbols = vec![ESCAPE, 1, ESCAPE, ESCAPE, 2, ESCAPE];
+        roundtrip(&symbols, 1);
+        // Even when the run symbol is ESCAPE itself, runs collapse correctly.
+        let symbols = vec![ESCAPE; 50];
+        roundtrip(&symbols, ESCAPE);
+    }
+
+    #[test]
+    fn mixed_content() {
+        let mut symbols = Vec::new();
+        for k in 0..200u32 {
+            symbols.push(k % 7);
+            if k % 3 == 0 {
+                symbols.extend(vec![42u32; (k % 11) as usize]);
+            }
+        }
+        roundtrip(&symbols, 42);
+    }
+
+    #[test]
+    fn truncated_escape_is_an_error() {
+        let encoded = vec![ESCAPE];
+        assert_eq!(rle_decode(&encoded, 0), Err(CodecError::UnexpectedEof));
+    }
+}

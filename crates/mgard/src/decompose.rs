@@ -1,0 +1,250 @@
+//! Hierarchical (multigrid) interpolation decomposition of a 2D field.
+//!
+//! Level `l` works on the sub-grid of points whose indices are multiples of
+//! `2^l`. The points that survive to level `l+1` (indices that are multiples
+//! of `2^(l+1)`) are the *coarse* nodes; every other level-`l` point is a
+//! *fine* node and is predicted by linear interpolation of its coarse
+//! neighbours:
+//!
+//! * odd row, even column → average of the vertical coarse neighbours,
+//! * even row, odd column → average of the horizontal coarse neighbours,
+//! * odd row, odd column  → average of the (up to four) diagonal coarse
+//!   neighbours,
+//!
+//! where "odd/even" is relative to the coarse stride and nodes past the grid
+//! edge are simply omitted from the average. The forward transform replaces
+//! each fine node by its interpolation residual — the *multilevel
+//! coefficient* — and recurses on the coarse grid. Because the interpolation
+//! weights always sum to one, quantization errors do not amplify as they
+//! propagate down the hierarchy; they only accumulate once per level, which
+//! is what lets the compressor split its error budget evenly across levels.
+
+use lcc_grid::Field2D;
+
+/// Number of dyadic levels supported by an `ny × nx` grid (enough halvings
+/// that the coarsest grid is ~2 points per axis).
+pub fn level_count(ny: usize, nx: usize) -> u32 {
+    let mut levels = 0u32;
+    let mut stride = 1usize;
+    while stride * 2 < ny.max(nx) {
+        stride *= 2;
+        levels += 1;
+    }
+    levels
+}
+
+/// Forward decomposition: returns a field of the same shape holding
+/// multilevel coefficients at fine nodes and raw values at the coarsest
+/// nodes.
+pub fn forward(field: &Field2D, levels: u32) -> Field2D {
+    let mut work = field.clone();
+    for level in 0..levels {
+        let stride = 1usize << level;
+        let coarse = stride * 2;
+        forward_level(&mut work, field, stride, coarse);
+        // Subsequent levels predict from original coarse values, which the
+        // snapshot in `field` still holds (coarse nodes are never modified at
+        // finer levels).
+    }
+    work
+}
+
+fn forward_level(work: &mut Field2D, original: &Field2D, stride: usize, coarse: usize) {
+    let (ny, nx) = original.shape();
+    for i in (0..ny).step_by(stride) {
+        for j in (0..nx).step_by(stride) {
+            let fine_row = (i % coarse) != 0;
+            let fine_col = (j % coarse) != 0;
+            if !fine_row && !fine_col {
+                continue; // coarse node: handled at a later level
+            }
+            let prediction = interpolate(original, i, j, coarse, fine_row, fine_col);
+            let residual = original.at(i, j) - prediction;
+            work.set(i, j, residual);
+        }
+    }
+}
+
+/// Inverse decomposition: reconstruct a field from multilevel coefficients.
+pub fn inverse(coeffs: &Field2D, levels: u32) -> Field2D {
+    let mut out = coeffs.clone();
+    // Reconstruct from the coarsest level down to the finest.
+    for level in (0..levels).rev() {
+        let stride = 1usize << level;
+        let coarse = stride * 2;
+        inverse_level(&mut out, stride, coarse);
+    }
+    out
+}
+
+fn inverse_level(out: &mut Field2D, stride: usize, coarse: usize) {
+    let (ny, nx) = out.shape();
+    for i in (0..ny).step_by(stride) {
+        for j in (0..nx).step_by(stride) {
+            let fine_row = (i % coarse) != 0;
+            let fine_col = (j % coarse) != 0;
+            if !fine_row && !fine_col {
+                continue;
+            }
+            let prediction = interpolate(out, i, j, coarse, fine_row, fine_col);
+            let value = out.at(i, j) + prediction;
+            out.set(i, j, value);
+        }
+    }
+}
+
+/// Linear interpolation of the coarse neighbours of a fine node. `source`
+/// holds original values during the forward pass and already-reconstructed
+/// values during the inverse pass.
+fn interpolate(
+    source: &Field2D,
+    i: usize,
+    j: usize,
+    coarse: usize,
+    fine_row: bool,
+    fine_col: bool,
+) -> f64 {
+    let (ny, nx) = source.shape();
+    let mut sum = 0.0;
+    let mut count = 0.0;
+    let mut add = |ii: Option<usize>, jj: Option<usize>| {
+        if let (Some(ii), Some(jj)) = (ii, jj) {
+            if ii < ny && jj < nx {
+                sum += source.at(ii, jj);
+                count += 1.0;
+            }
+        }
+    };
+
+    let half = coarse / 2;
+    let row_lo = i.checked_sub(half);
+    let row_hi = Some(i + half);
+    let col_lo = j.checked_sub(half);
+    let col_hi = Some(j + half);
+
+    match (fine_row, fine_col) {
+        (true, false) => {
+            add(row_lo, Some(j));
+            add(row_hi, Some(j));
+        }
+        (false, true) => {
+            add(Some(i), col_lo);
+            add(Some(i), col_hi);
+        }
+        (true, true) => {
+            add(row_lo, col_lo);
+            add(row_lo, col_hi);
+            add(row_hi, col_lo);
+            add(row_hi, col_hi);
+        }
+        (false, false) => unreachable!("coarse nodes are not interpolated"),
+    }
+    if count > 0.0 {
+        sum / count
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(field: &Field2D) {
+        let levels = level_count(field.ny(), field.nx());
+        let coeffs = forward(field, levels);
+        let back = inverse(&coeffs, levels);
+        let err = field.max_abs_diff(&back);
+        assert!(err < 1e-9, "roundtrip error {err} on shape {:?}", field.shape());
+    }
+
+    #[test]
+    fn level_count_scales_with_size() {
+        assert_eq!(level_count(1, 1), 0);
+        assert_eq!(level_count(2, 2), 0);
+        assert_eq!(level_count(3, 3), 1);
+        assert_eq!(level_count(5, 5), 2);
+        assert!(level_count(1028, 1028) >= 9);
+        assert!(level_count(256, 384) >= 7);
+    }
+
+    #[test]
+    fn forward_inverse_is_lossless_without_quantization() {
+        for (ny, nx) in [(8, 8), (9, 9), (16, 17), (33, 65), (7, 50), (1, 12)] {
+            let f = Field2D::from_fn(ny, nx, |i, j| {
+                (i as f64 * 0.37).sin() * 3.0 + (j as f64 * 0.21).cos() - 0.01 * (i * j) as f64
+            });
+            roundtrip(&f);
+        }
+    }
+
+    #[test]
+    fn coefficients_vanish_for_linear_fields_away_from_edges() {
+        // A bilinear field is predicted exactly by linear interpolation at
+        // nodes with both neighbours present, so most coefficients are ~0.
+        let f = Field2D::from_fn(33, 33, |i, j| 2.0 + 0.5 * i as f64 + 0.25 * j as f64);
+        let levels = level_count(33, 33);
+        let coeffs = forward(&f, levels);
+        let near_zero = coeffs
+            .as_slice()
+            .iter()
+            .filter(|c| c.abs() < 1e-9)
+            .count();
+        // Interior fine nodes dominate: expect the vast majority of the 1089
+        // coefficients to vanish (edge nodes with one-sided neighbourhoods
+        // keep non-zero residuals).
+        assert!(near_zero > 900, "only {near_zero} coefficients vanish");
+    }
+
+    #[test]
+    fn smooth_fields_have_smaller_coefficients_than_rough() {
+        let smooth = Field2D::from_fn(64, 64, |i, j| ((i + j) as f64 * 0.01).sin());
+        let mut s = 3u64;
+        let rough = Field2D::from_fn(64, 64, |_, _| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64).sin()
+        });
+        let levels = level_count(64, 64);
+        let cs = forward(&smooth, levels);
+        let cr = forward(&rough, levels);
+        let mean_abs = |f: &Field2D| {
+            f.as_slice().iter().map(|v| v.abs()).sum::<f64>() / f.len() as f64
+        };
+        assert!(mean_abs(&cs) < mean_abs(&cr) / 5.0);
+    }
+
+    #[test]
+    fn zero_levels_is_identity() {
+        let f = Field2D::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        assert_eq!(forward(&f, 0), f);
+        assert_eq!(inverse(&f, 0), f);
+    }
+
+    #[test]
+    fn quantization_error_accumulates_at_most_once_per_level() {
+        // Perturb every coefficient by ±δ and check the reconstruction moves
+        // by at most (levels + 1)·δ — the bound the compressor relies on.
+        let f = Field2D::from_fn(65, 65, |i, j| ((i * j) as f64 * 0.001).sin() * 2.0);
+        let levels = level_count(65, 65);
+        let coeffs = forward(&f, levels);
+        let delta = 1e-3;
+        let mut s = 99u64;
+        let mut perturbed = coeffs.clone();
+        perturbed.map_inplace(|v| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if s % 2 == 0 {
+                v + delta
+            } else {
+                v - delta
+            }
+        });
+        let back = inverse(&perturbed, levels);
+        let err = f.max_abs_diff(&back);
+        let bound = (levels as f64 + 1.0) * delta;
+        assert!(err <= bound + 1e-12, "err {err} > bound {bound}");
+    }
+}

@@ -1,0 +1,283 @@
+//! # lcc-mgard — an MGARD-style multilevel error-bounded lossy compressor
+//!
+//! A from-scratch Rust reimplementation of the multigrid-inspired MGARD
+//! pipeline the paper compares against. The property the study cares about
+//! is that MGARD decomposes the field into **multilevel coefficients whose
+//! support can span the whole dataset**, so — unlike the block-local SZ and
+//! ZFP — it can exploit global correlation structure and its compression
+//! ratio reacts less to the variogram range.
+//!
+//! Pipeline:
+//!
+//! 1. **hierarchical decomposition** ([`decompose`]): dyadic coarsening of
+//!    the 2D grid; fine nodes are predicted by (bi)linear interpolation of
+//!    the surrounding coarse nodes and replaced by their residual
+//!    (multilevel coefficient), recursively down to a few coarse values that
+//!    represent the entire field,
+//! 2. **level-aware uniform quantization** of the coefficients with a bin
+//!    width chosen so that the worst-case accumulated reconstruction error
+//!    across levels stays below the requested absolute bound (coefficients
+//!    that cannot be quantized into the code range are stored exactly),
+//! 3. **Huffman + LZ77** over the quantized codes (the role Zlib/Zstd play
+//!    in MGARD releases).
+//!
+//! ```
+//! use lcc_grid::Field2D;
+//! use lcc_mgard::MgardCompressor;
+//! use lcc_pressio::{Compressor, ErrorBound};
+//!
+//! let field = Field2D::from_fn(65, 65, |i, j| ((i + j) as f64 * 0.05).sin());
+//! let mgard = MgardCompressor::default();
+//! let r = mgard.compress(&field, ErrorBound::Absolute(1e-3)).unwrap();
+//! assert!(r.metrics.max_abs_error <= 1e-3);
+//! assert!(r.metrics.compression_ratio > 1.0);
+//! ```
+
+pub mod decompose;
+
+use lcc_grid::Field2D;
+use lcc_lossless::{huffman_decode, huffman_encode, lz77_compress, lz77_decompress};
+use lcc_pressio::{validate_finite, CompressError, Compressor, ErrorBound};
+
+/// Configuration of the MGARD-style compressor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MgardConfig {
+    /// Maximum number of decomposition levels (the effective number is also
+    /// limited by the grid size).
+    pub max_levels: u32,
+    /// Quantization code radius; residuals outside it are stored exactly.
+    pub code_radius: u32,
+}
+
+impl Default for MgardConfig {
+    fn default() -> Self {
+        MgardConfig { max_levels: 16, code_radius: 1 << 30 }
+    }
+}
+
+/// The MGARD-style compressor. See the crate-level documentation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MgardCompressor {
+    config: MgardConfig,
+}
+
+impl MgardCompressor {
+    /// Create a compressor with an explicit configuration.
+    pub fn new(config: MgardConfig) -> Self {
+        assert!(config.max_levels >= 1, "at least one level is required");
+        assert!(config.code_radius >= 2, "code radius must be at least 2");
+        MgardCompressor { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> MgardConfig {
+        self.config
+    }
+}
+
+const MAGIC: &[u8; 4] = b"LMG1";
+
+impl Compressor for MgardCompressor {
+    fn name(&self) -> &str {
+        "mgard"
+    }
+
+    fn description(&self) -> &str {
+        "MGARD-style multilevel interpolation decomposition with level-aware quantization"
+    }
+
+    fn compress_field(&self, field: &Field2D, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
+        validate_finite(field)?;
+        let eb = bound.absolute_for(field)?;
+        let (ny, nx) = field.shape();
+        let levels = decompose::level_count(ny, nx).min(self.config.max_levels);
+
+        // Forward multilevel decomposition: `coeffs` holds residuals at fine
+        // nodes and raw values at the coarsest nodes.
+        let coeffs = decompose::forward(field, levels);
+
+        // Worst-case error accumulation is one quantization error per level
+        // plus one for the coarsest values, so split the budget evenly.
+        let bin = 2.0 * eb / (levels as f64 + 1.0);
+        let radius = i64::from(self.config.code_radius);
+
+        let mut codes: Vec<u32> = Vec::with_capacity(coeffs.len());
+        let mut exact: Vec<f64> = Vec::new();
+        for &c in coeffs.as_slice() {
+            let q = (c / bin).round();
+            if !q.is_finite() || q.abs() as i64 >= radius - 1 {
+                codes.push(0); // escape: exact value follows
+                exact.push(c);
+            } else {
+                // Shift by radius so 0 stays reserved for the escape code.
+                codes.push((q as i64 + radius) as u32);
+            }
+        }
+
+        let mut payload = Vec::new();
+        payload.extend_from_slice(MAGIC);
+        payload.extend_from_slice(&(ny as u64).to_le_bytes());
+        payload.extend_from_slice(&(nx as u64).to_le_bytes());
+        payload.extend_from_slice(&eb.to_le_bytes());
+        payload.extend_from_slice(&levels.to_le_bytes());
+        payload.extend_from_slice(&self.config.code_radius.to_le_bytes());
+        let huff = huffman_encode(&codes);
+        payload.extend_from_slice(&(huff.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&huff);
+        payload.extend_from_slice(&(exact.len() as u64).to_le_bytes());
+        for v in &exact {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        Ok(lz77_compress(&payload))
+    }
+
+    fn decompress_field(&self, stream: &[u8]) -> Result<Field2D, CompressError> {
+        let payload = lz77_decompress(stream)
+            .map_err(|e| CompressError::CorruptStream(format!("lz77: {e}")))?;
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], CompressError> {
+            if payload.len() < *pos + n {
+                return Err(CompressError::CorruptStream("truncated payload".into()));
+            }
+            let out = &payload[*pos..*pos + n];
+            *pos += n;
+            Ok(out)
+        };
+
+        if take(&mut pos, 4)? != MAGIC {
+            return Err(CompressError::CorruptStream("bad magic".into()));
+        }
+        let ny = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let nx = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let eb = f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let levels = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let radius = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        if ny == 0 || nx == 0 || !eb.is_finite() || eb <= 0.0 || radius < 2 {
+            return Err(CompressError::CorruptStream("invalid header".into()));
+        }
+        let huff_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let huff = take(&mut pos, huff_len)?;
+        let (codes, _) = huffman_decode(huff)
+            .map_err(|e| CompressError::CorruptStream(format!("huffman: {e}")))?;
+        if codes.len() != ny * nx {
+            return Err(CompressError::CorruptStream("code count mismatch".into()));
+        }
+        let n_exact = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let mut exact = Vec::with_capacity(n_exact);
+        for _ in 0..n_exact {
+            exact.push(f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()));
+        }
+
+        let bin = 2.0 * eb / (levels as f64 + 1.0);
+        let mut exact_iter = exact.into_iter();
+        let mut coeffs = vec![0.0f64; ny * nx];
+        for (slot, code) in coeffs.iter_mut().zip(codes.into_iter()) {
+            if code == 0 {
+                *slot = exact_iter.next().ok_or_else(|| {
+                    CompressError::CorruptStream("missing exact coefficient".into())
+                })?;
+            } else {
+                let q = i64::from(code) - i64::from(radius);
+                *slot = q as f64 * bin;
+            }
+        }
+        let coeff_field = Field2D::from_vec(ny, nx, coeffs)
+            .map_err(|e| CompressError::CorruptStream(e.to_string()))?;
+        Ok(decompose::inverse(&coeff_field, levels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(ny: usize, nx: usize) -> Field2D {
+        Field2D::from_fn(ny, nx, |i, j| {
+            (i as f64 * 0.03).sin() * 2.0 + (j as f64 * 0.02).cos() * 3.0
+        })
+    }
+
+    fn rough(n: usize, seed: u64) -> Field2D {
+        let mut s = seed | 1;
+        Field2D::from_fn(n, n, |_, _| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn error_bound_holds_across_bounds_and_shapes() {
+        let mgard = MgardCompressor::default();
+        for field in [smooth(64, 64), smooth(61, 83), rough(64, 11)] {
+            for eb in [1e-5, 1e-4, 1e-3, 1e-2] {
+                let r = mgard.compress(&field, ErrorBound::Absolute(eb)).unwrap();
+                assert!(
+                    r.metrics.max_abs_error <= eb,
+                    "eb={eb} shape={:?}: observed {}",
+                    field.shape(),
+                    r.metrics.max_abs_error
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_fields_compress_better_than_rough() {
+        let mgard = MgardCompressor::default();
+        let s = mgard.compress(&smooth(96, 96), ErrorBound::Absolute(1e-3)).unwrap();
+        let r = mgard.compress(&rough(96, 5), ErrorBound::Absolute(1e-3)).unwrap();
+        assert!(s.metrics.compression_ratio > r.metrics.compression_ratio);
+    }
+
+    #[test]
+    fn looser_bounds_give_higher_ratios() {
+        let mgard = MgardCompressor::default();
+        let f = smooth(96, 96);
+        let tight = mgard.compress(&f, ErrorBound::Absolute(1e-5)).unwrap();
+        let loose = mgard.compress(&f, ErrorBound::Absolute(1e-2)).unwrap();
+        assert!(loose.metrics.compression_ratio > tight.metrics.compression_ratio);
+    }
+
+    #[test]
+    fn constant_field_is_exact_and_tiny() {
+        let mgard = MgardCompressor::default();
+        let f = Field2D::filled(64, 64, -2.5);
+        let r = mgard.compress(&f, ErrorBound::Absolute(1e-6)).unwrap();
+        assert!(r.metrics.max_abs_error <= 1e-6);
+        assert!(r.metrics.compression_ratio > 50.0);
+    }
+
+    #[test]
+    fn tiny_fields_are_supported() {
+        let mgard = MgardCompressor::default();
+        for (ny, nx) in [(1, 1), (1, 7), (2, 2), (3, 5)] {
+            let f = Field2D::from_fn(ny, nx, |i, j| (i * 10 + j) as f64 * 0.1);
+            let r = mgard.compress(&f, ErrorBound::Absolute(1e-4)).unwrap();
+            assert_eq!(r.reconstruction.shape(), (ny, nx));
+            assert!(r.metrics.max_abs_error <= 1e-4, "({ny},{nx})");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_input_and_corrupt_streams() {
+        let mgard = MgardCompressor::default();
+        let mut f = Field2D::zeros(8, 8);
+        assert!(mgard.compress_field(&f, ErrorBound::Absolute(0.0)).is_err());
+        f.set(2, 2, f64::NAN);
+        assert!(mgard.compress_field(&f, ErrorBound::Absolute(1e-3)).is_err());
+
+        let good = mgard.compress_field(&smooth(32, 32), ErrorBound::Absolute(1e-3)).unwrap();
+        assert!(mgard.decompress_field(&good[..good.len() / 2]).is_err());
+        assert!(mgard.decompress_field(&[]).is_err());
+    }
+
+    #[test]
+    fn name_and_description() {
+        let mgard = MgardCompressor::default();
+        assert_eq!(mgard.name(), "mgard");
+        assert!(mgard.description().contains("multilevel"));
+        assert!(mgard.config().max_levels >= 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! # lcc-par — scoped-thread parallelism helpers
+//!
+//! The experiments in this repository are embarrassingly parallel: the same
+//! statistic or compressor runs over many independent fields, windows, or
+//! (compressor, error bound) cells. This crate provides a tiny, dependency-
+//! light data-parallel layer used everywhere a sweep fans out:
+//!
+//! * [`parallel_map`] — order-preserving parallel map over a slice,
+//! * [`parallel_map_indexed`] — the same but the closure also receives the
+//!   element index,
+//! * [`parallel_for_chunks`] — run a closure over contiguous chunks of a
+//!   mutable slice (used by the hydro solver's stencil updates),
+//! * [`ThreadPoolConfig`] — chooses the worker count (defaults to the number
+//!   of available CPUs, overridable with the `LCC_THREADS` environment
+//!   variable so benches can pin a thread count).
+//!
+//! Work distribution uses an atomic cursor over the input (a simple
+//! self-scheduling loop). For the coarse-grained tasks in this study the
+//! per-item cost dwarfs the cost of one `fetch_add`, so this performs within
+//! noise of a work-stealing deque while staying trivially correct; the
+//! threads themselves come from [`std::thread::scope`], so borrowed inputs
+//! need no `'static` bound and no `Arc` cloning.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Controls how many worker threads the parallel helpers spawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPoolConfig {
+    threads: usize,
+}
+
+impl ThreadPoolConfig {
+    /// Use exactly `threads` workers (minimum 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ThreadPoolConfig { threads: threads.max(1) }
+    }
+
+    /// Use the number of available CPUs, or the `LCC_THREADS` environment
+    /// variable when it parses to a positive integer.
+    pub fn auto() -> Self {
+        if let Ok(v) = std::env::var("LCC_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return ThreadPoolConfig { threads: n };
+                }
+            }
+        }
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ThreadPoolConfig { threads: n }
+    }
+
+    /// Number of worker threads this configuration will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for ThreadPoolConfig {
+    fn default() -> Self {
+        ThreadPoolConfig::auto()
+    }
+}
+
+/// Parallel, order-preserving map over a slice using the default thread
+/// configuration.
+///
+/// ```
+/// let squares = lcc_par::parallel_map(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_map_with(ThreadPoolConfig::auto(), items, f)
+}
+
+/// Parallel map with an explicit thread configuration.
+pub fn parallel_map_with<T, U, F>(config: ThreadPoolConfig, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_map_indexed_with(config, items, |_, item| f(item))
+}
+
+/// Parallel, order-preserving map where the closure receives `(index, &item)`.
+pub fn parallel_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    parallel_map_indexed_with(ThreadPoolConfig::auto(), items, f)
+}
+
+/// Parallel indexed map with an explicit thread configuration.
+pub fn parallel_map_indexed_with<T, U, F>(config: ThreadPoolConfig, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = config.threads().min(n);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i, &items[i]);
+                *results[i].lock() = Some(value);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index is processed exactly once"))
+        .collect()
+}
+
+/// Run `f` over contiguous mutable chunks of `data`, each of at most
+/// `chunk_len` elements, in parallel. The closure receives the starting
+/// offset of the chunk within `data` and the chunk itself.
+pub fn parallel_for_chunks<T, F>(config: ThreadPoolConfig, data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk length must be positive");
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let threads = config.threads().min(n.div_ceil(chunk_len));
+    if threads <= 1 {
+        for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(c * chunk_len, chunk);
+        }
+        return;
+    }
+    let f = &f;
+    let cursor = AtomicUsize::new(0);
+    let chunks: Vec<(usize, &mut [T])> = {
+        let mut out = Vec::new();
+        let mut offset = 0usize;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let take = chunk_len.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            out.push((offset, head));
+            offset += take;
+            rest = tail;
+        }
+        out
+    };
+    let slots: Vec<Mutex<Option<(usize, &mut [T])>>> =
+        chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let (offset, chunk) =
+                    slots[i].lock().take().expect("each chunk is taken exactly once");
+                f(offset, chunk);
+            });
+        }
+    });
+}
+
+/// Split `0..total` into per-thread ranges of roughly equal size; used by
+/// callers that want to manage their own scoped threads.
+pub fn split_ranges(total: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1);
+    let mut out = Vec::with_capacity(parts);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn config_minimum_one_thread() {
+        assert_eq!(ThreadPoolConfig::with_threads(0).threads(), 1);
+        assert_eq!(ThreadPoolConfig::with_threads(8).threads(), 8);
+        assert!(ThreadPoolConfig::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, |&x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_empty_input() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_single_thread_path() {
+        let items = vec![1, 2, 3];
+        let out = parallel_map_with(ThreadPoolConfig::with_threads(1), &items, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn indexed_map_passes_indices() {
+        let items = vec![10.0, 20.0, 30.0];
+        let out =
+            parallel_map_indexed_with(ThreadPoolConfig::with_threads(4), &items, |i, &x| x + i as f64);
+        assert_eq!(out, vec![10.0, 21.0, 32.0]);
+    }
+
+    #[test]
+    fn map_runs_every_item_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let items: Vec<usize> = (0..257).collect();
+        let out = parallel_map_with(ThreadPoolConfig::with_threads(7), &items, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn for_chunks_touches_all_elements() {
+        let mut data = vec![0u64; 1003];
+        parallel_for_chunks(ThreadPoolConfig::with_threads(4), &mut data, 64, |offset, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (offset + k) as u64;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn for_chunks_single_thread_and_empty() {
+        let mut data: Vec<u8> = vec![];
+        parallel_for_chunks(ThreadPoolConfig::with_threads(2), &mut data, 8, |_, _| {});
+        let mut data = vec![1u8; 5];
+        parallel_for_chunks(ThreadPoolConfig::with_threads(1), &mut data, 2, |_, chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert_eq!(data, vec![2u8; 5]);
+    }
+
+    #[test]
+    fn split_ranges_covers_everything() {
+        for (total, parts) in [(10usize, 3usize), (7, 7), (5, 9), (0, 4), (100, 1)] {
+            let ranges = split_ranges(total, parts);
+            let covered: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(covered, total);
+            // Ranges must be contiguous and ordered.
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! # lcc-pressio — unified error-bounded compressor interface
+//!
+//! The paper drives SZ, ZFP and MGARD through LibPressio so that every
+//! compressor is configured and measured the same way. This crate plays that
+//! role for the Rust reimplementations:
+//!
+//! * [`Compressor`] — the trait every lossy compressor implements
+//!   (`compress_field` / `decompress_field` plus a provided
+//!   [`Compressor::compress`] that also reconstructs and measures),
+//! * [`ErrorBound`] — absolute and value-range-relative point-wise bounds
+//!   with the paper's conversion between the two,
+//! * [`Metrics`] — compression ratio, maximum absolute error, MSE, PSNR and
+//!   bitrate computed from original + reconstruction + stream size,
+//! * [`Registry`] — a name-indexed collection of boxed compressors used by
+//!   the experiment driver and the Table I binary.
+
+pub mod bound;
+pub mod metrics;
+pub mod registry;
+
+pub use bound::ErrorBound;
+pub use metrics::Metrics;
+pub use registry::{CompressorInfo, Registry};
+
+use lcc_grid::Field2D;
+
+/// Errors produced by compression or decompression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressError {
+    /// The requested error bound is not representable (non-positive,
+    /// non-finite…).
+    InvalidBound(String),
+    /// The input field cannot be handled (e.g. contains non-finite values).
+    InvalidInput(String),
+    /// The compressed stream is corrupt or truncated.
+    CorruptStream(String),
+    /// The compressor cannot satisfy the configuration.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::InvalidBound(m) => write!(f, "invalid error bound: {m}"),
+            CompressError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            CompressError::CorruptStream(m) => write!(f, "corrupt stream: {m}"),
+            CompressError::Unsupported(m) => write!(f, "unsupported configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// Outcome of a measured compression run: the stream, the reconstruction and
+/// the quality/size metrics comparing it to the original.
+#[derive(Debug, Clone)]
+pub struct CompressionResult {
+    /// The compressed byte stream.
+    pub stream: Vec<u8>,
+    /// The field reconstructed from `stream`.
+    pub reconstruction: Field2D,
+    /// Size and quality metrics.
+    pub metrics: Metrics,
+}
+
+/// An error-bounded lossy compressor operating on 2D fields.
+pub trait Compressor: Send + Sync {
+    /// Short identifier, e.g. `"sz"`, `"zfp"`, `"mgard"`.
+    fn name(&self) -> &str;
+
+    /// One-line description of the algorithm family (used by Table I).
+    fn description(&self) -> &str {
+        "error-bounded lossy compressor"
+    }
+
+    /// Compress `field` under `bound`, returning the self-describing stream.
+    fn compress_field(&self, field: &Field2D, bound: ErrorBound) -> Result<Vec<u8>, CompressError>;
+
+    /// Reconstruct a field from a stream produced by
+    /// [`Compressor::compress_field`].
+    fn decompress_field(&self, stream: &[u8]) -> Result<Field2D, CompressError>;
+
+    /// Compress, reconstruct, and measure in one call — the operation the
+    /// experiment pipeline runs for every (field, compressor, bound) cell.
+    fn compress(
+        &self,
+        field: &Field2D,
+        bound: ErrorBound,
+    ) -> Result<CompressionResult, CompressError> {
+        let stream = self.compress_field(field, bound)?;
+        let reconstruction = self.decompress_field(&stream)?;
+        let metrics = Metrics::compare(field, &reconstruction, stream.len());
+        Ok(CompressionResult { stream, reconstruction, metrics })
+    }
+}
+
+/// Validate that a field is finite (compressors share this precondition).
+pub fn validate_finite(field: &Field2D) -> Result<(), CompressError> {
+    if field.as_slice().iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(CompressError::InvalidInput("field contains non-finite values".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A do-nothing compressor used to exercise the provided `compress`
+    /// method and the registry.
+    struct StoreCompressor;
+
+    impl Compressor for StoreCompressor {
+        fn name(&self) -> &str {
+            "store"
+        }
+
+        fn compress_field(
+            &self,
+            field: &Field2D,
+            bound: ErrorBound,
+        ) -> Result<Vec<u8>, CompressError> {
+            bound.absolute_for(field)?; // validate the bound
+            let mut out = Vec::new();
+            out.extend_from_slice(&(field.ny() as u64).to_le_bytes());
+            out.extend_from_slice(&(field.nx() as u64).to_le_bytes());
+            for v in field.as_slice() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Ok(out)
+        }
+
+        fn decompress_field(&self, stream: &[u8]) -> Result<Field2D, CompressError> {
+            if stream.len() < 16 {
+                return Err(CompressError::CorruptStream("short header".into()));
+            }
+            let ny = u64::from_le_bytes(stream[0..8].try_into().unwrap()) as usize;
+            let nx = u64::from_le_bytes(stream[8..16].try_into().unwrap()) as usize;
+            let mut data = Vec::with_capacity(ny * nx);
+            for chunk in stream[16..].chunks_exact(8) {
+                data.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+            }
+            Field2D::from_vec(ny, nx, data)
+                .map_err(|e| CompressError::CorruptStream(e.to_string()))
+        }
+    }
+
+    #[test]
+    fn provided_compress_reports_lossless_store() {
+        let field = Field2D::from_fn(8, 8, |i, j| (i as f64).sin() + j as f64);
+        let c = StoreCompressor;
+        let result = c.compress(&field, ErrorBound::Absolute(1e-3)).unwrap();
+        assert_eq!(result.reconstruction, field);
+        assert_eq!(result.metrics.max_abs_error, 0.0);
+        // Stored stream has a 16-byte header, so the ratio is slightly below 1.
+        assert!(result.metrics.compression_ratio < 1.0);
+        assert!(result.metrics.compression_ratio > 0.9);
+    }
+
+    #[test]
+    fn invalid_bound_is_rejected_via_provided_method() {
+        let field = Field2D::zeros(4, 4);
+        let c = StoreCompressor;
+        assert!(matches!(
+            c.compress(&field, ErrorBound::Absolute(-1.0)),
+            Err(CompressError::InvalidBound(_))
+        ));
+    }
+
+    #[test]
+    fn validate_finite_detects_nan() {
+        let mut f = Field2D::zeros(2, 2);
+        assert!(validate_finite(&f).is_ok());
+        f.set(1, 1, f64::NAN);
+        assert!(validate_finite(&f).is_err());
+        f.set(1, 1, f64::INFINITY);
+        assert!(validate_finite(&f).is_err());
+    }
+
+    #[test]
+    fn error_display_formats() {
+        assert!(CompressError::InvalidBound("x".into()).to_string().contains("bound"));
+        assert!(CompressError::InvalidInput("x".into()).to_string().contains("input"));
+        assert!(CompressError::CorruptStream("x".into()).to_string().contains("corrupt"));
+        assert!(CompressError::Unsupported("x".into()).to_string().contains("unsupported"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Gaussian random field synthesis by circulant embedding.
+//!
+//! To draw a stationary Gaussian field with covariance
+//! `C(h) = σ² exp(−|h|²/a²)` we embed the target `ny × nx` grid in a larger
+//! periodic power-of-two domain, build the wrapped covariance kernel there,
+//! take its 2D FFT (the eigenvalues of the circulant covariance operator),
+//! and filter complex white noise by the square root of those eigenvalues.
+//! The real part of the inverse transform is a Gaussian field with exactly
+//! the wrapped covariance; cropping the `ny × nx` corner and padding the
+//! domain by several correlation lengths makes the wrap-around contribution
+//! negligible.
+//!
+//! The field is finally re-centred and re-scaled to zero mean / the requested
+//! variance over the generation domain, which removes the (seed-dependent)
+//! sampling fluctuation of the marginal variance without touching the
+//! correlation structure — convenient because the study compares fields
+//! across correlation ranges at a fixed error bound.
+
+use crate::rng::GaussianSampler;
+use lcc_fft::{next_pow2, Complex, Fft2D};
+use lcc_grid::Field2D;
+
+/// Configuration for a single-range squared-exponential Gaussian field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianFieldConfig {
+    /// Number of rows of the output field.
+    pub ny: usize,
+    /// Number of columns of the output field.
+    pub nx: usize,
+    /// Correlation range `a` in grid units (`Σ = σ² exp(−d²/a²)`).
+    pub range: f64,
+    /// Marginal variance `σ²`.
+    pub variance: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GaussianFieldConfig {
+    /// Convenience constructor with unit variance.
+    pub fn new(ny: usize, nx: usize, range: f64, seed: u64) -> Self {
+        GaussianFieldConfig { ny, nx, range, variance: 1.0, seed }
+    }
+
+    /// The paper's field size (1028 × 1028) for a given range and seed.
+    pub fn paper_scale(range: f64, seed: u64) -> Self {
+        GaussianFieldConfig::new(1028, 1028, range, seed)
+    }
+}
+
+/// Configuration for a multi-range field: independent single-range fields
+/// superposed with the given weights (the paper uses two ranges with equal
+/// contribution).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiRangeConfig {
+    /// Output rows.
+    pub ny: usize,
+    /// Output columns.
+    pub nx: usize,
+    /// Correlation ranges of the contributing fields.
+    pub ranges: Vec<f64>,
+    /// Relative weights (will be normalized so the variances sum to
+    /// `variance`).
+    pub weights: Vec<f64>,
+    /// Total marginal variance of the combined field.
+    pub variance: f64,
+    /// RNG seed (each component derives its own sub-seed).
+    pub seed: u64,
+}
+
+impl MultiRangeConfig {
+    /// The paper's construction: two ranges contributing equally.
+    pub fn two_ranges(ny: usize, nx: usize, a1: f64, a2: f64, seed: u64) -> Self {
+        MultiRangeConfig {
+            ny,
+            nx,
+            ranges: vec![a1, a2],
+            weights: vec![1.0, 1.0],
+            variance: 1.0,
+            seed,
+        }
+    }
+}
+
+/// Generate a single-range squared-exponential Gaussian random field.
+///
+/// # Panics
+/// Panics if the dimensions are zero or the range is not positive/finite.
+pub fn generate_single_range(config: &GaussianFieldConfig) -> Field2D {
+    assert!(config.ny > 0 && config.nx > 0, "field dimensions must be non-zero");
+    assert!(
+        config.range.is_finite() && config.range > 0.0,
+        "correlation range must be positive"
+    );
+    assert!(config.variance > 0.0, "variance must be positive");
+
+    // Periodic embedding domain: pad by ~4 correlation lengths so the wrapped
+    // covariance is negligible at the crop boundary, then round up to a power
+    // of two for the FFT.
+    let pad = (4.0 * config.range).ceil() as usize + 8;
+    let m_y = next_pow2(config.ny + pad);
+    let m_x = next_pow2(config.nx + pad);
+    let plan = Fft2D::new(m_y, m_x);
+
+    // Wrapped squared-exponential covariance kernel.
+    let a2 = config.range * config.range;
+    let mut kernel = vec![0.0f64; m_y * m_x];
+    for i in 0..m_y {
+        let di = i.min(m_y - i) as f64;
+        for j in 0..m_x {
+            let dj = j.min(m_x - j) as f64;
+            kernel[i * m_x + j] = (-(di * di + dj * dj) / a2).exp();
+        }
+    }
+
+    // Eigenvalues of the circulant covariance = FFT of the kernel.
+    let spectrum = plan.forward_real(&kernel);
+
+    // Filter complex white noise by sqrt(eigenvalues).
+    let mut sampler = GaussianSampler::new(config.seed);
+    let mut freq = vec![Complex::ZERO; m_y * m_x];
+    for (f, s) in freq.iter_mut().zip(spectrum.iter()) {
+        // Numerical round-off can leave tiny negative eigenvalues; clamp.
+        let lambda = s.re.max(0.0);
+        let amp = lambda.sqrt();
+        *f = Complex::new(sampler.sample() * amp, sampler.sample() * amp);
+    }
+    let mut field = plan.inverse_real(&freq);
+
+    // Normalize to zero mean / requested variance over the generation domain.
+    let n = field.len() as f64;
+    let mean = field.iter().sum::<f64>() / n;
+    let var = field.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let scale = if var > 0.0 { (config.variance / var).sqrt() } else { 0.0 };
+    for v in &mut field {
+        *v = (*v - mean) * scale;
+    }
+
+    // Crop the requested corner.
+    Field2D::from_fn(config.ny, config.nx, |i, j| field[i * m_x + j])
+}
+
+/// Generate a multi-range field by superposing independent single-range
+/// fields.
+///
+/// # Panics
+/// Panics if no ranges are given or the weights do not match the ranges.
+pub fn generate_multi_range(config: &MultiRangeConfig) -> Field2D {
+    assert!(!config.ranges.is_empty(), "at least one range is required");
+    assert_eq!(config.ranges.len(), config.weights.len(), "one weight per range is required");
+    assert!(config.weights.iter().all(|w| *w > 0.0), "weights must be positive");
+
+    let weight_sum: f64 = config.weights.iter().sum();
+    let mut out = Field2D::zeros(config.ny, config.nx);
+    for (k, (&range, &weight)) in config.ranges.iter().zip(config.weights.iter()).enumerate() {
+        let component_variance = config.variance * weight / weight_sum;
+        let component = generate_single_range(&GaussianFieldConfig {
+            ny: config.ny,
+            nx: config.nx,
+            range,
+            variance: component_variance,
+            // Derive distinct, deterministic sub-seeds per component.
+            seed: config.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(k as u64 + 1),
+        });
+        out.add_assign_field(&component);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcc_grid::stats;
+
+    /// Empirical correlation between the field and itself shifted by `lag`
+    /// grid points along x.
+    fn lag_correlation(field: &Field2D, lag: usize) -> f64 {
+        let (ny, nx) = field.shape();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..ny {
+            for j in 0..nx - lag {
+                a.push(field.at(i, j));
+                b.push(field.at(i, j + lag));
+            }
+        }
+        stats::pearson(&a, &b)
+    }
+
+    #[test]
+    fn output_shape_and_moments() {
+        let f = generate_single_range(&GaussianFieldConfig::new(96, 80, 6.0, 11));
+        assert_eq!(f.shape(), (96, 80));
+        let s = f.summary();
+        // Mean near zero, variance near one (normalized on the larger domain,
+        // so the crop fluctuates a little).
+        assert!(s.mean.abs() < 0.3, "mean {}", s.mean);
+        assert!((s.variance - 1.0).abs() < 0.5, "variance {}", s.variance);
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let cfg = GaussianFieldConfig::new(64, 64, 8.0, 123);
+        assert_eq!(generate_single_range(&cfg), generate_single_range(&cfg));
+        let other = GaussianFieldConfig { seed: 124, ..cfg };
+        assert_ne!(generate_single_range(&cfg), generate_single_range(&other));
+    }
+
+    #[test]
+    fn correlation_decays_with_distance_and_range_controls_it() {
+        // Larger range => higher correlation at a fixed lag.
+        let short = generate_single_range(&GaussianFieldConfig::new(160, 160, 3.0, 5));
+        let long = generate_single_range(&GaussianFieldConfig::new(160, 160, 20.0, 5));
+        let lag = 8;
+        let c_short = lag_correlation(&short, lag);
+        let c_long = lag_correlation(&long, lag);
+        assert!(c_long > c_short + 0.2, "short {c_short}, long {c_long}");
+        // Correlation decays with lag for the short-range field.
+        assert!(lag_correlation(&short, 1) > lag_correlation(&short, 16));
+    }
+
+    #[test]
+    fn correlation_matches_squared_exponential_model() {
+        // At lag = a the squared-exponential correlation is exp(-1) ≈ 0.368.
+        let a = 10.0;
+        let f = generate_single_range(&GaussianFieldConfig::new(192, 192, a, 21));
+        let c = lag_correlation(&f, a as usize);
+        assert!((c - (-1.0f64).exp()).abs() < 0.15, "correlation at lag a: {c}");
+        // And near 1 at very small lags.
+        assert!(lag_correlation(&f, 1) > 0.9);
+    }
+
+    #[test]
+    fn multi_range_combines_components() {
+        let cfg = MultiRangeConfig::two_ranges(96, 96, 3.0, 24.0, 17);
+        let f = generate_multi_range(&cfg);
+        assert_eq!(f.shape(), (96, 96));
+        let s = f.summary();
+        assert!((s.variance - 1.0).abs() < 0.6, "variance {}", s.variance);
+        // The mixture decorrelates faster than the long component alone at
+        // small lag, but keeps long-tail correlation beyond the short range.
+        let long_only = generate_single_range(&GaussianFieldConfig::new(96, 96, 24.0, 99));
+        let short_only = generate_single_range(&GaussianFieldConfig::new(96, 96, 3.0, 98));
+        let lag = 10;
+        let c_mix = lag_correlation(&f, lag);
+        let c_long = lag_correlation(&long_only, lag);
+        let c_short = lag_correlation(&short_only, lag);
+        assert!(c_mix < c_long + 0.05, "mix {c_mix} vs long {c_long}");
+        assert!(c_mix > c_short - 0.05, "mix {c_mix} vs short {c_short}");
+    }
+
+    #[test]
+    fn multi_range_is_reproducible_and_validated() {
+        let cfg = MultiRangeConfig::two_ranges(32, 32, 2.0, 8.0, 1);
+        assert_eq!(generate_multi_range(&cfg), generate_multi_range(&cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_range_panics() {
+        let _ = generate_single_range(&GaussianFieldConfig::new(16, 16, 0.0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per range")]
+    fn mismatched_weights_panic() {
+        let cfg = MultiRangeConfig {
+            ny: 8,
+            nx: 8,
+            ranges: vec![1.0, 2.0],
+            weights: vec![1.0],
+            variance: 1.0,
+            seed: 0,
+        };
+        let _ = generate_multi_range(&cfg);
+    }
+}

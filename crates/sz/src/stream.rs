@@ -1,0 +1,160 @@
+//! Little-endian stream serialization helpers shared by the compressor's
+//! encoder and decoder.
+
+use lcc_pressio::CompressError;
+
+/// Append-only little-endian byte stream writer.
+#[derive(Debug, Default, Clone)]
+pub struct StreamWriter {
+    buf: Vec<u8>,
+}
+
+impl StreamWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        StreamWriter { buf: Vec::new() }
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and return the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-based reader matching [`StreamWriter`].
+#[derive(Debug, Clone)]
+pub struct StreamReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StreamReader<'a> {
+    /// Create a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        StreamReader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CompressError> {
+        if self.remaining() < n {
+            return Err(CompressError::CorruptStream(format!(
+                "need {n} bytes, {} remaining",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, CompressError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CompressError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("slice length checked")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CompressError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("slice length checked")))
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, CompressError> {
+        let b = self.bytes(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("slice length checked")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = StreamWriter::new();
+        assert!(w.is_empty());
+        w.u8(0xAB);
+        w.u32(0xDEADBEEF);
+        w.u64(u64::MAX - 3);
+        w.f64(-123.456e-7);
+        w.bytes(b"tail");
+        assert_eq!(w.len(), 1 + 4 + 8 + 8 + 4);
+
+        let bytes = w.into_bytes();
+        let mut r = StreamReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f64().unwrap(), -123.456e-7);
+        assert_eq!(r.bytes(4).unwrap(), b"tail");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reading_past_the_end_is_an_error() {
+        let bytes = [1u8, 2, 3];
+        let mut r = StreamReader::new(&bytes);
+        assert!(r.u32().is_err());
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(r.bytes(5).is_err());
+        assert_eq!(r.bytes(2).unwrap(), &[2, 3]);
+        assert!(r.u8().is_err());
+    }
+
+    #[test]
+    fn nan_and_infinity_roundtrip_bitwise() {
+        let mut w = StreamWriter::new();
+        w.f64(f64::INFINITY);
+        w.f64(f64::NEG_INFINITY);
+        let bytes = w.into_bytes();
+        let mut r = StreamReader::new(&bytes);
+        assert_eq!(r.f64().unwrap(), f64::INFINITY);
+        assert_eq!(r.f64().unwrap(), f64::NEG_INFINITY);
+    }
+}

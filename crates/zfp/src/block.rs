@@ -1,0 +1,97 @@
+//! Gathering and scattering 4×4 blocks at arbitrary field offsets.
+//!
+//! Edge blocks that extend past the field are padded by replicating the last
+//! valid row/column (ZFP pads the same way), and scattering simply ignores
+//! the padded lanes.
+
+use crate::{BLOCK_DIM, BLOCK_LEN};
+use lcc_grid::Field2D;
+
+/// Extract the 4×4 block whose top-left corner is `(bi, bj)`, replicating
+/// edge values when the block sticks out of the field.
+pub fn gather(field: &Field2D, bi: usize, bj: usize) -> [f64; BLOCK_LEN] {
+    let (ny, nx) = field.shape();
+    let mut out = [0.0; BLOCK_LEN];
+    for di in 0..BLOCK_DIM {
+        let i = (bi + di).min(ny - 1);
+        for dj in 0..BLOCK_DIM {
+            let j = (bj + dj).min(nx - 1);
+            out[di * BLOCK_DIM + dj] = field.at(i, j);
+        }
+    }
+    out
+}
+
+/// Write the 4×4 block back at `(bi, bj)`, dropping lanes that fall outside
+/// the field.
+pub fn scatter(field: &mut Field2D, bi: usize, bj: usize, values: &[f64; BLOCK_LEN]) {
+    let (ny, nx) = field.shape();
+    for di in 0..BLOCK_DIM {
+        let i = bi + di;
+        if i >= ny {
+            break;
+        }
+        for dj in 0..BLOCK_DIM {
+            let j = bj + dj;
+            if j >= nx {
+                break;
+            }
+            field.set(i, j, values[di * BLOCK_DIM + dj]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_block_roundtrips() {
+        let f = Field2D::from_fn(8, 8, |i, j| (i * 8 + j) as f64);
+        let block = gather(&f, 4, 4);
+        assert_eq!(block[0], f.get(4, 4));
+        assert_eq!(block[15], f.get(7, 7));
+        let mut g = Field2D::zeros(8, 8);
+        scatter(&mut g, 4, 4, &block);
+        for i in 4..8 {
+            for j in 4..8 {
+                assert_eq!(g.get(i, j), f.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_block_replicates_padding() {
+        let f = Field2D::from_fn(6, 6, |i, j| (i * 10 + j) as f64);
+        let block = gather(&f, 4, 4);
+        // Rows 6,7 replicate row 5; columns 6,7 replicate column 5.
+        assert_eq!(block[0], f.get(4, 4));
+        assert_eq!(block[3], f.get(4, 5)); // column clamped
+        assert_eq!(block[12], f.get(5, 4)); // row clamped
+        assert_eq!(block[15], f.get(5, 5));
+    }
+
+    #[test]
+    fn scatter_ignores_out_of_range_lanes() {
+        let mut f = Field2D::zeros(5, 5);
+        let block = [7.0; BLOCK_LEN];
+        scatter(&mut f, 4, 4, &block);
+        assert_eq!(f.get(4, 4), 7.0);
+        // Only the single in-range cell was written.
+        let written: usize = f.as_slice().iter().filter(|&&v| v == 7.0).count();
+        assert_eq!(written, 1);
+    }
+
+    #[test]
+    fn gather_scatter_cover_whole_field() {
+        let f = Field2D::from_fn(10, 13, |i, j| (i as f64) - 2.0 * (j as f64));
+        let mut g = Field2D::zeros(10, 13);
+        for bi in (0..10).step_by(BLOCK_DIM) {
+            for bj in (0..13).step_by(BLOCK_DIM) {
+                let block = gather(&f, bi, bj);
+                scatter(&mut g, bi, bj, &block);
+            }
+        }
+        assert_eq!(f, g);
+    }
+}

@@ -1,0 +1,230 @@
+//! Per-block encoding: block-floating-point conversion, transform, and
+//! tolerance-driven bit-plane truncation.
+
+use crate::transform::{
+    fwd_transform, inv_transform, INVERSE_ERROR_GAIN, INVERSE_ERROR_OFFSET,
+};
+use crate::BLOCK_LEN;
+use lcc_lossless::{BitReader, BitWriter, CodecError};
+
+/// Block wire types.
+const TYPE_ZERO: u64 = 0; // every value reconstructs to 0.0 (|v| ≤ eb for all)
+const TYPE_CODED: u64 = 1; // transform-coded block
+const TYPE_EXACT: u64 = 2; // raw IEEE754 fallback
+
+/// Bias applied to the block exponent so it is stored as an unsigned field.
+const EXPONENT_BIAS: i32 = 2048;
+
+/// Encode one 4×4 block under the absolute error bound `eb`.
+pub fn encode_block(writer: &mut BitWriter, values: &[f64; BLOCK_LEN], eb: f64, precision: u32) {
+    let maxabs = values.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    if maxabs <= eb {
+        writer.write_bits(TYPE_ZERO, 2);
+        return;
+    }
+
+    // Block-floating-point alignment: maxabs < 2^e.
+    let e = maxabs.log2().floor() as i32 + 1;
+    let scale = (precision as i32 - e) as f64;
+    let s = scale.exp2();
+    // eb in integer units, minus the 0.5 fixed-point rounding slack.
+    let budget = eb * s - 0.5;
+
+    if budget < 0.0 || e > EXPONENT_BIAS - 1 || e < -(EXPONENT_BIAS - 1) {
+        // Cannot guarantee the bound within the fixed-point representation.
+        write_exact(writer, values);
+        return;
+    }
+
+    // Quantize to fixed point and decorrelate.
+    let mut coeffs = [0i64; BLOCK_LEN];
+    for (c, v) in coeffs.iter_mut().zip(values.iter()) {
+        *c = (v * s).round() as i64;
+    }
+    fwd_transform(&mut coeffs);
+
+    // Deepest low bit plane we may drop: GAIN·(2^k − 1) + OFFSET ≤ budget.
+    let mut kmin: u32 = 0;
+    while kmin < 62 {
+        let k = kmin + 1;
+        let err = INVERSE_ERROR_GAIN as f64 * ((1u64 << k) - 1) as f64 + INVERSE_ERROR_OFFSET as f64;
+        if err <= budget {
+            kmin = k;
+        } else {
+            break;
+        }
+    }
+
+    writer.write_bits(TYPE_CODED, 2);
+    writer.write_bits((e + EXPONENT_BIAS) as u64, 12);
+    writer.write_bits(u64::from(kmin), 6);
+    // Per-coefficient variable-width coding of the truncated magnitudes: a
+    // 6-bit width, then (for non-zero magnitudes) a sign bit and the
+    // magnitude bits. Smooth blocks spend ~7 bits on each high-frequency
+    // coefficient while the DC term keeps full precision — the same
+    // "pay for what the block contains" behaviour ZFP's embedded coding has.
+    for &c in &coeffs {
+        let mag = c.unsigned_abs() >> kmin;
+        let width = 64 - mag.leading_zeros();
+        writer.write_bits(u64::from(width), 6);
+        if width > 0 {
+            writer.write_bit(c < 0);
+            writer.write_bits(mag, width);
+        }
+    }
+}
+
+fn write_exact(writer: &mut BitWriter, values: &[f64; BLOCK_LEN]) {
+    writer.write_bits(TYPE_EXACT, 2);
+    for v in values {
+        writer.write_bits(v.to_bits(), 64);
+    }
+}
+
+/// Decode one block previously written by [`encode_block`].
+pub fn decode_block(
+    reader: &mut BitReader<'_>,
+    _eb: f64,
+    precision: u32,
+) -> Result<[f64; BLOCK_LEN], CodecError> {
+    let block_type = reader.read_bits(2)?;
+    match block_type {
+        TYPE_ZERO => Ok([0.0; BLOCK_LEN]),
+        TYPE_EXACT => {
+            let mut out = [0.0; BLOCK_LEN];
+            for v in &mut out {
+                *v = f64::from_bits(reader.read_bits(64)?);
+            }
+            Ok(out)
+        }
+        TYPE_CODED => {
+            let e = reader.read_bits(12)? as i32 - EXPONENT_BIAS;
+            let kmin = reader.read_bits(6)? as u32;
+            if kmin > 62 {
+                return Err(CodecError::Corrupt("implausible truncation depth".into()));
+            }
+            let mut coeffs = [0i64; BLOCK_LEN];
+            for c in &mut coeffs {
+                let width = reader.read_bits(6)? as u32;
+                if width > 63 {
+                    return Err(CodecError::Corrupt("implausible coefficient width".into()));
+                }
+                if width > 0 {
+                    let negative = reader.read_bit()?;
+                    let mag = (reader.read_bits(width)? as i64) << kmin;
+                    *c = if negative { -mag } else { mag };
+                }
+            }
+            inv_transform(&mut coeffs);
+            let s = ((precision as i32 - e) as f64).exp2();
+            let mut out = [0.0; BLOCK_LEN];
+            for (v, &c) in out.iter_mut().zip(coeffs.iter()) {
+                *v = c as f64 / s;
+            }
+            Ok(out)
+        }
+        other => Err(CodecError::Corrupt(format!("unknown block type {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: [f64; BLOCK_LEN], eb: f64) -> [f64; BLOCK_LEN] {
+        let mut w = BitWriter::new();
+        encode_block(&mut w, &values, eb, 40);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        decode_block(&mut r, eb, 40).unwrap()
+    }
+
+    fn max_err(a: &[f64; BLOCK_LEN], b: &[f64; BLOCK_LEN]) -> f64 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn zero_block_type_for_tiny_values() {
+        let values = [1e-9; BLOCK_LEN];
+        let out = roundtrip(values, 1e-3);
+        assert_eq!(out, [0.0; BLOCK_LEN]);
+    }
+
+    #[test]
+    fn smooth_block_respects_bound_and_is_small() {
+        let mut values = [0.0; BLOCK_LEN];
+        for i in 0..4 {
+            for j in 0..4 {
+                values[i * 4 + j] = 5.0 + 0.01 * i as f64 + 0.02 * j as f64;
+            }
+        }
+        for eb in [1e-6, 1e-4, 1e-2] {
+            let mut w = BitWriter::new();
+            encode_block(&mut w, &values, eb, 40);
+            let bits = w.bit_len();
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            let out = decode_block(&mut r, eb, 40).unwrap();
+            assert!(max_err(&values, &out) <= eb, "eb={eb}");
+            // Far below the 16*64 = 1024 bits of raw storage.
+            assert!(bits < 700, "eb={eb} used {bits} bits");
+        }
+    }
+
+    #[test]
+    fn random_blocks_respect_bound() {
+        let mut s = 42u64;
+        for _ in 0..200 {
+            let mut values = [0.0; BLOCK_LEN];
+            for v in &mut values {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                *v = (s as f64 / u64::MAX as f64) * 20.0 - 10.0;
+            }
+            for eb in [1e-5, 1e-3, 1e-1] {
+                let out = roundtrip(values, eb);
+                assert!(max_err(&values, &out) <= eb, "eb={eb}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_fallback_for_extreme_dynamic_range() {
+        let mut values = [1e-12; BLOCK_LEN];
+        values[3] = 1e9;
+        // eb so small relative to the block exponent that coding cannot
+        // guarantee it: must fall back to exact storage and be lossless.
+        let out = roundtrip(values, 1e-9);
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn looser_bounds_use_fewer_bits() {
+        let mut values = [0.0; BLOCK_LEN];
+        let mut s = 7u64;
+        for v in &mut values {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *v = (s as f64 / u64::MAX as f64).sin();
+        }
+        let mut bits = Vec::new();
+        for eb in [1e-6, 1e-4, 1e-2] {
+            let mut w = BitWriter::new();
+            encode_block(&mut w, &values, eb, 40);
+            bits.push(w.bit_len());
+        }
+        assert!(bits[0] >= bits[1] && bits[1] >= bits[2], "{bits:?}");
+    }
+
+    #[test]
+    fn truncated_block_stream_errors() {
+        let mut w = BitWriter::new();
+        encode_block(&mut w, &[1.25; BLOCK_LEN], 1e-6, 40);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes[..1]);
+        // With only one byte the block payload is missing.
+        assert!(decode_block(&mut r, 1e-6, 40).is_err() || bytes.len() <= 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Will my simulation output compress well? — the paper's core question on a
+//! small sweep: generate fields across a span of correlation ranges,
+//! compress them at several bounds, and fit the logarithmic model
+//! `CR = α + β·log(range)` per compressor and bound.
+//!
+//! ```text
+//! cargo run --release --example correlation_vs_compression
+//! ```
+
+use lcc::core::dataset::StudyDatasets;
+use lcc::core::experiment::{fit_series, run_sweep, SweepConfig};
+use lcc::core::registry::default_registry;
+use lcc::core::statistics::StatisticKind;
+use lcc::pressio::ErrorBound;
+
+fn main() {
+    // A reduced version of the Figure 3 workload: 6 ranges, 160x160 fields.
+    let datasets = StudyDatasets {
+        gaussian_size: 160,
+        n_ranges: 6,
+        min_range: 2.0,
+        max_range: 32.0,
+        replicates: 1,
+        seed: 7,
+    };
+    let fields = datasets.single_range_fields();
+    println!("generated {} single-range Gaussian fields ({}x{})", fields.len(), 160, 160);
+
+    let registry = default_registry();
+    let config = SweepConfig {
+        bounds: vec![ErrorBound::Absolute(1e-4), ErrorBound::Absolute(1e-3), ErrorBound::Absolute(1e-2)],
+        ..Default::default()
+    };
+    let records = run_sweep(&fields, &registry, &config).expect("sweep succeeds");
+    println!("ran {} (field x compressor x bound) compression cells\n", records.len());
+
+    println!("logarithmic regressions CR = alpha + beta * ln(estimated variogram range):");
+    println!("{:<8} {:>10} {:>10} {:>10} {:>8}", "codec", "bound", "alpha", "beta", "R2");
+    for series in fit_series(&records, StatisticKind::GlobalVariogramRange) {
+        println!(
+            "{:<8} {:>10} {:>10.2} {:>10.2} {:>8.3}",
+            series.compressor,
+            series.bound.to_string(),
+            series.fit.alpha,
+            series.fit.beta,
+            series.fit.r_squared
+        );
+    }
+    println!("\npositive beta = the compressor exploits spatial correlation;");
+    println!("MGARD's beta is typically the smallest, matching the paper's observation.");
+}

@@ -1,0 +1,58 @@
+//! Application-dataset pipeline: run the Miranda-substitute hydrodynamics
+//! simulation, slice the velocityx volume like the paper does, and report
+//! per-slice correlation statistics next to per-slice compression ratios.
+//!
+//! ```text
+//! cargo run --release --example miranda_pipeline
+//! ```
+
+use lcc::core::statistics::{CorrelationStatistics, StatisticsConfig};
+use lcc::core::default_registry;
+use lcc::hydro::{MirandaProxy, MirandaProxyConfig, Problem};
+use lcc::pressio::ErrorBound;
+
+fn main() {
+    // 1. Simulate a Kelvin–Helmholtz mixing layer and stack velocityx
+    //    snapshots into a small 3D volume (slices along axis 0).
+    let config = MirandaProxyConfig {
+        ny: 128,
+        nx: 128,
+        n_slices: 6,
+        steps_between_snapshots: 60,
+        problem: Problem::KelvinHelmholtz,
+        seed: 2021,
+    };
+    println!(
+        "running the {} problem on a {}x{} grid, {} snapshots...",
+        config.problem.name(),
+        config.ny,
+        config.nx,
+        config.n_slices
+    );
+    let volume = MirandaProxy::new(config).generate_velocityx();
+    println!("velocityx volume shape: {:?}\n", volume.shape());
+
+    // 2. Analyse equally spaced 2D slices exactly like the paper.
+    let registry = default_registry();
+    let bound = ErrorBound::Absolute(1e-3);
+    println!(
+        "{:>6} {:>14} {:>14} {:>12} {:>10} {:>10} {:>10}",
+        "slice", "global_range", "loc_range_std", "loc_svd_std", "cr_sz", "cr_zfp", "cr_mgard"
+    );
+    for (k, slice) in volume.equally_spaced_slices(volume.n0()) {
+        let stats = CorrelationStatistics::compute(&slice, &StatisticsConfig::default());
+        let mut ratios = Vec::new();
+        for name in ["sz", "zfp", "mgard"] {
+            let compressor = registry.get(name).expect("registered");
+            let r = compressor.compress(&slice, bound).expect("compression succeeds");
+            assert!(r.metrics.max_abs_error <= 1e-3);
+            ratios.push(r.metrics.compression_ratio);
+        }
+        println!(
+            "{:>6} {:>14.2} {:>14.2} {:>12.2} {:>10.2} {:>10.2} {:>10.2}",
+            k, stats.global_range, stats.local_range_std, stats.local_svd_std, ratios[0], ratios[1], ratios[2]
+        );
+    }
+    println!("\nsmoother early slices compress better; developed turbulence lowers the ratios,");
+    println!("mirroring the spread of points in Figures 4 and 7 of the paper.");
+}

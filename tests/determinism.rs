@@ -1,0 +1,70 @@
+//! Reproducibility guarantees: the entire study is seed-deterministic and
+//! independent of the worker-thread count, so every figure can be
+//! regenerated bit-for-bit.
+
+use lcc::core::dataset::StudyDatasets;
+use lcc::core::experiment::{run_sweep, SweepConfig};
+use lcc::core::registry::sz_zfp_registry;
+use lcc::hydro::{MirandaProxy, MirandaProxyConfig, Problem};
+use lcc::pressio::ErrorBound;
+use lcc::synth::{generate_single_range, GaussianFieldConfig};
+
+#[test]
+fn synthetic_fields_and_hydro_runs_are_seed_deterministic() {
+    let cfg = GaussianFieldConfig::new(96, 96, 7.0, 99);
+    assert_eq!(generate_single_range(&cfg), generate_single_range(&cfg));
+
+    let hydro_cfg = MirandaProxyConfig {
+        ny: 32,
+        nx: 32,
+        n_slices: 2,
+        steps_between_snapshots: 10,
+        problem: Problem::RayleighTaylor,
+        seed: 5,
+    };
+    assert_eq!(
+        MirandaProxy::new(hydro_cfg).generate_velocityx(),
+        MirandaProxy::new(hydro_cfg).generate_velocityx()
+    );
+}
+
+#[test]
+fn compressed_streams_are_bitwise_deterministic() {
+    let field = generate_single_range(&GaussianFieldConfig::new(72, 72, 10.0, 3));
+    for compressor in sz_zfp_registry().compressors() {
+        let a = compressor.compress_field(&field, ErrorBound::Absolute(1e-3)).unwrap();
+        let b = compressor.compress_field(&field, ErrorBound::Absolute(1e-3)).unwrap();
+        assert_eq!(a, b, "{} produced different streams for identical input", compressor.name());
+    }
+}
+
+#[test]
+fn sweep_results_do_not_depend_on_thread_count() {
+    let datasets = StudyDatasets {
+        gaussian_size: 64,
+        n_ranges: 3,
+        min_range: 2.0,
+        max_range: 12.0,
+        replicates: 1,
+        seed: 17,
+    };
+    let fields = datasets.single_range_fields();
+    let registry = sz_zfp_registry();
+    let run = |threads: Option<usize>| {
+        let config = SweepConfig {
+            bounds: vec![ErrorBound::Absolute(1e-3)],
+            threads,
+            ..Default::default()
+        };
+        run_sweep(&fields, &registry, &config).unwrap()
+    };
+    let serial = run(Some(1));
+    let parallel = run(None);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(a.field_name, b.field_name);
+        assert_eq!(a.compressor, b.compressor);
+        assert_eq!(a.compression_ratio, b.compression_ratio);
+        assert_eq!(a.statistics, b.statistics);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants that everything else depends on:
+//!
+//! * lossless coders are exact inverses on arbitrary inputs,
+//! * the lossy compressors never exceed the requested absolute bound on
+//!   arbitrary fields and always reproduce the field shape,
+//! * the variogram and summary statistics obey their mathematical
+//!   invariants (non-negativity, symmetry in the inputs, etc.).
+
+use lcc::grid::{stats, Field2D};
+use lcc::lossless::{huffman_decode, huffman_encode, lz77_compress, lz77_decompress, ByteCodec, HuffLzCodec};
+use lcc::mgard::MgardCompressor;
+use lcc::pressio::{Compressor, ErrorBound};
+use lcc::sz::SzCompressor;
+use lcc::zfp::ZfpCompressor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn huffman_roundtrips_arbitrary_symbol_streams(symbols in proptest::collection::vec(0u32..5000, 0..4000)) {
+        let encoded = huffman_encode(&symbols);
+        let (decoded, consumed) = huffman_decode(&encoded).expect("decode");
+        prop_assert_eq!(decoded, symbols);
+        prop_assert_eq!(consumed, encoded.len());
+    }
+
+    #[test]
+    fn lz77_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let compressed = lz77_compress(&data);
+        let back = lz77_decompress(&compressed).expect("decode");
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn hufflz_pipeline_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..10_000)) {
+        let codec = HuffLzCodec;
+        let encoded = codec.encode(&data);
+        let decoded = codec.decode(&encoded).expect("decode");
+        prop_assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn summary_statistics_invariants(values in proptest::collection::vec(-1e6f64..1e6, 1..500)) {
+        let s = lcc::grid::Summary::of(&values);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.variance >= 0.0);
+        prop_assert_eq!(s.count, values.len());
+        // Pearson of a slice with itself is 1 (or 0 for constant slices).
+        let r = stats::pearson(&values, &values);
+        prop_assert!(r == 0.0 || (r - 1.0).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    // Lossy compressor properties use fewer, smaller cases: each case runs
+    // three full compress/decompress cycles.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn lossy_compressors_respect_bounds_on_arbitrary_fields(
+        ny in 5usize..40,
+        nx in 5usize..40,
+        seed in 0u64..1000,
+        eb_exp in -5i32..-1,
+        amplitude in 0.01f64..100.0,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let mut state = seed | 1;
+        let field = Field2D::from_fn(ny, nx, |i, j| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let noise = (state as f64 / u64::MAX as f64) - 0.5;
+            amplitude * ((i as f64 * 0.3).sin() + (j as f64 * 0.2).cos() + 0.3 * noise)
+        });
+        let compressors: Vec<Box<dyn Compressor>> = vec![
+            Box::new(SzCompressor::default()),
+            Box::new(ZfpCompressor::default()),
+            Box::new(MgardCompressor::default()),
+        ];
+        for compressor in &compressors {
+            let result = compressor.compress(&field, ErrorBound::Absolute(eb)).expect("compress");
+            prop_assert_eq!(result.reconstruction.shape(), (ny, nx));
+            prop_assert!(
+                result.metrics.max_abs_error <= eb,
+                "{} exceeded eb {}: {}", compressor.name(), eb, result.metrics.max_abs_error
+            );
+        }
+    }
+
+    #[test]
+    fn variogram_range_is_positive_and_finite_on_arbitrary_smooth_fields(
+        seed in 0u64..200,
+        scale in 0.05f64..0.8,
+    ) {
+        let field = Field2D::from_fn(48, 48, |i, j| {
+            ((i as f64) * scale).sin() + ((j as f64) * scale * 0.7).cos() + (seed as f64 * 1e-3)
+        });
+        let fit = lcc::geostat::variogram::estimate_range(&field);
+        prop_assert!(fit.range.is_finite());
+        prop_assert!(fit.range > 0.0);
+        prop_assert!(fit.sill >= 0.0);
+    }
+}
