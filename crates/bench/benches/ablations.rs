@@ -13,7 +13,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lcc_core::dataset::StudyDatasets;
 use lcc_core::experiment::{run_sweep, SweepConfig};
 use lcc_core::registry::sz_zfp_registry;
-use lcc_geostat::{local_range_std, variogram::estimate_range_with, LocalStatConfig, VariogramConfig};
+use lcc_geostat::{
+    local_range_std, variogram::estimate_range_with, LocalStatConfig, VariogramConfig,
+};
 use lcc_pressio::{Compressor, ErrorBound};
 use lcc_synth::{generate_single_range, GaussianFieldConfig};
 use lcc_sz::SzCompressor;
@@ -26,7 +28,8 @@ fn sz_predictor_ablation(c: &mut Criterion) {
     let lorenzo = SzCompressor::lorenzo_only();
     // Print the ratio difference once so the ablation's quality impact is
     // visible next to its cost.
-    let cr_full = full.compress(&field, ErrorBound::Absolute(1e-3)).unwrap().metrics.compression_ratio;
+    let cr_full =
+        full.compress(&field, ErrorBound::Absolute(1e-3)).unwrap().metrics.compression_ratio;
     let cr_lorenzo =
         lorenzo.compress(&field, ErrorBound::Absolute(1e-3)).unwrap().metrics.compression_ratio;
     println!("sz_predictor_ablation: CR full={cr_full:.2} lorenzo-only={cr_lorenzo:.2}");
@@ -86,11 +89,8 @@ fn sweep_parallel_ablation(c: &mut Criterion) {
             Some(1) => "serial",
             _ => "all_cores",
         };
-        let config = SweepConfig {
-            bounds: vec![ErrorBound::Absolute(1e-3)],
-            threads,
-            ..Default::default()
-        };
+        let config =
+            SweepConfig { bounds: vec![ErrorBound::Absolute(1e-3)], threads, ..Default::default() };
         group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
             b.iter(|| run_sweep(&fields, &registry, cfg).unwrap())
         });

@@ -49,9 +49,15 @@ fn bench_compress_by_bound(c: &mut Criterion) {
     let field = generate_single_range(&GaussianFieldConfig::new(FIELD_SIZE, FIELD_SIZE, 16.0, 3));
     for eb in [1e-5, 1e-2] {
         for (name, compressor) in compressors() {
-            group.bench_with_input(BenchmarkId::new(name, format!("eb{eb:.0e}")), &field, |b, f| {
-                b.iter(|| compressor.compress_field(f, ErrorBound::Absolute(eb)).expect("compress"))
-            });
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("eb{eb:.0e}")),
+                &field,
+                |b, f| {
+                    b.iter(|| {
+                        compressor.compress_field(f, ErrorBound::Absolute(eb)).expect("compress")
+                    })
+                },
+            );
         }
     }
     group.finish();

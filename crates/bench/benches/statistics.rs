@@ -19,9 +19,11 @@ fn bench_global_variogram(c: &mut Criterion) {
     for range in [4.0, 32.0] {
         let field =
             generate_single_range(&GaussianFieldConfig::new(FIELD_SIZE, FIELD_SIZE, range, 5));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("range{range}")), &field, |b, f| {
-            b.iter(|| estimate_range(f))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("range{range}")),
+            &field,
+            |b, f| b.iter(|| estimate_range(f)),
+        );
     }
     group.finish();
 }

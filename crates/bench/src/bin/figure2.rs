@@ -9,7 +9,9 @@
 use lcc_bench::CliOptions;
 use lcc_grid::io::write_pgm;
 use lcc_hydro::{MirandaProxy, MirandaProxyConfig, Problem};
-use lcc_synth::{generate_multi_range, generate_single_range, GaussianFieldConfig, MultiRangeConfig};
+use lcc_synth::{
+    generate_multi_range, generate_single_range, GaussianFieldConfig, MultiRangeConfig,
+};
 
 fn main() {
     let opts = CliOptions::from_env();

@@ -2,7 +2,9 @@
 
 use lcc_grid::Field2D;
 use lcc_hydro::{MirandaProxy, MirandaProxyConfig, Problem};
-use lcc_synth::{generate_multi_range, generate_single_range, GaussianFieldConfig, MultiRangeConfig};
+use lcc_synth::{
+    generate_multi_range, generate_single_range, GaussianFieldConfig, MultiRangeConfig,
+};
 
 /// A field together with the metadata the figures need.
 #[derive(Debug, Clone)]
@@ -80,9 +82,7 @@ impl StudyDatasets {
         let log_min = self.min_range.ln();
         let log_max = self.max_range.ln();
         (0..self.n_ranges)
-            .map(|k| {
-                (log_min + (log_max - log_min) * k as f64 / (self.n_ranges - 1) as f64).exp()
-            })
+            .map(|k| (log_min + (log_max - log_min) * k as f64 / (self.n_ranges - 1) as f64).exp())
             .collect()
     }
 
@@ -158,7 +158,8 @@ mod tests {
 
     #[test]
     fn ranges_are_geometric_and_span_the_bounds() {
-        let d = StudyDatasets { n_ranges: 5, min_range: 2.0, max_range: 32.0, ..Default::default() };
+        let d =
+            StudyDatasets { n_ranges: 5, min_range: 2.0, max_range: 32.0, ..Default::default() };
         let r = d.ranges();
         assert_eq!(r.len(), 5);
         assert!((r[0] - 2.0).abs() < 1e-9);

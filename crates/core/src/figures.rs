@@ -12,7 +12,9 @@ use crate::experiment::{fit_series, run_sweep, ExperimentRecord, FittedSeries, S
 use crate::registry::{default_registry, sz_zfp_registry};
 use crate::statistics::StatisticKind;
 use crate::CoreError;
-use lcc_geostat::variogram::{empirical_variogram, fit_squared_exponential, model_gamma, VariogramConfig};
+use lcc_geostat::variogram::{
+    empirical_variogram, fit_squared_exponential, model_gamma, VariogramConfig,
+};
 use lcc_grid::io::CsvSeries;
 use lcc_synth::{generate_single_range, GaussianFieldConfig};
 
@@ -291,7 +293,10 @@ pub fn run_miranda_figures(config: &MirandaFigureConfig) -> Result<MirandaSweepD
     let registry = default_registry();
     let records = run_sweep(&slices, &registry, &config.sweep)?;
     Ok(MirandaSweepData {
-        global_range: FigurePanel::from_records(records.clone(), StatisticKind::GlobalVariogramRange),
+        global_range: FigurePanel::from_records(
+            records.clone(),
+            StatisticKind::GlobalVariogramRange,
+        ),
         local_range_std: FigurePanel::from_records(
             records.clone(),
             StatisticKind::LocalVariogramRangeStd,

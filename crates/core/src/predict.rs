@@ -106,7 +106,7 @@ mod tests {
     use crate::dataset::StudyDatasets;
     use crate::experiment::{run_sweep, SweepConfig};
     use crate::registry::sz_zfp_registry;
-    use crate::statistics::{StatisticsConfig, StatisticKind};
+    use crate::statistics::{StatisticKind, StatisticsConfig};
     use lcc_grid::stats;
     use lcc_pressio::ErrorBound;
     use lcc_synth::{generate_single_range, GaussianFieldConfig};
@@ -153,14 +153,9 @@ mod tests {
         let mut predicted = Vec::new();
         let mut measured = Vec::new();
         for (k, range) in [3.0, 6.0, 12.0].iter().enumerate() {
-            let field = generate_single_range(&GaussianFieldConfig::new(
-                96,
-                96,
-                *range,
-                900 + k as u64,
-            ));
-            let stats_k =
-                CorrelationStatistics::compute(&field, &StatisticsConfig::default());
+            let field =
+                generate_single_range(&GaussianFieldConfig::new(96, 96, *range, 900 + k as u64));
+            let stats_k = CorrelationStatistics::compute(&field, &StatisticsConfig::default());
             predicted.push(predictor.predict(&stats_k, "sz", bound).unwrap());
             measured.push(sz.compress(&field, bound).unwrap().metrics.compression_ratio);
         }
@@ -203,7 +198,6 @@ mod tests {
 
     #[test]
     fn training_on_empty_records_fails() {
-        assert!(CompressionRatioPredictor::train(&[], StatisticKind::GlobalVariogramRange)
-            .is_err());
+        assert!(CompressionRatioPredictor::train(&[], StatisticKind::GlobalVariogramRange).is_err());
     }
 }

@@ -56,7 +56,8 @@ mod tests {
 
     #[test]
     fn every_registered_compressor_round_trips_a_field() {
-        let field = Field2D::from_fn(48, 48, |i, j| (i as f64 * 0.1).sin() + (j as f64 * 0.2).cos());
+        let field =
+            Field2D::from_fn(48, 48, |i, j| (i as f64 * 0.1).sin() + (j as f64 * 0.2).cos());
         for compressor in default_registry().compressors() {
             let r = compressor.compress(&field, ErrorBound::Absolute(1e-3)).unwrap();
             assert!(

@@ -112,8 +112,9 @@ mod tests {
     #[test]
     fn matches_naive_dft() {
         let n = 32;
-        let x: Vec<Complex> =
-            (0..n).map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos())).collect();
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
         let mut y = x.clone();
         fft(&mut y);
         let reference = naive_dft(&x);

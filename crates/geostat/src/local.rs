@@ -78,7 +78,9 @@ pub fn local_range_mean(field: &Field2D, config: &LocalStatConfig) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcc_synth::{generate_multi_range, generate_single_range, GaussianFieldConfig, MultiRangeConfig};
+    use lcc_synth::{
+        generate_multi_range, generate_single_range, GaussianFieldConfig, MultiRangeConfig,
+    };
 
     #[test]
     fn number_of_windows_matches_tiling() {
@@ -109,13 +111,18 @@ mod tests {
         let homogeneous = generate_single_range(&GaussianFieldConfig::new(128, 128, 6.0, 11));
         let short = generate_single_range(&GaussianFieldConfig::new(128, 64, 2.5, 12));
         let long = generate_single_range(&GaussianFieldConfig::new(128, 64, 24.0, 13));
-        let stitched = Field2D::from_fn(128, 128, |i, j| {
-            if j < 64 {
-                short.at(i, j)
-            } else {
-                long.at(i, j - 64)
-            }
-        });
+        let stitched =
+            Field2D::from_fn(
+                128,
+                128,
+                |i, j| {
+                    if j < 64 {
+                        short.at(i, j)
+                    } else {
+                        long.at(i, j - 64)
+                    }
+                },
+            );
         let cfg = LocalStatConfig::default();
         let std_homogeneous = local_range_std(&homogeneous, &cfg);
         let std_stitched = local_range_std(&stitched, &cfg);

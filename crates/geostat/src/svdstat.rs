@@ -39,8 +39,8 @@ pub fn local_svd_truncation_levels(
         // (fluctuation) structure, not the rank-1 mean component.
         let mean = sub.summary().mean;
         let centred: Vec<f64> = sub.as_slice().iter().map(|v| v - mean).collect();
-        let m = Matrix::from_vec(sub.ny(), sub.nx(), centred)
-            .expect("window buffer matches its shape");
+        let m =
+            Matrix::from_vec(sub.ny(), sub.nx(), centred).expect("window buffer matches its shape");
         match singular_values(&m) {
             Ok(sv) => truncation_level(&sv, fraction),
             Err(_) => usize::MAX,
@@ -101,10 +101,7 @@ mod tests {
         });
         let smooth_mean = local_svd_truncation_mean(&smooth, 32, 0.99, None);
         let noise_mean = local_svd_truncation_mean(&noise, 32, 0.99, None);
-        assert!(
-            noise_mean > 2.0 * smooth_mean,
-            "noise {noise_mean} vs smooth {smooth_mean}"
-        );
+        assert!(noise_mean > 2.0 * smooth_mean, "noise {noise_mean} vs smooth {smooth_mean}");
     }
 
     #[test]

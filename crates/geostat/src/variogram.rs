@@ -111,7 +111,8 @@ pub fn empirical_variogram(field: &Field2D, config: &VariogramConfig) -> Empiric
             let usable_rows = ny - off_y;
             let usable_cols = nx - off_x;
             let pairs = usable_rows * usable_cols;
-            let stride = ((pairs as f64 / config.sample_budget as f64).sqrt().ceil() as usize).max(1);
+            let stride =
+                ((pairs as f64 / config.sample_budget as f64).sqrt().ceil() as usize).max(1);
 
             let mut sum = 0.0f64;
             let mut count = 0u64;
@@ -203,7 +204,7 @@ pub fn fit_squared_exponential(
         .map_err(|e| GeostatError::FitFailed(e.to_string()))?;
     let mut sill = fitted[0];
     let mut range = fitted[1].abs(); // the model is even in the range parameter
-    // Guard against non-physical fits on pathological inputs.
+                                     // Guard against non-physical fits on pathological inputs.
     if !sill.is_finite() || !range.is_finite() || range <= 0.0 {
         sill = max_g;
         range = best.0[1];
@@ -298,11 +299,7 @@ mod tests {
             let f = generate_single_range(&GaussianFieldConfig::new(160, 160, a, 17));
             let fit = estimate_range(&f);
             assert!(fit.range.is_finite() && fit.range > 0.0);
-            assert!(
-                (fit.range - a).abs() / a < 0.6,
-                "true range {a}, estimated {}",
-                fit.range
-            );
+            assert!((fit.range - a).abs() / a < 0.6, "true range {a}, estimated {}", fit.range);
             estimates.push(fit.range);
         }
         assert!(estimates[0] < estimates[1] && estimates[1] < estimates[2], "{estimates:?}");
@@ -333,10 +330,7 @@ mod tests {
             gammas: vec![0.1, 0.2],
             counts: vec![10, 10],
         };
-        assert!(matches!(
-            fit_squared_exponential(&vg),
-            Err(GeostatError::DegenerateInput(_))
-        ));
+        assert!(matches!(fit_squared_exponential(&vg), Err(GeostatError::DegenerateInput(_))));
     }
 
     #[test]

@@ -223,23 +223,14 @@ impl Field2D {
     /// Maximum absolute difference to another field of identical shape.
     pub fn max_abs_diff(&self, other: &Field2D) -> f64 {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0_f64, f64::max)
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0_f64, f64::max)
     }
 
     /// Mean squared difference to another field of identical shape.
     pub fn mse(&self, other: &Field2D) -> f64 {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in mse");
         let n = self.data.len() as f64;
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            / n
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / n
     }
 
     /// Transpose the field (rows become columns).

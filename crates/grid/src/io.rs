@@ -53,7 +53,11 @@ pub fn write_raw_f64<P: AsRef<Path>>(data: &[f64], path: P) -> Result<(), GridEr
 }
 
 /// Read raw little-endian `f64` values into a 2D field of the given shape.
-pub fn read_raw_f64_2d<P: AsRef<Path>>(ny: usize, nx: usize, path: P) -> Result<Field2D, GridError> {
+pub fn read_raw_f64_2d<P: AsRef<Path>>(
+    ny: usize,
+    nx: usize,
+    path: P,
+) -> Result<Field2D, GridError> {
     let data = read_raw_f64(path, ny * nx)?;
     Field2D::from_vec(ny, nx, data)
 }

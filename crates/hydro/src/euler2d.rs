@@ -66,9 +66,13 @@ impl Conserved {
         let c = (GAMMA * w.p / w.rho).sqrt();
         (w.u.abs() + c).max(w.v.abs() + c)
     }
+}
 
-    /// Element-wise addition (used by the RK2 update).
-    pub fn add(self, o: Conserved) -> Conserved {
+/// Element-wise addition (used by the RK2 update).
+impl std::ops::Add for Conserved {
+    type Output = Conserved;
+
+    fn add(self, o: Conserved) -> Conserved {
         Conserved {
             rho: self.rho + o.rho,
             mx: self.mx + o.mx,
@@ -76,7 +80,9 @@ impl Conserved {
             energy: self.energy + o.energy,
         }
     }
+}
 
+impl Conserved {
     /// Element-wise scaling.
     pub fn scale(self, s: f64) -> Conserved {
         Conserved { rho: self.rho * s, mx: self.mx * s, my: self.my * s, energy: self.energy * s }
@@ -86,33 +92,20 @@ impl Conserved {
 /// Physical flux in the x direction.
 pub fn flux_x(q: Conserved) -> Conserved {
     let w = q.to_primitive();
-    Conserved {
-        rho: q.mx,
-        mx: q.mx * w.u + w.p,
-        my: q.my * w.u,
-        energy: (q.energy + w.p) * w.u,
-    }
+    Conserved { rho: q.mx, mx: q.mx * w.u + w.p, my: q.my * w.u, energy: (q.energy + w.p) * w.u }
 }
 
 /// Physical flux in the y direction.
 pub fn flux_y(q: Conserved) -> Conserved {
     let w = q.to_primitive();
-    Conserved {
-        rho: q.my,
-        mx: q.mx * w.v,
-        my: q.my * w.v + w.p,
-        energy: (q.energy + w.p) * w.v,
-    }
+    Conserved { rho: q.my, mx: q.mx * w.v, my: q.my * w.v + w.p, energy: (q.energy + w.p) * w.v }
 }
 
 /// Rusanov (local Lax–Friedrichs) numerical flux between a left and right
 /// state, for the given direction (`true` = x, `false` = y).
 pub fn rusanov_flux(left: Conserved, right: Conserved, x_direction: bool) -> Conserved {
-    let (fl, fr) = if x_direction {
-        (flux_x(left), flux_x(right))
-    } else {
-        (flux_y(left), flux_y(right))
-    };
+    let (fl, fr) =
+        if x_direction { (flux_x(left), flux_x(right)) } else { (flux_y(left), flux_y(right)) };
     let smax = left.max_signal_speed().max(right.max_signal_speed());
     Conserved {
         rho: 0.5 * (fl.rho + fr.rho) - 0.5 * smax * (right.rho - left.rho),
@@ -284,12 +277,7 @@ mod tests {
 
     #[test]
     fn state_boundaries_wrap_and_clamp() {
-        let s = EulerState::from_fn(4, 4, |y, x| Primitive {
-            rho: 1.0 + y,
-            u: x,
-            v: 0.0,
-            p: 1.0,
-        });
+        let s = EulerState::from_fn(4, 4, |y, x| Primitive { rho: 1.0 + y, u: x, v: 0.0, p: 1.0 });
         // Periodic in x.
         assert_eq!(s.at(0, -1), s.get(0, 3));
         assert_eq!(s.at(0, 4), s.get(0, 0));

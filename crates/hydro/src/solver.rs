@@ -107,7 +107,8 @@ impl Euler2DSolver {
                 let flux_south = interface_flux(state, ii - 1, jj, ii, jj, false);
 
                 let mut rhs = Conserved {
-                    rho: -(flux_east.rho - flux_west.rho) / dx - (flux_north.rho - flux_south.rho) / dy,
+                    rho: -(flux_east.rho - flux_west.rho) / dx
+                        - (flux_north.rho - flux_south.rho) / dy,
                     mx: -(flux_east.mx - flux_west.mx) / dx - (flux_north.mx - flux_south.mx) / dy,
                     my: -(flux_east.my - flux_west.my) / dx - (flux_north.my - flux_south.my) / dy,
                     energy: -(flux_east.energy - flux_west.energy) / dx
@@ -163,14 +164,14 @@ fn reconstruct(prev: Conserved, centre: Conserved, next: Conserved, offset: f64)
 
 fn apply_update(state: &mut EulerState, rhs: &[Conserved], dt: f64) {
     for (cell, r) in state.cells_mut().iter_mut().zip(rhs.iter()) {
-        *cell = cell.add(r.scale(dt));
+        *cell = *cell + r.scale(dt);
     }
 }
 
 /// `target = (target + other) / 2` — the final Heun averaging step.
 fn average_states(target: &mut EulerState, other: &EulerState) {
     for (a, b) in target.cells_mut().iter_mut().zip(other.cells().iter()) {
-        *a = a.add(*b).scale(0.5);
+        *a = (*a + *b).scale(0.5);
     }
 }
 
@@ -280,6 +281,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "CFL")]
     fn invalid_cfl_panics() {
-        let _ = Euler2DSolver::new(uniform_state(4, 4), SolverConfig { cfl: 1.5, ..Default::default() });
+        let _ = Euler2DSolver::new(
+            uniform_state(4, 4),
+            SolverConfig { cfl: 1.5, ..Default::default() },
+        );
     }
 }

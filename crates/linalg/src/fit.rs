@@ -110,8 +110,7 @@ where
                 lambda *= 10.0;
                 continue;
             }
-            let candidate: Vec<f64> =
-                params.iter().zip(rhs.iter()).map(|(p, d)| p + d).collect();
+            let candidate: Vec<f64> = params.iter().zip(rhs.iter()).map(|(p, d)| p + d).collect();
             let new_sse = sse(&candidate);
             if new_sse.is_finite() && new_sse <= current_sse {
                 step = Some((candidate, rhs, new_sse));
@@ -232,8 +231,8 @@ mod tests {
             let e = (-(h / p[1]).powi(2)).exp();
             vec![1.0 - e, -p[0] * e * 2.0 * h * h / (p[1] * p[1] * p[1])]
         };
-        let fitted = gauss_newton(&hs, &ys, &[0.5, 5.0], model, jac, GaussNewtonOptions::default())
-            .unwrap();
+        let fitted =
+            gauss_newton(&hs, &ys, &[0.5, 5.0], model, jac, GaussNewtonOptions::default()).unwrap();
         assert!((fitted[0] - 1.2).abs() < 1e-5, "{fitted:?}");
         assert!((fitted[1] - 14.0).abs() < 1e-4, "{fitted:?}");
     }

@@ -99,10 +99,10 @@ pub fn solve_normal_equations(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgE
     // Form AtA (n×n) and Atb (n).
     let mut ata = vec![0.0; n * n];
     let mut atb = vec![0.0; n];
-    for i in 0..m {
+    for (i, &rhs) in b.iter().enumerate() {
         let row = a.row(i);
         for p in 0..n {
-            atb[p] += row[p] * b[i];
+            atb[p] += row[p] * rhs;
             for q in p..n {
                 ata[p * n + q] += row[p] * row[q];
             }
@@ -206,13 +206,9 @@ mod tests {
     #[test]
     fn residual_is_orthogonal_to_columns() {
         // Least-squares optimality: Aᵀ (A x - b) == 0.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![1.0, -1.0],
-            vec![1.0, 0.5],
-            vec![1.0, 3.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![1.0, -1.0], vec![1.0, 0.5], vec![1.0, 3.0]])
+                .unwrap();
         let b = [1.0, 2.0, 0.0, -1.0];
         let x = lstsq(&a, &b).unwrap();
         let ax = a.matvec(&x).unwrap();
@@ -228,10 +224,7 @@ mod tests {
     fn singular_matrix_is_reported() {
         let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
         assert!(matches!(lstsq(&a, &[1.0, 2.0, 3.0]), Err(LinalgError::Singular)));
-        assert!(matches!(
-            solve_normal_equations(&a, &[1.0, 2.0, 3.0]),
-            Err(LinalgError::Singular)
-        ));
+        assert!(matches!(solve_normal_equations(&a, &[1.0, 2.0, 3.0]), Err(LinalgError::Singular)));
     }
 
     #[test]

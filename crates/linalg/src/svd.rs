@@ -73,11 +73,11 @@ fn svd_tall(a: &Matrix) -> Result<SvdResult, LinalgError> {
                 let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = c * t;
-                for i in 0..m {
-                    let xp = work[p][i];
-                    let xq = work[q][i];
-                    work[p][i] = c * xp - s * xq;
-                    work[q][i] = s * xp + c * xq;
+                let (lo, hi) = work.split_at_mut(q);
+                for (wp, wq) in lo[p].iter_mut().zip(hi[0].iter_mut()) {
+                    let (xp, xq) = (*wp, *wq);
+                    *wp = c * xp - s * xq;
+                    *wq = s * xp + c * xq;
                 }
                 for i in 0..n {
                     let vp = v.get(i, p);
@@ -112,8 +112,8 @@ fn svd_tall(a: &Matrix) -> Result<SvdResult, LinalgError> {
     let mut values = Vec::with_capacity(n);
     for (slot, &(sigma, j)) in sv.iter().enumerate() {
         values.push(sigma);
-        for i in 0..m {
-            let x = if sigma > 0.0 { work[j][i] / sigma } else { 0.0 };
+        for (i, &w) in work[j].iter().enumerate() {
+            let x = if sigma > 0.0 { w / sigma } else { 0.0 };
             u.set(i, slot, x);
         }
         for i in 0..n {

@@ -235,7 +235,8 @@ mod tests {
 
     #[test]
     fn corrupt_streams_are_rejected() {
-        let compressed = lz77_compress(b"some reasonably long input to compress, repeated, repeated");
+        let compressed =
+            lz77_compress(b"some reasonably long input to compress, repeated, repeated");
         // Truncation.
         assert!(lz77_decompress(&compressed[..compressed.len() - 3]).is_err());
         // Bad tag.

@@ -59,14 +59,14 @@ impl ByteCodec for HuffLzCodec {
         let huff = crate::huffman_encode(&symbols);
         let huff_lz = lz77_compress(&huff);
 
-        let (mode, payload): (u8, &[u8]) = if input.len() <= huff.len() && input.len() <= huff_lz.len()
-        {
-            (MODE_RAW, input)
-        } else if huff.len() <= huff_lz.len() {
-            (MODE_HUFF, &huff)
-        } else {
-            (MODE_HUFF_LZ, &huff_lz)
-        };
+        let (mode, payload): (u8, &[u8]) =
+            if input.len() <= huff.len() && input.len() <= huff_lz.len() {
+                (MODE_RAW, input)
+            } else if huff.len() <= huff_lz.len() {
+                (MODE_HUFF, &huff)
+            } else {
+                (MODE_HUFF_LZ, &huff_lz)
+            };
 
         let mut out = BytesMut::with_capacity(payload.len() + 10);
         out.put_u8(mode);

@@ -185,11 +185,7 @@ mod tests {
         let f = Field2D::from_fn(33, 33, |i, j| 2.0 + 0.5 * i as f64 + 0.25 * j as f64);
         let levels = level_count(33, 33);
         let coeffs = forward(&f, levels);
-        let near_zero = coeffs
-            .as_slice()
-            .iter()
-            .filter(|c| c.abs() < 1e-9)
-            .count();
+        let near_zero = coeffs.as_slice().iter().filter(|c| c.abs() < 1e-9).count();
         // Interior fine nodes dominate: expect the vast majority of the 1089
         // coefficients to vanish (edge nodes with one-sided neighbourhoods
         // keep non-zero residuals).
@@ -209,9 +205,8 @@ mod tests {
         let levels = level_count(64, 64);
         let cs = forward(&smooth, levels);
         let cr = forward(&rough, levels);
-        let mean_abs = |f: &Field2D| {
-            f.as_slice().iter().map(|v| v.abs()).sum::<f64>() / f.len() as f64
-        };
+        let mean_abs =
+            |f: &Field2D| f.as_slice().iter().map(|v| v.abs()).sum::<f64>() / f.len() as f64;
         assert!(mean_abs(&cs) < mean_abs(&cr) / 5.0);
     }
 

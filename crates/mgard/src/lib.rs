@@ -171,7 +171,7 @@ impl Compressor for MgardCompressor {
         let bin = 2.0 * eb / (levels as f64 + 1.0);
         let mut exact_iter = exact.into_iter();
         let mut coeffs = vec![0.0f64; ny * nx];
-        for (slot, code) in coeffs.iter_mut().zip(codes.into_iter()) {
+        for (slot, code) in coeffs.iter_mut().zip(codes) {
             if code == 0 {
                 *slot = exact_iter.next().ok_or_else(|| {
                     CompressError::CorruptStream("missing exact coefficient".into())

@@ -135,6 +135,10 @@ where
         .collect()
 }
 
+/// A chunk waiting to be claimed by a worker: its offset in the original
+/// slice plus the chunk itself, behind a take-once mutex.
+type ChunkSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+
 /// Run `f` over contiguous mutable chunks of `data`, each of at most
 /// `chunk_len` elements, in parallel. The closure receives the starting
 /// offset of the chunk within `data` and the chunk itself.
@@ -170,8 +174,7 @@ where
         }
         out
     };
-    let slots: Vec<Mutex<Option<(usize, &mut [T])>>> =
-        chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<ChunkSlot<'_, T>> = chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -241,8 +244,9 @@ mod tests {
     #[test]
     fn indexed_map_passes_indices() {
         let items = vec![10.0, 20.0, 30.0];
-        let out =
-            parallel_map_indexed_with(ThreadPoolConfig::with_threads(4), &items, |i, &x| x + i as f64);
+        let out = parallel_map_indexed_with(ThreadPoolConfig::with_threads(4), &items, |i, &x| {
+            x + i as f64
+        });
         assert_eq!(out, vec![10.0, 21.0, 32.0]);
     }
 

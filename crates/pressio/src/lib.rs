@@ -141,8 +141,7 @@ mod tests {
             for chunk in stream[16..].chunks_exact(8) {
                 data.push(f64::from_le_bytes(chunk.try_into().unwrap()));
             }
-            Field2D::from_vec(ny, nx, data)
-                .map_err(|e| CompressError::CorruptStream(e.to_string()))
+            Field2D::from_vec(ny, nx, data).map_err(|e| CompressError::CorruptStream(e.to_string()))
         }
     }
 

@@ -28,7 +28,11 @@ impl Metrics {
     ///
     /// # Panics
     /// Panics if the two fields have different shapes or the stream size is 0.
-    pub fn compare(original: &Field2D, reconstruction: &Field2D, compressed_bytes: usize) -> Metrics {
+    pub fn compare(
+        original: &Field2D,
+        reconstruction: &Field2D,
+        compressed_bytes: usize,
+    ) -> Metrics {
         assert_eq!(original.shape(), reconstruction.shape(), "shape mismatch in Metrics::compare");
         assert!(compressed_bytes > 0, "compressed size must be positive");
         let n = original.len();

@@ -87,10 +87,7 @@ impl MultiRangeConfig {
 /// Panics if the dimensions are zero or the range is not positive/finite.
 pub fn generate_single_range(config: &GaussianFieldConfig) -> Field2D {
     assert!(config.ny > 0 && config.nx > 0, "field dimensions must be non-zero");
-    assert!(
-        config.range.is_finite() && config.range > 0.0,
-        "correlation range must be positive"
-    );
+    assert!(config.range.is_finite() && config.range > 0.0, "correlation range must be positive");
     assert!(config.variance > 0.0, "variance must be positive");
 
     // Periodic embedding domain: pad by ~4 correlation lengths so the wrapped

@@ -68,8 +68,7 @@ mod tests {
         assert!(mean.abs() < 0.01, "mean = {mean}");
         assert!((std - 1.0).abs() < 0.01, "std = {std}");
         // Roughly 68% of samples within one standard deviation.
-        let within: f64 =
-            draws.iter().filter(|v| v.abs() <= 1.0).count() as f64 / n as f64;
+        let within: f64 = draws.iter().filter(|v| v.abs() <= 1.0).count() as f64 / n as f64;
         assert!((within - 0.6827).abs() < 0.01, "within 1 sigma: {within}");
         // All values finite.
         assert!(draws.iter().all(|v| v.is_finite()));

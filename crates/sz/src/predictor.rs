@@ -84,10 +84,11 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
         }
         a.swap(k, piv);
         b.swap(k, piv);
+        let pivot_row = a[k];
         for i in k + 1..3 {
-            let f = a[i][k] / a[k][k];
-            for j in k..3 {
-                a[i][j] -= f * a[k][j];
+            let f = a[i][k] / pivot_row[k];
+            for (x, p) in a[i].iter_mut().zip(pivot_row).skip(k) {
+                *x -= f * p;
             }
             b[i] -= f * b[k];
         }

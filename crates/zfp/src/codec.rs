@@ -1,9 +1,7 @@
 //! Per-block encoding: block-floating-point conversion, transform, and
 //! tolerance-driven bit-plane truncation.
 
-use crate::transform::{
-    fwd_transform, inv_transform, INVERSE_ERROR_GAIN, INVERSE_ERROR_OFFSET,
-};
+use crate::transform::{fwd_transform, inv_transform, INVERSE_ERROR_GAIN, INVERSE_ERROR_OFFSET};
 use crate::BLOCK_LEN;
 use lcc_lossless::{BitReader, BitWriter, CodecError};
 
@@ -30,7 +28,7 @@ pub fn encode_block(writer: &mut BitWriter, values: &[f64; BLOCK_LEN], eb: f64, 
     // eb in integer units, minus the 0.5 fixed-point rounding slack.
     let budget = eb * s - 0.5;
 
-    if budget < 0.0 || e > EXPONENT_BIAS - 1 || e < -(EXPONENT_BIAS - 1) {
+    if budget < 0.0 || !(-(EXPONENT_BIAS - 1)..=EXPONENT_BIAS - 1).contains(&e) {
         // Cannot guarantee the bound within the fixed-point representation.
         write_exact(writer, values);
         return;
@@ -47,7 +45,8 @@ pub fn encode_block(writer: &mut BitWriter, values: &[f64; BLOCK_LEN], eb: f64, 
     let mut kmin: u32 = 0;
     while kmin < 62 {
         let k = kmin + 1;
-        let err = INVERSE_ERROR_GAIN as f64 * ((1u64 << k) - 1) as f64 + INVERSE_ERROR_OFFSET as f64;
+        let err =
+            INVERSE_ERROR_GAIN as f64 * ((1u64 << k) - 1) as f64 + INVERSE_ERROR_OFFSET as f64;
         if err <= budget {
             kmin = k;
         } else {

@@ -187,12 +187,8 @@ mod tests {
                     *c = sign * (c.abs() & mask);
                 }
                 inv_transform(&mut coeffs);
-                let max_err = original
-                    .iter()
-                    .zip(coeffs.iter())
-                    .map(|(a, b)| (a - b).abs())
-                    .max()
-                    .unwrap();
+                let max_err =
+                    original.iter().zip(coeffs.iter()).map(|(a, b)| (a - b).abs()).max().unwrap();
                 let bound = INVERSE_ERROR_GAIN * ((1i64 << k) - 1) + INVERSE_ERROR_OFFSET;
                 assert!(max_err <= bound, "seed {seed} k {k}: {max_err} > {bound}");
             }

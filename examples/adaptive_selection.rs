@@ -10,7 +10,7 @@
 use lcc::core::dataset::StudyDatasets;
 use lcc::core::experiment::{run_sweep, SweepConfig};
 use lcc::core::registry::sz_zfp_registry;
-use lcc::core::statistics::{CorrelationStatistics, StatisticsConfig, StatisticKind};
+use lcc::core::statistics::{CorrelationStatistics, StatisticKind, StatisticsConfig};
 use lcc::core::CompressionRatioPredictor;
 use lcc::pressio::ErrorBound;
 use lcc::synth::{generate_single_range, GaussianFieldConfig};
@@ -31,10 +31,13 @@ fn main() {
         ..Default::default()
     };
     let records = run_sweep(&datasets.single_range_fields(), &registry, &config).expect("sweep");
-    let predictor =
-        CompressionRatioPredictor::train(&records, StatisticKind::GlobalVariogramRange)
-            .expect("predictor training");
-    println!("trained {} (compressor, bound) models from {} records\n", predictor.model_count(), records.len());
+    let predictor = CompressionRatioPredictor::train(&records, StatisticKind::GlobalVariogramRange)
+        .expect("predictor training");
+    println!(
+        "trained {} (compressor, bound) models from {} records\n",
+        predictor.model_count(),
+        records.len()
+    );
 
     // 2. Evaluate on unseen fields.
     let bound = ErrorBound::Absolute(1e-2);
@@ -52,7 +55,8 @@ fn main() {
         let pred_zfp = predictor.predict(&stats, "zfp", bound).unwrap_or(f64::NAN);
         let choice = predictor.select_compressor(&stats, bound, &["sz", "zfp"]).expect("choice");
 
-        let sz = registry.get("sz").unwrap().compress(&field, bound).unwrap().metrics.compression_ratio;
+        let sz =
+            registry.get("sz").unwrap().compress(&field, bound).unwrap().metrics.compression_ratio;
         let zfp =
             registry.get("zfp").unwrap().compress(&field, bound).unwrap().metrics.compression_ratio;
         let actual_best = if sz >= zfp { "sz" } else { "zfp" };
@@ -65,5 +69,7 @@ fn main() {
             range, pred_sz, pred_zfp, choice.compressor, sz, zfp
         );
     }
-    println!("\nmodel-driven selection matched the measured winner on {correct}/{total} unseen fields");
+    println!(
+        "\nmodel-driven selection matched the measured winner on {correct}/{total} unseen fields"
+    );
 }

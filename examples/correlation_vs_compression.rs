@@ -28,7 +28,11 @@ fn main() {
 
     let registry = default_registry();
     let config = SweepConfig {
-        bounds: vec![ErrorBound::Absolute(1e-4), ErrorBound::Absolute(1e-3), ErrorBound::Absolute(1e-2)],
+        bounds: vec![
+            ErrorBound::Absolute(1e-4),
+            ErrorBound::Absolute(1e-3),
+            ErrorBound::Absolute(1e-2),
+        ],
         ..Default::default()
     };
     let records = run_sweep(&fields, &registry, &config).expect("sweep succeeds");

@@ -6,8 +6,8 @@
 //! cargo run --release --example miranda_pipeline
 //! ```
 
-use lcc::core::statistics::{CorrelationStatistics, StatisticsConfig};
 use lcc::core::default_registry;
+use lcc::core::statistics::{CorrelationStatistics, StatisticsConfig};
 use lcc::hydro::{MirandaProxy, MirandaProxyConfig, Problem};
 use lcc::pressio::ErrorBound;
 
@@ -50,7 +50,13 @@ fn main() {
         }
         println!(
             "{:>6} {:>14.2} {:>14.2} {:>12.2} {:>10.2} {:>10.2} {:>10.2}",
-            k, stats.global_range, stats.local_range_std, stats.local_svd_std, ratios[0], ratios[1], ratios[2]
+            k,
+            stats.global_range,
+            stats.local_range_std,
+            stats.local_svd_std,
+            ratios[0],
+            ratios[1],
+            ratios[2]
         );
     }
     println!("\nsmoother early slices compress better; developed turbulence lowers the ratios,");

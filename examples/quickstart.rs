@@ -6,8 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use lcc::core::statistics::{CorrelationStatistics, StatisticsConfig};
 use lcc::core::default_registry;
+use lcc::core::statistics::{CorrelationStatistics, StatisticsConfig};
 use lcc::pressio::ErrorBound;
 use lcc::synth::{generate_single_range, GaussianFieldConfig};
 
@@ -25,7 +25,10 @@ fn main() {
 
     // 3. Compress with SZ-, ZFP- and MGARD-style compressors at abs eb 1e-3.
     let bound = ErrorBound::Absolute(1e-3);
-    println!("\n{:<8} {:>10} {:>12} {:>12} {:>10}", "codec", "ratio", "bitrate", "max_error", "psnr_db");
+    println!(
+        "\n{:<8} {:>10} {:>12} {:>12} {:>10}",
+        "codec", "ratio", "bitrate", "max_error", "psnr_db"
+    );
     for compressor in default_registry().compressors() {
         let result = compressor.compress(&field, bound).expect("compression succeeds");
         println!(

@@ -42,6 +42,6 @@ pub use lcc_lossless as lossless;
 pub use lcc_mgard as mgard;
 pub use lcc_par as par;
 pub use lcc_pressio as pressio;
-pub use lcc_sz as sz;
 pub use lcc_synth as synth;
+pub use lcc_sz as sz;
 pub use lcc_zfp as zfp;

@@ -51,11 +51,8 @@ fn sweep_results_do_not_depend_on_thread_count() {
     let fields = datasets.single_range_fields();
     let registry = sz_zfp_registry();
     let run = |threads: Option<usize>| {
-        let config = SweepConfig {
-            bounds: vec![ErrorBound::Absolute(1e-3)],
-            threads,
-            ..Default::default()
-        };
+        let config =
+            SweepConfig { bounds: vec![ErrorBound::Absolute(1e-3)], threads, ..Default::default() };
         run_sweep(&fields, &registry, &config).unwrap()
     };
     let serial = run(Some(1));

@@ -6,7 +6,9 @@ use lcc::core::default_registry;
 use lcc::grid::Field2D;
 use lcc::hydro::{MirandaProxy, MirandaProxyConfig, Problem};
 use lcc::pressio::ErrorBound;
-use lcc::synth::{generate_multi_range, generate_single_range, GaussianFieldConfig, MultiRangeConfig};
+use lcc::synth::{
+    generate_multi_range, generate_single_range, GaussianFieldConfig, MultiRangeConfig,
+};
 
 /// Dataset families exercised by the guarantee tests (small versions).
 fn dataset_families() -> Vec<(String, Field2D)> {

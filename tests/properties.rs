@@ -8,7 +8,9 @@
 //!   invariants (non-negativity, symmetry in the inputs, etc.).
 
 use lcc::grid::{stats, Field2D};
-use lcc::lossless::{huffman_decode, huffman_encode, lz77_compress, lz77_decompress, ByteCodec, HuffLzCodec};
+use lcc::lossless::{
+    huffman_decode, huffman_encode, lz77_compress, lz77_decompress, ByteCodec, HuffLzCodec,
+};
 use lcc::mgard::MgardCompressor;
 use lcc::pressio::{Compressor, ErrorBound};
 use lcc::sz::SzCompressor;

@@ -6,7 +6,7 @@ use lcc::core::dataset::StudyDatasets;
 use lcc::core::experiment::{fit_series, run_sweep, SweepConfig};
 use lcc::core::figures::{run_figure1, run_figure3, Figure3Config};
 use lcc::core::registry::{default_registry, sz_zfp_registry};
-use lcc::core::statistics::{CorrelationStatistics, StatisticsConfig, StatisticKind};
+use lcc::core::statistics::{CorrelationStatistics, StatisticKind, StatisticsConfig};
 use lcc::core::CompressionRatioPredictor;
 use lcc::pressio::ErrorBound;
 
@@ -71,10 +71,7 @@ fn sweep_records_feed_prediction_and_selection() {
         seed: 31,
     };
     let registry = sz_zfp_registry();
-    let config = SweepConfig {
-        bounds: vec![ErrorBound::Absolute(1e-2)],
-        ..Default::default()
-    };
+    let config = SweepConfig { bounds: vec![ErrorBound::Absolute(1e-2)], ..Default::default() };
     let records = run_sweep(&datasets.single_range_fields(), &registry, &config).unwrap();
     assert_eq!(records.len(), 4 * 2);
 
@@ -90,14 +87,41 @@ fn sweep_records_feed_prediction_and_selection() {
     assert!(choice.predicted_ratio >= 1.0);
 }
 
+/// Full-study runs at the standard experiment scale (256×256 fields, the
+/// complete bound grid). Minutes, not seconds — gated behind the
+/// `slow-tests` feature so the default tier-1 loop stays fast; CI runs them
+/// on a schedule via `cargo test --features slow-tests`.
+#[cfg(feature = "slow-tests")]
+mod full_study {
+    use lcc::core::figures::{run_figure3, run_figure4, Figure3Config, MirandaFigureConfig};
+
+    #[test]
+    fn figure3_trends_hold_at_standard_scale() {
+        let data = run_figure3(&Figure3Config::standard());
+        let panel = &data.single_range;
+        // Positive range→ratio slope for SZ at every bound in the grid.
+        for series in panel.series.iter().filter(|s| s.compressor == "sz") {
+            assert!(series.fit.beta > 0.0, "sz beta {} at {:?}", series.fit.beta, series.bound);
+        }
+        // The multi-range panel carries the same number of series.
+        assert_eq!(data.multi_range.series.len(), panel.series.len());
+    }
+
+    #[test]
+    fn figure4_miranda_proxy_completes_at_standard_scale() {
+        let data = run_figure4(&MirandaFigureConfig::standard());
+        assert!(!data.records.is_empty());
+        assert!(data.records.iter().all(|r| r.compression_ratio >= 1.0));
+    }
+}
+
 #[test]
 fn statistics_and_registry_are_consistent_across_the_facade() {
     // The facade crate re-exports must expose a coherent API surface.
     let registry = default_registry();
     assert_eq!(registry.names(), vec!["mgard", "sz", "zfp"]);
-    let field = lcc::synth::generate_single_range(&lcc::synth::GaussianFieldConfig::new(
-        64, 64, 6.0, 3,
-    ));
+    let field =
+        lcc::synth::generate_single_range(&lcc::synth::GaussianFieldConfig::new(64, 64, 6.0, 3));
     let stats = CorrelationStatistics::compute(&field, &StatisticsConfig::default());
     assert!(stats.global_range > 0.0);
     let fit = lcc::geostat::variogram::estimate_range(&field);

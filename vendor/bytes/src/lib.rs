@@ -1,0 +1,95 @@
+//! Minimal in-tree stand-in for the `bytes` crate: just enough of
+//! [`BytesMut`] and [`BufMut`] for the lossless codec pipeline. See
+//! `vendor/README.md` for scope and caveats.
+
+/// A growable byte buffer, API-compatible with the subset of
+/// `bytes::BytesMut` used in this workspace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Create an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Create an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { inner: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copy the contents out into a plain `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Write-side buffer trait mirroring the subset of `bytes::BufMut` used in
+/// this workspace.
+pub trait BufMut {
+    /// Append a single byte.
+    fn put_u8(&mut self, value: u8);
+
+    /// Append a slice of bytes.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.inner.push(value);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, value: u8) {
+        self.push(value);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytesmut_roundtrip() {
+        let mut b = BytesMut::with_capacity(8);
+        assert!(b.is_empty());
+        b.put_u8(1);
+        b.put_slice(&[2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4]);
+        assert_eq!(Vec::from(b), vec![1, 2, 3, 4]);
+    }
+}
