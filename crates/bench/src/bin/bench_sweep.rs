@@ -1,0 +1,69 @@
+//! Timed paper-scale statistics stages plus a flat-scheduler sweep,
+//! written to `BENCH_sweep.json` — the perf-trajectory artifact the CI
+//! benchmark smoke job uploads on every run.
+//!
+//! ```text
+//! cargo run --release -p lcc_bench --bin bench_sweep -- \
+//!     --size 1028 --sweep-size 256 --out target/bench
+//! ```
+
+use lcc_bench::CliOptions;
+use lcc_core::benchreport::StageTimings;
+use lcc_core::dataset::StudyDatasets;
+use lcc_core::experiment::{run_sweep, SweepConfig};
+use lcc_core::registry::default_registry;
+use lcc_core::statistics::{CorrelationStatistics, StatisticsConfig};
+use lcc_geostat::variogram::estimate_range;
+use lcc_geostat::{local_range_std, local_svd_truncation_std, LocalStatConfig};
+use lcc_synth::{generate_single_range, GaussianFieldConfig};
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let size = opts.get_usize("size", 1028);
+    let sweep_size = opts.get_usize("sweep-size", 256);
+    let seed = opts.get_u64("seed", 7);
+    let out_dir = opts.output_dir();
+
+    let mut report = StageTimings::new(format!("{size}x{size}"));
+
+    // Stage 1: paper-scale single-field statistics, one stage per estimator
+    // plus the bundled computation the sweep scheduler amortizes.
+    let field = report.time("generate_field", || {
+        generate_single_range(&GaussianFieldConfig::new(size, size, 16.0, seed))
+    });
+    let global = report.time("global_variogram_range", || estimate_range(&field));
+    let range_spread = report
+        .time("local_variogram_range_std", || local_range_std(&field, &LocalStatConfig::default()));
+    let svd_spread = report
+        .time("local_svd_truncation_std", || local_svd_truncation_std(&field, 32, 0.99, None));
+    report.time("correlation_statistics_compute", || {
+        CorrelationStatistics::compute(&field, &StatisticsConfig::default())
+    });
+
+    // Stage 2: a reduced (3 fields × 3 compressors × 4 bounds) study through
+    // the flat work-item scheduler.
+    let datasets = StudyDatasets {
+        gaussian_size: sweep_size,
+        n_ranges: 3,
+        min_range: 4.0,
+        max_range: 24.0,
+        replicates: 1,
+        seed,
+    };
+    let fields = datasets.single_range_fields();
+    let registry = default_registry();
+    let records = report.time("flat_sweep_3_fields", || {
+        run_sweep(&fields, &registry, &SweepConfig::default()).expect("sweep completes")
+    });
+
+    println!("bench_sweep: {size}x{size} field, sweep at {sweep_size}x{sweep_size}");
+    println!("  global variogram range: {:.3} (sill {:.3})", global.range, global.sill);
+    println!("  local range std: {range_spread:.4}   local svd std: {svd_spread:.4}");
+    println!("  sweep records: {}", records.len());
+    println!("  total: {:.3}s", report.total_seconds());
+
+    let path = out_dir.join("BENCH_sweep.json");
+    report.write(&path).expect("write BENCH_sweep.json");
+    println!("wrote {}", path.display());
+    println!("{}", report.to_json());
+}

@@ -1,0 +1,129 @@
+//! Wall-clock stage timings serialized as a small JSON report
+//! (`BENCH_sweep.json`).
+//!
+//! The CI benchmark smoke job and the paper-scale statistics gate both emit
+//! this file so successive PRs leave a machine-readable perf trajectory
+//! behind: one entry per pipeline stage (field generation, global variogram,
+//! local statistics, compression sweep), each with its measured wall time.
+
+use std::path::Path;
+use std::time::Instant;
+
+/// An accumulating set of named stage timings.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimings {
+    label: String,
+    stages: Vec<(String, f64)>,
+}
+
+impl StageTimings {
+    /// Start an empty report; `label` describes the workload (e.g.
+    /// `"1028x1028"`).
+    pub fn new(label: impl Into<String>) -> Self {
+        StageTimings { label: label.into(), stages: Vec::new() }
+    }
+
+    /// Record a stage measured externally.
+    pub fn record(&mut self, stage: impl Into<String>, seconds: f64) {
+        self.stages.push((stage.into(), seconds));
+    }
+
+    /// Run `f`, record its wall time under `stage`, and pass its result on.
+    pub fn time<T>(&mut self, stage: impl Into<String>, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(stage, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Seconds recorded for a stage, if present.
+    pub fn seconds(&self, stage: &str) -> Option<f64> {
+        self.stages.iter().find(|(name, _)| name == stage).map(|&(_, s)| s)
+    }
+
+    /// Sum of all recorded stage times.
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Serialize the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"bench\": \"sweep\",\n  \"label\": \"{}\",\n",
+            escape(&self.label)
+        ));
+        out.push_str("  \"stages\": [\n");
+        for (k, (name, seconds)) in self.stages.iter().enumerate() {
+            let comma = if k + 1 < self.stages.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"stage\": \"{}\", \"seconds\": {seconds:.6}}}{comma}\n",
+                escape(name)
+            ));
+        }
+        out.push_str(&format!("  ],\n  \"total_seconds\": {:.6}\n}}\n", self.total_seconds()));
+        out
+    }
+
+    /// Write the JSON report to `path`, creating parent directories.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sums_stages() {
+        let mut t = StageTimings::new("test");
+        t.record("a", 1.5);
+        let v = t.time("b", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(t.seconds("a"), Some(1.5));
+        assert!(t.seconds("b").unwrap() >= 0.0);
+        assert!(t.seconds("missing").is_none());
+        assert!(t.total_seconds() >= 1.5);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut t = StageTimings::new("64x64");
+        t.record("generate", 0.25);
+        t.record("stats", 0.5);
+        let json = t.to_json();
+        assert!(json.contains("\"label\": \"64x64\""));
+        assert!(json.contains("{\"stage\": \"generate\", \"seconds\": 0.250000},"));
+        assert!(json.contains("{\"stage\": \"stats\", \"seconds\": 0.500000}\n"));
+        assert!(json.contains("\"total_seconds\": 0.750000"));
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("lcc_benchreport_test");
+        let path = dir.join("BENCH_sweep.json");
+        let mut t = StageTimings::new("x");
+        t.record("s", 0.1);
+        t.write(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench\": \"sweep\""));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn escapes_quotes_in_labels() {
+        let t = StageTimings::new("a\"b\\c");
+        assert!(t.to_json().contains("a\\\"b\\\\c"));
+    }
+}

@@ -1,12 +1,25 @@
 //! The (field × compressor × error bound) sweep driver.
+//!
+//! The sweep is scheduled as a **flat queue of work items** rather than one
+//! task per field: every window-local statistic (variogram range, SVD
+//! truncation level), every global variogram fit and every
+//! (field × compressor × bound) compression cell becomes its own job, and a
+//! single `lcc_par` map drains them all. A study of 3 fields therefore
+//! saturates every core with its ~1024 windows per field and its
+//! 3 × 4 compression cells per field, instead of running at most 3 workers.
+//! Per-field statistics are assembled once from the window results (a stats
+//! cache keyed by field index) and shared by all of that field's records.
 
 use crate::dataset::LabeledField;
 use crate::statistics::{CorrelationStatistics, StatisticsConfig};
 use crate::CoreError;
-use lcc_geostat::{log_regression, LogRegression};
+use lcc_geostat::variogram::{estimate_range_view, VariogramFit};
+use lcc_geostat::{log_regression, window_range, window_truncation_level, LogRegression};
 use lcc_grid::io::CsvSeries;
+use lcc_grid::{stats, FieldView};
 use lcc_par::{parallel_map_with, ThreadPoolConfig};
-use lcc_pressio::{ErrorBound, Registry};
+use lcc_pressio::{Compressor, ErrorBound, Metrics, Registry};
+use std::sync::Arc;
 
 /// Configuration of one sweep.
 #[derive(Debug, Clone)]
@@ -31,14 +44,18 @@ impl Default for SweepConfig {
 
 /// One row of the experiment: a (field, compressor, bound) cell with its
 /// compression outcome and the field's correlation statistics.
+///
+/// Names are shared `Arc<str>`s: a sweep produces one record per
+/// (bound × compressor) cell, and cloning a `String` pair into each of them
+/// was pure allocation overhead.
 #[derive(Debug, Clone)]
 pub struct ExperimentRecord {
     /// Name of the field (dataset member).
-    pub field_name: String,
+    pub field_name: Arc<str>,
     /// Ground-truth correlation range for synthetic fields.
     pub true_range: Option<f64>,
     /// Compressor name.
-    pub compressor: String,
+    pub compressor: Arc<str>,
     /// Error bound used.
     pub bound: ErrorBound,
     /// Measured compression ratio.
@@ -51,10 +68,53 @@ pub struct ExperimentRecord {
     pub statistics: CorrelationStatistics,
 }
 
+/// One unit of work in the flat sweep schedule. Statistics jobs carry the
+/// zero-copy window view they operate on; compression cells re-read the
+/// whole-field view by index.
+enum SweepJob<'a> {
+    /// Global variogram fit of one field.
+    Global { field: usize },
+    /// Variogram range of one local window of one field.
+    RangeWindow { field: usize, view: FieldView<'a> },
+    /// SVD truncation level of one local window of one field.
+    SvdWindow { field: usize, view: FieldView<'a> },
+    /// One (field, compressor, bound) compression cell.
+    Cell { field: usize, compressor: usize, bound: usize },
+}
+
+/// The result of one [`SweepJob`], in the same order as the job list.
+enum SweepJobOutput {
+    Global(VariogramFit),
+    /// NaN when the window fit failed (dropped at aggregation).
+    Range(f64),
+    /// NaN when the decomposition failed (dropped at aggregation).
+    Svd(f64),
+    Cell(Result<Metrics, String>),
+}
+
+/// Per-field statistics under assembly: window results accumulate here (in
+/// window-iteration order, so aggregation is thread-count independent) and
+/// are reduced to one [`CorrelationStatistics`] per field, shared by every
+/// record of that field.
+#[derive(Default)]
+struct FieldStatsAccum {
+    global: Option<VariogramFit>,
+    ranges: Vec<f64>,
+    svd_levels: Vec<f64>,
+}
+
 /// Run the full sweep: every field is measured once per compressor per
-/// bound, and its statistics are computed once. Fields are processed in
-/// parallel (they are independent), compressors/bounds sequentially within a
-/// field to keep memory bounded.
+/// bound, and its statistics are computed once (deduplicated across the
+/// field's records via the per-field stats cache). All work — one job per
+/// statistics window, one per global fit, one per (field, compressor,
+/// bound) cell — feeds a single flat parallel queue, so even a sweep over
+/// few fields keeps every core busy.
+///
+/// Peak-memory model: unlike the old per-field driver (which ran a field's
+/// compressions sequentially), up to one compression working set — a
+/// reconstruction plus codec buffers — can be live **per worker thread**.
+/// At paper scale that is roughly 20 MB × threads; bound it with
+/// [`SweepConfig::threads`] (or `LCC_THREADS`) on very wide machines.
 pub fn run_sweep(
     fields: &[LabeledField],
     registry: &Registry,
@@ -71,37 +131,121 @@ pub fn run_sweep(
         None => ThreadPoolConfig::auto(),
     };
     let compressors = registry.compressors();
-    let per_field: Vec<Result<Vec<ExperimentRecord>, CoreError>> =
-        parallel_map_with(pool, fields, |labeled| {
-            let stats = CorrelationStatistics::compute(&labeled.field, &config.statistics);
-            let mut records = Vec::with_capacity(compressors.len() * config.bounds.len());
-            for compressor in &compressors {
-                for &bound in &config.bounds {
-                    let result = compressor.compress(&labeled.field, bound).map_err(|e| {
-                        CoreError::Compression(format!(
-                            "{} on {}: {e}",
-                            compressor.name(),
-                            labeled.name
-                        ))
-                    })?;
-                    records.push(ExperimentRecord {
-                        field_name: labeled.name.clone(),
-                        true_range: labeled.true_range,
-                        compressor: compressor.name().to_string(),
-                        bound,
-                        compression_ratio: result.metrics.compression_ratio,
-                        max_abs_error: result.metrics.max_abs_error,
-                        psnr: result.metrics.psnr,
-                        statistics: stats,
-                    });
+    let stats_cfg = &config.statistics;
+    let local_cfg = stats_cfg.local_config();
+    let window = local_cfg.window;
+    assert!(window >= 4, "local windows must be at least 4x4");
+
+    // Build the flat schedule, field-major so aggregation below can walk the
+    // outputs in one deterministic pass.
+    let views: Vec<FieldView<'_>> = fields.iter().map(|labeled| labeled.field.view()).collect();
+    let n_cells_per_field = compressors.len() * config.bounds.len();
+    let mut jobs: Vec<SweepJob<'_>> = Vec::new();
+    for (field, view) in views.iter().enumerate() {
+        jobs.push(SweepJob::Global { field });
+        for (win, sub) in view.windows(window, window) {
+            let full = win.is_full(window, window);
+            if full || !local_cfg.skip_partial_windows {
+                jobs.push(SweepJob::RangeWindow { field, view: sub });
+            }
+            if full {
+                jobs.push(SweepJob::SvdWindow { field, view: sub });
+            }
+        }
+        for compressor in 0..compressors.len() {
+            for bound in 0..config.bounds.len() {
+                jobs.push(SweepJob::Cell { field, compressor, bound });
+            }
+        }
+    }
+
+    let outputs = parallel_map_with(pool, &jobs, |job| match job {
+        SweepJob::Global { field } => {
+            SweepJobOutput::Global(estimate_range_view(&views[*field], &stats_cfg.variogram))
+        }
+        SweepJob::RangeWindow { view, .. } => {
+            SweepJobOutput::Range(window_range(view, &local_cfg.variogram))
+        }
+        SweepJob::SvdWindow { view, .. } => SweepJobOutput::Svd(
+            window_truncation_level(view, stats_cfg.svd_fraction)
+                .map_or(f64::NAN, |level| level as f64),
+        ),
+        SweepJob::Cell { field, compressor, bound } => {
+            let comp: &Arc<dyn Compressor> = &compressors[*compressor];
+            SweepJobOutput::Cell(
+                comp.compress_measured(&views[*field], config.bounds[*bound])
+                    .map(|result| result.metrics)
+                    .map_err(|e| format!("{} on {}: {e}", comp.name(), fields[*field].name)),
+            )
+        }
+    });
+
+    // Aggregate: fold window results into the per-field stats cache and park
+    // cell metrics at their (field, compressor, bound) slot.
+    let mut stats_cache: Vec<FieldStatsAccum> = Vec::new();
+    stats_cache.resize_with(fields.len(), FieldStatsAccum::default);
+    let mut cells: Vec<Option<Result<Metrics, String>>> = Vec::new();
+    cells.resize_with(fields.len() * n_cells_per_field, || None);
+    for (job, output) in jobs.iter().zip(outputs) {
+        match (job, output) {
+            (SweepJob::Global { field }, SweepJobOutput::Global(fit)) => {
+                stats_cache[*field].global = Some(fit);
+            }
+            (SweepJob::RangeWindow { field, .. }, SweepJobOutput::Range(range)) => {
+                if range.is_finite() {
+                    stats_cache[*field].ranges.push(range);
                 }
             }
-            Ok(records)
-        });
+            (SweepJob::SvdWindow { field, .. }, SweepJobOutput::Svd(level)) => {
+                if level.is_finite() {
+                    stats_cache[*field].svd_levels.push(level);
+                }
+            }
+            (SweepJob::Cell { field, compressor, bound }, SweepJobOutput::Cell(result)) => {
+                cells[field * n_cells_per_field + compressor * config.bounds.len() + bound] =
+                    Some(result);
+            }
+            _ => unreachable!("job and output streams are index-aligned"),
+        }
+    }
+    let field_stats: Vec<CorrelationStatistics> = stats_cache
+        .into_iter()
+        .map(|accum| {
+            let global = accum.global.expect("one global job is scheduled per field");
+            CorrelationStatistics {
+                global_range: global.range,
+                global_sill: global.sill,
+                local_range_std: stats::std_dev(&accum.ranges),
+                local_svd_std: stats::std_dev(&accum.svd_levels),
+            }
+        })
+        .collect();
 
-    let mut out = Vec::new();
-    for r in per_field {
-        out.extend(r?);
+    // Assemble the records in (field, compressor, bound) order.
+    let compressor_names: Vec<Arc<str>> = compressors.iter().map(|c| Arc::from(c.name())).collect();
+    let mut cell_iter = cells.into_iter();
+    let mut out = Vec::with_capacity(fields.len() * n_cells_per_field);
+    for (field, labeled) in fields.iter().enumerate() {
+        let field_name: Arc<str> = Arc::from(labeled.name.as_str());
+        for compressor_name in &compressor_names {
+            for &bound in &config.bounds {
+                let metrics = cell_iter
+                    .next()
+                    .flatten()
+                    .expect("every cell is scheduled exactly once")
+                    .map_err(CoreError::Compression)?;
+                out.push(ExperimentRecord {
+                    field_name: Arc::clone(&field_name),
+                    true_range: labeled.true_range,
+                    compressor: Arc::clone(compressor_name),
+                    bound,
+                    compression_ratio: metrics.compression_ratio,
+                    max_abs_error: metrics.max_abs_error,
+                    psnr: metrics.psnr,
+                    statistics: field_stats[field],
+                });
+            }
+        }
     }
     Ok(out)
 }
@@ -130,9 +274,9 @@ pub fn fit_series(
     statistic: crate::statistics::StatisticKind,
 ) -> Vec<FittedSeries> {
     use std::collections::BTreeMap;
-    let mut groups: BTreeMap<(String, String), Vec<&ExperimentRecord>> = BTreeMap::new();
+    let mut groups: BTreeMap<(Arc<str>, String), Vec<&ExperimentRecord>> = BTreeMap::new();
     for r in records {
-        groups.entry((r.compressor.clone(), r.bound.to_string())).or_default().push(r);
+        groups.entry((Arc::clone(&r.compressor), r.bound.to_string())).or_default().push(r);
     }
     let mut out = Vec::new();
     for ((compressor, _), rows) in groups {
@@ -141,7 +285,13 @@ pub fn fit_series(
         let Ok(fit) = log_regression(&x, &y) else {
             continue;
         };
-        out.push(FittedSeries { compressor, bound: rows[0].bound, x, y, fit });
+        out.push(FittedSeries {
+            compressor: compressor.to_string(),
+            bound: rows[0].bound,
+            x,
+            y,
+            fit,
+        });
     }
     out
 }

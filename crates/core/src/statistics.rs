@@ -1,10 +1,10 @@
 //! The per-field correlation statistics of the study.
 
 use lcc_geostat::{
-    local_range_std, local_svd_truncation_std, variogram::estimate_range_with, LocalStatConfig,
-    VariogramConfig,
+    local_range_std_view, local_svd_truncation_std_view, variogram::estimate_range_view,
+    LocalStatConfig, VariogramConfig,
 };
-use lcc_grid::Field2D;
+use lcc_grid::{Field2D, FieldView};
 
 /// Which correlation statistic is on the x-axis of a figure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,18 +65,34 @@ impl Default for StatisticsConfig {
     }
 }
 
+impl StatisticsConfig {
+    /// The local-statistics configuration this statistics configuration
+    /// implies — the single place the window size and thread count are
+    /// translated, shared by [`CorrelationStatistics::compute_view`] and the
+    /// flat sweep scheduler so both paths window the field identically.
+    pub fn local_config(&self) -> LocalStatConfig {
+        LocalStatConfig { window: self.window, threads: self.threads, ..LocalStatConfig::default() }
+    }
+}
+
 impl CorrelationStatistics {
     /// Compute all three statistics for a field.
     pub fn compute(field: &Field2D, config: &StatisticsConfig) -> CorrelationStatistics {
-        let global = estimate_range_with(field, &config.variogram);
-        let local_cfg = LocalStatConfig {
-            window: config.window,
-            threads: config.threads,
-            ..LocalStatConfig::default()
-        };
-        let local_range = local_range_std(field, &local_cfg);
-        let local_svd =
-            local_svd_truncation_std(field, config.window, config.svd_fraction, config.threads);
+        CorrelationStatistics::compute_view(&field.view(), config)
+    }
+
+    /// [`CorrelationStatistics::compute`] on a zero-copy view: every window
+    /// of the local statistics is enumerated as a strided sub-view of the
+    /// parent buffer, with no per-window field allocation.
+    pub fn compute_view(field: &FieldView<'_>, config: &StatisticsConfig) -> CorrelationStatistics {
+        let global = estimate_range_view(field, &config.variogram);
+        let local_range = local_range_std_view(field, &config.local_config());
+        let local_svd = local_svd_truncation_std_view(
+            field,
+            config.window,
+            config.svd_fraction,
+            config.threads,
+        );
         CorrelationStatistics {
             global_range: global.range,
             global_sill: global.sill,

@@ -21,12 +21,18 @@ pub mod regression;
 pub mod svdstat;
 pub mod variogram;
 
-pub use local::{local_range_std, local_variogram_ranges, LocalStatConfig};
+pub use local::{
+    local_range_std, local_range_std_view, local_variogram_ranges, local_variogram_ranges_view,
+    window_range, LocalStatConfig,
+};
 pub use regression::{log_regression, LogRegression};
-pub use svdstat::{local_svd_truncation_levels, local_svd_truncation_std};
+pub use svdstat::{
+    local_svd_truncation_levels, local_svd_truncation_levels_view, local_svd_truncation_std,
+    local_svd_truncation_std_view, window_truncation_level,
+};
 pub use variogram::{
-    empirical_variogram, estimate_range, fit_squared_exponential, EmpiricalVariogram,
-    VariogramConfig, VariogramFit,
+    empirical_variogram, empirical_variogram_view, estimate_range, estimate_range_view,
+    fit_squared_exponential, EmpiricalVariogram, VariogramConfig, VariogramFit,
 };
 
 /// Errors produced by the statistics routines.

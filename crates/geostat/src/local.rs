@@ -4,8 +4,8 @@
 //! entire field and summarizes the spatial heterogeneity of correlation by
 //! the **standard deviation** of those local ranges.
 
-use crate::variogram::{estimate_range_with, VariogramConfig};
-use lcc_grid::{stats, Field2D};
+use crate::variogram::{estimate_range_view, VariogramConfig};
+use lcc_grid::{stats, Field2D, FieldView, Window};
 use lcc_par::{parallel_map_with, ThreadPoolConfig};
 
 /// Configuration of the local (windowed) statistics.
@@ -39,12 +39,27 @@ impl LocalStatConfig {
     }
 }
 
+/// Estimate the variogram range of a single window view — the per-window
+/// kernel shared by [`local_variogram_ranges`] and the flat sweep scheduler
+/// in `lcc_core`. Returns NaN when the fit fails.
+#[inline]
+pub fn window_range(view: &FieldView<'_>, config: &VariogramConfig) -> f64 {
+    estimate_range_view(view, config).range
+}
+
 /// Estimate the variogram range on every window tiling the field; windows
 /// whose fit fails (NaN) are dropped.
 pub fn local_variogram_ranges(field: &Field2D, config: &LocalStatConfig) -> Vec<f64> {
+    local_variogram_ranges_view(&field.view(), config)
+}
+
+/// [`local_variogram_ranges`] on a zero-copy view: windows are enumerated
+/// as strided sub-views of the parent buffer, with no per-window `Field2D`
+/// allocation.
+pub fn local_variogram_ranges_view(field: &FieldView<'_>, config: &LocalStatConfig) -> Vec<f64> {
     assert!(config.window >= 4, "local windows must be at least 4x4");
-    let windows: Vec<(lcc_grid::Window, Field2D)> =
-        field.window_fields(config.window, config.window);
+    let windows: Vec<(Window, FieldView<'_>)> =
+        field.windows(config.window, config.window).collect();
     let pool = match config.threads {
         Some(t) => ThreadPoolConfig::with_threads(t),
         None => ThreadPoolConfig::auto(),
@@ -52,11 +67,11 @@ pub fn local_variogram_ranges(field: &Field2D, config: &LocalStatConfig) -> Vec<
     let variogram_config = config.variogram;
     let skip_partial = config.skip_partial_windows;
     let window = config.window;
-    let ranges = parallel_map_with(pool, &windows, |(win, sub)| {
+    let ranges = parallel_map_with(pool, &windows, |(win, view)| {
         if skip_partial && !win.is_full(window, window) {
             return f64::NAN;
         }
-        estimate_range_with(sub, &variogram_config).range
+        window_range(view, &variogram_config)
     });
     ranges.into_iter().filter(|r| r.is_finite()).collect()
 }
@@ -64,7 +79,12 @@ pub fn local_variogram_ranges(field: &Field2D, config: &LocalStatConfig) -> Vec<
 /// Standard deviation of the local variogram ranges — the paper's
 /// "Std estimated of local variogram range (H=32)" statistic.
 pub fn local_range_std(field: &Field2D, config: &LocalStatConfig) -> f64 {
-    let ranges = local_variogram_ranges(field, config);
+    local_range_std_view(&field.view(), config)
+}
+
+/// [`local_range_std`] on a zero-copy view.
+pub fn local_range_std_view(field: &FieldView<'_>, config: &LocalStatConfig) -> f64 {
+    let ranges = local_variogram_ranges_view(field, config);
     stats::std_dev(&ranges)
 }
 

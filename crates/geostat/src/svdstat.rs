@@ -11,10 +11,24 @@
 //! mean component. This is what makes the statistic discriminate windows of
 //! smooth large-scale flow from windows of developed turbulence.
 
-use lcc_grid::{stats, Field2D};
+use lcc_grid::{stats, Field2D, FieldView, Window};
 use lcc_linalg::svd::truncation_level;
 use lcc_linalg::{singular_values, Matrix};
 use lcc_par::{parallel_map_with, ThreadPoolConfig};
+
+/// Truncation level of a single window view — the per-window kernel shared
+/// by [`local_svd_truncation_levels`] and the flat sweep scheduler in
+/// `lcc_core`. Returns `None` when the decomposition fails.
+pub fn window_truncation_level(view: &FieldView<'_>, fraction: f64) -> Option<usize> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    // Centre the window so the decomposition captures the variance
+    // (fluctuation) structure, not the rank-1 mean component.
+    let mean = view.summary().mean;
+    let centred: Vec<f64> = view.iter().map(|v| v - mean).collect();
+    let m =
+        Matrix::from_vec(view.ny(), view.nx(), centred).expect("window buffer matches its shape");
+    singular_values(&m).ok().map(|sv| truncation_level(&sv, fraction))
+}
 
 /// Compute the 99 %-variance (or any `fraction`) truncation level of every
 /// full `window × window` tile of the field.
@@ -24,27 +38,30 @@ pub fn local_svd_truncation_levels(
     fraction: f64,
     threads: Option<usize>,
 ) -> Vec<usize> {
+    local_svd_truncation_levels_view(&field.view(), window, fraction, threads)
+}
+
+/// [`local_svd_truncation_levels`] on a zero-copy view: each tile is a
+/// strided sub-view of the parent buffer, with no per-window `Field2D`
+/// allocation (only the centred working copy the SVD itself needs).
+pub fn local_svd_truncation_levels_view(
+    field: &FieldView<'_>,
+    window: usize,
+    fraction: f64,
+    threads: Option<usize>,
+) -> Vec<usize> {
     assert!(window >= 2, "windows must be at least 2x2");
     assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
-    let tiles: Vec<(lcc_grid::Window, Field2D)> = field.window_fields(window, window);
+    let tiles: Vec<(Window, FieldView<'_>)> = field.windows(window, window).collect();
     let pool = match threads {
         Some(t) => ThreadPoolConfig::with_threads(t),
         None => ThreadPoolConfig::auto(),
     };
-    let levels = parallel_map_with(pool, &tiles, |(win, sub)| {
+    let levels = parallel_map_with(pool, &tiles, |(win, view)| {
         if !win.is_full(window, window) {
             return usize::MAX; // sentinel: dropped below
         }
-        // Centre the window so the decomposition captures the variance
-        // (fluctuation) structure, not the rank-1 mean component.
-        let mean = sub.summary().mean;
-        let centred: Vec<f64> = sub.as_slice().iter().map(|v| v - mean).collect();
-        let m =
-            Matrix::from_vec(sub.ny(), sub.nx(), centred).expect("window buffer matches its shape");
-        match singular_values(&m) {
-            Ok(sv) => truncation_level(&sv, fraction),
-            Err(_) => usize::MAX,
-        }
+        window_truncation_level(view, fraction).unwrap_or(usize::MAX)
     });
     levels.into_iter().filter(|&l| l != usize::MAX).collect()
 }
@@ -57,7 +74,17 @@ pub fn local_svd_truncation_std(
     fraction: f64,
     threads: Option<usize>,
 ) -> f64 {
-    let levels = local_svd_truncation_levels(field, window, fraction, threads);
+    local_svd_truncation_std_view(&field.view(), window, fraction, threads)
+}
+
+/// [`local_svd_truncation_std`] on a zero-copy view.
+pub fn local_svd_truncation_std_view(
+    field: &FieldView<'_>,
+    window: usize,
+    fraction: f64,
+    threads: Option<usize>,
+) -> f64 {
+    let levels = local_svd_truncation_levels_view(field, window, fraction, threads);
     let as_f64: Vec<f64> = levels.iter().map(|&l| l as f64).collect();
     stats::std_dev(&as_f64)
 }

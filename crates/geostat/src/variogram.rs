@@ -18,7 +18,7 @@
 //! empirical variogram by least squares.
 
 use crate::GeostatError;
-use lcc_grid::Field2D;
+use lcc_grid::{Field2D, FieldView};
 use lcc_linalg::{gauss_newton, GaussNewtonOptions};
 
 /// Configuration of the empirical variogram estimator.
@@ -77,8 +77,28 @@ pub struct VariogramFit {
 
 /// Compute the empirical semi-variogram of a field.
 pub fn empirical_variogram(field: &Field2D, config: &VariogramConfig) -> EmpiricalVariogram {
+    empirical_variogram_view(&field.view(), config)
+}
+
+/// Compute the empirical semi-variogram of a (possibly strided) view — the
+/// zero-copy path the windowed local statistics use so each `32 × 32` tile
+/// is enumerated directly in the parent field's buffer.
+pub fn empirical_variogram_view(
+    field: &FieldView<'_>,
+    config: &VariogramConfig,
+) -> EmpiricalVariogram {
     let (ny, nx) = field.shape();
     let min_extent = ny.min(nx);
+    if min_extent < 2 {
+        // A single row or column admits no 2D lag structure under the
+        // directional enumeration below (partial edge windows can be this
+        // degenerate); report an empty variogram so the fit is rejected.
+        return EmpiricalVariogram {
+            distances: Vec::new(),
+            gammas: Vec::new(),
+            counts: Vec::new(),
+        };
+    }
     let max_lag = config.max_lag.unwrap_or((min_extent / 3).max(2)).clamp(1, min_extent - 1);
     let n_bins = config.n_bins.max(2);
 
@@ -223,7 +243,12 @@ pub fn estimate_range(field: &Field2D) -> VariogramFit {
 
 /// [`estimate_range`] with an explicit estimator configuration.
 pub fn estimate_range_with(field: &Field2D, config: &VariogramConfig) -> VariogramFit {
-    let vg = empirical_variogram(field, config);
+    estimate_range_view(&field.view(), config)
+}
+
+/// [`estimate_range_with`] on a zero-copy view.
+pub fn estimate_range_view(field: &FieldView<'_>, config: &VariogramConfig) -> VariogramFit {
+    let vg = empirical_variogram_view(field, config);
     fit_squared_exponential(&vg).unwrap_or(VariogramFit {
         sill: 0.0,
         range: f64::NAN,
@@ -321,6 +346,20 @@ mod tests {
         assert!(model_gamma(&fit, 100.0) > 1.99);
         let degenerate = VariogramFit { sill: 1.0, range: 0.0, residual: 0.0 };
         assert_eq!(model_gamma(&degenerate, 5.0), 1.0);
+    }
+
+    #[test]
+    fn degenerate_single_row_or_column_yields_empty_variogram() {
+        // 1×N / N×1 rectangles occur as partial edge windows when
+        // `skip_partial_windows` is off; they must not panic.
+        for f in
+            [Field2D::from_fn(1, 16, |_, j| j as f64), Field2D::from_fn(16, 1, |i, _| i as f64)]
+        {
+            let vg = empirical_variogram(&f, &VariogramConfig::default());
+            assert!(vg.is_empty());
+            let fit = estimate_range(&f);
+            assert!(fit.range.is_nan());
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Row-major dense 2D field of `f64` values.
 
+use crate::view::{FieldView, WindowViews};
 use crate::window::{Window, WindowIter};
 use crate::{GridError, Summary};
 
@@ -169,16 +170,40 @@ impl Field2D {
         out
     }
 
+    /// Zero-copy view of the whole field.
+    #[inline]
+    pub fn view(&self) -> FieldView<'_> {
+        FieldView::new(&self.data, self.ny, self.nx, self.nx)
+            .expect("a constructed field is always a valid view")
+    }
+
+    /// Zero-copy view of the rectangle covered by a [`Window`] placement.
+    pub fn view_window(&self, win: &Window) -> FieldView<'_> {
+        self.view().window(win)
+    }
+
     /// Iterate over non-overlapping `h × w` tiles covering the field
-    /// (trailing partial tiles at the right/bottom edges are included).
-    pub fn windows(&self, h: usize, w: usize) -> WindowIter<'_> {
-        WindowIter::new(self, h, w)
+    /// (trailing partial tiles at the right/bottom edges are included),
+    /// yielding each tile's placement and a zero-copy [`FieldView`] of it.
+    pub fn windows(&self, h: usize, w: usize) -> WindowViews<'_> {
+        self.view().windows(h, w)
+    }
+
+    /// Iterate over the tile placements only (no data access), e.g. to
+    /// replay a tiling while reconstructing a field.
+    pub fn window_placements(&self, h: usize, w: usize) -> WindowIter {
+        WindowIter::over(self.ny, self.nx, h, w)
     }
 
     /// Collect all windows into owned sub-fields together with their
     /// placement metadata.
+    ///
+    /// This is the legacy cloning path: it allocates one [`Field2D`] per
+    /// window. The statistics pipeline iterates [`Field2D::windows`] views
+    /// instead; this stays as the reference implementation the view/owned
+    /// equivalence tests compare against.
     pub fn window_fields(&self, h: usize, w: usize) -> Vec<(Window, Field2D)> {
-        self.windows(h, w)
+        self.window_placements(h, w)
             .map(|win| (win, self.subfield(win.i0, win.j0, win.height, win.width)))
             .collect()
     }
@@ -223,14 +248,15 @@ impl Field2D {
     /// Maximum absolute difference to another field of identical shape.
     pub fn max_abs_diff(&self, other: &Field2D) -> f64 {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
-        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0_f64, f64::max)
+        crate::stats::error_pair_metrics(self.data.iter().copied().zip(other.data.iter().copied()))
+            .0
     }
 
     /// Mean squared difference to another field of identical shape.
     pub fn mse(&self, other: &Field2D) -> f64 {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in mse");
-        let n = self.data.len() as f64;
-        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / n
+        crate::stats::error_pair_metrics(self.data.iter().copied().zip(other.data.iter().copied()))
+            .1
     }
 
     /// Transpose the field (rows become columns).

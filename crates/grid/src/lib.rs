@@ -23,11 +23,13 @@ pub mod field2d;
 pub mod field3d;
 pub mod io;
 pub mod stats;
+pub mod view;
 pub mod window;
 
 pub use field2d::Field2D;
 pub use field3d::Field3D;
 pub use stats::Summary;
+pub use view::{FieldView, WindowViews};
 pub use window::{Window, WindowIter};
 
 /// Errors produced by grid construction and I/O helpers.

@@ -27,18 +27,35 @@ impl Summary {
     /// Panics if `values` is empty.
     pub fn of(values: &[f64]) -> Summary {
         assert!(!values.is_empty(), "cannot summarize an empty slice");
-        let count = values.len();
+        Summary::of_iter(values.iter().copied())
+    }
+
+    /// Compute the summary of a re-iterable value sequence (two passes).
+    ///
+    /// This is the one accumulation kernel behind both [`Summary::of`] and
+    /// `FieldView::summary`, so owned fields and strided views that visit
+    /// the same values in the same order produce bit-identical summaries.
+    ///
+    /// # Panics
+    /// Panics if the sequence is empty.
+    pub fn of_iter<I>(values: I) -> Summary
+    where
+        I: Iterator<Item = f64> + Clone,
+    {
+        let mut count = 0usize;
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut sum = 0.0;
-        for &v in values {
+        for v in values.clone() {
             min = min.min(v);
             max = max.max(v);
             sum += v;
+            count += 1;
         }
+        assert!(count > 0, "cannot summarize an empty sequence");
         let mean = sum / count as f64;
         let mut ssq = 0.0;
-        for &v in values {
+        for v in values {
             let d = v - mean;
             ssq += d * d;
         }
@@ -54,6 +71,27 @@ impl Summary {
     pub fn range(&self) -> f64 {
         self.max - self.min
     }
+}
+
+/// Maximum absolute difference and mean squared error between two paired
+/// value sequences, in one pass. The single accumulation kernel behind
+/// `Field2D::max_abs_diff` / `Field2D::mse` and `Metrics::compare_view`, so
+/// owned and view-based comparisons are bit-identical.
+pub fn error_pair_metrics<I>(pairs: I) -> (f64, f64)
+where
+    I: Iterator<Item = (f64, f64)>,
+{
+    let mut max_abs = 0.0f64;
+    let mut sq_sum = 0.0f64;
+    let mut count = 0usize;
+    for (a, b) in pairs {
+        let d = a - b;
+        max_abs = max_abs.max(d.abs());
+        sq_sum += d * d;
+        count += 1;
+    }
+    let mse = if count == 0 { 0.0 } else { sq_sum / count as f64 };
+    (max_abs, mse)
 }
 
 /// Arithmetic mean of a slice. Returns 0 for an empty slice.
@@ -168,6 +206,24 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn summary_empty_panics() {
         let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn of_iter_matches_of_bitwise() {
+        let values = [1.5, -2.25, 7.125, 0.0, 3.5];
+        let a = Summary::of(&values);
+        let b = Summary::of_iter(values.iter().copied());
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(a.variance.to_bits(), b.variance.to_bits());
+        assert_eq!((a.min, a.max, a.count), (b.min, b.max, b.count));
+    }
+
+    #[test]
+    fn error_pair_metrics_basics() {
+        let (max_abs, mse) = error_pair_metrics([(1.0, 1.5), (2.0, 2.0)].into_iter());
+        assert!((max_abs - 0.5).abs() < 1e-12);
+        assert!((mse - 0.125).abs() < 1e-12);
+        assert_eq!(error_pair_metrics(std::iter::empty()), (0.0, 0.0));
     }
 
     #[test]

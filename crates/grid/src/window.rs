@@ -4,7 +4,10 @@
 //! level) on `32 × 32` windows that tile the entire field; [`WindowIter`]
 //! produces exactly that tiling, including the partial tiles that remain at
 //! the right and bottom edges when the field extent is not a multiple of the
-//! window size.
+//! window size. The iterator only needs the grid extents, so decompressors
+//! can replay a tiling without materializing a field; pairing each placement
+//! with a zero-copy sub-view is [`crate::view::WindowViews`]
+//! ([`Field2D::windows`]).
 
 use crate::Field2D;
 
@@ -39,31 +42,28 @@ impl Window {
     }
 }
 
-/// Iterator over the non-overlapping `h × w` tiles covering a [`Field2D`].
+/// Iterator over the non-overlapping `h × w` tile placements covering an
+/// `ny × nx` grid.
 #[derive(Debug, Clone)]
-pub struct WindowIter<'a> {
+pub struct WindowIter {
     field_ny: usize,
     field_nx: usize,
     h: usize,
     w: usize,
     i: usize,
     j: usize,
-    _marker: std::marker::PhantomData<&'a Field2D>,
 }
 
-impl<'a> WindowIter<'a> {
-    /// Create the tiling iterator. Window sizes must be positive.
-    pub fn new(field: &'a Field2D, h: usize, w: usize) -> Self {
+impl WindowIter {
+    /// Tiling iterator over an `ny × nx` grid. Window sizes must be positive.
+    pub fn over(ny: usize, nx: usize, h: usize, w: usize) -> Self {
         assert!(h > 0 && w > 0, "window dimensions must be positive");
-        WindowIter {
-            field_ny: field.ny(),
-            field_nx: field.nx(),
-            h,
-            w,
-            i: 0,
-            j: 0,
-            _marker: std::marker::PhantomData,
-        }
+        WindowIter { field_ny: ny, field_nx: nx, h, w, i: 0, j: 0 }
+    }
+
+    /// Tiling iterator over a field's extents.
+    pub fn new(field: &Field2D, h: usize, w: usize) -> Self {
+        WindowIter::over(field.ny(), field.nx(), h, w)
     }
 
     /// Number of windows this iterator will produce in total.
@@ -72,7 +72,7 @@ impl<'a> WindowIter<'a> {
     }
 }
 
-impl<'a> Iterator for WindowIter<'a> {
+impl Iterator for WindowIter {
     type Item = Window;
 
     fn next(&mut self) -> Option<Window> {
@@ -106,7 +106,7 @@ impl<'a> Iterator for WindowIter<'a> {
     }
 }
 
-impl<'a> ExactSizeIterator for WindowIter<'a> {}
+impl ExactSizeIterator for WindowIter {}
 
 #[cfg(test)]
 mod tests {
@@ -115,7 +115,7 @@ mod tests {
     #[test]
     fn exact_tiling_covers_field_once() {
         let f = Field2D::zeros(64, 64);
-        let wins: Vec<Window> = f.windows(32, 32).collect();
+        let wins: Vec<Window> = f.window_placements(32, 32).collect();
         assert_eq!(wins.len(), 4);
         assert!(wins.iter().all(|w| w.is_full(32, 32)));
         let covered: usize = wins.iter().map(Window::len).sum();
@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn partial_edges_are_clipped() {
         let f = Field2D::zeros(70, 50);
-        let wins: Vec<Window> = f.windows(32, 32).collect();
+        let wins: Vec<Window> = f.window_placements(32, 32).collect();
         // 3 tile rows (32, 32, 6) x 2 tile cols (32, 18)
         assert_eq!(wins.len(), 6);
         let covered: usize = wins.iter().map(Window::len).sum();
@@ -138,7 +138,7 @@ mod tests {
     fn count_windows_matches_iteration() {
         for (ny, nx, h, w) in [(10, 10, 3, 4), (32, 32, 32, 32), (33, 17, 8, 8), (5, 5, 7, 7)] {
             let f = Field2D::zeros(ny, nx);
-            let it = f.windows(h, w);
+            let it = f.window_placements(h, w);
             assert_eq!(it.count_windows(), it.clone().count(), "{ny}x{nx} h={h} w={w}");
         }
     }
@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn size_hint_is_exact() {
         let f = Field2D::zeros(33, 17);
-        let mut it = f.windows(8, 8);
+        let mut it = f.window_placements(8, 8);
         let mut remaining = it.count_windows();
         assert_eq!(it.size_hint(), (remaining, Some(remaining)));
         while let Some(_) = it.next() {

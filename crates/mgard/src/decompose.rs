@@ -19,7 +19,7 @@
 //! propagate down the hierarchy; they only accumulate once per level, which
 //! is what lets the compressor split its error budget evenly across levels.
 
-use lcc_grid::Field2D;
+use lcc_grid::{Field2D, FieldView};
 
 /// Number of dyadic levels supported by an `ny × nx` grid (enough halvings
 /// that the coarsest grid is ~2 points per axis).
@@ -35,9 +35,11 @@ pub fn level_count(ny: usize, nx: usize) -> u32 {
 
 /// Forward decomposition: returns a field of the same shape holding
 /// multilevel coefficients at fine nodes and raw values at the coarsest
-/// nodes.
-pub fn forward(field: &Field2D, levels: u32) -> Field2D {
-    let mut work = field.clone();
+/// nodes. The input is a borrowed view, so the compressor can decompose a
+/// window or a whole field straight out of the parent buffer; the one owned
+/// allocation is the coefficient output itself.
+pub fn forward(field: &FieldView<'_>, levels: u32) -> Field2D {
+    let mut work = field.to_field();
     for level in 0..levels {
         let stride = 1usize << level;
         let coarse = stride * 2;
@@ -49,7 +51,7 @@ pub fn forward(field: &Field2D, levels: u32) -> Field2D {
     work
 }
 
-fn forward_level(work: &mut Field2D, original: &Field2D, stride: usize, coarse: usize) {
+fn forward_level(work: &mut Field2D, original: &FieldView<'_>, stride: usize, coarse: usize) {
     let (ny, nx) = original.shape();
     for i in (0..ny).step_by(stride) {
         for j in (0..nx).step_by(stride) {
@@ -86,7 +88,7 @@ fn inverse_level(out: &mut Field2D, stride: usize, coarse: usize) {
             if !fine_row && !fine_col {
                 continue;
             }
-            let prediction = interpolate(out, i, j, coarse, fine_row, fine_col);
+            let prediction = interpolate(&out.view(), i, j, coarse, fine_row, fine_col);
             let value = out.at(i, j) + prediction;
             out.set(i, j, value);
         }
@@ -97,7 +99,7 @@ fn inverse_level(out: &mut Field2D, stride: usize, coarse: usize) {
 /// holds original values during the forward pass and already-reconstructed
 /// values during the inverse pass.
 fn interpolate(
-    source: &Field2D,
+    source: &FieldView<'_>,
     i: usize,
     j: usize,
     coarse: usize,
@@ -152,7 +154,7 @@ mod tests {
 
     fn roundtrip(field: &Field2D) {
         let levels = level_count(field.ny(), field.nx());
-        let coeffs = forward(field, levels);
+        let coeffs = forward(&field.view(), levels);
         let back = inverse(&coeffs, levels);
         let err = field.max_abs_diff(&back);
         assert!(err < 1e-9, "roundtrip error {err} on shape {:?}", field.shape());
@@ -184,7 +186,7 @@ mod tests {
         // nodes with both neighbours present, so most coefficients are ~0.
         let f = Field2D::from_fn(33, 33, |i, j| 2.0 + 0.5 * i as f64 + 0.25 * j as f64);
         let levels = level_count(33, 33);
-        let coeffs = forward(&f, levels);
+        let coeffs = forward(&f.view(), levels);
         let near_zero = coeffs.as_slice().iter().filter(|c| c.abs() < 1e-9).count();
         // Interior fine nodes dominate: expect the vast majority of the 1089
         // coefficients to vanish (edge nodes with one-sided neighbourhoods
@@ -203,8 +205,8 @@ mod tests {
             (s as f64 / u64::MAX as f64).sin()
         });
         let levels = level_count(64, 64);
-        let cs = forward(&smooth, levels);
-        let cr = forward(&rough, levels);
+        let cs = forward(&smooth.view(), levels);
+        let cr = forward(&rough.view(), levels);
         let mean_abs =
             |f: &Field2D| f.as_slice().iter().map(|v| v.abs()).sum::<f64>() / f.len() as f64;
         assert!(mean_abs(&cs) < mean_abs(&cr) / 5.0);
@@ -213,7 +215,7 @@ mod tests {
     #[test]
     fn zero_levels_is_identity() {
         let f = Field2D::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
-        assert_eq!(forward(&f, 0), f);
+        assert_eq!(forward(&f.view(), 0), f);
         assert_eq!(inverse(&f, 0), f);
     }
 
@@ -223,7 +225,7 @@ mod tests {
         // by at most (levels + 1)·δ — the bound the compressor relies on.
         let f = Field2D::from_fn(65, 65, |i, j| ((i * j) as f64 * 0.001).sin() * 2.0);
         let levels = level_count(65, 65);
-        let coeffs = forward(&f, levels);
+        let coeffs = forward(&f.view(), levels);
         let delta = 1e-3;
         let mut s = 99u64;
         let mut perturbed = coeffs.clone();

@@ -35,9 +35,9 @@
 
 pub mod decompose;
 
-use lcc_grid::Field2D;
+use lcc_grid::{Field2D, FieldView};
 use lcc_lossless::{huffman_decode, huffman_encode, lz77_compress, lz77_decompress};
-use lcc_pressio::{validate_finite, CompressError, Compressor, ErrorBound};
+use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound};
 
 /// Configuration of the MGARD-style compressor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,9 +86,13 @@ impl Compressor for MgardCompressor {
         "MGARD-style multilevel interpolation decomposition with level-aware quantization"
     }
 
-    fn compress_field(&self, field: &Field2D, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
-        validate_finite(field)?;
-        let eb = bound.absolute_for(field)?;
+    fn compress_view(
+        &self,
+        field: &FieldView<'_>,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>, CompressError> {
+        validate_finite_view(field)?;
+        let eb = bound.absolute_for_view(field)?;
         let (ny, nx) = field.shape();
         let levels = decompose::level_count(ny, nx).min(self.config.max_levels);
 

@@ -23,12 +23,18 @@
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Controls how many worker threads the parallel helpers spawn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreadPoolConfig {
     threads: usize,
 }
+
+/// Cached result of [`ThreadPoolConfig::detect`]: the flat sweep scheduler
+/// calls [`ThreadPoolConfig::auto`] once per window-sized job, and re-reading
+/// the environment plus `available_parallelism` there is measurable.
+static AUTO_THREADS: OnceLock<usize> = OnceLock::new();
 
 impl ThreadPoolConfig {
     /// Use exactly `threads` workers (minimum 1).
@@ -38,16 +44,23 @@ impl ThreadPoolConfig {
 
     /// Use the number of available CPUs, or the `LCC_THREADS` environment
     /// variable when it parses to a positive integer.
+    ///
+    /// The detection result is cached for the lifetime of the process, so
+    /// `LCC_THREADS` is read once — set it before the first parallel call.
     pub fn auto() -> Self {
+        ThreadPoolConfig { threads: *AUTO_THREADS.get_or_init(Self::detect) }
+    }
+
+    /// Uncached environment/CPU detection backing [`ThreadPoolConfig::auto`].
+    fn detect() -> usize {
         if let Ok(v) = std::env::var("LCC_THREADS") {
             if let Ok(n) = v.trim().parse::<usize>() {
                 if n > 0 {
-                    return ThreadPoolConfig { threads: n };
+                    return n;
                 }
             }
         }
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ThreadPoolConfig { threads: n }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     }
 
     /// Number of worker threads this configuration will use.
@@ -99,6 +112,12 @@ where
 }
 
 /// Parallel indexed map with an explicit thread configuration.
+///
+/// Each worker claims indices from a shared atomic cursor (best load balance
+/// for heterogeneous item costs) and appends `(index, result)` pairs to its
+/// own buffer; the per-thread buffers are stitched back into input order at
+/// the end. No per-element locking: a million-element map allocates worker
+/// buffers and one output vector, not a million mutexes.
 pub fn parallel_map_indexed_with<T, U, F>(config: ThreadPoolConfig, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
@@ -115,24 +134,33 @@ where
     }
 
     let cursor = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let f = &f;
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i, &items[i]);
-                *results[i].lock() = Some(value);
-            });
-        }
+    let cursor = &cursor;
+    let per_thread: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, U)> = Vec::with_capacity(n / threads + 1);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
     });
-    results
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every index is processed exactly once"))
-        .collect()
+
+    let mut indexed: Vec<(usize, U)> = Vec::with_capacity(n);
+    for buffer in per_thread {
+        indexed.extend(buffer);
+    }
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, value)| value).collect()
 }
 
 /// A chunk waiting to be claimed by a worker: its offset in the original
@@ -219,6 +247,33 @@ mod tests {
         assert_eq!(ThreadPoolConfig::with_threads(0).threads(), 1);
         assert_eq!(ThreadPoolConfig::with_threads(8).threads(), 8);
         assert!(ThreadPoolConfig::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn auto_detection_is_cached_and_stable() {
+        // Repeated calls hit the OnceLock and agree (hot loops call auto()
+        // once per job).
+        let first = ThreadPoolConfig::auto();
+        for _ in 0..100 {
+            assert_eq!(ThreadPoolConfig::auto(), first);
+        }
+    }
+
+    #[test]
+    fn large_map_preserves_order_with_uneven_item_costs() {
+        // Heterogeneous per-item work exercises the per-thread buffers +
+        // stitching path (items finish far out of order).
+        let items: Vec<usize> = (0..50_000).collect();
+        let out = parallel_map_indexed_with(ThreadPoolConfig::with_threads(8), &items, |i, &x| {
+            if i % 1000 == 0 {
+                std::thread::yield_now();
+            }
+            x * 2 + i
+        });
+        assert_eq!(out.len(), items.len());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
     }
 
     #[test]

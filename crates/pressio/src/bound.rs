@@ -1,7 +1,7 @@
 //! Point-wise error-bound modes.
 
 use crate::CompressError;
-use lcc_grid::Field2D;
+use lcc_grid::{Field2D, FieldView};
 
 /// A point-wise reconstruction error bound.
 ///
@@ -24,10 +24,15 @@ impl ErrorBound {
     /// A value-range-relative bound on a constant field resolves to a tiny
     /// positive tolerance (the field is exactly representable anyway).
     pub fn absolute_for(&self, field: &Field2D) -> Result<f64, CompressError> {
+        self.absolute_for_view(&field.view())
+    }
+
+    /// [`ErrorBound::absolute_for`] on a borrowed view.
+    pub fn absolute_for_view(&self, view: &FieldView<'_>) -> Result<f64, CompressError> {
         let eps = match *self {
             ErrorBound::Absolute(e) => e,
             ErrorBound::ValueRangeRelative(e) => {
-                let range = field.value_range();
+                let range = view.value_range();
                 if range > 0.0 {
                     e * range
                 } else {

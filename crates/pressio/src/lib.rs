@@ -5,8 +5,10 @@
 //! role for the Rust reimplementations:
 //!
 //! * [`Compressor`] — the trait every lossy compressor implements
-//!   (`compress_field` / `decompress_field` plus a provided
-//!   [`Compressor::compress`] that also reconstructs and measures),
+//!   (`compress_view` / `decompress_field` plus provided `compress_field`
+//!   and [`Compressor::compress`] conveniences that also reconstruct and
+//!   measure); compressors read borrowed [`FieldView`]s directly, so the
+//!   sweep scheduler never clones a field or window to compress it,
 //! * [`ErrorBound`] — absolute and value-range-relative point-wise bounds
 //!   with the paper's conversion between the two,
 //! * [`Metrics`] — compression ratio, maximum absolute error, MSE, PSNR and
@@ -22,7 +24,7 @@ pub use bound::ErrorBound;
 pub use metrics::Metrics;
 pub use registry::{CompressorInfo, Registry};
 
-use lcc_grid::Field2D;
+use lcc_grid::{Field2D, FieldView};
 
 /// Errors produced by compression or decompression.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,30 +75,59 @@ pub trait Compressor: Send + Sync {
         "error-bounded lossy compressor"
     }
 
-    /// Compress `field` under `bound`, returning the self-describing stream.
-    fn compress_field(&self, field: &Field2D, bound: ErrorBound) -> Result<Vec<u8>, CompressError>;
+    /// Compress a (possibly strided) borrowed view under `bound`, returning
+    /// the self-describing stream. This is the primitive every
+    /// implementation provides: the sweep scheduler hands whole-field and
+    /// window views here without cloning, and the produced stream is
+    /// identical to compressing an owned copy of the same rectangle.
+    fn compress_view(
+        &self,
+        view: &FieldView<'_>,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>, CompressError>;
+
+    /// Compress an owned field (zero-copy delegation to
+    /// [`Compressor::compress_view`]).
+    fn compress_field(&self, field: &Field2D, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
+        self.compress_view(&field.view(), bound)
+    }
 
     /// Reconstruct a field from a stream produced by
-    /// [`Compressor::compress_field`].
+    /// [`Compressor::compress_view`] / [`Compressor::compress_field`].
     fn decompress_field(&self, stream: &[u8]) -> Result<Field2D, CompressError>;
 
-    /// Compress, reconstruct, and measure in one call — the operation the
-    /// experiment pipeline runs for every (field, compressor, bound) cell.
+    /// Compress, reconstruct, and measure a view in one call — the operation
+    /// the experiment scheduler runs for every (field, compressor, bound)
+    /// work item.
+    fn compress_measured(
+        &self,
+        view: &FieldView<'_>,
+        bound: ErrorBound,
+    ) -> Result<CompressionResult, CompressError> {
+        let stream = self.compress_view(view, bound)?;
+        let reconstruction = self.decompress_field(&stream)?;
+        let metrics = Metrics::compare_view(view, &reconstruction, stream.len());
+        Ok(CompressionResult { stream, reconstruction, metrics })
+    }
+
+    /// [`Compressor::compress_measured`] for an owned field.
     fn compress(
         &self,
         field: &Field2D,
         bound: ErrorBound,
     ) -> Result<CompressionResult, CompressError> {
-        let stream = self.compress_field(field, bound)?;
-        let reconstruction = self.decompress_field(&stream)?;
-        let metrics = Metrics::compare(field, &reconstruction, stream.len());
-        Ok(CompressionResult { stream, reconstruction, metrics })
+        self.compress_measured(&field.view(), bound)
     }
 }
 
 /// Validate that a field is finite (compressors share this precondition).
 pub fn validate_finite(field: &Field2D) -> Result<(), CompressError> {
-    if field.as_slice().iter().all(|v| v.is_finite()) {
+    validate_finite_view(&field.view())
+}
+
+/// [`validate_finite`] for a borrowed view.
+pub fn validate_finite_view(view: &FieldView<'_>) -> Result<(), CompressError> {
+    if view.iter().all(|v| v.is_finite()) {
         Ok(())
     } else {
         Err(CompressError::InvalidInput("field contains non-finite values".into()))
@@ -116,16 +147,16 @@ mod tests {
             "store"
         }
 
-        fn compress_field(
+        fn compress_view(
             &self,
-            field: &Field2D,
+            view: &FieldView<'_>,
             bound: ErrorBound,
         ) -> Result<Vec<u8>, CompressError> {
-            bound.absolute_for(field)?; // validate the bound
+            bound.absolute_for_view(view)?; // validate the bound
             let mut out = Vec::new();
-            out.extend_from_slice(&(field.ny() as u64).to_le_bytes());
-            out.extend_from_slice(&(field.nx() as u64).to_le_bytes());
-            for v in field.as_slice() {
+            out.extend_from_slice(&(view.ny() as u64).to_le_bytes());
+            out.extend_from_slice(&(view.nx() as u64).to_le_bytes());
+            for v in view.iter() {
                 out.extend_from_slice(&v.to_le_bytes());
             }
             Ok(out)

@@ -1,6 +1,6 @@
 //! Reconstruction-quality and size metrics.
 
-use lcc_grid::Field2D;
+use lcc_grid::{Field2D, FieldView};
 
 /// Size and quality metrics for one compression run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,12 +33,27 @@ impl Metrics {
         reconstruction: &Field2D,
         compressed_bytes: usize,
     ) -> Metrics {
+        Metrics::compare_view(&original.view(), reconstruction, compressed_bytes)
+    }
+
+    /// [`Metrics::compare`] against a (possibly strided) borrowed view of
+    /// the original. Accumulates in row-major order, so the result is
+    /// bit-identical to comparing an owned copy of the same rectangle.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ or the stream size is 0.
+    pub fn compare_view(
+        original: &FieldView<'_>,
+        reconstruction: &Field2D,
+        compressed_bytes: usize,
+    ) -> Metrics {
         assert_eq!(original.shape(), reconstruction.shape(), "shape mismatch in Metrics::compare");
         assert!(compressed_bytes > 0, "compressed size must be positive");
         let n = original.len();
         let uncompressed_bytes = n * std::mem::size_of::<f64>();
-        let max_abs_error = original.max_abs_diff(reconstruction);
-        let mse = original.mse(reconstruction);
+        let (max_abs_error, mse) = lcc_grid::stats::error_pair_metrics(
+            original.iter().zip(reconstruction.as_slice().iter().copied()),
+        );
         let range = original.value_range();
         let psnr = if mse <= 0.0 {
             f64::INFINITY

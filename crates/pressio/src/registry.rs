@@ -95,9 +95,9 @@ mod tests {
         fn description(&self) -> &str {
             "fake compressor for registry tests"
         }
-        fn compress_field(
+        fn compress_view(
             &self,
-            _field: &Field2D,
+            _view: &lcc_grid::FieldView<'_>,
             _bound: ErrorBound,
         ) -> Result<Vec<u8>, CompressError> {
             Ok(vec![1, 2, 3])

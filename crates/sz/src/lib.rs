@@ -34,9 +34,9 @@ pub mod predictor;
 pub mod quantize;
 pub mod stream;
 
-use lcc_grid::Field2D;
+use lcc_grid::{Field2D, FieldView, WindowIter};
 use lcc_lossless::{huffman_decode, huffman_encode, lz77_compress, lz77_decompress};
-use lcc_pressio::{validate_finite, CompressError, Compressor, ErrorBound};
+use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound};
 use predictor::{fit_block_plane, lorenzo_predict, plane_predict, BlockMode};
 use quantize::Quantizer;
 use stream::{StreamReader, StreamWriter};
@@ -95,9 +95,13 @@ impl Compressor for SzCompressor {
         "SZ-style block prediction (Lorenzo + regression) with linear quantization, Huffman and LZ77"
     }
 
-    fn compress_field(&self, field: &Field2D, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
-        validate_finite(field)?;
-        let eb = bound.absolute_for(field)?;
+    fn compress_view(
+        &self,
+        field: &FieldView<'_>,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>, CompressError> {
+        validate_finite_view(field)?;
+        let eb = bound.absolute_for_view(field)?;
         let (ny, nx) = field.shape();
         let bs = self.config.block_size;
         let quantizer = Quantizer::new(eb, self.config.quantization_radius);
@@ -110,7 +114,7 @@ impl Compressor for SzCompressor {
         let mut modes: Vec<BlockMode> = Vec::new();
         let mut plane_coeffs: Vec<[f64; 3]> = Vec::new();
 
-        for win in field.windows(bs, bs) {
+        for win in WindowIter::over(ny, nx, bs, bs) {
             // Choose the predictor for this block from the original data.
             let mode = if self.config.enable_regression {
                 predictor::select_mode(field, &win)
@@ -240,7 +244,7 @@ impl Compressor for SzCompressor {
         let mut mode_iter = modes.into_iter();
         let mut plane_iter = planes.into_iter();
 
-        for win in Field2D::zeros(ny, nx).windows(block_size, block_size) {
+        for win in WindowIter::over(ny, nx, block_size, block_size) {
             let mode = mode_iter
                 .next()
                 .ok_or_else(|| CompressError::CorruptStream("missing block mode".into()))?;

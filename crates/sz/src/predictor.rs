@@ -1,7 +1,7 @@
 //! Prediction schemes: the 2D Lorenzo predictor and the block hyper-plane
 //! (regression) predictor, plus per-block predictor selection.
 
-use lcc_grid::{Field2D, Window};
+use lcc_grid::{Field2D, FieldView, Window};
 
 /// Which predictor a block uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +35,7 @@ pub fn plane_predict(coeffs: &[f64; 3], di: usize, dj: usize) -> f64 {
 /// The 3×3 normal equations have a closed form because the design depends
 /// only on the block geometry (offsets `di`, `dj`), mirroring how SZ fits its
 /// regression coefficients per block.
-pub fn fit_block_plane(field: &Field2D, win: &Window) -> [f64; 3] {
+pub fn fit_block_plane(field: &FieldView<'_>, win: &Window) -> [f64; 3] {
     let h = win.height as f64;
     let w = win.width as f64;
     let n = h * w;
@@ -109,7 +109,7 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
 /// the fitted plane. This mirrors SZ's sampled predictor selection; using
 /// original (not reconstructed) values for the estimate is the same
 /// approximation the reference implementation makes.
-pub fn select_mode(field: &Field2D, win: &Window) -> BlockMode {
+pub fn select_mode(field: &FieldView<'_>, win: &Window) -> BlockMode {
     let plane = fit_block_plane(field, win);
     let mut lorenzo_err = 0.0;
     let mut plane_err = 0.0;
@@ -165,7 +165,7 @@ mod tests {
     fn plane_fit_recovers_exact_plane() {
         let f = Field2D::from_fn(20, 20, |i, j| 1.0 + 0.3 * i as f64 - 0.7 * j as f64);
         let w = window(2, 3, 16, 16);
-        let c = fit_block_plane(&f, &w);
+        let c = fit_block_plane(&f.view(), &w);
         // The plane is expressed in local offsets, so c0 absorbs the corner value.
         assert!((c[0] - f.get(2, 3)).abs() < 1e-9);
         assert!((c[1] - 0.3).abs() < 1e-9);
@@ -181,7 +181,7 @@ mod tests {
     fn plane_fit_on_degenerate_row_block_falls_back_gracefully() {
         let f = Field2D::from_fn(1, 8, |_, j| j as f64);
         let w = window(0, 0, 1, 8);
-        let c = fit_block_plane(&f, &w);
+        let c = fit_block_plane(&f.view(), &w);
         // A 1-row block has no information about the i-slope; predictions must
         // still be finite.
         for dj in 0..8 {
@@ -195,7 +195,7 @@ mod tests {
         // the plane degrades and Lorenzo is chosen.
         let plane = Field2D::from_fn(32, 32, |i, j| 3.0 * i as f64 + 2.0 * j as f64);
         let w = window(8, 8, 16, 16);
-        assert_eq!(select_mode(&plane, &w), BlockMode::Lorenzo);
+        assert_eq!(select_mode(&plane.view(), &w), BlockMode::Lorenzo);
 
         // A noisy field favours the regression predictor because Lorenzo
         // amplifies point noise (three noisy neighbours per prediction).
@@ -206,7 +206,7 @@ mod tests {
             state ^= state << 17;
             0.1 * (i as f64) + 0.05 * (j as f64) + (state % 1000) as f64 / 1000.0
         });
-        assert_eq!(select_mode(&noisy, &w), BlockMode::Regression);
+        assert_eq!(select_mode(&noisy.view(), &w), BlockMode::Regression);
     }
 
     #[test]

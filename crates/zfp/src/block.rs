@@ -5,11 +5,11 @@
 //! the padded lanes.
 
 use crate::{BLOCK_DIM, BLOCK_LEN};
-use lcc_grid::Field2D;
+use lcc_grid::{Field2D, FieldView};
 
 /// Extract the 4×4 block whose top-left corner is `(bi, bj)`, replicating
 /// edge values when the block sticks out of the field.
-pub fn gather(field: &Field2D, bi: usize, bj: usize) -> [f64; BLOCK_LEN] {
+pub fn gather(field: &FieldView<'_>, bi: usize, bj: usize) -> [f64; BLOCK_LEN] {
     let (ny, nx) = field.shape();
     let mut out = [0.0; BLOCK_LEN];
     for di in 0..BLOCK_DIM {
@@ -48,7 +48,7 @@ mod tests {
     #[test]
     fn interior_block_roundtrips() {
         let f = Field2D::from_fn(8, 8, |i, j| (i * 8 + j) as f64);
-        let block = gather(&f, 4, 4);
+        let block = gather(&f.view(), 4, 4);
         assert_eq!(block[0], f.get(4, 4));
         assert_eq!(block[15], f.get(7, 7));
         let mut g = Field2D::zeros(8, 8);
@@ -63,7 +63,7 @@ mod tests {
     #[test]
     fn edge_block_replicates_padding() {
         let f = Field2D::from_fn(6, 6, |i, j| (i * 10 + j) as f64);
-        let block = gather(&f, 4, 4);
+        let block = gather(&f.view(), 4, 4);
         // Rows 6,7 replicate row 5; columns 6,7 replicate column 5.
         assert_eq!(block[0], f.get(4, 4));
         assert_eq!(block[3], f.get(4, 5)); // column clamped
@@ -88,7 +88,7 @@ mod tests {
         let mut g = Field2D::zeros(10, 13);
         for bi in (0..10).step_by(BLOCK_DIM) {
             for bj in (0..13).step_by(BLOCK_DIM) {
-                let block = gather(&f, bi, bj);
+                let block = gather(&f.view(), bi, bj);
                 scatter(&mut g, bi, bj, &block);
             }
         }

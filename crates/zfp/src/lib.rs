@@ -39,9 +39,9 @@ pub mod block;
 pub mod codec;
 pub mod transform;
 
-use lcc_grid::Field2D;
+use lcc_grid::{Field2D, FieldView};
 use lcc_lossless::{lz77_compress, lz77_decompress, BitReader, BitWriter};
-use lcc_pressio::{validate_finite, CompressError, Compressor, ErrorBound};
+use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound};
 
 /// Side length of a coding block (fixed at 4, as in ZFP's 2D mode).
 pub const BLOCK_DIM: usize = 4;
@@ -99,9 +99,13 @@ impl Compressor for ZfpCompressor {
         "ZFP-style 4x4 block transform coding with tolerance-driven bit-plane truncation"
     }
 
-    fn compress_field(&self, field: &Field2D, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
-        validate_finite(field)?;
-        let eb = bound.absolute_for(field)?;
+    fn compress_view(
+        &self,
+        field: &FieldView<'_>,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>, CompressError> {
+        validate_finite_view(field)?;
+        let eb = bound.absolute_for_view(field)?;
         let (ny, nx) = field.shape();
 
         let mut writer = BitWriter::new();

@@ -1,0 +1,71 @@
+//! Paper-scale statistics tractability gate.
+//!
+//! The paper's Miranda slices are 1028×1028; with the zero-copy view layer
+//! the full correlation-statistics computation on a field of that size is
+//! cheap enough to run in the **default** (non-`slow-tests`) suite. This
+//! test measures it, enforces a generous wall-clock budget, and writes the
+//! stage timings to `target/BENCH_sweep.json` so every CI run leaves a perf
+//! trajectory behind (override the path with `LCC_BENCH_OUT`).
+
+use lcc::core::benchreport::StageTimings;
+use lcc::core::statistics::{CorrelationStatistics, StatisticsConfig};
+use lcc::geostat::{local_range_std, local_svd_truncation_std, LocalStatConfig};
+use lcc::grid::Field2D;
+
+const N: usize = 1028;
+
+/// Deterministic 1028×1028 field with multi-scale structure plus noise —
+/// built directly (no FFT) so generation stays a small fraction of the
+/// statistics cost even in the test profile.
+fn paper_scale_field() -> Field2D {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    Field2D::from_fn(N, N, |i, j| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let noise = (state as f64 / u64::MAX as f64) - 0.5;
+        let (x, y) = (i as f64, j as f64);
+        (x * 0.011).sin() * 2.0 + (y * 0.017).cos() * 1.5 + ((x + y) * 0.041).sin() + 0.2 * noise
+    })
+}
+
+#[test]
+fn full_statistics_at_paper_scale_fit_the_default_suite() {
+    let mut report = StageTimings::new(format!("{N}x{N}"));
+    let field = report.time("generate_field", paper_scale_field);
+
+    // Per-stage timings through the public per-statistic entry points…
+    let config = StatisticsConfig::default();
+    let local_cfg = LocalStatConfig::default();
+    let range_spread =
+        report.time("local_variogram_range_std", || local_range_std(&field, &local_cfg));
+    let svd_spread = report.time("local_svd_truncation_std", || {
+        local_svd_truncation_std(&field, config.window, config.svd_fraction, None)
+    });
+
+    // …and the headline number: one full `CorrelationStatistics::compute`
+    // (global variogram + both local statistics) at paper scale.
+    let stats = report
+        .time("correlation_statistics_compute", || CorrelationStatistics::compute(&field, &config));
+
+    let out =
+        std::env::var("LCC_BENCH_OUT").unwrap_or_else(|_| "target/BENCH_sweep.json".to_string());
+    report.write(&out).expect("write BENCH_sweep.json");
+
+    assert!(stats.global_range.is_finite() && stats.global_range > 0.0);
+    assert!(stats.local_range_std.is_finite());
+    assert!(stats.local_svd_std.is_finite());
+    // The stand-alone stages and the bundled computation agree exactly
+    // (same kernels, same window enumeration).
+    assert_eq!(stats.local_range_std.to_bits(), range_spread.to_bits());
+    assert_eq!(stats.local_svd_std.to_bits(), svd_spread.to_bits());
+
+    // Generous tractability budget: the refactor's point is that this runs
+    // in seconds; the bound only guards against a regression back to
+    // paper-scale intractability.
+    let compute_secs = report.seconds("correlation_statistics_compute").unwrap();
+    assert!(
+        compute_secs < 300.0,
+        "paper-scale CorrelationStatistics::compute took {compute_secs:.1}s (budget 300s)"
+    );
+}

@@ -52,7 +52,7 @@ fn figure3_headline_trends_hold_at_reduced_scale() {
         let records: Vec<f64> = panel
             .records
             .iter()
-            .filter(|r| r.compressor == name && r.bound.raw_epsilon() == eps)
+            .filter(|r| &*r.compressor == name && r.bound.raw_epsilon() == eps)
             .map(|r| r.compression_ratio)
             .collect();
         records.iter().sum::<f64>() / records.len() as f64
