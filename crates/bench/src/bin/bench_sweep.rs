@@ -8,14 +8,16 @@
 //! ```
 
 use lcc_bench::CliOptions;
-use lcc_core::benchreport::StageTimings;
+use lcc_core::benchreport::{CodecThroughput, StageTimings};
 use lcc_core::dataset::StudyDatasets;
 use lcc_core::experiment::{run_sweep, SweepConfig};
 use lcc_core::registry::default_registry;
 use lcc_core::statistics::{CorrelationStatistics, StatisticsConfig};
 use lcc_geostat::variogram::estimate_range;
 use lcc_geostat::{local_range_std, local_svd_truncation_std, LocalStatConfig};
+use lcc_pressio::{ErrorBound, ScratchArena};
 use lcc_synth::{generate_single_range, GaussianFieldConfig};
+use std::time::Instant;
 
 fn main() {
     let opts = CliOptions::from_env();
@@ -40,7 +42,43 @@ fn main() {
         CorrelationStatistics::compute(&field, &StatisticsConfig::default())
     });
 
-    // Stage 2: a reduced (3 fields × 3 compressors × 4 bounds) study through
+    // Stage 2: per-compressor codec throughput on the full-size field at
+    // the paper's mid-grid bound, recorded both as `compress_<name>` stages
+    // and as MB/s throughput entries (the number the codec hot-path work is
+    // judged by). Best of `--reps` runs (default 3) so single-shot
+    // scheduler noise doesn't pollute the perf trajectory; the compressors
+    // run through a reused ScratchArena exactly like a sweep worker.
+    let reps = opts.get_usize("reps", 3).max(1);
+    let registry = default_registry();
+    let megabytes = (field.len() * std::mem::size_of::<f64>()) as f64 / 1e6;
+    let bound = ErrorBound::Absolute(1e-3);
+    let mut arena = ScratchArena::new();
+    for compressor in registry.compressors() {
+        let name = compressor.name().to_string();
+        let mut compress_seconds = f64::MAX;
+        let mut decompress_seconds = f64::MAX;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let stream = compressor
+                .compress_view_with(&field.view(), bound, &mut arena)
+                .expect("bench compressor succeeds");
+            compress_seconds = compress_seconds.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            let recon = compressor.decompress_field(&stream).expect("bench stream decodes");
+            decompress_seconds = decompress_seconds.min(start.elapsed().as_secs_f64());
+            assert_eq!(recon.shape(), field.shape());
+        }
+        report.record(format!("compress_{name}"), compress_seconds);
+        report.record(format!("decompress_{name}"), decompress_seconds);
+        report.record_throughput(CodecThroughput {
+            compressor: name,
+            megabytes,
+            compress_seconds,
+            decompress_seconds,
+        });
+    }
+
+    // Stage 3: a reduced (3 fields × 3 compressors × 4 bounds) study through
     // the flat work-item scheduler.
     let datasets = StudyDatasets {
         gaussian_size: sweep_size,
@@ -51,7 +89,6 @@ fn main() {
         seed,
     };
     let fields = datasets.single_range_fields();
-    let registry = default_registry();
     let records = report.time("flat_sweep_3_fields", || {
         run_sweep(&fields, &registry, &SweepConfig::default()).expect("sweep completes")
     });
@@ -59,6 +96,15 @@ fn main() {
     println!("bench_sweep: {size}x{size} field, sweep at {sweep_size}x{sweep_size}");
     println!("  global variogram range: {:.3} (sill {:.3})", global.range, global.sill);
     println!("  local range std: {range_spread:.4}   local svd std: {svd_spread:.4}");
+    for name in registry.names() {
+        if let Some(t) = report.throughput(&name) {
+            println!(
+                "  {name}: compress {:.2} MB/s   decompress {:.2} MB/s",
+                t.compress_mb_per_s(),
+                t.decompress_mb_per_s()
+            );
+        }
+    }
     println!("  sweep records: {}", records.len());
     println!("  total: {:.3}s", report.total_seconds());
 

@@ -4,23 +4,61 @@
 //! The CI benchmark smoke job and the paper-scale statistics gate both emit
 //! this file so successive PRs leave a machine-readable perf trajectory
 //! behind: one entry per pipeline stage (field generation, global variogram,
-//! local statistics, compression sweep), each with its measured wall time.
+//! local statistics, compression sweep), each with its measured wall time,
+//! plus one [`CodecThroughput`] entry per compressor (compress/decompress
+//! MB/s over the uncompressed payload size) so codec-side speedups are
+//! visible in the CI artifact, not just total wall time.
 
 use std::path::Path;
 use std::time::Instant;
+
+/// Measured compress/decompress throughput of one compressor over a known
+/// uncompressed payload size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecThroughput {
+    /// Compressor name (`"sz"`, `"zfp"`, `"mgard"`…).
+    pub compressor: String,
+    /// Uncompressed payload size in megabytes (10^6 bytes).
+    pub megabytes: f64,
+    /// Wall time of the compress call(s), seconds.
+    pub compress_seconds: f64,
+    /// Wall time of the decompress call(s), seconds.
+    pub decompress_seconds: f64,
+}
+
+impl CodecThroughput {
+    /// Compression throughput in MB/s (infinite times collapse to 0).
+    pub fn compress_mb_per_s(&self) -> f64 {
+        if self.compress_seconds > 0.0 {
+            self.megabytes / self.compress_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Decompression throughput in MB/s (infinite times collapse to 0).
+    pub fn decompress_mb_per_s(&self) -> f64 {
+        if self.decompress_seconds > 0.0 {
+            self.megabytes / self.decompress_seconds
+        } else {
+            0.0
+        }
+    }
+}
 
 /// An accumulating set of named stage timings.
 #[derive(Debug, Clone, Default)]
 pub struct StageTimings {
     label: String,
     stages: Vec<(String, f64)>,
+    throughputs: Vec<CodecThroughput>,
 }
 
 impl StageTimings {
     /// Start an empty report; `label` describes the workload (e.g.
     /// `"1028x1028"`).
     pub fn new(label: impl Into<String>) -> Self {
-        StageTimings { label: label.into(), stages: Vec::new() }
+        StageTimings { label: label.into(), stages: Vec::new(), throughputs: Vec::new() }
     }
 
     /// Record a stage measured externally.
@@ -46,6 +84,16 @@ impl StageTimings {
         self.stages.iter().map(|&(_, s)| s).sum()
     }
 
+    /// Record a per-compressor throughput measurement.
+    pub fn record_throughput(&mut self, throughput: CodecThroughput) {
+        self.throughputs.push(throughput);
+    }
+
+    /// The recorded throughput entry for a compressor, if present.
+    pub fn throughput(&self, compressor: &str) -> Option<&CodecThroughput> {
+        self.throughputs.iter().find(|t| t.compressor == compressor)
+    }
+
     /// Serialize the report as JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
@@ -59,6 +107,21 @@ impl StageTimings {
             out.push_str(&format!(
                 "    {{\"stage\": \"{}\", \"seconds\": {seconds:.6}}}{comma}\n",
                 escape(name)
+            ));
+        }
+        out.push_str("  ],\n  \"throughput\": [\n");
+        for (k, t) in self.throughputs.iter().enumerate() {
+            let comma = if k + 1 < self.throughputs.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"compressor\": \"{}\", \"megabytes\": {:.6}, \
+                 \"compress_seconds\": {:.6}, \"compress_mb_per_s\": {:.3}, \
+                 \"decompress_seconds\": {:.6}, \"decompress_mb_per_s\": {:.3}}}{comma}\n",
+                escape(&t.compressor),
+                t.megabytes,
+                t.compress_seconds,
+                t.compress_mb_per_s(),
+                t.decompress_seconds,
+                t.decompress_mb_per_s(),
             ));
         }
         out.push_str(&format!("  ],\n  \"total_seconds\": {:.6}\n}}\n", self.total_seconds()));
@@ -119,6 +182,37 @@ mod tests {
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"bench\": \"sweep\""));
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn throughput_entries_round_trip_into_json() {
+        let mut t = StageTimings::new("1028x1028");
+        t.record_throughput(CodecThroughput {
+            compressor: "sz".into(),
+            megabytes: 8.454272,
+            compress_seconds: 2.0,
+            decompress_seconds: 0.5,
+        });
+        let entry = t.throughput("sz").unwrap();
+        assert!((entry.compress_mb_per_s() - 4.227136).abs() < 1e-9);
+        assert!((entry.decompress_mb_per_s() - 16.908544).abs() < 1e-9);
+        assert!(t.throughput("zfp").is_none());
+        let json = t.to_json();
+        assert!(json.contains("\"compressor\": \"sz\""));
+        assert!(json.contains("\"compress_mb_per_s\": 4.227"));
+        assert!(json.contains("\"decompress_mb_per_s\": 16.909"));
+    }
+
+    #[test]
+    fn zero_second_throughput_collapses_to_zero() {
+        let t = CodecThroughput {
+            compressor: "x".into(),
+            megabytes: 1.0,
+            compress_seconds: 0.0,
+            decompress_seconds: 0.0,
+        };
+        assert_eq!(t.compress_mb_per_s(), 0.0);
+        assert_eq!(t.decompress_mb_per_s(), 0.0);
     }
 
     #[test]

@@ -17,8 +17,8 @@ use lcc_geostat::variogram::{estimate_range_view, VariogramFit};
 use lcc_geostat::{log_regression, window_range, window_truncation_level, LogRegression};
 use lcc_grid::io::CsvSeries;
 use lcc_grid::{stats, FieldView};
-use lcc_par::{parallel_map_with, ThreadPoolConfig};
-use lcc_pressio::{Compressor, ErrorBound, Metrics, Registry};
+use lcc_par::{parallel_map_with_state, ThreadPoolConfig};
+use lcc_pressio::{Compressor, ErrorBound, Metrics, Registry, ScratchArena};
 use std::sync::Arc;
 
 /// Configuration of one sweep.
@@ -159,26 +159,31 @@ pub fn run_sweep(
         }
     }
 
-    let outputs = parallel_map_with(pool, &jobs, |job| match job {
-        SweepJob::Global { field } => {
-            SweepJobOutput::Global(estimate_range_view(&views[*field], &stats_cfg.variogram))
-        }
-        SweepJob::RangeWindow { view, .. } => {
-            SweepJobOutput::Range(window_range(view, &local_cfg.variogram))
-        }
-        SweepJob::SvdWindow { view, .. } => SweepJobOutput::Svd(
-            window_truncation_level(view, stats_cfg.svd_fraction)
-                .map_or(f64::NAN, |level| level as f64),
-        ),
-        SweepJob::Cell { field, compressor, bound } => {
-            let comp: &Arc<dyn Compressor> = &compressors[*compressor];
-            SweepJobOutput::Cell(
-                comp.compress_measured(&views[*field], config.bounds[*bound])
-                    .map(|result| result.metrics)
-                    .map_err(|e| format!("{} on {}: {e}", comp.name(), fields[*field].name)),
-            )
-        }
-    });
+    // Each worker thread owns one scratch arena for its whole share of the
+    // queue: every compression cell it drains reuses the same codec buffers
+    // (histogram, bit streams, hash chains, reconstruction) instead of
+    // reallocating them per cell.
+    let outputs =
+        parallel_map_with_state(pool, &jobs, ScratchArena::new, |scratch, _, job| match job {
+            SweepJob::Global { field } => {
+                SweepJobOutput::Global(estimate_range_view(&views[*field], &stats_cfg.variogram))
+            }
+            SweepJob::RangeWindow { view, .. } => {
+                SweepJobOutput::Range(window_range(view, &local_cfg.variogram))
+            }
+            SweepJob::SvdWindow { view, .. } => SweepJobOutput::Svd(
+                window_truncation_level(view, stats_cfg.svd_fraction)
+                    .map_or(f64::NAN, |level| level as f64),
+            ),
+            SweepJob::Cell { field, compressor, bound } => {
+                let comp: &Arc<dyn Compressor> = &compressors[*compressor];
+                SweepJobOutput::Cell(
+                    comp.compress_measured_with(&views[*field], config.bounds[*bound], scratch)
+                        .map(|result| result.metrics)
+                        .map_err(|e| format!("{} on {}: {e}", comp.name(), fields[*field].name)),
+                )
+            }
+        });
 
     // Aggregate: fold window results into the per-field stats cache and park
     // cell metrics at their (field, compressor, bound) slot.

@@ -1,0 +1,89 @@
+//! Compressed-stream identity gate for the scratch-buffer refactor.
+//!
+//! The FNV-1a hashes below were captured from the PR 2 (pre-refactor)
+//! compressors on a deterministic field. Every registered compressor must
+//! still emit those exact bytes — through the plain `compress_field` path
+//! *and* through `compress_view_with` on a worker-style reused
+//! [`ScratchArena`] — so archives written before the table-driven codec
+//! rewrite stay decodable and caches keyed by stream content stay valid.
+//!
+//! If a future PR intentionally changes a stream format, it must re-capture
+//! these hashes (and the `lcc_lossless` fixtures) and say so in its change
+//! log.
+
+use lcc_core::registry::default_registry;
+use lcc_grid::Field2D;
+use lcc_pressio::{ErrorBound, ScratchArena};
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The deterministic 97×113 field the hashes were captured on.
+fn pinned_field() -> Field2D {
+    let mut s = 42u64;
+    Field2D::from_fn(97, 113, |i, j| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        ((i as f64) * 0.07).sin()
+            + ((j as f64) * 0.05).cos()
+            + 0.05 * ((s as f64 / u64::MAX as f64) - 0.5)
+    })
+}
+
+/// (compressor, bound, stream length, FNV-1a hash) captured pre-refactor.
+const PINNED: &[(&str, f64, usize, u64)] = &[
+    ("mgard", 1e-4, 32740, 0x2f8a01fa2032b9e2),
+    ("mgard", 1e-2, 7622, 0x40c022411b87cddd),
+    ("sz", 1e-4, 15975, 0x5d5dd10c8a36d5db),
+    ("sz", 1e-2, 4109, 0xc2ba3253f995c204),
+    ("zfp", 1e-4, 29928, 0x6138c086316688d7),
+    ("zfp", 1e-2, 20335, 0x5fe34963db75c8bf),
+];
+
+#[test]
+fn every_compressor_stream_is_byte_identical_to_pre_refactor() {
+    let field = pinned_field();
+    let registry = default_registry();
+    // One arena reused across all compressors and bounds, like a sweep
+    // worker would: cross-call state leaks would surface here.
+    let mut arena = ScratchArena::new();
+    for &(name, eb, expected_len, expected_hash) in PINNED {
+        let compressor = registry.get(name).expect("registered compressor");
+        let bound = ErrorBound::Absolute(eb);
+        let fresh = compressor.compress_field(&field, bound).expect("compress");
+        assert_eq!(fresh.len(), expected_len, "{name}@{eb}: stream length changed");
+        assert_eq!(fnv(&fresh), expected_hash, "{name}@{eb}: stream bytes changed");
+        let reused =
+            compressor.compress_view_with(&field.view(), bound, &mut arena).expect("compress");
+        assert_eq!(reused, fresh, "{name}@{eb}: scratch reuse changed the stream");
+        // And the stream still honours its bound after reconstruction.
+        let recon = compressor.decompress_field(&fresh).expect("decompress");
+        assert!(field.max_abs_diff(&recon) <= eb, "{name}@{eb}: bound violated");
+    }
+    assert_eq!(arena.len(), 3, "each compressor materializes exactly one scratch type");
+}
+
+#[test]
+fn repeated_reuse_on_one_arena_stays_stable() {
+    // Ten rounds over the same arena: the first call grows the buffers, the
+    // rest must reuse them without drifting a single byte.
+    let field = pinned_field();
+    let registry = default_registry();
+    let mut arena = ScratchArena::new();
+    for compressor in registry.compressors() {
+        let bound = ErrorBound::Absolute(1e-3);
+        let reference = compressor.compress_field(&field, bound).expect("compress");
+        for round in 0..10 {
+            let stream =
+                compressor.compress_view_with(&field.view(), bound, &mut arena).expect("compress");
+            assert_eq!(stream, reference, "{} round {round}", compressor.name());
+        }
+    }
+}

@@ -54,6 +54,20 @@ impl Field2D {
         Ok(Field2D { ny, nx, data })
     }
 
+    /// Overwrite this field with the contents (and shape) of a borrowed
+    /// view, reusing the existing buffer allocation — the scratch-friendly
+    /// counterpart of [`FieldView::to_field`](crate::FieldView::to_field).
+    pub fn copy_from_view(&mut self, view: &FieldView<'_>) {
+        let (ny, nx) = view.shape();
+        self.ny = ny;
+        self.nx = nx;
+        self.data.clear();
+        self.data.reserve(ny * nx);
+        for row in view.rows() {
+            self.data.extend_from_slice(row);
+        }
+    }
+
     /// Build a field by evaluating `f(i, j)` at every grid point.
     pub fn from_fn<F: FnMut(usize, usize) -> f64>(ny: usize, nx: usize, mut f: F) -> Self {
         let mut out = Field2D::zeros(ny, nx);
@@ -286,6 +300,19 @@ mod tests {
 
     fn ramp(ny: usize, nx: usize) -> Field2D {
         Field2D::from_fn(ny, nx, |i, j| (i * nx + j) as f64)
+    }
+
+    #[test]
+    fn copy_from_view_reuses_the_buffer_and_matches_to_field() {
+        let parent = ramp(6, 7);
+        let mut target = Field2D::zeros(1, 1);
+        // Strided interior view, then a full contiguous view: both must
+        // land exactly as `to_field`, reshaping the target each time.
+        for view in [parent.view().subview(1, 2, 4, 3), parent.view()] {
+            target.copy_from_view(&view);
+            assert_eq!(target, view.to_field());
+        }
+        assert_eq!(target.shape(), (6, 7));
     }
 
     #[test]

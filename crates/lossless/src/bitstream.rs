@@ -16,6 +16,13 @@ impl BitWriter {
         BitWriter::default()
     }
 
+    /// Forget everything written so far but keep the byte buffer's
+    /// allocation — the reuse entry point for scratch-held writers.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.bit_pos = 0;
+    }
+
     /// Number of whole bits written so far.
     pub fn bit_len(&self) -> usize {
         if self.bit_pos == 0 {
@@ -39,10 +46,37 @@ impl BitWriter {
     }
 
     /// Append the lowest `count` bits of `value`, most significant first.
+    ///
+    /// Bits land in the same MSB-first layout as repeated [`write_bit`]
+    /// calls, but are moved in three chunked steps — top up the trailing
+    /// partial byte, push whole bytes, open a new partial byte — with no
+    /// per-bit work. The Huffman payload loop spends most of its time here.
+    ///
+    /// [`write_bit`]: BitWriter::write_bit
+    #[inline]
     pub fn write_bits(&mut self, value: u64, count: u32) {
         assert!(count <= 64, "cannot write more than 64 bits at once");
-        for i in (0..count).rev() {
-            self.write_bit((value >> i) & 1 == 1);
+        let mut remaining = count;
+        // Top up the trailing partial byte in one masked OR.
+        if self.bit_pos != 0 && remaining > 0 {
+            let free = 8 - u32::from(self.bit_pos);
+            let take = free.min(remaining);
+            let chunk = ((value >> (remaining - take)) & ((1 << take) - 1)) as u8;
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= chunk << (free - take);
+            self.bit_pos = ((u32::from(self.bit_pos) + take) % 8) as u8;
+            remaining -= take;
+        }
+        // Byte-aligned middle: one push per 8 bits.
+        while remaining >= 8 {
+            remaining -= 8;
+            self.bytes.push(((value >> remaining) & 0xFF) as u8);
+        }
+        // Tail bits open a new partial byte, left-aligned.
+        if remaining > 0 {
+            let chunk = (value & ((1 << remaining) - 1)) as u8;
+            self.bytes.push(chunk << (8 - remaining));
+            self.bit_pos = remaining as u8;
         }
     }
 
@@ -63,6 +97,11 @@ impl BitWriter {
     }
 }
 
+/// Largest `count` accepted by [`BitReader::peek_bits`]: the peek gathers 8
+/// bytes starting at the cursor's byte, of which up to 7 leading bits belong
+/// to an earlier position.
+pub const PEEK_MAX_BITS: u32 = 56;
+
 /// Reads bits most-significant-bit first from a byte slice.
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
@@ -75,6 +114,12 @@ impl<'a> BitReader<'a> {
     /// Create a reader over `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
         BitReader { bytes, cursor: 0 }
+    }
+
+    /// Rewind to the start of the stream (reuse entry point mirroring
+    /// [`BitWriter::clear`]).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
     }
 
     /// Total number of bits available.
@@ -102,11 +147,54 @@ impl<'a> BitReader<'a> {
     /// Read `count` bits (MSB first) into the low bits of a `u64`.
     pub fn read_bits(&mut self, count: u32) -> Result<u64, CodecError> {
         assert!(count <= 64, "cannot read more than 64 bits at once");
+        if count <= PEEK_MAX_BITS && self.cursor + count as usize <= self.bit_len() {
+            let value = self.peek_bits(count);
+            self.cursor += count as usize;
+            return Ok(value);
+        }
         let mut value = 0u64;
         for _ in 0..count {
             value = (value << 1) | u64::from(self.read_bit()?);
         }
         Ok(value)
+    }
+
+    /// Look ahead `count` bits (MSB first) without consuming them; bits past
+    /// the end of the stream read as zero. This is the primitive behind the
+    /// table-driven Huffman decoder: peek a LUT index, then
+    /// [`skip_bits`](BitReader::skip_bits) the decoded code length.
+    #[inline]
+    pub fn peek_bits(&self, count: u32) -> u64 {
+        assert!(count <= PEEK_MAX_BITS, "cannot peek more than {PEEK_MAX_BITS} bits");
+        if count == 0 {
+            return 0;
+        }
+        let idx = self.cursor / 8;
+        let off = (self.cursor % 8) as u32;
+        // Gather the 8 bytes covering [cursor, cursor + 56) into a
+        // big-endian accumulator, then slide the window to the cursor.
+        let acc = match self.bytes.get(idx..idx + 8) {
+            Some(window) => u64::from_be_bytes(window.try_into().expect("8 bytes")),
+            None => {
+                // Within 8 bytes of the end: zero-fill the missing tail.
+                let mut acc = 0u64;
+                for k in 0..8 {
+                    acc = (acc << 8) | u64::from(self.bytes.get(idx + k).copied().unwrap_or(0));
+                }
+                acc
+            }
+        };
+        (acc << off) >> (64 - count)
+    }
+
+    /// Advance the cursor by `count` bits; EOF if the stream is shorter.
+    #[inline]
+    pub fn skip_bits(&mut self, count: u32) -> Result<(), CodecError> {
+        if self.cursor + count as usize > self.bit_len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        self.cursor += count as usize;
+        Ok(())
     }
 
     /// Read a whole byte.
@@ -197,6 +285,66 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         assert!(r.read_bits(8).is_ok());
         assert_eq!(r.read_bits(1), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn clear_and_reset_support_reuse() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xABCD, 16);
+        w.clear();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0b101, 3);
+        assert_eq!(w.as_bytes(), &[0b1010_0000]);
+
+        let bytes = [0xF0u8, 0x0F];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(12).unwrap(), 0xF00);
+        r.reset();
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.read_bits(4).unwrap(), 0xF);
+    }
+
+    #[test]
+    fn peek_does_not_consume_and_zero_fills_past_end() {
+        let bytes = [0b1011_0110u8, 0xFF];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(5), 0b10110);
+        assert_eq!(r.peek_bits(5), 0b10110, "peek must not advance");
+        r.skip_bits(3).unwrap();
+        assert_eq!(r.peek_bits(8), 0b1011_0111);
+        // 13 bits remain; a 16-bit peek zero-fills the missing tail.
+        assert_eq!(r.peek_bits(16), 0b1011_0111_1111_1000);
+        assert_eq!(r.peek_bits(0), 0);
+        assert!(r.skip_bits(14).is_err(), "skip past EOF must fail");
+        r.skip_bits(13).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.peek_bits(8), 0, "peek at EOF is all zeros");
+    }
+
+    #[test]
+    fn batched_and_bitwise_writes_agree() {
+        // The batched write_bits fast path must produce the exact bytes the
+        // bit-by-bit loop produced (the byte-identity guarantee rests on it).
+        let values: [(u64, u32); 8] = [
+            (0b1, 1),
+            (0xDEADBEEF, 32),
+            (0, 7),
+            (u64::MAX, 64),
+            (0x1234, 13),
+            (1, 2),
+            (0xFF, 8),
+            (0x7FFF_FFFF_FFFF_FFFF, 63),
+        ];
+        let mut batched = BitWriter::new();
+        let mut bitwise = BitWriter::new();
+        for &(v, n) in &values {
+            batched.write_bits(v, n);
+            for i in (0..n).rev() {
+                bitwise.write_bit((v >> i) & 1 == 1);
+            }
+        }
+        assert_eq!(batched.as_bytes(), bitwise.as_bytes());
+        assert_eq!(batched.bit_len(), bitwise.bit_len());
     }
 
     #[test]

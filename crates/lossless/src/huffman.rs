@@ -1,20 +1,43 @@
 //! Canonical Huffman coding over `u32` symbols.
 //!
-//! SZ encodes its quantization codes with a Huffman coder before the final
-//! lossless pass; this module provides the equivalent, self-describing
-//! encoder/decoder:
+//! SZ and MGARD encode their quantization codes with a Huffman coder before
+//! the final lossless pass; this module provides the equivalent,
+//! self-describing encoder/decoder:
 //!
 //! * symbol alphabet is discovered from the input (arbitrary `u32` symbols),
 //! * code lengths are derived from a standard binary-heap Huffman tree,
 //! * codes are made *canonical* so only (symbol, length) pairs need to be
 //!   stored in the header,
-//! * decode uses a table over (length, first-code, index) triples — the
-//!   classic canonical decoding loop.
+//! * decode is table-driven: a `LUT_BITS`-wide prefix table resolves the
+//!   common short codes in one peek, with a canonical
+//!   (length, first-code, offset) walk for the rare long ones.
+//!
+//! The hot paths are **allocation-free** when driven through
+//! [`huffman_encode_with`] / [`huffman_decode_with`]: the histogram, tree,
+//! code tables and bit buffers all live in a caller-owned
+//! [`CodecScratch`](crate::CodecScratch). Dense `Vec`-indexed tables serve
+//! the common tightly-clustered alphabets (quantization codes around the
+//! zero-residual symbol); alphabets spanning more than ~2M symbol values
+//! fall back to an open-addressed symbol map of the distinct symbols only.
+//! The scratch-free wrappers produce **byte-identical** streams to the
+//! historical `HashMap`-based encoder (pinned by the fixture tests in
+//! `tests/bit_identity.rs`).
+//!
+//! ## The degenerate single-symbol alphabet
+//!
+//! A one-symbol alphabet is explicitly assigned code length **1**, never 0.
+//! A 0-length code would make the payload ambiguous (`n` symbols in zero
+//! bits cannot be distinguished from any other count on decode, and a
+//! (symbol, 0) header entry is indistinguishable from corruption — decoders
+//! reject `len == 0`). The encoder therefore spends one placeholder bit per
+//! symbol, and the decoder consumes one bit per symbol *regardless of its
+//! value* on this path; both directions are covered by
+//! `single_distinct_symbol_*` tests below.
 
-use crate::bitstream::{BitReader, BitWriter};
+use crate::bitstream::BitReader;
+use crate::scratch::{CodecScratch, HeapNode, DENSE_SPAN_MAX};
 use crate::{read_varint, write_varint, CodecError};
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
 
 /// Maximum accepted code length. With ≤ 2^20 distinct symbols and the
 /// depth-balancing property of Huffman trees over realistic count
@@ -22,54 +45,267 @@ use std::collections::HashMap;
 /// protects the decoder against corrupt headers.
 const MAX_CODE_LEN: u32 = 48;
 
+/// Width of the decoder's prefix LUT: every code of at most this many bits
+/// decodes with one peek + one table load. 12 bits covers the entire
+/// alphabet of typical quantization-code distributions while keeping the
+/// two tables at 4096 entries.
+const LUT_BITS: u32 = 12;
+
+/// How the per-call symbol tables are addressed: densely by
+/// `symbol − min_symbol`, or through the scratch's symbol map.
+#[derive(Clone, Copy)]
+enum TableMode {
+    Dense { min: u32 },
+    Sparse,
+}
+
 /// Encode `symbols` into a self-describing byte stream.
 ///
 /// The stream layout is:
 /// `varint n_symbols | varint alphabet_size | (varint symbol, varint code_len)* | varint payload_bit_len | payload bits`
 pub fn huffman_encode(symbols: &[u32]) -> Vec<u8> {
     let mut out = Vec::new();
-    write_varint(&mut out, symbols.len() as u64);
-    if symbols.is_empty() {
-        return out;
-    }
-
-    // Histogram.
-    let mut counts: HashMap<u32, u64> = HashMap::new();
-    for &s in symbols {
-        *counts.entry(s).or_insert(0) += 1;
-    }
-    let code_lengths = code_lengths_from_counts(&counts);
-    let canonical = canonical_codes(&code_lengths);
-
-    // Header: alphabet description.
-    write_varint(&mut out, canonical.len() as u64);
-    let mut ordered: Vec<(&u32, &(u32, u64))> = canonical.iter().collect();
-    ordered.sort_by_key(|(sym, _)| **sym);
-    for (sym, (len, _code)) in &ordered {
-        write_varint(&mut out, u64::from(**sym));
-        write_varint(&mut out, u64::from(*len));
-    }
-
-    // Payload.
-    let mut writer = BitWriter::new();
-    for &s in symbols {
-        let (len, code) = canonical[&s];
-        writer.write_bits(code, len);
-    }
-    write_varint(&mut out, writer.bit_len() as u64);
-    out.extend_from_slice(&writer.into_bytes());
+    huffman_encode_with(&mut CodecScratch::new(), symbols, &mut out);
     out
+}
+
+/// [`huffman_encode`] into a caller-owned output buffer, reusing `scratch`
+/// for every intermediate table. Appends to `out` (callers embed Huffman
+/// sections inside larger containers). The emitted bytes are identical to
+/// [`huffman_encode`]'s.
+pub fn huffman_encode_with(scratch: &mut CodecScratch, symbols: &[u32], out: &mut Vec<u8>) {
+    write_varint(out, symbols.len() as u64);
+    if symbols.is_empty() {
+        return;
+    }
+
+    let mode = build_alphabet(scratch, symbols);
+    build_code_lengths(scratch);
+    assign_canonical_codes(scratch, mode);
+
+    // Header: alphabet description in ascending symbol order.
+    write_varint(out, scratch.alphabet.len() as u64);
+    for (k, &(sym, _)) in scratch.alphabet.iter().enumerate() {
+        write_varint(out, u64::from(sym));
+        write_varint(out, u64::from(scratch.lens[k]));
+    }
+
+    // Payload: one table lookup per symbol, with codes packed into a local
+    // 64-bit accumulator so the bit writer is called once per ~5–20 symbols
+    // instead of once per symbol. MSB-first concatenation is associative,
+    // so the emitted bytes are unchanged.
+    scratch.writer.clear();
+    let mut acc = 0u64;
+    let mut acc_bits = 0u32;
+    match mode {
+        TableMode::Dense { min } => {
+            for &s in symbols {
+                let idx = (s - min) as usize;
+                let len = u32::from(scratch.enc_len[idx]);
+                if acc_bits + len > 64 {
+                    scratch.writer.write_bits(acc, acc_bits);
+                    acc = 0;
+                    acc_bits = 0;
+                }
+                acc = (acc << len) | scratch.enc_code[idx];
+                acc_bits += len;
+            }
+        }
+        TableMode::Sparse => {
+            for &s in symbols {
+                let slot = scratch.sym_map.get(s).expect("alphabet covers every symbol") as usize;
+                let (len, code) = scratch.slot_codes[slot];
+                if acc_bits + len > 64 {
+                    scratch.writer.write_bits(acc, acc_bits);
+                    acc = 0;
+                    acc_bits = 0;
+                }
+                acc = (acc << len) | code;
+                acc_bits += len;
+            }
+        }
+    }
+    if acc_bits > 0 {
+        scratch.writer.write_bits(acc, acc_bits);
+    }
+    write_varint(out, scratch.writer.bit_len() as u64);
+    out.extend_from_slice(scratch.writer.as_bytes());
+
+    // Restore the all-zero invariant of the dense tables (O(distinct), not
+    // O(span)).
+    if let TableMode::Dense { min } = mode {
+        for &(sym, _) in &scratch.alphabet {
+            scratch.enc_len[(sym - min) as usize] = 0;
+        }
+    }
+}
+
+/// Histogram `symbols` into `scratch.alphabet` as `(symbol, count)` pairs
+/// sorted by symbol, choosing dense or sparse table addressing by the
+/// alphabet's value span.
+fn build_alphabet(scratch: &mut CodecScratch, symbols: &[u32]) -> TableMode {
+    let mut min = u32::MAX;
+    let mut max = 0u32;
+    for &s in symbols {
+        min = min.min(s);
+        max = max.max(s);
+    }
+    let span = (max - min) as usize + 1;
+    scratch.alphabet.clear();
+
+    if span <= DENSE_SPAN_MAX {
+        if scratch.hist.len() < span {
+            scratch.hist.resize(span, 0);
+        }
+        for &s in symbols {
+            let idx = (s - min) as usize;
+            if scratch.hist[idx] == 0 {
+                scratch.alphabet.push((s, 0));
+            }
+            scratch.hist[idx] += 1;
+        }
+        scratch.alphabet.sort_unstable_by_key(|&(sym, _)| sym);
+        for entry in &mut scratch.alphabet {
+            let idx = (entry.0 - min) as usize;
+            entry.1 = scratch.hist[idx];
+            scratch.hist[idx] = 0; // restore the all-zero invariant
+        }
+        TableMode::Dense { min }
+    } else {
+        scratch.sym_map.clear();
+        scratch.slot_counts.clear();
+        for &s in symbols {
+            let (slot, inserted) = scratch.sym_map.get_or_insert(s);
+            if inserted {
+                scratch.slot_counts.push(0);
+                scratch.alphabet.push((s, 0));
+            }
+            scratch.slot_counts[slot as usize] += 1;
+        }
+        // Slots were handed out in insertion order, matching `alphabet`.
+        debug_assert_eq!(scratch.sym_map.len(), scratch.alphabet.len());
+        for (slot, entry) in scratch.alphabet.iter_mut().enumerate() {
+            entry.1 = scratch.slot_counts[slot];
+        }
+        scratch.alphabet.sort_unstable_by_key(|&(sym, _)| sym);
+        TableMode::Sparse
+    }
+}
+
+/// Huffman code lengths from `scratch.alphabet` into `scratch.lens`
+/// (parallel arrays) using a binary heap over scratch-owned storage. A
+/// single distinct symbol gets length 1 (see the module docs on the
+/// degenerate alphabet). Identical merge order — and therefore identical
+/// lengths — to the historical `HashMap`-based construction: node ties are
+/// broken on the smallest symbol in the subtree, which is unique per node.
+fn build_code_lengths(scratch: &mut CodecScratch) {
+    let n = scratch.alphabet.len();
+    scratch.lens.clear();
+    scratch.lens.resize(n, 0);
+    if n == 1 {
+        scratch.lens[0] = 1;
+        return;
+    }
+
+    scratch.children.clear();
+    // Clear before heapifying: `BinaryHeap::from` would otherwise sift the
+    // previous call's stale nodes just to throw them away.
+    scratch.heap.clear();
+    let mut heap = BinaryHeap::from(std::mem::take(&mut scratch.heap));
+    for (id, &(sym, count)) in scratch.alphabet.iter().enumerate() {
+        heap.push(HeapNode { weight: count, order: sym, id: id as u32 });
+    }
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        let id = (n + scratch.children.len()) as u32;
+        scratch.children.push((a.id, b.id));
+        heap.push(HeapNode { weight: a.weight + b.weight, order: a.order.min(b.order), id });
+    }
+    let root = heap.pop().expect("one node remains").id;
+    scratch.heap = heap.into_vec(); // recycle the heap allocation
+
+    scratch.stack.clear();
+    scratch.stack.push((root, 0));
+    while let Some((node, depth)) = scratch.stack.pop() {
+        if (node as usize) < n {
+            scratch.lens[node as usize] = depth.max(1);
+        } else {
+            let (a, b) = scratch.children[node as usize - n];
+            scratch.stack.push((a, depth + 1));
+            scratch.stack.push((b, depth + 1));
+        }
+    }
+}
+
+/// Assign canonical codes — symbols sorted by (length, symbol) receive
+/// consecutive codes — into the flat encode tables selected by `mode`.
+fn assign_canonical_codes(scratch: &mut CodecScratch, mode: TableMode) {
+    let n = scratch.alphabet.len();
+    scratch.canon.clear();
+    for (k, &(sym, _)) in scratch.alphabet.iter().enumerate() {
+        scratch.canon.push((scratch.lens[k], sym, k as u32));
+    }
+    scratch.canon.sort_unstable();
+
+    match mode {
+        TableMode::Dense { min } => {
+            let span = (scratch.alphabet.last().expect("non-empty").0 - min) as usize + 1;
+            if scratch.enc_len.len() < span {
+                scratch.enc_len.resize(span, 0);
+                scratch.enc_code.resize(span, 0);
+            }
+        }
+        TableMode::Sparse => {
+            scratch.slot_codes.clear();
+            scratch.slot_codes.resize(n, (0, 0));
+        }
+    }
+
+    let mut code = 0u64;
+    let mut prev_len = 0u32;
+    for &(len, sym, _) in &scratch.canon {
+        if prev_len != 0 {
+            code = (code + 1) << (len - prev_len);
+        }
+        match mode {
+            TableMode::Dense { min } => {
+                let idx = (sym - min) as usize;
+                scratch.enc_len[idx] = len as u8;
+                scratch.enc_code[idx] = code;
+            }
+            TableMode::Sparse => {
+                let slot = scratch.sym_map.get(sym).expect("alphabet symbol") as usize;
+                scratch.slot_codes[slot] = (len, code);
+            }
+        }
+        prev_len = len;
+    }
 }
 
 /// Decode a stream produced by [`huffman_encode`]. Returns the symbols and
 /// the number of bytes consumed from `bytes` (so callers can embed the
 /// stream inside a larger container).
 pub fn huffman_decode(bytes: &[u8]) -> Result<(Vec<u32>, usize), CodecError> {
+    let mut out = Vec::new();
+    let used = huffman_decode_with(&mut CodecScratch::new(), bytes, &mut out)?;
+    Ok((out, used))
+}
+
+/// [`huffman_decode`] into a caller-owned symbol buffer (cleared first),
+/// reusing `scratch` for the canonical tables and the prefix LUT. Returns
+/// the number of bytes consumed.
+pub fn huffman_decode_with(
+    scratch: &mut CodecScratch,
+    bytes: &[u8],
+    out: &mut Vec<u32>,
+) -> Result<usize, CodecError> {
+    out.clear();
     let mut offset = 0usize;
     let (n_symbols, used) = read_varint(&bytes[offset..])?;
     offset += used;
     if n_symbols == 0 {
-        return Ok((Vec::new(), offset));
+        return Ok(offset);
     }
     let (alphabet_size, used) = read_varint(&bytes[offset..])?;
     offset += used;
@@ -77,7 +313,12 @@ pub fn huffman_decode(bytes: &[u8]) -> Result<(Vec<u32>, usize), CodecError> {
         return Err(CodecError::Corrupt("empty alphabet with non-empty payload".into()));
     }
 
-    let mut lengths: Vec<(u32, u32)> = Vec::with_capacity(alphabet_size as usize);
+    scratch.dec_lens.clear();
+    // Each header entry costs at least two stream bytes (two varints), so
+    // this reserve stays bounded by the actual input even when a corrupt
+    // header claims an absurd alphabet (the parse loop below then fails
+    // with UnexpectedEof instead of aborting on capacity overflow).
+    scratch.dec_lens.reserve((alphabet_size as usize).min(bytes.len().saturating_sub(offset) / 2));
     for _ in 0..alphabet_size {
         let (sym, used) = read_varint(&bytes[offset..])?;
         offset += used;
@@ -86,7 +327,7 @@ pub fn huffman_decode(bytes: &[u8]) -> Result<(Vec<u32>, usize), CodecError> {
         if len == 0 || len > u64::from(MAX_CODE_LEN) {
             return Err(CodecError::Corrupt(format!("invalid code length {len}")));
         }
-        lengths.push((sym as u32, len as u32));
+        scratch.dec_lens.push((sym as u32, len as u32));
     }
 
     let (payload_bits, used) = read_varint(&bytes[offset..])?;
@@ -96,154 +337,106 @@ pub fn huffman_decode(bytes: &[u8]) -> Result<(Vec<u32>, usize), CodecError> {
         return Err(CodecError::UnexpectedEof);
     }
     let payload = &bytes[offset..offset + payload_bytes];
+    let consumed = offset + payload_bytes;
 
-    // Rebuild canonical codes from (symbol, length) pairs.
-    let mut table: HashMap<u32, (u32, u64)> = HashMap::new();
-    for (sym, len) in &lengths {
-        table.insert(*sym, (*len, 0));
-    }
-    let lengths_map: HashMap<u32, u32> = lengths.iter().copied().collect();
-    let canonical = canonical_codes(&lengths_map);
-
-    // Decoding structure: for each length, the first canonical code of that
-    // length and the symbols ordered canonically.
-    let mut by_len: Vec<Vec<(u64, u32)>> = vec![Vec::new(); (MAX_CODE_LEN + 1) as usize];
-    for (sym, (len, code)) in &canonical {
-        by_len[*len as usize].push((*code, *sym));
-    }
-    for bucket in &mut by_len {
-        bucket.sort_unstable();
-    }
-
-    // Special case: a single distinct symbol gets a 1-bit code.
-    let single_symbol = if canonical.len() == 1 {
-        Some(*canonical.keys().next().expect("non-empty map"))
-    } else {
-        None
-    };
-
+    // A symbol costs at least one bit, so this reserve is bounded by the
+    // actual payload even if a corrupt header claims an absurd count.
+    out.reserve((n_symbols as usize).min(payload.len() * 8 + 1));
     let mut reader = BitReader::new(payload);
-    let mut out = Vec::with_capacity(n_symbols as usize);
-    while out.len() < n_symbols as usize {
-        if let Some(sym) = single_symbol {
-            // Consume the placeholder bit and emit the symbol.
+
+    // The degenerate single-symbol alphabet: one placeholder bit per symbol
+    // (any value), see the module docs.
+    if scratch.dec_lens.len() == 1 {
+        let sym = scratch.dec_lens[0].0;
+        for _ in 0..n_symbols {
             let _ = reader.read_bit()?;
             out.push(sym);
-            continue;
         }
+        return Ok(consumed);
+    }
+
+    // Canonical reconstruction: sort (symbol, length) by (length, symbol),
+    // assign consecutive codes, and record per-length (first code, count,
+    // offset into the canonical symbol order). The same walk also fills the
+    // prefix LUT — codes of at most `lut_bits` bits resolve with one peek,
+    // longer codes fall through to the canonical walk (entry length 0).
+    scratch.dec_lens.sort_unstable_by_key(|&(sym, len)| (len, sym));
+    let max_len = scratch.dec_lens.last().expect("alphabet_size >= 1").1;
+    let lut_bits = max_len.min(LUT_BITS);
+    let lut_size = 1usize << lut_bits;
+    scratch.lut_len.clear();
+    scratch.lut_len.resize(lut_size, 0);
+    if scratch.lut_sym.len() < lut_size {
+        scratch.lut_sym.resize(lut_size, 0);
+    }
+    scratch.dec_syms.clear();
+    let mut len_count = [0u32; (MAX_CODE_LEN + 1) as usize];
+    let mut first_code = [0u64; (MAX_CODE_LEN + 1) as usize];
+    let mut len_offset = [0u32; (MAX_CODE_LEN + 1) as usize];
+    let mut code = 0u64;
+    let mut prev_len = 0u32;
+    for (k, &(sym, len)) in scratch.dec_lens.iter().enumerate() {
+        if prev_len != 0 {
+            code = (code + 1) << (len - prev_len);
+        }
+        // Kraft check: a canonical code must fit in its declared length. A
+        // corrupt header whose lengths oversubscribe the code space (e.g.
+        // three symbols all claiming length 1) fails here instead of
+        // overrunning the LUT fill below.
+        if code >> len != 0 {
+            return Err(CodecError::Corrupt("code lengths oversubscribe the code space".into()));
+        }
+        if len != prev_len {
+            first_code[len as usize] = code;
+            len_offset[len as usize] = k as u32;
+        }
+        len_count[len as usize] += 1;
+        scratch.dec_syms.push(sym);
+        prev_len = len;
+        if len <= lut_bits {
+            let lo = (code << (lut_bits - len)) as usize;
+            let hi = ((code + 1) << (lut_bits - len)) as usize;
+            for entry in lo..hi {
+                scratch.lut_len[entry] = len as u8;
+                scratch.lut_sym[entry] = sym;
+            }
+        }
+    }
+
+    while out.len() < n_symbols as usize {
+        // Fast path: enough bits left for a full-width peek.
+        if reader.remaining() >= lut_bits as usize {
+            let probe = reader.peek_bits(lut_bits) as usize;
+            let len = scratch.lut_len[probe];
+            if len != 0 {
+                reader.skip_bits(u32::from(len))?;
+                out.push(scratch.lut_sym[probe]);
+                continue;
+            }
+        }
+        // Slow path: canonical per-length walk (long codes and the final
+        // sub-LUT-width bits of the stream).
         let mut code = 0u64;
         let mut len = 0u32;
         loop {
             code = (code << 1) | u64::from(reader.read_bit()?);
             len += 1;
-            if len > MAX_CODE_LEN {
+            if len > max_len {
                 return Err(CodecError::Corrupt("code longer than maximum".into()));
             }
-            let bucket = &by_len[len as usize];
-            if bucket.is_empty() {
+            let count = len_count[len as usize];
+            if count == 0 {
                 continue;
             }
-            if let Ok(pos) = bucket.binary_search_by_key(&code, |&(c, _)| c) {
-                out.push(bucket[pos].1);
+            let first = first_code[len as usize];
+            if code >= first && code - first < u64::from(count) {
+                let k = len_offset[len as usize] + (code - first) as u32;
+                out.push(scratch.dec_syms[k as usize]);
                 break;
             }
-            // Canonical codes of a given length form a contiguous range; if
-            // the current prefix is below that range we must read more bits.
-            if code < bucket[0].0 || code > bucket[bucket.len() - 1].0 {
-                continue;
-            }
-            return Err(CodecError::Corrupt("invalid Huffman code".into()));
         }
     }
-    let _ = table;
-    Ok((out, offset + payload_bytes))
-}
-
-/// Huffman code lengths from symbol counts using a binary heap; a single
-/// distinct symbol gets length 1.
-fn code_lengths_from_counts(counts: &HashMap<u32, u64>) -> HashMap<u32, u32> {
-    #[derive(PartialEq, Eq)]
-    struct Node {
-        weight: u64,
-        // Tie-break on the smallest symbol in the subtree for determinism.
-        order: u32,
-        id: usize,
-    }
-    impl Ord for Node {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            // Reverse for a min-heap.
-            other.weight.cmp(&self.weight).then(other.order.cmp(&self.order))
-        }
-    }
-    impl PartialOrd for Node {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-
-    let mut lengths: HashMap<u32, u32> = HashMap::new();
-    if counts.is_empty() {
-        return lengths;
-    }
-    if counts.len() == 1 {
-        let sym = *counts.keys().next().expect("non-empty");
-        lengths.insert(sym, 1);
-        return lengths;
-    }
-
-    // Tree nodes: leaves first, then internal nodes referencing children.
-    let mut symbols: Vec<(u32, u64)> = counts.iter().map(|(&s, &c)| (s, c)).collect();
-    symbols.sort_unstable();
-    let mut children: Vec<Option<(usize, usize)>> = vec![None; symbols.len()];
-    let mut leaf_symbol: Vec<Option<u32>> = symbols.iter().map(|&(s, _)| Some(s)).collect();
-
-    let mut heap = BinaryHeap::new();
-    for (id, &(sym, count)) in symbols.iter().enumerate() {
-        heap.push(Node { weight: count, order: sym, id });
-    }
-    while heap.len() > 1 {
-        let a = heap.pop().expect("len > 1");
-        let b = heap.pop().expect("len > 1");
-        let id = children.len();
-        children.push(Some((a.id, b.id)));
-        leaf_symbol.push(None);
-        heap.push(Node { weight: a.weight + b.weight, order: a.order.min(b.order), id });
-    }
-    let root = heap.pop().expect("one node remains").id;
-
-    // Depth-first traversal assigning depths to leaves.
-    let mut stack = vec![(root, 0u32)];
-    while let Some((node, depth)) = stack.pop() {
-        match children[node] {
-            Some((a, b)) => {
-                stack.push((a, depth + 1));
-                stack.push((b, depth + 1));
-            }
-            None => {
-                let sym = leaf_symbol[node].expect("leaf has a symbol");
-                lengths.insert(sym, depth.max(1));
-            }
-        }
-    }
-    lengths
-}
-
-/// Assign canonical codes given code lengths: symbols are sorted by
-/// (length, symbol) and receive consecutive codes.
-fn canonical_codes(lengths: &HashMap<u32, u32>) -> HashMap<u32, (u32, u64)> {
-    let mut items: Vec<(u32, u32)> = lengths.iter().map(|(&s, &l)| (s, l)).collect();
-    items.sort_by_key(|&(sym, len)| (len, sym));
-    let mut out = HashMap::with_capacity(items.len());
-    let mut code = 0u64;
-    let mut prev_len = 0u32;
-    for (sym, len) in items {
-        if prev_len != 0 {
-            code = (code + 1) << (len - prev_len);
-        }
-        out.insert(sym, (len, code));
-        prev_len = len;
-    }
-    out
+    Ok(consumed)
 }
 
 #[cfg(test)]
@@ -255,6 +448,18 @@ mod tests {
         let (decoded, used) = huffman_decode(&encoded).unwrap();
         assert_eq!(decoded, symbols);
         assert_eq!(used, encoded.len());
+        // The scratch-reusing entry points agree bit for bit with the
+        // wrappers, including when the same scratch served other inputs.
+        let mut scratch = CodecScratch::new();
+        let mut warmup = Vec::new();
+        huffman_encode_with(&mut scratch, &[9, 9, 1, 2, 3, 9], &mut warmup);
+        let mut with_out = Vec::new();
+        huffman_encode_with(&mut scratch, symbols, &mut with_out);
+        assert_eq!(with_out, encoded);
+        let mut decoded_with = Vec::new();
+        let used_with = huffman_decode_with(&mut scratch, &encoded, &mut decoded_with).unwrap();
+        assert_eq!(decoded_with, symbols);
+        assert_eq!(used_with, encoded.len());
     }
 
     #[test]
@@ -268,8 +473,91 @@ mod tests {
     }
 
     #[test]
+    fn single_distinct_symbol_header_has_length_one_never_zero() {
+        // The degenerate alphabet must spend a real (length-1) code: stream
+        // is `varint n | alphabet 1 | (sym 7, len 1) | 100 payload bits`.
+        let encoded = huffman_encode(&[7; 100]);
+        let (n, used0) = read_varint(&encoded).unwrap();
+        assert_eq!(n, 100);
+        let (alpha, used1) = read_varint(&encoded[used0..]).unwrap();
+        assert_eq!(alpha, 1);
+        let (sym, used2) = read_varint(&encoded[used0 + used1..]).unwrap();
+        assert_eq!(sym, 7);
+        let (len, used3) = read_varint(&encoded[used0 + used1 + used2..]).unwrap();
+        assert_eq!(len, 1, "single-symbol code length must be 1, not 0");
+        let (bits, _) = read_varint(&encoded[used0 + used1 + used2 + used3..]).unwrap();
+        assert_eq!(bits, 100, "one placeholder bit per symbol");
+    }
+
+    #[test]
+    fn single_distinct_symbol_decode_ignores_placeholder_bit_values() {
+        // The decoder consumes one bit per symbol regardless of value; a
+        // stream whose placeholder bits are 1s decodes identically.
+        let mut encoded = huffman_encode(&[3u32; 16]);
+        let payload_start = encoded.len() - 2; // 16 bits of payload
+        encoded[payload_start] = 0xFF;
+        encoded[payload_start + 1] = 0xFF;
+        let (decoded, _) = huffman_decode(&encoded).unwrap();
+        assert_eq!(decoded, vec![3u32; 16]);
+    }
+
+    #[test]
+    fn single_symbol_zero_length_header_is_rejected() {
+        // Hand-craft the ambiguous header the encoder refuses to emit:
+        // (symbol 7, code length 0).
+        let mut bad = Vec::new();
+        write_varint(&mut bad, 4); // n_symbols
+        write_varint(&mut bad, 1); // alphabet_size
+        write_varint(&mut bad, 7); // symbol
+        write_varint(&mut bad, 0); // code length 0 — ambiguous, must be rejected
+        write_varint(&mut bad, 0); // payload bits
+        assert!(matches!(huffman_decode(&bad), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
     fn two_symbols() {
         roundtrip(&[0, 1, 0, 0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn absurd_alphabet_size_is_an_eof_error_not_a_capacity_panic() {
+        // A two-varint stream claiming a 2^62-entry alphabet must fail the
+        // entry parse loop, not abort in Vec::reserve.
+        let mut bad = Vec::new();
+        write_varint(&mut bad, 1); // n_symbols
+        write_varint(&mut bad, 1u64 << 62); // alphabet_size
+        assert_eq!(huffman_decode(&bad), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn oversubscribed_code_lengths_are_rejected_not_a_panic() {
+        // Three symbols all claiming length-1 codes violate the Kraft
+        // inequality: the canonical assignment would hand symbol 2 the code
+        // 0b10, which does not fit in one bit. The decoder must return
+        // Corrupt (the pre-LUT decoder did) rather than overrun its tables.
+        let mut bad = Vec::new();
+        write_varint(&mut bad, 5); // n_symbols
+        write_varint(&mut bad, 3); // alphabet_size
+        for sym in 0u64..3 {
+            write_varint(&mut bad, sym);
+            write_varint(&mut bad, 1); // every code claims length 1
+        }
+        write_varint(&mut bad, 8); // payload bits
+        bad.push(0b1010_1010);
+        assert!(matches!(huffman_decode(&bad), Err(CodecError::Corrupt(_))));
+
+        // Deeper variant: lengths {2, 2, 2, 2, 2} oversubscribe at length 2
+        // only on the fifth entry.
+        let mut bad = Vec::new();
+        write_varint(&mut bad, 4);
+        write_varint(&mut bad, 5);
+        for sym in 0u64..5 {
+            write_varint(&mut bad, sym);
+            write_varint(&mut bad, 2);
+        }
+        write_varint(&mut bad, 8);
+        bad.push(0);
+        assert!(matches!(huffman_decode(&bad), Err(CodecError::Corrupt(_))));
     }
 
     #[test]
@@ -291,7 +579,19 @@ mod tests {
 
     #[test]
     fn sparse_large_symbol_values() {
+        // Span > DENSE_SPAN_MAX: exercises the symbol-map fallback.
         let symbols = vec![0u32, u32::MAX, 123_456_789, 42, u32::MAX, 42, 0, 0];
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn mgard_like_alphabet_with_escape_code() {
+        // MGARD's shape: codes clustered around 2^30 plus the escape 0 —
+        // a huge span with few distinct values (sparse tables).
+        let mut symbols = Vec::new();
+        for i in 0..5000u32 {
+            symbols.push(if i % 97 == 0 { 0 } else { (1 << 30) + (i % 7) });
+        }
         roundtrip(&symbols);
     }
 
@@ -308,14 +608,57 @@ mod tests {
     }
 
     #[test]
-    fn canonical_codes_are_prefix_free() {
-        let mut counts = HashMap::new();
-        for (s, c) in [(1u32, 40u64), (2, 30), (3, 20), (4, 9), (5, 1)] {
-            counts.insert(s, c);
+    fn codes_longer_than_the_lut_decode_through_the_slow_path() {
+        // A steep geometric distribution forces code lengths past LUT_BITS,
+        // so both decoder paths run within one stream.
+        let mut symbols = Vec::new();
+        for s in 0..20u32 {
+            let copies = 1usize << s.min(18);
+            symbols.extend(std::iter::repeat_n(s, copies));
         }
-        let lengths = code_lengths_from_counts(&counts);
-        let codes = canonical_codes(&lengths);
-        let entries: Vec<(u32, u64)> = codes.values().copied().collect();
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn scratch_reuse_across_dense_and_sparse_alphabets() {
+        // Alternating dense/sparse inputs through one scratch must not leak
+        // state between calls (the all-zero dense-table invariant).
+        let mut scratch = CodecScratch::new();
+        let dense: Vec<u32> = (0..500u32).map(|i| i % 40).collect();
+        let sparse = vec![5u32, 1 << 31, 0, 5, 1 << 31, 77];
+        for _ in 0..3 {
+            for input in [&dense, &sparse] {
+                let mut out = Vec::new();
+                huffman_encode_with(&mut scratch, input, &mut out);
+                assert_eq!(out, huffman_encode(input));
+                let mut decoded = Vec::new();
+                huffman_decode_with(&mut scratch, &out, &mut decoded).unwrap();
+                assert_eq!(&decoded, input);
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let mut scratch = CodecScratch::new();
+        let symbols: Vec<u32> = [(1u32, 40usize), (2, 30), (3, 20), (4, 9), (5, 1)]
+            .iter()
+            .flat_map(|&(s, c)| std::iter::repeat_n(s, c))
+            .collect();
+        let mode = build_alphabet(&mut scratch, &symbols);
+        build_code_lengths(&mut scratch);
+        assign_canonical_codes(&mut scratch, mode);
+        let TableMode::Dense { min } = mode else {
+            panic!("tight alphabet must take the dense path");
+        };
+        let entries: Vec<(u32, u64)> = scratch
+            .alphabet
+            .iter()
+            .map(|&(sym, _)| {
+                let idx = (sym - min) as usize;
+                (u32::from(scratch.enc_len[idx]), scratch.enc_code[idx])
+            })
+            .collect();
         for (i, &(len_a, code_a)) in entries.iter().enumerate() {
             for (j, &(len_b, code_b)) in entries.iter().enumerate() {
                 if i == j {
@@ -341,14 +684,16 @@ mod tests {
 
     #[test]
     fn frequent_symbols_get_shorter_codes() {
-        let mut counts = HashMap::new();
-        counts.insert(0u32, 1000u64);
-        counts.insert(1, 10);
-        counts.insert(2, 10);
-        counts.insert(3, 10);
-        let lengths = code_lengths_from_counts(&counts);
-        assert!(lengths[&0] <= lengths[&1]);
-        assert!(lengths[&0] <= lengths[&3]);
+        let mut symbols = vec![0u32; 1000];
+        for s in [1u32, 2, 3] {
+            symbols.extend(std::iter::repeat_n(s, 10));
+        }
+        let mut scratch = CodecScratch::new();
+        build_alphabet(&mut scratch, &symbols);
+        build_code_lengths(&mut scratch);
+        // alphabet is symbol-sorted: index 0 is symbol 0.
+        assert!(scratch.lens[0] <= scratch.lens[1]);
+        assert!(scratch.lens[0] <= scratch.lens[3]);
     }
 
     #[test]

@@ -8,13 +8,18 @@
 //! * [`bitstream`] — MSB-first bit-level writer/reader used by every coder
 //!   (and by the ZFP-style embedded bit-plane coder),
 //! * [`huffman`] — canonical Huffman coding over `u32` symbols with an
-//!   embedded code-length table,
+//!   embedded code-length table (table-driven encode and LUT decode),
 //! * [`lz77`] — greedy hash-chain LZ77 with byte-oriented token encoding,
 //! * [`rle`] — zero-run-length pre-pass that pairs well with quantization
 //!   codes dominated by the "perfectly predicted" symbol,
 //! * [`pipeline`] — the composition `Huffman → LZ77` exposed through the
 //!   [`pipeline::ByteCodec`] trait, mirroring the role Zstd plays for
-//!   SZ/MGARD.
+//!   SZ/MGARD,
+//! * [`scratch`] — the [`CodecScratch`] arena holding every reusable buffer
+//!   of the Huffman/LZ77 hot paths; the `*_with` entry points
+//!   ([`huffman_encode_with`], [`huffman_decode_with`],
+//!   [`lz77_compress_with`], [`lz77_decompress_into`]) are allocation-free
+//!   in steady state.
 //!
 //! All encoders produce self-describing byte streams (length-prefixed
 //! sections), so decoding needs no out-of-band metadata.
@@ -24,11 +29,13 @@ pub mod huffman;
 pub mod lz77;
 pub mod pipeline;
 pub mod rle;
+pub mod scratch;
 
 pub use bitstream::{BitReader, BitWriter};
-pub use huffman::{huffman_decode, huffman_encode};
-pub use lz77::{lz77_compress, lz77_decompress};
+pub use huffman::{huffman_decode, huffman_decode_with, huffman_encode, huffman_encode_with};
+pub use lz77::{lz77_compress, lz77_compress_with, lz77_decompress, lz77_decompress_into};
 pub use pipeline::{ByteCodec, HuffLzCodec, RawCodec};
+pub use scratch::CodecScratch;
 
 /// Errors produced while decoding a lossless stream.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -12,7 +12,16 @@
 //!
 //! Greedy matching with a 3-byte hash head + chained previous positions,
 //! bounded chain walk. Window size 64 KiB, minimum match length 4.
+//!
+//! The matcher state (hash heads + chain links) lives in a caller-owned
+//! [`CodecScratch`](crate::CodecScratch) when driven through
+//! [`lz77_compress_with`], so repeated compressions reuse one arena instead
+//! of allocating ~`5 × input` bytes of chain state per call. Match
+//! candidates are compared eight bytes at a time; the greedy decisions — and
+//! therefore the emitted token stream — are identical to the historical
+//! byte-at-a-time encoder (pinned by `tests/bit_identity.rs`).
 
+use crate::scratch::{CodecScratch, CHAIN_NIL};
 use crate::{read_varint, write_varint, CodecError};
 
 const WINDOW: usize = 1 << 16;
@@ -27,17 +36,68 @@ fn hash3(bytes: &[u8]) -> usize {
     ((h.wrapping_mul(2654435761)) >> (32 - HASH_BITS)) as usize
 }
 
+/// Length of the longest common prefix of `a[a_at..]` and `a[b_at..]`
+/// (with `b_at > a_at`), capped at `max_len`. Compares whole 8-byte words
+/// first, then the remaining tail bytes.
+#[inline]
+fn match_length(bytes: &[u8], a_at: usize, b_at: usize, max_len: usize) -> usize {
+    let mut len = 0usize;
+    while len + 8 <= max_len {
+        let a = u64::from_le_bytes(bytes[a_at + len..a_at + len + 8].try_into().expect("8 bytes"));
+        let b = u64::from_le_bytes(bytes[b_at + len..b_at + len + 8].try_into().expect("8 bytes"));
+        let diff = a ^ b;
+        if diff != 0 {
+            return len + (diff.trailing_zeros() / 8) as usize;
+        }
+        len += 8;
+    }
+    while len < max_len && bytes[a_at + len] == bytes[b_at + len] {
+        len += 1;
+    }
+    len
+}
+
 /// Compress `input` with greedy LZ77. The output always starts with a varint
 /// holding the original length.
+///
+/// # Panics
+/// Panics if `input` is 4 GiB or larger: chain positions are stored as
+/// `u32` (halving the matcher's memory traffic), so the single-stream size
+/// is capped at `u32::MAX - 1` bytes — three orders of magnitude above the
+/// paper-scale payloads this crate compresses.
 pub fn lz77_compress(input: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(input.len() / 2 + 16);
-    write_varint(&mut out, input.len() as u64);
-    if input.is_empty() {
-        return out;
-    }
+    let mut out = Vec::new();
+    lz77_compress_with(&mut CodecScratch::new(), input, &mut out);
+    out
+}
 
-    let mut head = vec![usize::MAX; 1 << HASH_BITS];
-    let mut prev = vec![usize::MAX; input.len()];
+/// [`lz77_compress`] appending to a caller-owned buffer, reusing the hash
+/// chains in `scratch`. The emitted bytes are identical to
+/// [`lz77_compress`]'s.
+///
+/// # Panics
+/// Panics on inputs of 4 GiB or more (see [`lz77_compress`]).
+pub fn lz77_compress_with(scratch: &mut CodecScratch, input: &[u8], out: &mut Vec<u8>) {
+    out.reserve(input.len() / 2 + 16);
+    write_varint(out, input.len() as u64);
+    if input.is_empty() {
+        return;
+    }
+    assert!(input.len() < CHAIN_NIL as usize, "input too large for u32 chain positions");
+
+    // Reusable matcher state: heads are reset each call (the chains only
+    // ever reference positions inserted during this call, so `prev` needs
+    // sizing but no clearing — entries are written before they are read).
+    if scratch.head.len() < (1 << HASH_BITS) {
+        scratch.head.resize(1 << HASH_BITS, CHAIN_NIL);
+    } else {
+        scratch.head.fill(CHAIN_NIL);
+    }
+    if scratch.prev.len() < input.len() {
+        scratch.prev.resize(input.len(), CHAIN_NIL);
+    }
+    let head = &mut scratch.head;
+    let prev = &mut scratch.prev;
 
     let mut literals_start = 0usize;
     let mut pos = 0usize;
@@ -56,38 +116,45 @@ pub fn lz77_compress(input: &[u8]) -> Vec<u8> {
 
         if pos + MIN_MATCH <= input.len() {
             let h = hash3(&input[pos..]);
+            let max_len = (input.len() - pos).min(MAX_MATCH);
             let mut candidate = head[h];
             let mut chain = 0usize;
-            while candidate != usize::MAX && chain < MAX_CHAIN {
-                if pos - candidate > WINDOW {
+            while candidate != CHAIN_NIL && chain < MAX_CHAIN {
+                let candidate_pos = candidate as usize;
+                if pos - candidate_pos > WINDOW {
                     break;
                 }
-                // Extend the match.
-                let max_len = (input.len() - pos).min(MAX_MATCH);
-                let mut len = 0usize;
-                while len < max_len && input[candidate + len] == input[pos + len] {
-                    len += 1;
+                if best_len >= max_len {
+                    // No remaining candidate can strictly beat the current
+                    // best (matches are capped at max_len), so the walk can
+                    // stop — it has no side effects. Subsumes the historical
+                    // `len >= MAX_MATCH` break.
+                    break;
                 }
-                if len > best_len {
-                    best_len = len;
-                    best_dist = pos - candidate;
-                    if len >= MAX_MATCH {
-                        break;
+                // Probe the byte a longer match would have to share before
+                // paying for a full comparison: if it differs, the common
+                // prefix is ≤ best_len and the candidate cannot win. The
+                // greedy outcome is unchanged.
+                if input[candidate_pos + best_len] == input[pos + best_len] {
+                    let len = match_length(input, candidate_pos, pos, max_len);
+                    if len > best_len {
+                        best_len = len;
+                        best_dist = pos - candidate_pos;
                     }
                 }
-                candidate = prev[candidate];
+                candidate = prev[candidate_pos];
                 chain += 1;
             }
             // Insert the current position into the hash chain.
             prev[pos] = head[h];
-            head[h] = pos;
+            head[h] = pos as u32;
         }
 
         if best_len >= MIN_MATCH {
-            flush_literals(&mut out, literals_start, pos, input);
+            flush_literals(out, literals_start, pos, input);
             out.push(0x01);
-            write_varint(&mut out, best_dist as u64);
-            write_varint(&mut out, best_len as u64);
+            write_varint(out, best_dist as u64);
+            write_varint(out, best_len as u64);
             // Insert skipped positions into the chains so later matches can
             // reference them (bounded to keep the encoder linear-ish).
             let end = pos + best_len;
@@ -95,7 +162,7 @@ pub fn lz77_compress(input: &[u8]) -> Vec<u8> {
             while p < end && p + MIN_MATCH <= input.len() {
                 let h = hash3(&input[p..]);
                 prev[p] = head[h];
-                head[h] = p;
+                head[h] = p as u32;
                 p += 1;
             }
             pos = end;
@@ -104,16 +171,26 @@ pub fn lz77_compress(input: &[u8]) -> Vec<u8> {
             pos += 1;
         }
     }
-    flush_literals(&mut out, literals_start, input.len(), input);
-    out
+    flush_literals(out, literals_start, input.len(), input);
 }
 
 /// Decompress a stream produced by [`lz77_compress`].
 pub fn lz77_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    lz77_decompress_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// [`lz77_decompress`] into a caller-owned buffer (cleared first), so
+/// decode-heavy loops can recycle one output allocation.
+pub fn lz77_decompress_into(bytes: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+    out.clear();
     let mut offset = 0usize;
     let (orig_len, used) = read_varint(bytes)?;
     offset += used;
-    let mut out: Vec<u8> = Vec::with_capacity(orig_len as usize);
+    // Bounded by the compressed size: a match token costs ≥ 3 bytes for
+    // ≤ MAX_MATCH output, so a corrupt length can't force an absurd reserve.
+    out.reserve((orig_len as usize).min(bytes.len().saturating_mul(MAX_MATCH)));
 
     while (out.len() as u64) < orig_len {
         if offset >= bytes.len() {
@@ -146,10 +223,20 @@ pub fn lz77_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
                     )));
                 }
                 let start = out.len() - dist;
-                // Overlapping copies are legal (classic LZ77 run extension).
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                if dist >= len {
+                    // Non-overlapping: one bulk copy.
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping copies are legal (classic LZ77 run
+                    // extension): the suffix from `start` is periodic with
+                    // period `dist`, so each pass doubles the available
+                    // pattern.
+                    let mut copied = 0usize;
+                    while copied < len {
+                        let take = (len - copied).min(out.len() - start);
+                        out.extend_from_within(start..start + take);
+                        copied += take;
+                    }
                 }
             }
             other => {
@@ -160,7 +247,7 @@ pub fn lz77_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
     if out.len() as u64 != orig_len {
         return Err(CodecError::Corrupt("decoded length mismatch".into()));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -171,6 +258,17 @@ mod tests {
         let compressed = lz77_compress(data);
         let back = lz77_decompress(&compressed).unwrap();
         assert_eq!(back, data);
+        // The scratch-reusing entry points agree byte for byte, including on
+        // a scratch warmed by a different input.
+        let mut scratch = CodecScratch::new();
+        let mut warm = Vec::new();
+        lz77_compress_with(&mut scratch, b"warmup warmup warmup", &mut warm);
+        let mut with_out = Vec::new();
+        lz77_compress_with(&mut scratch, data, &mut with_out);
+        assert_eq!(with_out, compressed);
+        let mut into = Vec::new();
+        lz77_decompress_into(&compressed, &mut into).unwrap();
+        assert_eq!(into, data);
         compressed.len()
     }
 
@@ -205,6 +303,17 @@ mod tests {
     }
 
     #[test]
+    fn overlapping_matches_at_every_small_distance() {
+        // Distances 1..16 with lengths longer than the distance exercise the
+        // strided overlap copy in the decoder.
+        for dist in 1usize..16 {
+            let pattern: Vec<u8> = (0..dist as u8).collect();
+            let data: Vec<u8> = pattern.iter().copied().cycle().take(dist * 40 + 3).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
     fn incompressible_data_roundtrips() {
         let mut state = 0x9E3779B97F4A7C15u64;
         let data: Vec<u8> = (0..50_000)
@@ -231,6 +340,17 @@ mod tests {
         }
         let size = roundtrip(&data);
         assert!(size < data.len() / 4, "piecewise-constant doubles: {size} vs {}", data.len());
+    }
+
+    #[test]
+    fn match_length_word_and_tail_paths_agree() {
+        let mut data: Vec<u8> = b"abcdefgh_abcdefgh_abcdefgX".to_vec();
+        data.extend_from_slice(b"abcdefgh_abcdefgh_abcdefgh_tail");
+        for (a, b, cap) in [(0usize, 9usize, 17usize), (0, 26, 31), (9, 26, 20), (0, 0, 5)] {
+            let reference =
+                data[a..].iter().zip(&data[b..]).take(cap).take_while(|(x, y)| x == y).count();
+            assert_eq!(match_length(&data, a, b, cap), reference, "a={a} b={b} cap={cap}");
+        }
     }
 
     #[test]

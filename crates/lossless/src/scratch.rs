@@ -1,0 +1,268 @@
+//! Reusable working memory for the lossless coders.
+//!
+//! Every per-call allocation of the Huffman and LZ77 hot paths lives in a
+//! [`CodecScratch`]: the dense histogram, the heap and tree arrays of the
+//! code-length construction, the flat canonical code tables, the decoder
+//! LUT, the LZ77 hash-chain heads, and the bit/byte buffers. A caller that
+//! compresses many streams (the SZ/ZFP/MGARD compressors, the sweep
+//! scheduler's worker threads) creates one scratch and threads `&mut`
+//! references through `*_with` codec entry points; every buffer is cleared
+//! (never shrunk) between calls, so steady state performs no allocation.
+//!
+//! The scratch-free wrappers (`huffman_encode`, `lz77_compress`, …) simply
+//! create a fresh scratch per call, so existing callers keep working and
+//! produce byte-identical streams.
+
+use crate::bitstream::BitWriter;
+
+/// Sentinel for "no position" in the LZ77 hash chains.
+pub(crate) const CHAIN_NIL: u32 = u32::MAX;
+
+/// Largest `max_symbol − min_symbol` span for which the Huffman histogram
+/// and code tables use dense `Vec`-indexed storage (the common case:
+/// quantization codes cluster tightly around the zero-residual code). Wider
+/// alphabets fall back to an open-addressed symbol map of the distinct
+/// symbols only.
+pub(crate) const DENSE_SPAN_MAX: usize = 1 << 21;
+
+/// A binary-heap node of the Huffman code-length construction.
+///
+/// Ordering is reversed (min-heap) on `(weight, order)` where `order` is the
+/// smallest symbol in the node's subtree — subtrees hold disjoint symbol
+/// sets, so the order is strict and the merge sequence (hence every code
+/// length) is deterministic regardless of heap-internal layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct HeapNode {
+    pub weight: u64,
+    pub order: u32,
+    pub id: u32,
+}
+
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.weight.cmp(&self.weight).then(other.order.cmp(&self.order))
+    }
+}
+
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Open-addressed `u32 symbol → u32 slot` map with linear probing, used for
+/// alphabets too sparse for the dense histogram. Slots are handed out in
+/// insertion order, so parallel `Vec`s indexed by slot play the role the
+/// dense arrays play for tight alphabets. All storage is reusable.
+#[derive(Debug, Default)]
+pub(crate) struct SymbolMap {
+    /// `keys[i] == EMPTY_KEY` marks a free bucket; the probe value for a
+    /// present key is `vals[i]`.
+    keys: Vec<u32>,
+    vals: Vec<u32>,
+    len: usize,
+}
+
+/// Bucket marker for "empty". `u32::MAX` is a legal symbol, so occupancy is
+/// tracked in `vals` instead: `vals[i] == u32::MAX` marks a free bucket and
+/// slot indices are capped below it.
+const FREE_SLOT: u32 = u32::MAX;
+
+impl SymbolMap {
+    /// Remove every entry, keeping capacity.
+    pub fn clear(&mut self) {
+        self.vals.fill(FREE_SLOT);
+        self.len = 0;
+    }
+
+    /// Number of distinct symbols inserted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Slot of `sym`, inserting the next slot index if absent. Returns
+    /// `(slot, inserted)`.
+    pub fn get_or_insert(&mut self, sym: u32) -> (u32, bool) {
+        if self.vals.is_empty() || self.len * 4 >= self.vals.len() * 3 {
+            self.grow();
+        }
+        let mask = self.vals.len() - 1;
+        let mut i = Self::hash(sym) & mask;
+        loop {
+            if self.vals[i] == FREE_SLOT {
+                let slot = self.len as u32;
+                debug_assert!(slot < FREE_SLOT);
+                self.keys[i] = sym;
+                self.vals[i] = slot;
+                self.len += 1;
+                return (slot, true);
+            }
+            if self.keys[i] == sym {
+                return (self.vals[i], false);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Slot of `sym`, if present.
+    #[inline]
+    pub fn get(&self, sym: u32) -> Option<u32> {
+        if self.vals.is_empty() {
+            return None;
+        }
+        let mask = self.vals.len() - 1;
+        let mut i = Self::hash(sym) & mask;
+        loop {
+            if self.vals[i] == FREE_SLOT {
+                return None;
+            }
+            if self.keys[i] == sym {
+                return Some(self.vals[i]);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    #[inline]
+    fn hash(sym: u32) -> usize {
+        (sym.wrapping_mul(2654435761) >> 7) as usize
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.vals.len() * 2).max(64);
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_vals = std::mem::take(&mut self.vals);
+        self.keys = vec![0; new_cap];
+        self.vals = vec![FREE_SLOT; new_cap];
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if v != FREE_SLOT {
+                let mask = new_cap - 1;
+                let mut i = Self::hash(k) & mask;
+                while self.vals[i] != FREE_SLOT {
+                    i = (i + 1) & mask;
+                }
+                self.keys[i] = k;
+                self.vals[i] = v;
+                self.len += 1;
+            }
+        }
+    }
+}
+
+/// Reusable buffers for every stage of the lossless hot path. See the
+/// module documentation; the fields are crate-private — callers only create
+/// the scratch and pass it to the `*_with` entry points.
+#[derive(Debug, Default)]
+pub struct CodecScratch {
+    // ---- Huffman histogram ----
+    /// Dense counts indexed by `symbol − min_symbol` (tight alphabets).
+    /// Invariant: all-zero between calls (used entries are re-zeroed).
+    pub(crate) hist: Vec<u64>,
+    /// Sparse-path counts indexed by [`SymbolMap`] slot.
+    pub(crate) slot_counts: Vec<u64>,
+    /// Sparse-path symbol → slot map.
+    pub(crate) sym_map: SymbolMap,
+    /// `(symbol, count)` pairs sorted by symbol — the canonical alphabet
+    /// enumeration the header is written from.
+    pub(crate) alphabet: Vec<(u32, u64)>,
+
+    // ---- Huffman code construction ----
+    /// Heap storage for the code-length build (allocation recycled through
+    /// `BinaryHeap::from` / `into_vec`).
+    pub(crate) heap: Vec<HeapNode>,
+    /// Children of internal tree nodes (leaves are ids `< alphabet.len()`).
+    pub(crate) children: Vec<(u32, u32)>,
+    /// Depth-first traversal stack for depth assignment.
+    pub(crate) stack: Vec<(u32, u32)>,
+    /// Code length per leaf, parallel to `alphabet`.
+    pub(crate) lens: Vec<u32>,
+    /// `(length, symbol, leaf_index)` sorted by `(length, symbol)` — the
+    /// canonical assignment order.
+    pub(crate) canon: Vec<(u32, u32, u32)>,
+
+    // ---- Huffman encode tables ----
+    /// Dense `symbol − min_symbol` → code length (0 = absent).
+    /// Invariant: all-zero between calls, so only `O(distinct)` entries are
+    /// re-zeroed after an encode.
+    pub(crate) enc_len: Vec<u8>,
+    /// Dense `symbol − min_symbol` → canonical code. Entries are only
+    /// meaningful where `enc_len` is non-zero (stale codes are never read).
+    pub(crate) enc_code: Vec<u64>,
+    /// Sparse slot → `(length, code)` pairs.
+    pub(crate) slot_codes: Vec<(u32, u64)>,
+    /// Payload bit accumulator.
+    pub(crate) writer: BitWriter,
+
+    // ---- Huffman decode tables ----
+    /// Decoded `(symbol, length)` header entries.
+    pub(crate) dec_lens: Vec<(u32, u32)>,
+    /// Symbols in canonical `(length, symbol)` order.
+    pub(crate) dec_syms: Vec<u32>,
+    /// LUT: peeked prefix → symbol (parallel to `lut_len`).
+    pub(crate) lut_sym: Vec<u32>,
+    /// LUT: peeked prefix → code length (0 = longer than the LUT covers).
+    pub(crate) lut_len: Vec<u8>,
+
+    // ---- LZ77 hash chains ----
+    /// Hash bucket → most recent position.
+    pub(crate) head: Vec<u32>,
+    /// Position → previous position in the same bucket.
+    pub(crate) prev: Vec<u32>,
+}
+
+impl CodecScratch {
+    /// Create an empty scratch; buffers grow on first use and are then
+    /// recycled across calls.
+    pub fn new() -> Self {
+        CodecScratch::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_map_assigns_slots_in_insertion_order() {
+        let mut m = SymbolMap::default();
+        assert_eq!(m.get_or_insert(700), (0, true));
+        assert_eq!(m.get_or_insert(0), (1, true));
+        assert_eq!(m.get_or_insert(u32::MAX), (2, true));
+        assert_eq!(m.get_or_insert(700), (0, false));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(0), Some(1));
+        assert_eq!(m.get(u32::MAX), Some(2));
+        assert_eq!(m.get(1), None);
+    }
+
+    #[test]
+    fn symbol_map_survives_growth_and_clear() {
+        let mut m = SymbolMap::default();
+        for i in 0..10_000u32 {
+            let (slot, inserted) = m.get_or_insert(i * 7919);
+            assert_eq!(slot, i);
+            assert!(inserted);
+        }
+        for i in 0..10_000u32 {
+            assert_eq!(m.get(i * 7919), Some(i));
+        }
+        m.clear();
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.get(7919), None);
+        let (slot, inserted) = m.get_or_insert(7919);
+        assert_eq!((slot, inserted), (0, true));
+    }
+
+    #[test]
+    fn heap_node_ordering_is_a_min_heap_on_weight_then_order() {
+        use std::collections::BinaryHeap;
+        let mut h = BinaryHeap::new();
+        h.push(HeapNode { weight: 5, order: 1, id: 0 });
+        h.push(HeapNode { weight: 2, order: 9, id: 1 });
+        h.push(HeapNode { weight: 2, order: 3, id: 2 });
+        assert_eq!(h.pop().unwrap().id, 2, "lowest weight, lowest order first");
+        assert_eq!(h.pop().unwrap().id, 1);
+        assert_eq!(h.pop().unwrap().id, 0);
+    }
+}

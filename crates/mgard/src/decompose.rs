@@ -39,16 +39,23 @@ pub fn level_count(ny: usize, nx: usize) -> u32 {
 /// window or a whole field straight out of the parent buffer; the one owned
 /// allocation is the coefficient output itself.
 pub fn forward(field: &FieldView<'_>, levels: u32) -> Field2D {
-    let mut work = field.to_field();
+    let mut work = Field2D::zeros(1, 1);
+    forward_into(field, levels, &mut work);
+    work
+}
+
+/// [`forward`] into a caller-owned workspace (reshaped to the view), so
+/// decompositions in a loop reuse one coefficient allocation.
+pub fn forward_into(field: &FieldView<'_>, levels: u32, work: &mut Field2D) {
+    work.copy_from_view(field);
     for level in 0..levels {
         let stride = 1usize << level;
         let coarse = stride * 2;
-        forward_level(&mut work, field, stride, coarse);
+        forward_level(work, field, stride, coarse);
         // Subsequent levels predict from original coarse values, which the
         // snapshot in `field` still holds (coarse nodes are never modified at
         // finer levels).
     }
-    work
 }
 
 fn forward_level(work: &mut Field2D, original: &FieldView<'_>, stride: usize, coarse: usize) {

@@ -36,8 +36,10 @@
 pub mod decompose;
 
 use lcc_grid::{Field2D, FieldView};
-use lcc_lossless::{huffman_decode, huffman_encode, lz77_compress, lz77_decompress};
-use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound};
+use lcc_lossless::{
+    huffman_decode, huffman_encode_with, lz77_compress_with, lz77_decompress, CodecScratch,
+};
+use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound, ScratchArena};
 
 /// Configuration of the MGARD-style compressor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +79,89 @@ impl MgardCompressor {
 
 const MAGIC: &[u8; 4] = b"LMG1";
 
+/// Reusable working memory of the MGARD compress path: the multilevel
+/// coefficient workspace, the code/exact buffers, the assembled payload and
+/// the Huffman/LZ77 internals. One instance per sweep worker, held in a
+/// [`ScratchArena`].
+#[derive(Debug, Default)]
+pub struct MgardScratch {
+    codec: CodecScratch,
+    /// Coefficient workspace of [`decompose::forward_into`] (lazy:
+    /// `Field2D` has no empty value).
+    work: Option<Field2D>,
+    codes: Vec<u32>,
+    exact: Vec<f64>,
+    huff: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+impl MgardScratch {
+    /// Create an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        MgardScratch::default()
+    }
+}
+
+impl MgardCompressor {
+    /// The compress pipeline over explicit scratch memory. Byte-identical to
+    /// [`Compressor::compress_view`] (which calls this with fresh scratch).
+    fn compress_into(
+        &self,
+        field: &FieldView<'_>,
+        bound: ErrorBound,
+        s: &mut MgardScratch,
+    ) -> Result<Vec<u8>, CompressError> {
+        validate_finite_view(field)?;
+        let eb = bound.absolute_for_view(field)?;
+        let (ny, nx) = field.shape();
+        let levels = decompose::level_count(ny, nx).min(self.config.max_levels);
+
+        // Forward multilevel decomposition: `coeffs` holds residuals at fine
+        // nodes and raw values at the coarsest nodes.
+        let coeffs = s.work.get_or_insert_with(|| Field2D::zeros(1, 1));
+        decompose::forward_into(field, levels, coeffs);
+
+        // Worst-case error accumulation is one quantization error per level
+        // plus one for the coarsest values, so split the budget evenly.
+        let bin = 2.0 * eb / (levels as f64 + 1.0);
+        let radius = i64::from(self.config.code_radius);
+
+        s.codes.clear();
+        s.codes.reserve(coeffs.len());
+        s.exact.clear();
+        for &c in coeffs.as_slice() {
+            let q = (c / bin).round();
+            if !q.is_finite() || q.abs() as i64 >= radius - 1 {
+                s.codes.push(0); // escape: exact value follows
+                s.exact.push(c);
+            } else {
+                // Shift by radius so 0 stays reserved for the escape code.
+                s.codes.push((q as i64 + radius) as u32);
+            }
+        }
+
+        let payload = &mut s.payload;
+        payload.clear();
+        payload.extend_from_slice(MAGIC);
+        payload.extend_from_slice(&(ny as u64).to_le_bytes());
+        payload.extend_from_slice(&(nx as u64).to_le_bytes());
+        payload.extend_from_slice(&eb.to_le_bytes());
+        payload.extend_from_slice(&levels.to_le_bytes());
+        payload.extend_from_slice(&self.config.code_radius.to_le_bytes());
+        s.huff.clear();
+        huffman_encode_with(&mut s.codec, &s.codes, &mut s.huff);
+        payload.extend_from_slice(&(s.huff.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&s.huff);
+        payload.extend_from_slice(&(s.exact.len() as u64).to_le_bytes());
+        for v in &s.exact {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut out = Vec::new();
+        lz77_compress_with(&mut s.codec, &s.payload, &mut out);
+        Ok(out)
+    }
+}
+
 impl Compressor for MgardCompressor {
     fn name(&self) -> &str {
         "mgard"
@@ -91,48 +176,16 @@ impl Compressor for MgardCompressor {
         field: &FieldView<'_>,
         bound: ErrorBound,
     ) -> Result<Vec<u8>, CompressError> {
-        validate_finite_view(field)?;
-        let eb = bound.absolute_for_view(field)?;
-        let (ny, nx) = field.shape();
-        let levels = decompose::level_count(ny, nx).min(self.config.max_levels);
+        self.compress_into(field, bound, &mut MgardScratch::new())
+    }
 
-        // Forward multilevel decomposition: `coeffs` holds residuals at fine
-        // nodes and raw values at the coarsest nodes.
-        let coeffs = decompose::forward(field, levels);
-
-        // Worst-case error accumulation is one quantization error per level
-        // plus one for the coarsest values, so split the budget evenly.
-        let bin = 2.0 * eb / (levels as f64 + 1.0);
-        let radius = i64::from(self.config.code_radius);
-
-        let mut codes: Vec<u32> = Vec::with_capacity(coeffs.len());
-        let mut exact: Vec<f64> = Vec::new();
-        for &c in coeffs.as_slice() {
-            let q = (c / bin).round();
-            if !q.is_finite() || q.abs() as i64 >= radius - 1 {
-                codes.push(0); // escape: exact value follows
-                exact.push(c);
-            } else {
-                // Shift by radius so 0 stays reserved for the escape code.
-                codes.push((q as i64 + radius) as u32);
-            }
-        }
-
-        let mut payload = Vec::new();
-        payload.extend_from_slice(MAGIC);
-        payload.extend_from_slice(&(ny as u64).to_le_bytes());
-        payload.extend_from_slice(&(nx as u64).to_le_bytes());
-        payload.extend_from_slice(&eb.to_le_bytes());
-        payload.extend_from_slice(&levels.to_le_bytes());
-        payload.extend_from_slice(&self.config.code_radius.to_le_bytes());
-        let huff = huffman_encode(&codes);
-        payload.extend_from_slice(&(huff.len() as u64).to_le_bytes());
-        payload.extend_from_slice(&huff);
-        payload.extend_from_slice(&(exact.len() as u64).to_le_bytes());
-        for v in &exact {
-            payload.extend_from_slice(&v.to_le_bytes());
-        }
-        Ok(lz77_compress(&payload))
+    fn compress_view_with(
+        &self,
+        field: &FieldView<'_>,
+        bound: ErrorBound,
+        scratch: &mut ScratchArena,
+    ) -> Result<Vec<u8>, CompressError> {
+        self.compress_into(field, bound, scratch.get_or_default::<MgardScratch>())
     }
 
     fn decompress_field(&self, stream: &[u8]) -> Result<Field2D, CompressError> {

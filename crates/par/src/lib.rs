@@ -112,17 +112,36 @@ where
 }
 
 /// Parallel indexed map with an explicit thread configuration.
+pub fn parallel_map_indexed_with<T, U, F>(config: ThreadPoolConfig, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    parallel_map_with_state(config, items, || (), |(), i, item| f(i, item))
+}
+
+/// Parallel, order-preserving map where every worker thread owns a mutable
+/// state built by `init` and passed to each of its `f` calls — the hook the
+/// sweep scheduler uses to hand each worker one reusable scratch arena for
+/// all the work items it drains.
 ///
 /// Each worker claims indices from a shared atomic cursor (best load balance
 /// for heterogeneous item costs) and appends `(index, result)` pairs to its
 /// own buffer; the per-thread buffers are stitched back into input order at
 /// the end. No per-element locking: a million-element map allocates worker
 /// buffers and one output vector, not a million mutexes.
-pub fn parallel_map_indexed_with<T, U, F>(config: ThreadPoolConfig, items: &[T], f: F) -> Vec<U>
+pub fn parallel_map_with_state<T, U, S, I, F>(
+    config: ThreadPoolConfig,
+    items: &[T],
+    init: I,
+    f: F,
+) -> Vec<U>
 where
     T: Sync,
     U: Send,
-    F: Fn(usize, &T) -> U + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
 {
     let n = items.len();
     if n == 0 {
@@ -130,23 +149,26 @@ where
     }
     let threads = config.threads().min(n);
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        let mut state = init();
+        return items.iter().enumerate().map(|(i, item)| f(&mut state, i, item)).collect();
     }
 
     let cursor = AtomicUsize::new(0);
+    let init = &init;
     let f = &f;
     let cursor = &cursor;
     let per_thread: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(move || {
+                    let mut state = init();
                     let mut local: Vec<(usize, U)> = Vec::with_capacity(n / threads + 1);
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i, &items[i])));
+                        local.push((i, f(&mut state, i, &items[i])));
                     }
                     local
                 })
@@ -303,6 +325,46 @@ mod tests {
             x + i as f64
         });
         assert_eq!(out, vec![10.0, 21.0, 32.0]);
+    }
+
+    #[test]
+    fn per_worker_state_is_created_once_per_thread_and_reused() {
+        // Each worker's state counts the items it processed; the total must
+        // cover every item exactly once, and no worker may observe a fresh
+        // state mid-run (monotonically growing per-item counter).
+        let items: Vec<usize> = (0..10_000).collect();
+        let out = parallel_map_with_state(
+            ThreadPoolConfig::with_threads(4),
+            &items,
+            || 0usize,
+            |seen, i, &x| {
+                *seen += 1;
+                (x, *seen, i)
+            },
+        );
+        assert_eq!(out.len(), items.len());
+        let total: usize = out.iter().filter(|&&(_, seen, _)| seen == 1).count();
+        assert!(total <= 4, "at most one state reset per worker thread");
+        for (k, &(x, seen, i)) in out.iter().enumerate() {
+            assert_eq!(x, k);
+            assert_eq!(i, k);
+            assert!(seen >= 1);
+        }
+    }
+
+    #[test]
+    fn with_state_single_thread_path_reuses_one_state() {
+        let items = vec![5, 6, 7];
+        let out = parallel_map_with_state(
+            ThreadPoolConfig::with_threads(1),
+            &items,
+            || 100usize,
+            |acc, _, &x| {
+                *acc += x;
+                *acc
+            },
+        );
+        assert_eq!(out, vec![105, 111, 118]);
     }
 
     #[test]

@@ -19,10 +19,12 @@
 pub mod bound;
 pub mod metrics;
 pub mod registry;
+pub mod scratch;
 
 pub use bound::ErrorBound;
 pub use metrics::Metrics;
 pub use registry::{CompressorInfo, Registry};
+pub use scratch::ScratchArena;
 
 use lcc_grid::{Field2D, FieldView};
 
@@ -92,6 +94,25 @@ pub trait Compressor: Send + Sync {
         self.compress_view(&field.view(), bound)
     }
 
+    /// [`Compressor::compress_view`] with caller-owned scratch memory.
+    ///
+    /// Implementations that support buffer reuse override this to pull
+    /// their scratch state out of `scratch` (via
+    /// [`ScratchArena::get_or_default`]) and run allocation-free; the
+    /// produced stream must be **byte-identical** to
+    /// [`Compressor::compress_view`]'s. The default implementation ignores
+    /// the arena and allocates fresh, so external implementations keep
+    /// working unchanged.
+    fn compress_view_with(
+        &self,
+        view: &FieldView<'_>,
+        bound: ErrorBound,
+        scratch: &mut ScratchArena,
+    ) -> Result<Vec<u8>, CompressError> {
+        let _ = scratch;
+        self.compress_view(view, bound)
+    }
+
     /// Reconstruct a field from a stream produced by
     /// [`Compressor::compress_view`] / [`Compressor::compress_field`].
     fn decompress_field(&self, stream: &[u8]) -> Result<Field2D, CompressError>;
@@ -104,7 +125,19 @@ pub trait Compressor: Send + Sync {
         view: &FieldView<'_>,
         bound: ErrorBound,
     ) -> Result<CompressionResult, CompressError> {
-        let stream = self.compress_view(view, bound)?;
+        self.compress_measured_with(view, bound, &mut ScratchArena::new())
+    }
+
+    /// [`Compressor::compress_measured`] with caller-owned scratch memory —
+    /// what each sweep worker runs per (field, compressor, bound) cell,
+    /// reusing one arena across all its work items.
+    fn compress_measured_with(
+        &self,
+        view: &FieldView<'_>,
+        bound: ErrorBound,
+        scratch: &mut ScratchArena,
+    ) -> Result<CompressionResult, CompressError> {
+        let stream = self.compress_view_with(view, bound, scratch)?;
         let reconstruction = self.decompress_field(&stream)?;
         let metrics = Metrics::compare_view(view, &reconstruction, stream.len());
         Ok(CompressionResult { stream, reconstruction, metrics })
@@ -125,9 +158,10 @@ pub fn validate_finite(field: &Field2D) -> Result<(), CompressError> {
     validate_finite_view(&field.view())
 }
 
-/// [`validate_finite`] for a borrowed view.
+/// [`validate_finite`] for a borrowed view. Scans whole rows so the check
+/// vectorizes (it runs at the head of every compress call).
 pub fn validate_finite_view(view: &FieldView<'_>) -> Result<(), CompressError> {
-    if view.iter().all(|v| v.is_finite()) {
+    if view.rows().all(|row| row.iter().all(|v| v.is_finite())) {
         Ok(())
     } else {
         Err(CompressError::InvalidInput("field contains non-finite values".into()))
@@ -186,6 +220,24 @@ mod tests {
         // Stored stream has a 16-byte header, so the ratio is slightly below 1.
         assert!(result.metrics.compression_ratio < 1.0);
         assert!(result.metrics.compression_ratio > 0.9);
+    }
+
+    #[test]
+    fn default_scratch_entry_points_fall_back_to_fresh_allocation() {
+        // A compressor that doesn't override compress_view_with must behave
+        // identically through the scratch entry points (and leave the arena
+        // untouched).
+        let field = Field2D::from_fn(6, 5, |i, j| (i + 2 * j) as f64);
+        let c = StoreCompressor;
+        let mut arena = ScratchArena::new();
+        let bound = ErrorBound::Absolute(1.0);
+        let direct = c.compress_view(&field.view(), bound).unwrap();
+        let with = c.compress_view_with(&field.view(), bound, &mut arena).unwrap();
+        assert_eq!(direct, with);
+        let measured = c.compress_measured_with(&field.view(), bound, &mut arena).unwrap();
+        assert_eq!(measured.reconstruction, field);
+        assert_eq!(measured.stream, direct);
+        assert!(arena.is_empty(), "default impls do not touch the arena");
     }
 
     #[test]

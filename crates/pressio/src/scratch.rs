@@ -1,0 +1,82 @@
+//! Type-erased reusable working memory for compressors.
+//!
+//! The sweep scheduler drives *different* compressors from the same worker
+//! thread, and each compressor family has its own scratch layout (SZ reuses
+//! quantization-code and reconstruction buffers, ZFP a bit writer, MGARD a
+//! coefficient field — each embedding a `lcc_lossless::CodecScratch`). A
+//! [`ScratchArena`] holds one instance of each compressor's scratch type,
+//! keyed by [`TypeId`], so a worker owns exactly one arena and every
+//! compressor it runs finds its buffers there.
+//!
+//! Ownership rule: the arena (and therefore the worker thread) owns the
+//! memory; compressors only borrow it for the duration of one
+//! [`Compressor::compress_view_with`](crate::Compressor::compress_view_with)
+//! call and must leave their scratch reusable (cleared, not shrunk).
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+
+/// A heterogeneous bag of reusable scratch states, one per type.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    slots: HashMap<TypeId, Box<dyn Any + Send>>,
+}
+
+impl ScratchArena {
+    /// Create an empty arena; scratch states materialize on first use.
+    pub fn new() -> Self {
+        ScratchArena::default()
+    }
+
+    /// The arena's instance of `T`, default-created on first request.
+    pub fn get_or_default<T: Any + Send + Default>(&mut self) -> &mut T {
+        self.slots
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::<T>::default())
+            .downcast_mut::<T>()
+            .expect("slot is keyed by TypeId")
+    }
+
+    /// Number of distinct scratch types materialized so far.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no scratch state has been materialized.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct SzLike {
+        codes: Vec<u32>,
+    }
+
+    #[derive(Default)]
+    struct ZfpLike {
+        bits: Vec<u8>,
+    }
+
+    #[test]
+    fn arena_hands_out_one_persistent_instance_per_type() {
+        let mut arena = ScratchArena::new();
+        assert!(arena.is_empty());
+        arena.get_or_default::<SzLike>().codes.push(7);
+        arena.get_or_default::<ZfpLike>().bits.push(1);
+        // Same instance on the next request: state persists.
+        assert_eq!(arena.get_or_default::<SzLike>().codes, vec![7]);
+        assert_eq!(arena.get_or_default::<ZfpLike>().bits, vec![1]);
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn arena_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ScratchArena>();
+    }
+}

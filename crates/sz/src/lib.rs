@@ -35,9 +35,11 @@ pub mod quantize;
 pub mod stream;
 
 use lcc_grid::{Field2D, FieldView, WindowIter};
-use lcc_lossless::{huffman_decode, huffman_encode, lz77_compress, lz77_decompress};
-use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound};
-use predictor::{fit_block_plane, lorenzo_predict, plane_predict, BlockMode};
+use lcc_lossless::{
+    huffman_decode, huffman_encode_with, lz77_compress_with, lz77_decompress, CodecScratch,
+};
+use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound, ScratchArena};
+use predictor::{lorenzo_predict, plane_predict, BlockMode};
 use quantize::Quantizer;
 use stream::{StreamReader, StreamWriter};
 
@@ -86,6 +88,192 @@ impl SzCompressor {
 
 const MAGIC: &[u8; 4] = b"LSZ1";
 
+/// Reusable working memory of the SZ compress path: one instance per sweep
+/// worker (held in a [`ScratchArena`]) turns every per-call allocation —
+/// reconstruction, code/exact buffers, block metadata, the assembled
+/// payload, and the Huffman/LZ77 internals — into a cleared-not-freed reuse.
+#[derive(Debug, Default)]
+pub struct SzScratch {
+    /// Huffman + LZ77 working memory.
+    codec: CodecScratch,
+    /// Row-major reconstruction buffer. Never zeroed: the block scan writes
+    /// every cell before any predictor reads it (Lorenzo only looks at
+    /// already-visited neighbours and treats the field boundary as zero
+    /// explicitly), so stale values from a previous call are never read.
+    recon: Vec<f64>,
+    /// Quantization code per cell.
+    codes: Vec<u32>,
+    /// Exactly-stored values (quantizer escapes).
+    exact: Vec<f64>,
+    /// Predictor choice per block.
+    modes: Vec<BlockMode>,
+    /// Regression coefficients for regression blocks.
+    planes: Vec<[f64; 3]>,
+    /// Encoded Huffman section.
+    huff: Vec<u8>,
+    /// Assembled container payload (input of the final LZ77 pass).
+    payload: StreamWriter,
+}
+
+impl SzScratch {
+    /// Create an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SzScratch::default()
+    }
+}
+
+/// Quantize one cell into the code/exact streams and the reconstruction
+/// slot — the shared tail of the specialized predictor loops.
+#[inline(always)]
+fn quantize_cell(
+    quantizer: &Quantizer,
+    original: f64,
+    prediction: f64,
+    codes: &mut Vec<u32>,
+    exact: &mut Vec<f64>,
+    slot: &mut f64,
+) {
+    match quantizer.quantize(original, prediction) {
+        Some((code, reconstructed)) => {
+            codes.push(code);
+            *slot = reconstructed;
+        }
+        None => {
+            codes.push(quantize::UNPREDICTABLE);
+            exact.push(original);
+            *slot = original;
+        }
+    }
+}
+
+impl SzCompressor {
+    /// The compress pipeline over explicit scratch memory. Byte-identical to
+    /// [`Compressor::compress_view`] (which calls this with fresh scratch).
+    fn compress_into(
+        &self,
+        field: &FieldView<'_>,
+        bound: ErrorBound,
+        s: &mut SzScratch,
+    ) -> Result<Vec<u8>, CompressError> {
+        validate_finite_view(field)?;
+        let eb = bound.absolute_for_view(field)?;
+        let (ny, nx) = field.shape();
+        let bs = self.config.block_size;
+        let quantizer = Quantizer::new(eb, self.config.quantization_radius);
+
+        // Reconstruction buffer: predictions always read reconstructed values
+        // so the decompressor sees the same inputs.
+        s.recon.resize(ny * nx, 0.0);
+        s.codes.clear();
+        s.codes.reserve(ny * nx);
+        s.exact.clear();
+        s.modes.clear();
+        s.planes.clear();
+
+        for win in WindowIter::over(ny, nx, bs, bs) {
+            // Choose the predictor for this block from the original data
+            // (the selection pass already fits the plane, so regression
+            // blocks reuse it instead of fitting twice).
+            let plane = if self.config.enable_regression {
+                let (mode, p) = predictor::select_mode_with_plane(field, &win);
+                s.modes.push(mode);
+                match mode {
+                    BlockMode::Regression => {
+                        s.planes.push(p);
+                        Some(p)
+                    }
+                    BlockMode::Lorenzo => None,
+                }
+            } else {
+                s.modes.push(BlockMode::Lorenzo);
+                None
+            };
+
+            for i in win.i0..win.i0 + win.height {
+                let orig_row = field.row(i);
+                // Split the reconstruction at row `i` so the already-written
+                // row above is readable while this row is written.
+                let (above, current) = s.recon.split_at_mut(i * nx);
+                let above_row: &[f64] = if i > 0 { &above[(i - 1) * nx..] } else { &[] };
+                let cur_row = &mut current[..nx];
+                // Specialized per-predictor row loops: the predictor is
+                // block-invariant, so the dispatch stays out of the cell
+                // path (the Lorenzo chain is serial through `quantize`; the
+                // plane loop is independent per cell).
+                match plane {
+                    Some(p) => {
+                        let di = i - win.i0;
+                        for j in win.j0..win.j0 + win.width {
+                            let original = orig_row[j];
+                            let prediction = plane_predict(&p, di, j - win.j0);
+                            quantize_cell(
+                                &quantizer,
+                                original,
+                                prediction,
+                                &mut s.codes,
+                                &mut s.exact,
+                                &mut cur_row[j],
+                            );
+                        }
+                    }
+                    None => {
+                        for j in win.j0..win.j0 + win.width {
+                            let original = orig_row[j];
+                            let up = if i > 0 { above_row[j] } else { 0.0 };
+                            let left = if j > 0 { cur_row[j - 1] } else { 0.0 };
+                            let diag = if i > 0 && j > 0 { above_row[j - 1] } else { 0.0 };
+                            quantize_cell(
+                                &quantizer,
+                                original,
+                                up + left - diag,
+                                &mut s.codes,
+                                &mut s.exact,
+                                &mut cur_row[j],
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Assemble the self-describing payload.
+        let w = &mut s.payload;
+        w.clear();
+        w.bytes(MAGIC);
+        w.u64(ny as u64);
+        w.u64(nx as u64);
+        w.f64(eb);
+        w.u32(self.config.block_size as u32);
+        w.u32(self.config.quantization_radius);
+        w.u64(s.modes.len() as u64);
+        for m in &s.modes {
+            w.u8(match m {
+                BlockMode::Lorenzo => 0,
+                BlockMode::Regression => 1,
+            });
+        }
+        w.u64(s.planes.len() as u64);
+        for p in &s.planes {
+            w.f64(p[0]);
+            w.f64(p[1]);
+            w.f64(p[2]);
+        }
+        s.huff.clear();
+        huffman_encode_with(&mut s.codec, &s.codes, &mut s.huff);
+        w.u64(s.huff.len() as u64);
+        w.bytes(&s.huff);
+        w.u64(s.exact.len() as u64);
+        for v in &s.exact {
+            w.f64(*v);
+        }
+
+        // Final lossless pass over the assembled payload (Zstd's role).
+        let mut out = Vec::new();
+        lz77_compress_with(&mut s.codec, s.payload.as_bytes(), &mut out);
+        Ok(out)
+    }
+}
+
 impl Compressor for SzCompressor {
     fn name(&self) -> &str {
         "sz"
@@ -100,90 +288,16 @@ impl Compressor for SzCompressor {
         field: &FieldView<'_>,
         bound: ErrorBound,
     ) -> Result<Vec<u8>, CompressError> {
-        validate_finite_view(field)?;
-        let eb = bound.absolute_for_view(field)?;
-        let (ny, nx) = field.shape();
-        let bs = self.config.block_size;
-        let quantizer = Quantizer::new(eb, self.config.quantization_radius);
+        self.compress_into(field, bound, &mut SzScratch::new())
+    }
 
-        // Reconstruction buffer: predictions always read reconstructed values
-        // so the decompressor sees the same inputs.
-        let mut recon = Field2D::zeros(ny, nx);
-        let mut codes: Vec<u32> = Vec::with_capacity(ny * nx);
-        let mut exact: Vec<f64> = Vec::new();
-        let mut modes: Vec<BlockMode> = Vec::new();
-        let mut plane_coeffs: Vec<[f64; 3]> = Vec::new();
-
-        for win in WindowIter::over(ny, nx, bs, bs) {
-            // Choose the predictor for this block from the original data.
-            let mode = if self.config.enable_regression {
-                predictor::select_mode(field, &win)
-            } else {
-                BlockMode::Lorenzo
-            };
-            modes.push(mode);
-            let plane = match mode {
-                BlockMode::Regression => {
-                    let p = fit_block_plane(field, &win);
-                    plane_coeffs.push(p);
-                    Some(p)
-                }
-                BlockMode::Lorenzo => None,
-            };
-
-            for i in win.i0..win.i0 + win.height {
-                for j in win.j0..win.j0 + win.width {
-                    let original = field.at(i, j);
-                    let prediction = match plane {
-                        Some(p) => plane_predict(&p, i - win.i0, j - win.j0),
-                        None => lorenzo_predict(&recon, i, j),
-                    };
-                    match quantizer.quantize(original, prediction) {
-                        Some((code, reconstructed)) => {
-                            codes.push(code);
-                            recon.set(i, j, reconstructed);
-                        }
-                        None => {
-                            codes.push(quantize::UNPREDICTABLE);
-                            exact.push(original);
-                            recon.set(i, j, original);
-                        }
-                    }
-                }
-            }
-        }
-
-        // Assemble the self-describing payload.
-        let mut w = StreamWriter::new();
-        w.bytes(MAGIC);
-        w.u64(ny as u64);
-        w.u64(nx as u64);
-        w.f64(eb);
-        w.u32(self.config.block_size as u32);
-        w.u32(self.config.quantization_radius);
-        w.u64(modes.len() as u64);
-        for m in &modes {
-            w.u8(match m {
-                BlockMode::Lorenzo => 0,
-                BlockMode::Regression => 1,
-            });
-        }
-        w.u64(plane_coeffs.len() as u64);
-        for p in &plane_coeffs {
-            w.f64(p[0]);
-            w.f64(p[1]);
-            w.f64(p[2]);
-        }
-        let huffman = huffman_encode(&codes);
-        w.u64(huffman.len() as u64);
-        w.bytes(&huffman);
-        w.u64(exact.len() as u64);
-        for v in &exact {
-            w.f64(*v);
-        }
-
-        // Final lossless pass over the assembled payload (Zstd's role).
-        Ok(lz77_compress(&w.into_bytes()))
+    fn compress_view_with(
+        &self,
+        field: &FieldView<'_>,
+        bound: ErrorBound,
+        scratch: &mut ScratchArena,
+    ) -> Result<Vec<u8>, CompressError> {
+        self.compress_into(field, bound, scratch.get_or_default::<SzScratch>())
     }
 
     fn decompress_field(&self, stream: &[u8]) -> Result<Field2D, CompressError> {

@@ -17,9 +17,19 @@ pub enum BlockMode {
 /// treated as zero (matching the behaviour at the field boundary in SZ).
 #[inline]
 pub fn lorenzo_predict(recon: &Field2D, i: usize, j: usize) -> f64 {
-    let up = if i > 0 { recon.at(i - 1, j) } else { 0.0 };
-    let left = if j > 0 { recon.at(i, j - 1) } else { 0.0 };
-    let diag = if i > 0 && j > 0 { recon.at(i - 1, j - 1) } else { 0.0 };
+    lorenzo_predict_flat(recon.as_slice(), recon.nx(), i, j)
+}
+
+/// [`lorenzo_predict`] over a bare row-major buffer. The reference form of
+/// the predictor: the decompressor uses it (through [`lorenzo_predict`]),
+/// while the encoder's specialized row loop in `lcc_sz::SzCompressor`
+/// inlines the same `up + left − diag` arithmetic over split row slices —
+/// change both together (the byte-identity fixtures will catch a mismatch).
+#[inline]
+pub fn lorenzo_predict_flat(recon: &[f64], nx: usize, i: usize, j: usize) -> f64 {
+    let up = if i > 0 { recon[(i - 1) * nx + j] } else { 0.0 };
+    let left = if j > 0 { recon[i * nx + j - 1] } else { 0.0 };
+    let diag = if i > 0 && j > 0 { recon[(i - 1) * nx + j - 1] } else { 0.0 };
     up + left - diag
 }
 
@@ -51,8 +61,9 @@ pub fn fit_block_plane(field: &FieldView<'_>, win: &Window) -> [f64; 3] {
     let mut s_iv = 0.0;
     let mut s_jv = 0.0;
     for di in 0..win.height {
+        let row = field.row(win.i0 + di);
         for dj in 0..win.width {
-            let v = field.at(win.i0 + di, win.j0 + dj);
+            let v = row[win.j0 + dj];
             s_v += v;
             s_iv += v * di as f64;
             s_jv += v * dj as f64;
@@ -110,26 +121,33 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
 /// original (not reconstructed) values for the estimate is the same
 /// approximation the reference implementation makes.
 pub fn select_mode(field: &FieldView<'_>, win: &Window) -> BlockMode {
+    select_mode_with_plane(field, win).0
+}
+
+/// [`select_mode`] that also returns the plane it fitted for the
+/// comparison, so the encoder of a regression block need not fit it twice.
+/// The decision and coefficients are identical to calling [`select_mode`]
+/// and [`fit_block_plane`] separately.
+pub fn select_mode_with_plane(field: &FieldView<'_>, win: &Window) -> (BlockMode, [f64; 3]) {
     let plane = fit_block_plane(field, win);
     let mut lorenzo_err = 0.0;
     let mut plane_err = 0.0;
     for di in 0..win.height {
+        let i = win.i0 + di;
+        let row = field.row(i);
+        let prev = if i > 0 { field.row(i - 1) } else { &[] as &[f64] };
         for dj in 0..win.width {
-            let i = win.i0 + di;
             let j = win.j0 + dj;
-            let v = field.at(i, j);
-            let up = if i > 0 { field.at(i - 1, j) } else { 0.0 };
-            let left = if j > 0 { field.at(i, j - 1) } else { 0.0 };
-            let diag = if i > 0 && j > 0 { field.at(i - 1, j - 1) } else { 0.0 };
+            let v = row[j];
+            let up = if i > 0 { prev[j] } else { 0.0 };
+            let left = if j > 0 { row[j - 1] } else { 0.0 };
+            let diag = if i > 0 && j > 0 { prev[j - 1] } else { 0.0 };
             lorenzo_err += (v - (up + left - diag)).abs();
             plane_err += (v - plane_predict(&plane, di, dj)).abs();
         }
     }
-    if plane_err < lorenzo_err {
-        BlockMode::Regression
-    } else {
-        BlockMode::Lorenzo
-    }
+    let mode = if plane_err < lorenzo_err { BlockMode::Regression } else { BlockMode::Lorenzo };
+    (mode, plane)
 }
 
 #[cfg(test)]

@@ -50,6 +50,16 @@ impl StreamWriter {
         self.buf.is_empty()
     }
 
+    /// Forget everything written but keep the allocation (scratch reuse).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Finish and return the buffer.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -114,6 +124,16 @@ impl<'a> StreamReader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn clear_keeps_reusing_the_buffer() {
+        let mut w = StreamWriter::new();
+        w.u64(0xFFFF_FFFF_FFFF_FFFF);
+        w.clear();
+        assert!(w.is_empty());
+        w.u8(0x42);
+        assert_eq!(w.as_bytes(), &[0x42]);
+    }
 
     #[test]
     fn roundtrip_all_types() {

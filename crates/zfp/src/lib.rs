@@ -40,8 +40,8 @@ pub mod codec;
 pub mod transform;
 
 use lcc_grid::{Field2D, FieldView};
-use lcc_lossless::{lz77_compress, lz77_decompress, BitReader, BitWriter};
-use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound};
+use lcc_lossless::{lz77_compress_with, lz77_decompress, BitReader, BitWriter, CodecScratch};
+use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound, ScratchArena};
 
 /// Side length of a coding block (fixed at 4, as in ZFP's 2D mode).
 pub const BLOCK_DIM: usize = 4;
@@ -90,6 +90,67 @@ impl ZfpCompressor {
 
 const MAGIC: &[u8; 4] = b"LZF1";
 
+/// Reusable working memory of the ZFP compress path: the block bit stream
+/// accumulator plus the LZ77 state of the optional lossless pass. One
+/// instance per sweep worker, held in a [`ScratchArena`].
+#[derive(Debug, Default)]
+pub struct ZfpScratch {
+    writer: BitWriter,
+    codec: CodecScratch,
+}
+
+impl ZfpScratch {
+    /// Create an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ZfpScratch::default()
+    }
+}
+
+impl ZfpCompressor {
+    /// The compress pipeline over explicit scratch memory. Byte-identical to
+    /// [`Compressor::compress_view`] (which calls this with fresh scratch).
+    fn compress_into(
+        &self,
+        field: &FieldView<'_>,
+        bound: ErrorBound,
+        s: &mut ZfpScratch,
+    ) -> Result<Vec<u8>, CompressError> {
+        validate_finite_view(field)?;
+        let eb = bound.absolute_for_view(field)?;
+        let (ny, nx) = field.shape();
+
+        let writer = &mut s.writer;
+        writer.clear();
+        // Header (byte-aligned on purpose: written before any block bits).
+        for &b in MAGIC {
+            writer.write_byte(b);
+        }
+        writer.write_bits(ny as u64, 32);
+        writer.write_bits(nx as u64, 32);
+        writer.write_bits(eb.to_bits(), 64);
+        writer.write_bits(u64::from(self.config.precision_bits), 8);
+
+        for bi in (0..ny).step_by(BLOCK_DIM) {
+            for bj in (0..nx).step_by(BLOCK_DIM) {
+                let values = block::gather(field, bi, bj);
+                codec::encode_block(writer, &values, eb, self.config.precision_bits);
+            }
+        }
+
+        let bits = s.writer.as_bytes();
+        if self.config.lossless_pass {
+            let mut out = vec![1u8];
+            lz77_compress_with(&mut s.codec, bits, &mut out);
+            Ok(out)
+        } else {
+            let mut out = Vec::with_capacity(1 + bits.len());
+            out.push(0u8);
+            out.extend_from_slice(bits);
+            Ok(out)
+        }
+    }
+}
+
 impl Compressor for ZfpCompressor {
     fn name(&self) -> &str {
         "zfp"
@@ -104,37 +165,16 @@ impl Compressor for ZfpCompressor {
         field: &FieldView<'_>,
         bound: ErrorBound,
     ) -> Result<Vec<u8>, CompressError> {
-        validate_finite_view(field)?;
-        let eb = bound.absolute_for_view(field)?;
-        let (ny, nx) = field.shape();
+        self.compress_into(field, bound, &mut ZfpScratch::new())
+    }
 
-        let mut writer = BitWriter::new();
-        // Header (byte-aligned on purpose: written before any block bits).
-        for &b in MAGIC {
-            writer.write_byte(b);
-        }
-        writer.write_bits(ny as u64, 32);
-        writer.write_bits(nx as u64, 32);
-        writer.write_bits(eb.to_bits(), 64);
-        writer.write_bits(u64::from(self.config.precision_bits), 8);
-
-        for bi in (0..ny).step_by(BLOCK_DIM) {
-            for bj in (0..nx).step_by(BLOCK_DIM) {
-                let values = block::gather(field, bi, bj);
-                codec::encode_block(&mut writer, &values, eb, self.config.precision_bits);
-            }
-        }
-
-        let bits = writer.into_bytes();
-        if self.config.lossless_pass {
-            let mut out = vec![1u8];
-            out.extend_from_slice(&lz77_compress(&bits));
-            Ok(out)
-        } else {
-            let mut out = vec![0u8];
-            out.extend_from_slice(&bits);
-            Ok(out)
-        }
+    fn compress_view_with(
+        &self,
+        field: &FieldView<'_>,
+        bound: ErrorBound,
+        scratch: &mut ScratchArena,
+    ) -> Result<Vec<u8>, CompressError> {
+        self.compress_into(field, bound, scratch.get_or_default::<ZfpScratch>())
     }
 
     fn decompress_field(&self, stream: &[u8]) -> Result<Field2D, CompressError> {

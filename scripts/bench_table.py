@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Render a compact before/after perf table from two BENCH_sweep.json files.
+
+Usage: bench_table.py BASELINE.json CURRENT.json
+
+Emits GitHub-flavoured markdown: one table for per-compressor codec
+throughput (MB/s, with the after/before ratio) and one for stage wall
+times. CI pipes the output into $GITHUB_STEP_SUMMARY so perf regressions
+are visible at a glance; the committed baseline lives in
+benchmarks/BASELINE_sweep.json.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def ratio(before, after):
+    if before and after:
+        return f"{after / before:.2f}x"
+    return "n/a"
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    baseline, current = load(sys.argv[1]), load(sys.argv[2])
+
+    print(f"## Codec throughput — {current.get('label', '?')} (MB/s)")
+    print()
+    print("| compressor | compress before | compress after | ratio | "
+          "decompress before | decompress after | ratio |")
+    print("|---|---|---|---|---|---|---|")
+    base_tp = {t["compressor"]: t for t in baseline.get("throughput", [])}
+    for t in current.get("throughput", []):
+        b = base_tp.get(t["compressor"], {})
+        bc, ac = b.get("compress_mb_per_s"), t["compress_mb_per_s"]
+        bd, ad = b.get("decompress_mb_per_s"), t["decompress_mb_per_s"]
+        fmt = lambda v: f"{v:.1f}" if v is not None else "—"  # noqa: E731
+        print(f"| {t['compressor']} | {fmt(bc)} | {fmt(ac)} | {ratio(bc, ac)} "
+              f"| {fmt(bd)} | {fmt(ad)} | {ratio(bd, ad)} |")
+    print()
+
+    print("## Stage wall times (s)")
+    print()
+    print("| stage | before | after | speedup |")
+    print("|---|---|---|---|")
+    base_stages = {s["stage"]: s["seconds"] for s in baseline.get("stages", [])}
+    for s in current.get("stages", []):
+        b = base_stages.get(s["stage"])
+        before = f"{b:.3f}" if b is not None else "—"
+        speedup = f"{b / s['seconds']:.2f}x" if b and s["seconds"] else "n/a"
+        print(f"| {s['stage']} | {before} | {s['seconds']:.3f} | {speedup} |")
+    print()
+    print(f"Totals: {baseline.get('total_seconds', 0):.3f}s → "
+          f"{current.get('total_seconds', 0):.3f}s "
+          f"(baseline: committed PR 2 artifact)")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,15 @@
 //! stage timings to `target/BENCH_sweep.json` so every CI run leaves a perf
 //! trajectory behind (override the path with `LCC_BENCH_OUT`).
 
+//!
+//! The `slow-tests` feature additionally gates the **full paper-scale
+//! sweep** (1028×1028 fields × every registered compressor × the paper's
+//! bound grid) through the flat scheduler with per-worker codec scratch; it
+//! asserts the error-bound guarantee on every record and writes its stage
+//! timings to `target/BENCH_sweep_full.json` (override with
+//! `LCC_BENCH_FULL_OUT`; the default-suite statistics gate keeps its own
+//! file so concurrent tests never clobber each other's report).
+
 use lcc::core::benchreport::StageTimings;
 use lcc::core::statistics::{CorrelationStatistics, StatisticsConfig};
 use lcc::geostat::{local_range_std, local_svd_truncation_std, LocalStatConfig};
@@ -68,4 +77,64 @@ fn full_statistics_at_paper_scale_fit_the_default_suite() {
         compute_secs < 300.0,
         "paper-scale CorrelationStatistics::compute took {compute_secs:.1}s (budget 300s)"
     );
+}
+
+/// Full paper-scale sweep gate (the ROADMAP "next scale step"), minutes of
+/// work — `slow-tests` only.
+#[cfg(feature = "slow-tests")]
+mod full_sweep {
+    use lcc::core::benchreport::StageTimings;
+    use lcc::core::dataset::StudyDatasets;
+    use lcc::core::experiment::{run_sweep, SweepConfig};
+    use lcc::core::registry::default_registry;
+    use lcc::pressio::ErrorBound;
+
+    /// 1028×1028 fields across the study's range spread × all registered
+    /// compressors × the paper's four absolute bounds, scheduled through the
+    /// flat work-item queue (per-worker scratch arenas). Every record must
+    /// honour its bound; stage timings land in the perf-trajectory report.
+    #[test]
+    fn full_paper_scale_sweep_respects_bounds_and_writes_timings() {
+        let mut report = StageTimings::new("1028x1028-full-sweep");
+        // Paper-sized fields; two correlation ranges keep the slow suite in
+        // minutes while still spanning the smooth-vs-rough axis.
+        let datasets = StudyDatasets {
+            gaussian_size: 1028,
+            n_ranges: 2,
+            min_range: 4.0,
+            max_range: 24.0,
+            replicates: 1,
+            seed: 11,
+        };
+        let fields = report.time("generate_fields", || datasets.single_range_fields());
+        assert_eq!(fields.len(), 2);
+        for f in &fields {
+            assert_eq!(f.field.shape(), (1028, 1028));
+        }
+
+        let registry = default_registry();
+        let config = SweepConfig::default(); // the paper's four bounds
+        assert_eq!(config.bounds, ErrorBound::paper_bounds().to_vec());
+        let records = report.time("paper_scale_sweep", || {
+            run_sweep(&fields, &registry, &config).expect("paper-scale sweep completes")
+        });
+
+        assert_eq!(records.len(), fields.len() * registry.len() * config.bounds.len());
+        for r in &records {
+            let eb = r.bound.raw_epsilon();
+            assert!(
+                r.max_abs_error <= eb * 1.0000001,
+                "{} on {} at {eb}: max error {}",
+                r.compressor,
+                r.field_name,
+                r.max_abs_error
+            );
+            assert!(r.compression_ratio > 1.0, "{} ratio {}", r.compressor, r.compression_ratio);
+            assert!(r.statistics.global_range.is_finite() && r.statistics.global_range > 0.0);
+        }
+
+        let out = std::env::var("LCC_BENCH_FULL_OUT")
+            .unwrap_or_else(|_| "target/BENCH_sweep_full.json".to_string());
+        report.write(&out).expect("write BENCH_sweep_full.json");
+    }
 }

@@ -9,7 +9,8 @@
 
 use lcc::grid::{stats, Field2D};
 use lcc::lossless::{
-    huffman_decode, huffman_encode, lz77_compress, lz77_decompress, ByteCodec, HuffLzCodec,
+    huffman_decode, huffman_decode_with, huffman_encode, huffman_encode_with, lz77_compress,
+    lz77_compress_with, lz77_decompress, ByteCodec, CodecScratch, HuffLzCodec,
 };
 use lcc::mgard::MgardCompressor;
 use lcc::pressio::{Compressor, ErrorBound};
@@ -41,6 +42,71 @@ proptest! {
         let encoded = codec.encode(&data);
         let decoded = codec.decode(&encoded).expect("decode");
         prop_assert_eq!(decoded, data);
+    }
+
+    /// Degenerate alphabet: any symbol value, any multiplicity — the
+    /// explicitly documented n_distinct == 1 path (length-1 code, one
+    /// placeholder bit per symbol).
+    #[test]
+    fn huffman_single_symbol_alphabet_roundtrips(sym in any::<u32>(), count in 0usize..3000) {
+        let symbols = vec![sym; count];
+        let encoded = huffman_encode(&symbols);
+        let (decoded, used) = huffman_decode(&encoded).expect("decode");
+        prop_assert_eq!(decoded, symbols);
+        prop_assert_eq!(used, encoded.len());
+    }
+
+    /// Uniform draw over the full 2^16 alphabet: wide, flat histograms give
+    /// the deepest canonical codes the LUT decoder has to chain past.
+    #[test]
+    fn huffman_uniform_u16_alphabet_roundtrips(symbols in proptest::collection::vec(0u32..65_536, 0..6000)) {
+        let encoded = huffman_encode(&symbols);
+        let (decoded, used) = huffman_decode(&encoded).expect("decode");
+        prop_assert_eq!(decoded, symbols);
+        prop_assert_eq!(used, encoded.len());
+    }
+
+    /// Geometric skew (exponentially decaying symbol frequencies): produces
+    /// strongly unbalanced trees — short hot codes next to long cold ones,
+    /// both decoder paths in one stream.
+    #[test]
+    fn huffman_geometric_skew_roundtrips(seed in any::<u64>(), n in 0usize..8000, offset in 0u32..1000) {
+        let mut state = seed | 1;
+        let symbols: Vec<u32> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                offset + (state.trailing_zeros() % 20)
+            })
+            .collect();
+        let encoded = huffman_encode(&symbols);
+        let (decoded, used) = huffman_decode(&encoded).expect("decode");
+        prop_assert_eq!(decoded, symbols);
+        prop_assert_eq!(used, encoded.len());
+    }
+
+    /// The scratch-reusing entry points must emit the exact bytes of the
+    /// fresh-scratch wrappers on arbitrary inputs — the property behind the
+    /// fixture-pinned bit-identity suite in `crates/lossless/tests`.
+    #[test]
+    fn scratch_reuse_is_byte_identical_on_arbitrary_streams(
+        symbols in proptest::collection::vec(0u32..10_000, 0..4000),
+        bytes in proptest::collection::vec(any::<u8>(), 0..8000),
+    ) {
+        let mut scratch = CodecScratch::new();
+        let mut huff = Vec::new();
+        huffman_encode_with(&mut scratch, &symbols, &mut huff);
+        prop_assert_eq!(&huff, &huffman_encode(&symbols));
+        let mut decoded = Vec::new();
+        let used = huffman_decode_with(&mut scratch, &huff, &mut decoded).expect("decode");
+        prop_assert_eq!(decoded, symbols);
+        prop_assert_eq!(used, huff.len());
+
+        let mut lz = Vec::new();
+        lz77_compress_with(&mut scratch, &bytes, &mut lz);
+        prop_assert_eq!(&lz, &lz77_compress(&bytes));
+        prop_assert_eq!(lz77_decompress(&lz).expect("decode"), bytes);
     }
 
     #[test]
