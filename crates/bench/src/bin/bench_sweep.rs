@@ -4,8 +4,13 @@
 //!
 //! ```text
 //! cargo run --release -p lcc_bench --bin bench_sweep -- \
-//!     --size 1028 --sweep-size 256 --out target/bench
+//!     --size 1028 --sweep-size 256 --threads 4 --out target/bench
 //! ```
+//!
+//! `--threads N` pins the worker-pool width of the block-parallel framed
+//! codec stage and the flat sweep, so block-parallel scaling can be
+//! measured at fixed widths (`LCC_THREADS` in the environment does the
+//! same for every `ThreadPoolConfig::auto()` call in the process).
 
 use lcc_bench::CliOptions;
 use lcc_core::benchreport::{CodecThroughput, StageTimings};
@@ -15,7 +20,9 @@ use lcc_core::registry::default_registry;
 use lcc_core::statistics::{CorrelationStatistics, StatisticsConfig};
 use lcc_geostat::variogram::estimate_range;
 use lcc_geostat::{local_range_std, local_svd_truncation_std, LocalStatConfig};
-use lcc_pressio::{ErrorBound, ScratchArena};
+use lcc_grid::Field2D;
+use lcc_par::ThreadPoolConfig;
+use lcc_pressio::{frame, ErrorBound, FrameScratch, ScratchArena};
 use lcc_synth::{generate_single_range, GaussianFieldConfig};
 use std::time::Instant;
 
@@ -24,6 +31,12 @@ fn main() {
     let size = opts.get_usize("size", 1028);
     let sweep_size = opts.get_usize("sweep-size", 256);
     let seed = opts.get_u64("seed", 7);
+    let threads = opts.get_usize("threads", 0);
+    let pool = if threads > 0 {
+        ThreadPoolConfig::with_threads(threads)
+    } else {
+        ThreadPoolConfig::auto()
+    };
     let out_dir = opts.output_dir();
 
     let mut report = StageTimings::new(format!("{size}x{size}"));
@@ -53,6 +66,7 @@ fn main() {
     let megabytes = (field.len() * std::mem::size_of::<f64>()) as f64 / 1e6;
     let bound = ErrorBound::Absolute(1e-3);
     let mut arena = ScratchArena::new();
+    let mut recon = Field2D::zeros(1, 1);
     for compressor in registry.compressors() {
         let name = compressor.name().to_string();
         let mut compress_seconds = f64::MAX;
@@ -64,7 +78,9 @@ fn main() {
                 .expect("bench compressor succeeds");
             compress_seconds = compress_seconds.min(start.elapsed().as_secs_f64());
             let start = Instant::now();
-            let recon = compressor.decompress_field(&stream).expect("bench stream decodes");
+            compressor
+                .decompress_view_with(&stream, &mut arena, &mut recon)
+                .expect("bench stream decodes");
             decompress_seconds = decompress_seconds.min(start.elapsed().as_secs_f64());
             assert_eq!(recon.shape(), field.shape());
         }
@@ -72,6 +88,52 @@ fn main() {
         report.record(format!("decompress_{name}"), decompress_seconds);
         report.record_throughput(CodecThroughput {
             compressor: name,
+            megabytes,
+            compress_seconds,
+            decompress_seconds,
+        });
+    }
+
+    // Stage 2b: the same single-field codec work through the block-parallel
+    // framed container — the single-field *latency* number. The block count
+    // follows the pool width (one row band per worker at paper scale), the
+    // per-worker arenas live in one FrameScratch reused across reps, and
+    // the `<name>+framed` throughput rows land next to the single-stream
+    // rows so the block-parallel speedup is visible in the same table.
+    let blocks = frame::auto_block_count(field.ny(), field.nx(), pool.threads());
+    let mut frame_scratch = FrameScratch::new();
+    for compressor in registry.compressors() {
+        let name = compressor.name().to_string();
+        let mut compress_seconds = f64::MAX;
+        let mut decompress_seconds = f64::MAX;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let stream = frame::compress_framed_with(
+                compressor.as_ref(),
+                &field.view(),
+                bound,
+                blocks,
+                pool,
+                &mut frame_scratch,
+            )
+            .expect("framed compressor succeeds");
+            compress_seconds = compress_seconds.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            frame::decompress_framed_with(
+                compressor.as_ref(),
+                &stream,
+                pool,
+                &mut frame_scratch,
+                &mut recon,
+            )
+            .expect("framed stream decodes");
+            decompress_seconds = decompress_seconds.min(start.elapsed().as_secs_f64());
+            assert_eq!(recon.shape(), field.shape());
+        }
+        report.record(format!("compress_framed_{name}"), compress_seconds);
+        report.record(format!("decompress_framed_{name}"), decompress_seconds);
+        report.record_throughput(CodecThroughput {
+            compressor: format!("{name}+framed"),
             megabytes,
             compress_seconds,
             decompress_seconds,
@@ -89,11 +151,14 @@ fn main() {
         seed,
     };
     let fields = datasets.single_range_fields();
+    let sweep_config =
+        SweepConfig { threads: (threads > 0).then_some(threads), ..SweepConfig::default() };
     let records = report.time("flat_sweep_3_fields", || {
-        run_sweep(&fields, &registry, &SweepConfig::default()).expect("sweep completes")
+        run_sweep(&fields, &registry, &sweep_config).expect("sweep completes")
     });
 
     println!("bench_sweep: {size}x{size} field, sweep at {sweep_size}x{sweep_size}");
+    println!("  pool: {} threads, framed codec blocks: {blocks}", pool.threads());
     println!("  global variogram range: {:.3} (sill {:.3})", global.range, global.sill);
     println!("  local range std: {range_spread:.4}   local svd std: {svd_spread:.4}");
     for name in registry.names() {
@@ -102,6 +167,16 @@ fn main() {
                 "  {name}: compress {:.2} MB/s   decompress {:.2} MB/s",
                 t.compress_mb_per_s(),
                 t.decompress_mb_per_s()
+            );
+        }
+        let framed = format!("{name}+framed");
+        if let (Some(single), Some(t)) = (report.throughput(&name), report.throughput(&framed)) {
+            println!(
+                "  {framed}: compress {:.2} MB/s ({:.2}x)   decompress {:.2} MB/s ({:.2}x)",
+                t.compress_mb_per_s(),
+                t.compress_mb_per_s() / single.compress_mb_per_s().max(f64::MIN_POSITIVE),
+                t.decompress_mb_per_s(),
+                t.decompress_mb_per_s() / single.decompress_mb_per_s().max(f64::MIN_POSITIVE),
             );
         }
     }

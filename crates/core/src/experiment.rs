@@ -162,7 +162,9 @@ pub fn run_sweep(
     // Each worker thread owns one scratch arena for its whole share of the
     // queue: every compression cell it drains reuses the same codec buffers
     // (histogram, bit streams, hash chains, reconstruction) instead of
-    // reallocating them per cell.
+    // reallocating them per cell — in both directions, since
+    // `compress_measured_with` also decodes through the arena via
+    // `decompress_view_with`.
     let outputs =
         parallel_map_with_state(pool, &jobs, ScratchArena::new, |scratch, _, job| match job {
             SweepJob::Global { field } => {

@@ -68,6 +68,22 @@ impl Field2D {
         }
     }
 
+    /// Reshape this field to `ny × nx`, reusing the existing buffer
+    /// allocation where possible. The contents after a resize are
+    /// unspecified (a mix of stale values and zeros): this is the decode
+    /// counterpart of [`Field2D::copy_from_view`], for consumers that
+    /// overwrite every cell — the scratch-threaded decompressors resize
+    /// their caller's output field and then write the full grid.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn resize(&mut self, ny: usize, nx: usize) {
+        assert!(ny > 0 && nx > 0, "field dimensions must be non-zero");
+        self.ny = ny;
+        self.nx = nx;
+        self.data.resize(ny * nx, 0.0);
+    }
+
     /// Build a field by evaluating `f(i, j)` at every grid point.
     pub fn from_fn<F: FnMut(usize, usize) -> f64>(ny: usize, nx: usize, mut f: F) -> Self {
         let mut out = Field2D::zeros(ny, nx);
@@ -313,6 +329,31 @@ mod tests {
             assert_eq!(target, view.to_field());
         }
         assert_eq!(target.shape(), (6, 7));
+    }
+
+    #[test]
+    fn resize_reshapes_reusing_the_buffer() {
+        let mut f = ramp(4, 4);
+        f.resize(2, 9);
+        assert_eq!(f.shape(), (2, 9));
+        assert_eq!(f.len(), 18);
+        // Shrinking keeps the invariant data.len() == ny * nx.
+        f.resize(3, 2);
+        assert_eq!(f.as_slice().len(), 6);
+        // Contents are unspecified after resize; writing every cell is the
+        // contract, and reads must then see exactly what was written.
+        for i in 0..3 {
+            for j in 0..2 {
+                f.set(i, j, (i * 2 + j) as f64);
+            }
+        }
+        assert_eq!(f.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn resize_rejects_empty_dimensions() {
+        ramp(2, 2).resize(0, 4);
     }
 
     #[test]

@@ -77,13 +77,20 @@ fn forward_level(work: &mut Field2D, original: &FieldView<'_>, stride: usize, co
 /// Inverse decomposition: reconstruct a field from multilevel coefficients.
 pub fn inverse(coeffs: &Field2D, levels: u32) -> Field2D {
     let mut out = coeffs.clone();
+    inverse_inplace(&mut out, levels);
+    out
+}
+
+/// [`inverse`] operating directly on the coefficient field, so the
+/// scratch-threaded decompressor reconstructs in the caller's output buffer
+/// without an intermediate coefficient clone.
+pub fn inverse_inplace(out: &mut Field2D, levels: u32) {
     // Reconstruct from the coarsest level down to the finest.
     for level in (0..levels).rev() {
         let stride = 1usize << level;
         let coarse = stride * 2;
-        inverse_level(&mut out, stride, coarse);
+        inverse_level(out, stride, coarse);
     }
-    out
 }
 
 fn inverse_level(out: &mut Field2D, stride: usize, coarse: usize) {

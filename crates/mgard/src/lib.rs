@@ -37,7 +37,8 @@ pub mod decompose;
 
 use lcc_grid::{Field2D, FieldView};
 use lcc_lossless::{
-    huffman_decode, huffman_encode_with, lz77_compress_with, lz77_decompress, CodecScratch,
+    huffman_decode_with, huffman_encode_with, lz77_compress_with, lz77_decompress_into,
+    CodecScratch,
 };
 use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound, ScratchArena};
 
@@ -93,6 +94,8 @@ pub struct MgardScratch {
     exact: Vec<f64>,
     huff: Vec<u8>,
     payload: Vec<u8>,
+    /// Decode side: the LZ77-expanded container payload.
+    dec_payload: Vec<u8>,
 }
 
 impl MgardScratch {
@@ -188,12 +191,20 @@ impl Compressor for MgardCompressor {
         self.compress_into(field, bound, scratch.get_or_default::<MgardScratch>())
     }
 
-    fn decompress_field(&self, stream: &[u8]) -> Result<Field2D, CompressError> {
-        let payload = lz77_decompress(stream)
+    fn decompress_view_with(
+        &self,
+        stream: &[u8],
+        scratch: &mut ScratchArena,
+        out: &mut Field2D,
+    ) -> Result<(), CompressError> {
+        let s = scratch.get_or_default::<MgardScratch>();
+        lz77_decompress_into(stream, &mut s.dec_payload)
             .map_err(|e| CompressError::CorruptStream(format!("lz77: {e}")))?;
+        let payload: &[u8] = &s.dec_payload;
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8], CompressError> {
-            if payload.len() < *pos + n {
+            // Subtraction side: `*pos + n` could wrap for a forged length.
+            if payload.len().saturating_sub(*pos) < n {
                 return Err(CompressError::CorruptStream("truncated payload".into()));
             }
             let out = &payload[*pos..*pos + n];
@@ -209,38 +220,48 @@ impl Compressor for MgardCompressor {
         let eb = f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
         let levels = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
         let radius = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
-        if ny == 0 || nx == 0 || !eb.is_finite() || eb <= 0.0 || radius < 2 {
+        // `levels` drives `1usize << level` strides in the inverse pass;
+        // any real grid needs < 64, so larger claims are forged.
+        if ny == 0 || nx == 0 || !eb.is_finite() || eb <= 0.0 || radius < 2 || levels >= 64 {
             return Err(CompressError::CorruptStream("invalid header".into()));
         }
+        let cells = ny
+            .checked_mul(nx)
+            .ok_or_else(|| CompressError::CorruptStream("cell count overflows".into()))?;
         let huff_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
         let huff = take(&mut pos, huff_len)?;
-        let (codes, _) = huffman_decode(huff)
+        huffman_decode_with(&mut s.codec, huff, &mut s.codes)
             .map_err(|e| CompressError::CorruptStream(format!("huffman: {e}")))?;
-        if codes.len() != ny * nx {
+        if s.codes.len() != cells {
             return Err(CompressError::CorruptStream("code count mismatch".into()));
         }
         let n_exact = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
-        let mut exact = Vec::with_capacity(n_exact);
+        s.exact.clear();
+        s.exact.reserve(n_exact.min(payload.len().saturating_sub(pos) / 8));
         for _ in 0..n_exact {
-            exact.push(f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()));
+            s.exact.push(f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()));
         }
 
+        // Dequantize straight into the output field (every cell is written),
+        // then run the inverse decomposition in place — no intermediate
+        // coefficient allocation.
         let bin = 2.0 * eb / (levels as f64 + 1.0);
-        let mut exact_iter = exact.into_iter();
-        let mut coeffs = vec![0.0f64; ny * nx];
-        for (slot, code) in coeffs.iter_mut().zip(codes) {
+        out.resize(ny, nx);
+        let mut exact_idx = 0usize;
+        for (slot, &code) in out.as_mut_slice().iter_mut().zip(&s.codes) {
             if code == 0 {
-                *slot = exact_iter.next().ok_or_else(|| {
-                    CompressError::CorruptStream("missing exact coefficient".into())
-                })?;
+                if exact_idx >= s.exact.len() {
+                    return Err(CompressError::CorruptStream("missing exact coefficient".into()));
+                }
+                *slot = s.exact[exact_idx];
+                exact_idx += 1;
             } else {
                 let q = i64::from(code) - i64::from(radius);
                 *slot = q as f64 * bin;
             }
         }
-        let coeff_field = Field2D::from_vec(ny, nx, coeffs)
-            .map_err(|e| CompressError::CorruptStream(e.to_string()))?;
-        Ok(decompose::inverse(&coeff_field, levels))
+        decompose::inverse_inplace(out, levels);
+        Ok(())
     }
 }
 
@@ -328,6 +349,38 @@ mod tests {
         let good = mgard.compress_field(&smooth(32, 32), ErrorBound::Absolute(1e-3)).unwrap();
         assert!(mgard.decompress_field(&good[..good.len() / 2]).is_err());
         assert!(mgard.decompress_field(&[]).is_err());
+    }
+
+    /// Forge an MGARD container around the given header fields and run it
+    /// through the decoder; must produce a CompressError, never a panic.
+    fn assert_forged_header_rejected(ny: u64, nx: u64, levels: u32, huff_len: u64) {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(MAGIC);
+        payload.extend_from_slice(&ny.to_le_bytes());
+        payload.extend_from_slice(&nx.to_le_bytes());
+        payload.extend_from_slice(&1e-3f64.to_le_bytes());
+        payload.extend_from_slice(&levels.to_le_bytes());
+        payload.extend_from_slice(&(1u32 << 30).to_le_bytes()); // radius
+        payload.extend_from_slice(&huff_len.to_le_bytes());
+        let stream = lcc_lossless::lz77_compress(&payload);
+        assert!(
+            matches!(
+                MgardCompressor::default().decompress_field(&stream),
+                Err(CompressError::CorruptStream(_))
+            ),
+            "ny={ny} nx={nx} levels={levels} huff_len={huff_len}"
+        );
+    }
+
+    #[test]
+    fn forged_headers_are_rejected_not_wrapped() {
+        // huff_len = u64::MAX used to wrap `*pos + n` in the bounds check
+        // (inverted slice range in release, add-overflow panic in debug).
+        assert_forged_header_rejected(4, 4, 2, u64::MAX);
+        // ny*nx wrapping to 0 used to slip past the code-count check.
+        assert_forged_header_rejected(1 << 32, 1 << 32, 2, 0);
+        // levels >= 64 used to shift-overflow in the inverse decomposition.
+        assert_forged_header_rejected(8, 8, 200, 0);
     }
 
     #[test]

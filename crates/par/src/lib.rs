@@ -185,6 +185,83 @@ where
     indexed.into_iter().map(|(_, value)| value).collect()
 }
 
+/// A work item waiting to be claimed by a worker, behind a take-once mutex.
+type TakeSlot<T> = Mutex<Option<T>>;
+
+/// Scoped block-map: drain owned work items across workers, each worker
+/// exclusively owning one of the caller-provided `states` for its entire
+/// share of the queue.
+///
+/// This is the primitive behind the block-parallel framed codec: the caller
+/// keeps a persistent pool of per-worker scratch states (arenas, reusable
+/// decode fields) alive *across* calls, and every invocation hands worker
+/// `w` the exclusive `&mut states[w]`. Items are claimed from an atomic
+/// cursor (good load balance when block costs differ, e.g. smooth vs rough
+/// row bands) and may own mutable borrows — the framed decoder passes each
+/// block its disjoint `&mut [f64]` slice of the output field. Results come
+/// back in item order.
+///
+/// Uses at most `min(config.threads(), states.len(), items.len())` workers.
+///
+/// # Panics
+/// Panics if `states` is empty while `items` is not.
+pub fn parallel_block_map<T, S, U, F>(
+    config: ThreadPoolConfig,
+    states: &mut [S],
+    items: Vec<T>,
+    f: F,
+) -> Vec<U>
+where
+    T: Send,
+    S: Send,
+    U: Send,
+    F: Fn(&mut S, usize, T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(!states.is_empty(), "at least one worker state is required");
+    let workers = config.threads().min(states.len()).min(n);
+    if workers <= 1 {
+        let state = &mut states[0];
+        return items.into_iter().enumerate().map(|(i, item)| f(state, i, item)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<TakeSlot<T>> = items.into_iter().map(|item| Mutex::new(Some(item))).collect();
+    let f = &f;
+    let cursor = &cursor;
+    let slots = &slots;
+    let per_worker: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = states[..workers]
+            .iter_mut()
+            .map(|state| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, U)> = Vec::with_capacity(n / workers + 1);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i].lock().take().expect("each item is taken exactly once");
+                        local.push((i, f(state, i, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    });
+
+    let mut indexed: Vec<(usize, U)> = Vec::with_capacity(n);
+    for buffer in per_worker {
+        indexed.extend(buffer);
+    }
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, value)| value).collect()
+}
+
 /// A chunk waiting to be claimed by a worker: its offset in the original
 /// slice plus the chunk itself, behind a take-once mutex.
 type ChunkSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
@@ -377,6 +454,102 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::Relaxed), 257);
         assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn block_map_uses_caller_states_and_preserves_order() {
+        // Four persistent states; every state the map touches must have been
+        // one of the caller's, and results must come back in item order.
+        let mut states = vec![0usize; 4];
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_block_map(
+            ThreadPoolConfig::with_threads(4),
+            &mut states,
+            items,
+            |seen, i, item| {
+                *seen += 1;
+                (i, item * 2)
+            },
+        );
+        for (k, &(i, doubled)) in out.iter().enumerate() {
+            assert_eq!(i, k);
+            assert_eq!(doubled, k * 2);
+        }
+        // Every item was processed by exactly one worker state.
+        assert_eq!(states.iter().sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn block_map_state_persists_across_calls() {
+        // The whole point of caller-owned states: a second call sees the
+        // counts left by the first (scratch reuse across framed codec calls).
+        let mut states = vec![0usize; 2];
+        for round in 1..=3 {
+            let _ = parallel_block_map(
+                ThreadPoolConfig::with_threads(2),
+                &mut states,
+                vec![(); 10],
+                |seen, _, ()| *seen += 1,
+            );
+            assert_eq!(states.iter().sum::<usize>(), 10 * round);
+        }
+    }
+
+    #[test]
+    fn block_map_items_may_own_mutable_borrows() {
+        // The framed decoder hands each block a disjoint &mut chunk of the
+        // output buffer; model that shape here.
+        let mut data = vec![0u64; 103];
+        let chunks: Vec<(usize, &mut [u64])> = {
+            let mut out = Vec::new();
+            let mut offset = 0;
+            let mut rest = data.as_mut_slice();
+            while !rest.is_empty() {
+                let take = 10.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                out.push((offset, head));
+                offset += take;
+                rest = tail;
+            }
+            out
+        };
+        let mut states = vec![(); 3];
+        parallel_block_map(
+            ThreadPoolConfig::with_threads(3),
+            &mut states,
+            chunks,
+            |(), _, (offset, chunk)| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = (offset + k) as u64;
+                }
+            },
+        );
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn block_map_empty_and_single_worker_paths() {
+        let mut states = vec![0u32; 1];
+        let out: Vec<u32> = parallel_block_map(
+            ThreadPoolConfig::with_threads(8),
+            &mut states,
+            Vec::<u32>::new(),
+            |_, _, x| x,
+        );
+        assert!(out.is_empty());
+        let out = parallel_block_map(
+            ThreadPoolConfig::with_threads(8),
+            &mut states,
+            vec![5u32, 6, 7],
+            |s, _, x| {
+                *s += 1;
+                x + 1
+            },
+        );
+        assert_eq!(out, vec![6, 7, 8]);
+        assert_eq!(states[0], 3, "one state bounds the map to one worker");
     }
 
     #[test]

@@ -1,0 +1,515 @@
+//! Block-parallel framed multi-block container.
+//!
+//! A single field normally compresses as one sequential stream, so the
+//! latency of serving one compressibility estimate is bound to one core.
+//! This module splits a [`FieldView`] into independent **row blocks**,
+//! encodes/decodes each block on its own worker (a [`lcc_par`] scoped block
+//! map with one persistent [`ScratchArena`] per worker), and concatenates
+//! the per-block streams as length-prefixed frames under a small versioned
+//! header — the same trick production SZ3/ZFP builds use to scale a single
+//! field across cores.
+//!
+//! ## Frame format (version 1)
+//!
+//! ```text
+//! offset  size        field
+//! 0       4           magic  b"LCCF"
+//! 4       1           version (currently 1)
+//! 5       8           ny  (u64 LE, total rows)
+//! 13      8           nx  (u64 LE, columns)
+//! 21      4           n_blocks (u32 LE, >= 2)
+//! 25      8*n_blocks  per-block compressed byte length (u64 LE each)
+//! …       …           the n_blocks compressed streams, concatenated
+//! ```
+//!
+//! Rows are split by [`lcc_par::split_ranges`]: block `b` covers a
+//! contiguous row range, every block is a self-describing stream of the
+//! *inner* compressor, and the block lengths must sum exactly to the bytes
+//! that follow the table.
+//!
+//! ## Version-0 passthrough
+//!
+//! A **single-block** "frame" is, by definition, the inner compressor's raw
+//! stream with no header at all — byte-identical to what
+//! [`Compressor::compress_view`] produces today, so every stream written
+//! before this container existed decodes through [`decompress_framed_with`]
+//! unchanged, and the bit-identity/stream-identity fixture suites pin the
+//! same bytes they always have. [`decompress_framed_with`] dispatches on the
+//! magic: no `LCCF` prefix means passthrough. The magic cannot collide with
+//! the inner codecs' streams (SZ/MGARD streams open with an LZ77 varint
+//! whose next byte is a token tag of `0x00`/`0x01`, never `b'C'`; ZFP
+//! streams open with a `0`/`1` container tag, never `b'L'`).
+//!
+//! Because each block is compressed as an independent field, a multi-block
+//! frame's decoded values are identical to decoding each block's stream on
+//! its own and stitching the rows — but not to the single-stream encoding of
+//! the whole field (predictors no longer see across block seams). The error
+//! bound still holds point-wise: it is enforced per block.
+
+use crate::{CompressError, Compressor, ErrorBound, ScratchArena};
+use lcc_grid::{Field2D, FieldView};
+use lcc_par::{parallel_block_map, split_ranges, ThreadPoolConfig};
+
+/// Magic prefix of a version-1 multi-block frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"LCCF";
+/// Current frame-format version byte.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Fixed header bytes before the block-length table.
+const HEADER_LEN: usize = 4 + 1 + 8 + 8 + 4;
+/// Smallest row count a block may cover before auto-splitting stops.
+const MIN_ROWS_PER_BLOCK: usize = 32;
+/// Smallest cell count a block may cover before auto-splitting stops
+/// (framing a 32×32 sweep window would be pure overhead).
+const MIN_CELLS_PER_BLOCK: usize = 1 << 16;
+/// Decode-side allocation guard: the most cells a frame header may claim
+/// per payload byte. Real streams sit orders of magnitude below this (a
+/// constant paper-scale field compresses to roughly 700 cells/byte), so the
+/// cap only trips on forged headers trying to turn a tiny stream into a
+/// huge `out` allocation.
+const MAX_CELLS_PER_STREAM_BYTE: usize = 1 << 16;
+
+/// Per-worker state of the framed codec, persistent across calls: one
+/// scratch arena (the inner compressor's buffers) plus one reusable decode
+/// field per worker. Hold one `FrameScratch` per serving thread and every
+/// framed compress/decompress through it is allocation-free in steady state
+/// apart from the output stream/field themselves.
+#[derive(Debug, Default)]
+pub struct FrameScratch {
+    workers: Vec<FrameWorker>,
+}
+
+#[derive(Debug, Default)]
+struct FrameWorker {
+    arena: ScratchArena,
+    /// Reusable per-block decode target (lazy: `Field2D` has no empty value).
+    block: Option<Field2D>,
+}
+
+impl FrameScratch {
+    /// Create an empty scratch; per-worker states materialize on first use.
+    pub fn new() -> Self {
+        FrameScratch::default()
+    }
+
+    /// The first `n` worker states, growing the pool if needed.
+    fn workers(&mut self, n: usize) -> &mut [FrameWorker] {
+        if self.workers.len() < n {
+            self.workers.resize_with(n, FrameWorker::default);
+        }
+        &mut self.workers[..n]
+    }
+}
+
+/// Number of row blocks a `ny × nx` field splits into on a pool of
+/// `threads` workers: one block per worker, clamped so no block goes below
+/// [`MIN_ROWS_PER_BLOCK`] rows or [`MIN_CELLS_PER_BLOCK`] cells. Paper-scale
+/// fields (1028×1028) split onto every core; sweep windows (32×32) stay
+/// single-block and therefore byte-identical to the unframed format.
+pub fn auto_block_count(ny: usize, nx: usize, threads: usize) -> usize {
+    let by_rows = ny / MIN_ROWS_PER_BLOCK;
+    let by_cells = ny.saturating_mul(nx) / MIN_CELLS_PER_BLOCK;
+    threads.min(by_rows).min(by_cells).max(1)
+}
+
+/// True when `stream` carries a version-1+ multi-block frame header (as
+/// opposed to a raw single stream of an inner compressor).
+pub fn is_framed(stream: &[u8]) -> bool {
+    stream.len() >= HEADER_LEN && stream[..4] == FRAME_MAGIC
+}
+
+/// Compress a view as a multi-block frame with an automatically chosen
+/// block count, fresh scratch, and the given pool width.
+pub fn compress_framed(
+    compressor: &dyn Compressor,
+    view: &FieldView<'_>,
+    bound: ErrorBound,
+    pool: ThreadPoolConfig,
+) -> Result<Vec<u8>, CompressError> {
+    let blocks = auto_block_count(view.ny(), view.nx(), pool.threads());
+    compress_framed_with(compressor, view, bound, blocks, pool, &mut FrameScratch::new())
+}
+
+/// Compress a view as a `blocks`-block frame, encoding blocks in parallel
+/// over `pool` with per-worker arenas from `scratch`.
+///
+/// `blocks` is clamped to the row count; a clamped-or-requested count of 1
+/// emits the inner compressor's raw stream (the version-0 passthrough), so
+/// single-block output is byte-identical to [`Compressor::compress_view`].
+/// The produced stream is independent of the pool width — only wall time
+/// changes with `pool`.
+pub fn compress_framed_with(
+    compressor: &dyn Compressor,
+    view: &FieldView<'_>,
+    bound: ErrorBound,
+    blocks: usize,
+    pool: ThreadPoolConfig,
+    scratch: &mut FrameScratch,
+) -> Result<Vec<u8>, CompressError> {
+    let (ny, nx) = view.shape();
+    let blocks = blocks.clamp(1, ny);
+    if blocks == 1 {
+        return compressor.compress_view_with(view, bound, &mut scratch.workers(1)[0].arena);
+    }
+
+    let ranges = split_ranges(ny, blocks);
+    let sub_views: Vec<FieldView<'_>> =
+        ranges.iter().map(|r| view.subview(r.start, 0, r.len(), nx)).collect();
+    let workers = scratch.workers(pool.threads().min(sub_views.len()));
+    let encoded: Vec<Result<Vec<u8>, CompressError>> =
+        parallel_block_map(pool, workers, sub_views, |worker, _, sub| {
+            compressor.compress_view_with(&sub, bound, &mut worker.arena)
+        });
+
+    let mut streams = Vec::with_capacity(encoded.len());
+    for result in encoded {
+        streams.push(result?);
+    }
+    let body: usize = streams.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(HEADER_LEN + 8 * streams.len() + body);
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(FRAME_VERSION);
+    out.extend_from_slice(&(ny as u64).to_le_bytes());
+    out.extend_from_slice(&(nx as u64).to_le_bytes());
+    out.extend_from_slice(&(streams.len() as u32).to_le_bytes());
+    for stream in &streams {
+        out.extend_from_slice(&(stream.len() as u64).to_le_bytes());
+    }
+    for stream in &streams {
+        out.extend_from_slice(stream);
+    }
+    Ok(out)
+}
+
+/// Decompress a (framed or raw) stream with fresh scratch, returning an
+/// owned field.
+pub fn decompress_framed(
+    compressor: &dyn Compressor,
+    stream: &[u8],
+    pool: ThreadPoolConfig,
+) -> Result<Field2D, CompressError> {
+    let mut out = Field2D::zeros(1, 1);
+    decompress_framed_with(compressor, stream, pool, &mut FrameScratch::new(), &mut out)?;
+    Ok(out)
+}
+
+/// Decompress a stream that may be a multi-block frame or a raw single
+/// stream, decoding blocks in parallel over `pool` with per-worker arenas
+/// and reusable block fields from `scratch`. `out` is resized to the decoded
+/// shape; raw streams pass straight through to
+/// [`Compressor::decompress_view_with`].
+///
+/// Frame validation is strict and allocates nothing proportional to claimed
+/// sizes before the claims are checked against the actual stream length:
+/// unknown version bytes, a block table that exceeds the remaining bytes,
+/// and block lengths that overflow or do not sum exactly to the remaining
+/// payload all return [`CompressError::CorruptStream`].
+pub fn decompress_framed_with(
+    compressor: &dyn Compressor,
+    stream: &[u8],
+    pool: ThreadPoolConfig,
+    scratch: &mut FrameScratch,
+    out: &mut Field2D,
+) -> Result<(), CompressError> {
+    if !is_framed(stream) {
+        return compressor.decompress_view_with(stream, &mut scratch.workers(1)[0].arena, out);
+    }
+    let corrupt = |msg: &str| CompressError::CorruptStream(format!("frame: {msg}"));
+    if stream[4] != FRAME_VERSION {
+        return Err(corrupt(&format!("unsupported version byte {}", stream[4])));
+    }
+    let ny = u64::from_le_bytes(stream[5..13].try_into().unwrap());
+    let nx = u64::from_le_bytes(stream[13..21].try_into().unwrap());
+    let n_blocks = u32::from_le_bytes(stream[21..25].try_into().unwrap()) as usize;
+    let ny = usize::try_from(ny).map_err(|_| corrupt("row count overflows usize"))?;
+    let nx = usize::try_from(nx).map_err(|_| corrupt("column count overflows usize"))?;
+    if ny == 0 || nx == 0 {
+        return Err(corrupt("empty field shape"));
+    }
+    if n_blocks < 2 || n_blocks > ny {
+        // The encoder never writes single-block frames (those are raw
+        // passthrough streams), so a framed header claiming < 2 blocks is
+        // corrupt by construction.
+        return Err(corrupt(&format!("block count {n_blocks} invalid for {ny} rows")));
+    }
+    // The table itself must fit before anything sized by it is allocated.
+    let rest = &stream[HEADER_LEN..];
+    let table_bytes = n_blocks
+        .checked_mul(8)
+        .filter(|&t| t <= rest.len())
+        .ok_or_else(|| corrupt(&format!("block table for {n_blocks} blocks exceeds stream")))?;
+    let (table, body) = rest.split_at(table_bytes);
+    let mut lengths = Vec::with_capacity(n_blocks);
+    let mut total = 0usize;
+    for entry in table.chunks_exact(8) {
+        let len = u64::from_le_bytes(entry.try_into().unwrap());
+        let len = usize::try_from(len).map_err(|_| corrupt("block length overflows usize"))?;
+        total = total.checked_add(len).ok_or_else(|| corrupt("block lengths overflow"))?;
+        lengths.push(len);
+    }
+    if total != body.len() {
+        return Err(corrupt(&format!(
+            "block lengths sum to {total} but {} payload bytes remain",
+            body.len()
+        )));
+    }
+    // Bound the output allocation by the actual payload: even a constant
+    // field costs the inner codecs well over one stream byte per 64 Ki
+    // cells, so a header claiming more is forged — reject it before
+    // `out.resize` turns the claim into memory.
+    let cells = ny.checked_mul(nx).ok_or_else(|| corrupt("cell count overflows usize"))?;
+    if cells > body.len().saturating_mul(MAX_CELLS_PER_STREAM_BYTE) {
+        return Err(corrupt(&format!(
+            "claimed {cells} cells exceed the plausible yield of {} payload bytes",
+            body.len()
+        )));
+    }
+
+    // Split the output rows and the payload bytes per block, then decode
+    // every block on its own worker: substream → the worker's reusable
+    // field (validated against the expected shape) → memcpy into the
+    // block's disjoint slice of `out`.
+    let ranges = split_ranges(ny, n_blocks);
+    out.resize(ny, nx);
+    let mut items: Vec<(usize, &[u8], &mut [f64])> = Vec::with_capacity(n_blocks);
+    {
+        let mut body = body;
+        let mut data = out.as_mut_slice();
+        for (range, &len) in ranges.iter().zip(&lengths) {
+            let (sub, body_rest) = body.split_at(len);
+            let (chunk, data_rest) = data.split_at_mut(range.len() * nx);
+            items.push((range.len(), sub, chunk));
+            body = body_rest;
+            data = data_rest;
+        }
+    }
+    let workers = scratch.workers(pool.threads().min(n_blocks));
+    let decoded: Vec<Result<(), CompressError>> =
+        parallel_block_map(pool, workers, items, |worker, b, (rows, sub, chunk)| {
+            let block = worker.block.get_or_insert_with(|| Field2D::zeros(1, 1));
+            compressor.decompress_view_with(sub, &mut worker.arena, block)?;
+            if block.shape() != (rows, nx) {
+                return Err(CompressError::CorruptStream(format!(
+                    "frame: block {b} decoded to {:?}, expected ({rows}, {nx})",
+                    block.shape()
+                )));
+            }
+            chunk.copy_from_slice(block.as_slice());
+            Ok(())
+        });
+    decoded.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Store-everything compressor over the trait's provided methods: good
+    /// enough to exercise the frame container without a real codec.
+    struct Store;
+
+    impl Compressor for Store {
+        fn name(&self) -> &str {
+            "store"
+        }
+
+        fn compress_view(
+            &self,
+            view: &FieldView<'_>,
+            bound: ErrorBound,
+        ) -> Result<Vec<u8>, CompressError> {
+            bound.absolute_for_view(view)?;
+            let mut out = Vec::new();
+            out.extend_from_slice(&(view.ny() as u32).to_le_bytes());
+            out.extend_from_slice(&(view.nx() as u32).to_le_bytes());
+            for v in view.iter() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Ok(out)
+        }
+
+        fn decompress_view_with(
+            &self,
+            stream: &[u8],
+            _scratch: &mut ScratchArena,
+            out: &mut Field2D,
+        ) -> Result<(), CompressError> {
+            if stream.len() < 8 {
+                return Err(CompressError::CorruptStream("short store header".into()));
+            }
+            let ny = u32::from_le_bytes(stream[0..4].try_into().unwrap()) as usize;
+            let nx = u32::from_le_bytes(stream[4..8].try_into().unwrap()) as usize;
+            if ny == 0 || nx == 0 || stream.len() != 8 + 8 * ny * nx {
+                return Err(CompressError::CorruptStream("bad store payload".into()));
+            }
+            out.resize(ny, nx);
+            for (slot, chunk) in out.as_mut_slice().iter_mut().zip(stream[8..].chunks_exact(8)) {
+                *slot = f64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            Ok(())
+        }
+    }
+
+    fn ramp(ny: usize, nx: usize) -> Field2D {
+        Field2D::from_fn(ny, nx, |i, j| (i * nx + j) as f64)
+    }
+
+    fn pool() -> ThreadPoolConfig {
+        ThreadPoolConfig::with_threads(3)
+    }
+
+    #[test]
+    fn single_block_is_the_raw_stream() {
+        let field = ramp(8, 5);
+        let bound = ErrorBound::Absolute(1.0);
+        let raw = Store.compress_view(&field.view(), bound).unwrap();
+        let framed =
+            compress_framed_with(&Store, &field.view(), bound, 1, pool(), &mut FrameScratch::new())
+                .unwrap();
+        assert_eq!(framed, raw, "version-0 passthrough must not add a header");
+        assert!(!is_framed(&framed));
+        assert_eq!(decompress_framed(&Store, &framed, pool()).unwrap(), field);
+    }
+
+    #[test]
+    fn multi_block_roundtrips_and_carries_the_header() {
+        let field = ramp(23, 7); // non-divisible row tail
+        let bound = ErrorBound::Absolute(1.0);
+        for blocks in 2..=8 {
+            let mut scratch = FrameScratch::new();
+            let framed =
+                compress_framed_with(&Store, &field.view(), bound, blocks, pool(), &mut scratch)
+                    .unwrap();
+            assert!(is_framed(&framed), "{blocks} blocks");
+            assert_eq!(framed[4], FRAME_VERSION);
+            let back = decompress_framed(&Store, &framed, pool()).unwrap();
+            assert_eq!(back, field, "{blocks} blocks");
+        }
+    }
+
+    #[test]
+    fn stream_is_independent_of_pool_width() {
+        let field = ramp(40, 6);
+        let bound = ErrorBound::Absolute(1.0);
+        let mut streams = Vec::new();
+        for threads in [1, 2, 5] {
+            streams.push(
+                compress_framed_with(
+                    &Store,
+                    &field.view(),
+                    bound,
+                    4,
+                    ThreadPoolConfig::with_threads(threads),
+                    &mut FrameScratch::new(),
+                )
+                .unwrap(),
+            );
+        }
+        assert_eq!(streams[0], streams[1]);
+        assert_eq!(streams[0], streams[2]);
+    }
+
+    #[test]
+    fn block_count_is_clamped_to_rows() {
+        let field = ramp(3, 9);
+        let framed = compress_framed_with(
+            &Store,
+            &field.view(),
+            ErrorBound::Absolute(1.0),
+            64,
+            pool(),
+            &mut FrameScratch::new(),
+        )
+        .unwrap();
+        let n_blocks = u32::from_le_bytes(framed[21..25].try_into().unwrap());
+        assert_eq!(n_blocks, 3);
+        assert_eq!(decompress_framed(&Store, &framed, pool()).unwrap(), field);
+    }
+
+    #[test]
+    fn auto_block_count_scales_with_size_and_pool() {
+        // Paper-scale field: one block per core (up to the cell floor).
+        assert_eq!(auto_block_count(1028, 1028, 4), 4);
+        assert_eq!(auto_block_count(1028, 1028, 64), 16);
+        // Sweep windows stay single-block.
+        assert_eq!(auto_block_count(32, 32, 8), 1);
+        assert_eq!(auto_block_count(256, 256, 8), 1);
+        // Degenerate shapes never exceed the row count.
+        assert_eq!(auto_block_count(1, 1_000_000, 8), 1);
+        assert_eq!(auto_block_count(1_000_000, 1, 8), 8);
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_stable() {
+        let field = ramp(33, 11);
+        let bound = ErrorBound::Absolute(1.0);
+        let mut scratch = FrameScratch::new();
+        let reference =
+            compress_framed_with(&Store, &field.view(), bound, 4, pool(), &mut scratch).unwrap();
+        let mut out = Field2D::zeros(1, 1);
+        for round in 0..5 {
+            let stream =
+                compress_framed_with(&Store, &field.view(), bound, 4, pool(), &mut scratch)
+                    .unwrap();
+            assert_eq!(stream, reference, "round {round}");
+            decompress_framed_with(&Store, &stream, pool(), &mut scratch, &mut out).unwrap();
+            assert_eq!(out, field, "round {round}");
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let field = ramp(24, 8);
+        let bound = ErrorBound::Absolute(1.0);
+        let good =
+            compress_framed_with(&Store, &field.view(), bound, 4, pool(), &mut FrameScratch::new())
+                .unwrap();
+
+        // Bad version byte.
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            decompress_framed(&Store, &bad, pool()),
+            Err(CompressError::CorruptStream(_))
+        ));
+
+        // Truncated frame table: a forged header claims 200 blocks but only
+        // a few table bytes follow — must fail before allocating anything
+        // sized by the claim.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&FRAME_MAGIC);
+        bad.push(FRAME_VERSION);
+        bad.extend_from_slice(&1000u64.to_le_bytes());
+        bad.extend_from_slice(&8u64.to_le_bytes());
+        bad.extend_from_slice(&200u32.to_le_bytes());
+        bad.extend_from_slice(&[0u8; 10]);
+        assert!(matches!(
+            decompress_framed(&Store, &bad, pool()),
+            Err(CompressError::CorruptStream(_))
+        ));
+
+        // Block count exceeding the row count.
+        let mut bad = good.clone();
+        bad[21..25].copy_from_slice(&100u32.to_le_bytes());
+        assert!(decompress_framed(&Store, &bad, pool()).is_err());
+
+        // Overflowing block length.
+        let mut bad = good.clone();
+        bad[25..33].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decompress_framed(&Store, &bad, pool()).is_err());
+
+        // Lengths that no longer sum to the payload.
+        let mut bad = good.clone();
+        let first = u64::from_le_bytes(bad[25..33].try_into().unwrap());
+        bad[25..33].copy_from_slice(&(first - 1).to_le_bytes());
+        assert!(decompress_framed(&Store, &bad, pool()).is_err());
+
+        // Truncated payload.
+        assert!(decompress_framed(&Store, &good[..good.len() - 3], pool()).is_err());
+
+        // Zero blocks.
+        let mut bad = good;
+        bad[21..25].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decompress_framed(&Store, &bad, pool()).is_err());
+    }
+}

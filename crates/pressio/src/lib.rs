@@ -17,11 +17,13 @@
 //!   the experiment driver and the Table I binary.
 
 pub mod bound;
+pub mod frame;
 pub mod metrics;
 pub mod registry;
 pub mod scratch;
 
 pub use bound::ErrorBound;
+pub use frame::{FrameScratch, FRAME_MAGIC, FRAME_VERSION};
 pub use metrics::Metrics;
 pub use registry::{CompressorInfo, Registry};
 pub use scratch::ScratchArena;
@@ -113,9 +115,31 @@ pub trait Compressor: Send + Sync {
         self.compress_view(view, bound)
     }
 
+    /// Reconstruct a stream into a caller-owned field using caller-owned
+    /// scratch memory — the primary decode entry point.
+    ///
+    /// Implementations resize `out` to the stream's shape and overwrite
+    /// every cell; their internal working memory (decoded payloads, symbol
+    /// buffers, coefficient workspaces) comes out of `scratch`, so
+    /// decode-heavy loops — the sweep's metric jobs, the framed multi-block
+    /// decoder — run allocation-free in steady state. The decoded values
+    /// must be identical to [`Compressor::decompress_field`]'s.
+    fn decompress_view_with(
+        &self,
+        stream: &[u8],
+        scratch: &mut ScratchArena,
+        out: &mut Field2D,
+    ) -> Result<(), CompressError>;
+
     /// Reconstruct a field from a stream produced by
-    /// [`Compressor::compress_view`] / [`Compressor::compress_field`].
-    fn decompress_field(&self, stream: &[u8]) -> Result<Field2D, CompressError>;
+    /// [`Compressor::compress_view`] / [`Compressor::compress_field`] —
+    /// compatibility wrapper over [`Compressor::decompress_view_with`] with
+    /// fresh scratch and a fresh output field.
+    fn decompress_field(&self, stream: &[u8]) -> Result<Field2D, CompressError> {
+        let mut out = Field2D::zeros(1, 1);
+        self.decompress_view_with(stream, &mut ScratchArena::new(), &mut out)?;
+        Ok(out)
+    }
 
     /// Compress, reconstruct, and measure a view in one call — the operation
     /// the experiment scheduler runs for every (field, compressor, bound)
@@ -130,7 +154,11 @@ pub trait Compressor: Send + Sync {
 
     /// [`Compressor::compress_measured`] with caller-owned scratch memory —
     /// what each sweep worker runs per (field, compressor, bound) cell,
-    /// reusing one arena across all its work items.
+    /// reusing one arena across all its work items. Both directions go
+    /// through the arena: the encode via
+    /// [`Compressor::compress_view_with`], the decode via
+    /// [`Compressor::decompress_view_with`] (only the returned
+    /// reconstruction itself is freshly allocated).
     fn compress_measured_with(
         &self,
         view: &FieldView<'_>,
@@ -138,7 +166,8 @@ pub trait Compressor: Send + Sync {
         scratch: &mut ScratchArena,
     ) -> Result<CompressionResult, CompressError> {
         let stream = self.compress_view_with(view, bound, scratch)?;
-        let reconstruction = self.decompress_field(&stream)?;
+        let mut reconstruction = Field2D::zeros(1, 1);
+        self.decompress_view_with(&stream, scratch, &mut reconstruction)?;
         let metrics = Metrics::compare_view(view, &reconstruction, stream.len());
         Ok(CompressionResult { stream, reconstruction, metrics })
     }
@@ -196,7 +225,12 @@ mod tests {
             Ok(out)
         }
 
-        fn decompress_field(&self, stream: &[u8]) -> Result<Field2D, CompressError> {
+        fn decompress_view_with(
+            &self,
+            stream: &[u8],
+            _scratch: &mut ScratchArena,
+            out: &mut Field2D,
+        ) -> Result<(), CompressError> {
             if stream.len() < 16 {
                 return Err(CompressError::CorruptStream("short header".into()));
             }
@@ -206,7 +240,9 @@ mod tests {
             for chunk in stream[16..].chunks_exact(8) {
                 data.push(f64::from_le_bytes(chunk.try_into().unwrap()));
             }
-            Field2D::from_vec(ny, nx, data).map_err(|e| CompressError::CorruptStream(e.to_string()))
+            *out = Field2D::from_vec(ny, nx, data)
+                .map_err(|e| CompressError::CorruptStream(e.to_string()))?;
+            Ok(())
         }
     }
 

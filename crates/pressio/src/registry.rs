@@ -102,8 +102,14 @@ mod tests {
         ) -> Result<Vec<u8>, CompressError> {
             Ok(vec![1, 2, 3])
         }
-        fn decompress_field(&self, _stream: &[u8]) -> Result<Field2D, CompressError> {
-            Ok(Field2D::zeros(1, 1))
+        fn decompress_view_with(
+            &self,
+            _stream: &[u8],
+            _scratch: &mut crate::ScratchArena,
+            out: &mut Field2D,
+        ) -> Result<(), CompressError> {
+            *out = Field2D::zeros(1, 1);
+            Ok(())
         }
     }
 

@@ -36,7 +36,8 @@ pub mod stream;
 
 use lcc_grid::{Field2D, FieldView, WindowIter};
 use lcc_lossless::{
-    huffman_decode, huffman_encode_with, lz77_compress_with, lz77_decompress, CodecScratch,
+    huffman_decode_with, huffman_encode_with, lz77_compress_with, lz77_decompress_into,
+    CodecScratch,
 };
 use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound, ScratchArena};
 use predictor::{lorenzo_predict, plane_predict, BlockMode};
@@ -113,6 +114,8 @@ pub struct SzScratch {
     huff: Vec<u8>,
     /// Assembled container payload (input of the final LZ77 pass).
     payload: StreamWriter,
+    /// Decode side: the LZ77-expanded container payload.
+    dec_payload: Vec<u8>,
 }
 
 impl SzScratch {
@@ -300,10 +303,16 @@ impl Compressor for SzCompressor {
         self.compress_into(field, bound, scratch.get_or_default::<SzScratch>())
     }
 
-    fn decompress_field(&self, stream: &[u8]) -> Result<Field2D, CompressError> {
-        let payload = lz77_decompress(stream)
+    fn decompress_view_with(
+        &self,
+        stream: &[u8],
+        scratch: &mut ScratchArena,
+        out: &mut Field2D,
+    ) -> Result<(), CompressError> {
+        let s = scratch.get_or_default::<SzScratch>();
+        lz77_decompress_into(stream, &mut s.dec_payload)
             .map_err(|e| CompressError::CorruptStream(format!("lz77: {e}")))?;
-        let mut r = StreamReader::new(&payload);
+        let mut r = StreamReader::new(&s.dec_payload);
         let magic = r.bytes(4)?;
         if magic != MAGIC {
             return Err(CompressError::CorruptStream("bad magic".into()));
@@ -316,12 +325,18 @@ impl Compressor for SzCompressor {
         if ny == 0 || nx == 0 || block_size < 2 {
             return Err(CompressError::CorruptStream("invalid header".into()));
         }
+        // Checked up front: a forged header must not wrap `ny * nx` (the
+        // cell-count comparison below and `out.resize` both rely on it).
+        let cells = ny
+            .checked_mul(nx)
+            .ok_or_else(|| CompressError::CorruptStream("cell count overflows".into()))?;
         let quantizer = Quantizer::new(eb, radius);
 
         let n_modes = r.u64()? as usize;
-        let mut modes = Vec::with_capacity(n_modes);
+        s.modes.clear();
+        s.modes.reserve(n_modes.min(r.remaining()));
         for _ in 0..n_modes {
-            modes.push(match r.u8()? {
+            s.modes.push(match r.u8()? {
                 0 => BlockMode::Lorenzo,
                 1 => BlockMode::Regression,
                 other => {
@@ -330,67 +345,74 @@ impl Compressor for SzCompressor {
             });
         }
         let n_planes = r.u64()? as usize;
-        let mut planes = Vec::with_capacity(n_planes);
+        s.planes.clear();
+        s.planes.reserve(n_planes.min(r.remaining() / 24));
         for _ in 0..n_planes {
-            planes.push([r.f64()?, r.f64()?, r.f64()?]);
+            s.planes.push([r.f64()?, r.f64()?, r.f64()?]);
         }
         let huff_len = r.u64()? as usize;
         let huff_bytes = r.bytes(huff_len)?;
-        let (codes, _) = huffman_decode(huff_bytes)
+        huffman_decode_with(&mut s.codec, huff_bytes, &mut s.codes)
             .map_err(|e| CompressError::CorruptStream(format!("huffman: {e}")))?;
-        if codes.len() != ny * nx {
+        if s.codes.len() != cells {
             return Err(CompressError::CorruptStream(format!(
-                "expected {} codes, found {}",
-                ny * nx,
-                codes.len()
+                "expected {cells} codes, found {}",
+                s.codes.len()
             )));
         }
         let n_exact = r.u64()? as usize;
-        let mut exact = Vec::with_capacity(n_exact);
+        s.exact.clear();
+        s.exact.reserve(n_exact.min(r.remaining() / 8));
         for _ in 0..n_exact {
-            exact.push(r.f64()?);
+            s.exact.push(r.f64()?);
         }
 
-        // Replay the prediction/quantization chain.
-        let mut recon = Field2D::zeros(ny, nx);
-        let mut code_iter = codes.into_iter();
-        let mut exact_iter = exact.into_iter();
-        let mut mode_iter = modes.into_iter();
-        let mut plane_iter = planes.into_iter();
+        // Replay the prediction/quantization chain. `resize` leaves stale
+        // contents, but the block scan writes every cell before any Lorenzo
+        // read touches it (the encoder's reconstruction buffer relies on the
+        // same invariant).
+        out.resize(ny, nx);
+        let mut code_idx = 0usize;
+        let mut exact_idx = 0usize;
+        let mut plane_idx = 0usize;
 
-        for win in WindowIter::over(ny, nx, block_size, block_size) {
-            let mode = mode_iter
-                .next()
-                .ok_or_else(|| CompressError::CorruptStream("missing block mode".into()))?;
+        for (mode_idx, win) in WindowIter::over(ny, nx, block_size, block_size).enumerate() {
+            if mode_idx >= s.modes.len() {
+                return Err(CompressError::CorruptStream("missing block mode".into()));
+            }
+            let mode = s.modes[mode_idx];
             let plane = match mode {
-                BlockMode::Regression => Some(
-                    plane_iter
-                        .next()
-                        .ok_or_else(|| CompressError::CorruptStream("missing plane".into()))?,
-                ),
+                BlockMode::Regression => {
+                    if plane_idx >= s.planes.len() {
+                        return Err(CompressError::CorruptStream("missing plane".into()));
+                    }
+                    plane_idx += 1;
+                    Some(s.planes[plane_idx - 1])
+                }
                 BlockMode::Lorenzo => None,
             };
             for i in win.i0..win.i0 + win.height {
                 for j in win.j0..win.j0 + win.width {
-                    let code = code_iter
-                        .next()
-                        .ok_or_else(|| CompressError::CorruptStream("missing code".into()))?;
+                    let code = s.codes[code_idx];
+                    code_idx += 1;
                     let value = if code == quantize::UNPREDICTABLE {
-                        exact_iter.next().ok_or_else(|| {
-                            CompressError::CorruptStream("missing exact value".into())
-                        })?
+                        if exact_idx >= s.exact.len() {
+                            return Err(CompressError::CorruptStream("missing exact value".into()));
+                        }
+                        exact_idx += 1;
+                        s.exact[exact_idx - 1]
                     } else {
                         let prediction = match plane {
                             Some(p) => plane_predict(&p, i - win.i0, j - win.j0),
-                            None => lorenzo_predict(&recon, i, j),
+                            None => lorenzo_predict(out, i, j),
                         };
                         quantizer.dequantize(code, prediction)
                     };
-                    recon.set(i, j, value);
+                    out.set(i, j, value);
                 }
             }
         }
-        Ok(recon)
+        Ok(())
     }
 }
 
@@ -515,6 +537,31 @@ mod tests {
         // Either an error or (if the flipped byte was padding) a valid result;
         // must not panic.
         let _ = sz.decompress_field(&bad);
+    }
+
+    #[test]
+    fn forged_giant_dimensions_are_rejected_not_wrapped() {
+        // ny = nx = 2^32 wraps ny*nx to 0 in a release build, which used to
+        // slip past the code-count check and panic in the replay loop; the
+        // checked cell count must reject it as a corrupt stream instead.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(MAGIC);
+        payload.extend_from_slice(&(1u64 << 32).to_le_bytes()); // ny
+        payload.extend_from_slice(&(1u64 << 32).to_le_bytes()); // nx
+        payload.extend_from_slice(&1e-3f64.to_le_bytes()); // eb
+        payload.extend_from_slice(&16u32.to_le_bytes()); // block size
+        payload.extend_from_slice(&32768u32.to_le_bytes()); // radius
+        payload.extend_from_slice(&0u64.to_le_bytes()); // n_modes
+        payload.extend_from_slice(&0u64.to_le_bytes()); // n_planes
+        let huff = lcc_lossless::huffman_encode(&[]);
+        payload.extend_from_slice(&(huff.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&huff);
+        payload.extend_from_slice(&0u64.to_le_bytes()); // n_exact
+        let stream = lcc_lossless::lz77_compress(&payload);
+        assert!(matches!(
+            SzCompressor::default().decompress_field(&stream),
+            Err(CompressError::CorruptStream(_))
+        ));
     }
 
     #[test]

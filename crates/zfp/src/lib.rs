@@ -40,7 +40,7 @@ pub mod codec;
 pub mod transform;
 
 use lcc_grid::{Field2D, FieldView};
-use lcc_lossless::{lz77_compress_with, lz77_decompress, BitReader, BitWriter, CodecScratch};
+use lcc_lossless::{lz77_compress_with, lz77_decompress_into, BitReader, BitWriter, CodecScratch};
 use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound, ScratchArena};
 
 /// Side length of a coding block (fixed at 4, as in ZFP's 2D mode).
@@ -90,13 +90,17 @@ impl ZfpCompressor {
 
 const MAGIC: &[u8; 4] = b"LZF1";
 
-/// Reusable working memory of the ZFP compress path: the block bit stream
-/// accumulator plus the LZ77 state of the optional lossless pass. One
-/// instance per sweep worker, held in a [`ScratchArena`].
+/// Reusable working memory of the ZFP codec: the block bit stream
+/// accumulator, the LZ77 state of the optional lossless pass, and the
+/// decode-side expansion buffer. One instance per sweep worker, held in a
+/// [`ScratchArena`].
 #[derive(Debug, Default)]
 pub struct ZfpScratch {
     writer: BitWriter,
     codec: CodecScratch,
+    /// Decode side: the LZ77-expanded bit stream (tag-1 containers only;
+    /// tag-0 streams are read in place without a copy).
+    body: Vec<u8>,
 }
 
 impl ZfpScratch {
@@ -177,19 +181,28 @@ impl Compressor for ZfpCompressor {
         self.compress_into(field, bound, scratch.get_or_default::<ZfpScratch>())
     }
 
-    fn decompress_field(&self, stream: &[u8]) -> Result<Field2D, CompressError> {
+    fn decompress_view_with(
+        &self,
+        stream: &[u8],
+        scratch: &mut ScratchArena,
+        out: &mut Field2D,
+    ) -> Result<(), CompressError> {
         if stream.is_empty() {
             return Err(CompressError::CorruptStream("empty stream".into()));
         }
-        let body: Vec<u8> = match stream[0] {
-            0 => stream[1..].to_vec(),
-            1 => lz77_decompress(&stream[1..])
-                .map_err(|e| CompressError::CorruptStream(format!("lz77: {e}")))?,
+        let s = scratch.get_or_default::<ZfpScratch>();
+        let body: &[u8] = match stream[0] {
+            0 => &stream[1..],
+            1 => {
+                lz77_decompress_into(&stream[1..], &mut s.body)
+                    .map_err(|e| CompressError::CorruptStream(format!("lz77: {e}")))?;
+                &s.body
+            }
             other => {
                 return Err(CompressError::CorruptStream(format!("unknown container tag {other}")))
             }
         };
-        let mut reader = BitReader::new(&body);
+        let mut reader = BitReader::new(body);
         let mut magic = [0u8; 4];
         for b in &mut magic {
             *b = reader
@@ -207,16 +220,30 @@ impl Compressor for ZfpCompressor {
         if ny == 0 || nx == 0 || !(16..=48).contains(&precision) {
             return Err(CompressError::CorruptStream("invalid header".into()));
         }
+        // Allocation guard: every 4×4 block costs at least two stream bits
+        // (the TYPE_ZERO tag), so a header whose block count exceeds the
+        // bits remaining after the 21-byte header is forged — reject it
+        // before `resize` turns the claim into memory.
+        const HEADER_BYTES: usize = 21; // magic + ny + nx + eb + precision
+        let remaining = body.len().saturating_sub(HEADER_BYTES);
+        let blocks = ny.div_ceil(BLOCK_DIM) * nx.div_ceil(BLOCK_DIM);
+        if blocks > remaining.saturating_mul(8) {
+            return Err(CompressError::CorruptStream(format!(
+                "header claims {blocks} blocks but only {remaining} stream bytes remain"
+            )));
+        }
 
-        let mut out = Field2D::zeros(ny, nx);
+        // Every cell lands in some 4×4 block, so the resized buffer's stale
+        // contents are fully overwritten by the scatter loop.
+        out.resize(ny, nx);
         for bi in (0..ny).step_by(BLOCK_DIM) {
             for bj in (0..nx).step_by(BLOCK_DIM) {
                 let values = codec::decode_block(&mut reader, eb, precision)
                     .map_err(|e| CompressError::CorruptStream(format!("block: {e}")))?;
-                block::scatter(&mut out, bi, bj, &values);
+                block::scatter(out, bi, bj, &values);
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -335,6 +362,25 @@ mod tests {
         let field = smooth(32);
         let stream = zfp.compress_field(&field, ErrorBound::Absolute(1e-3)).unwrap();
         assert!(zfp.decompress_field(&stream[..stream.len() / 3]).is_err());
+    }
+
+    #[test]
+    fn forged_giant_dimensions_are_rejected_before_allocation() {
+        // A tiny tag-0 stream with a valid magic but u32::MAX dimensions:
+        // the block-count-vs-stream-length guard must reject it instead of
+        // attempting a multi-exabyte reconstruction buffer.
+        let mut writer = lcc_lossless::BitWriter::new();
+        for &b in MAGIC {
+            writer.write_byte(b);
+        }
+        writer.write_bits(u64::from(u32::MAX), 32);
+        writer.write_bits(u64::from(u32::MAX), 32);
+        writer.write_bits(1e-3f64.to_bits(), 64);
+        writer.write_bits(40, 8);
+        let mut stream = vec![0u8];
+        stream.extend_from_slice(writer.as_bytes());
+        let zfp = ZfpCompressor::default();
+        assert!(matches!(zfp.decompress_field(&stream), Err(CompressError::CorruptStream(_))));
     }
 
     #[test]

@@ -25,6 +25,10 @@ def ratio(before, after):
     return "n/a"
 
 
+def fmt(v):
+    return f"{v:.1f}" if v is not None else "—"
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__)
@@ -38,12 +42,38 @@ def main():
     base_tp = {t["compressor"]: t for t in baseline.get("throughput", [])}
     for t in current.get("throughput", []):
         b = base_tp.get(t["compressor"], {})
+        if not b and t["compressor"].endswith("+framed"):
+            # `+framed` rows without a baseline counterpart (pre-framing
+            # baseline) are pure noise here; the framed section below
+            # renders them against the current single-stream numbers.
+            # Anything else missing from the baseline still shows with a
+            # "—" before column so new compressors stay visible.
+            continue
         bc, ac = b.get("compress_mb_per_s"), t["compress_mb_per_s"]
         bd, ad = b.get("decompress_mb_per_s"), t["decompress_mb_per_s"]
-        fmt = lambda v: f"{v:.1f}" if v is not None else "—"  # noqa: E731
         print(f"| {t['compressor']} | {fmt(bc)} | {fmt(ac)} | {ratio(bc, ac)} "
               f"| {fmt(bd)} | {fmt(ad)} | {ratio(bd, ad)} |")
     print()
+
+    # Block-parallel framed codec: `<name>+framed` entries measure the same
+    # single-field work through the multi-block container, so the speedup
+    # column here is the block-parallel scaling of the *current* run (the
+    # before/after table above tracks the trajectory across PRs).
+    cur_tp = {t["compressor"]: t for t in current.get("throughput", [])}
+    framed = [(name, t) for name, t in cur_tp.items() if name.endswith("+framed")]
+    if framed:
+        print("## Block-parallel framed codec — current run (MB/s)")
+        print()
+        print("| compressor | compress single | compress framed | speedup | "
+              "decompress single | decompress framed | speedup |")
+        print("|---|---|---|---|---|---|---|")
+        for name, t in sorted(framed):
+            single = cur_tp.get(name.removesuffix("+framed"), {})
+            sc, fc = single.get("compress_mb_per_s"), t["compress_mb_per_s"]
+            sd, fd = single.get("decompress_mb_per_s"), t["decompress_mb_per_s"]
+            print(f"| {name.removesuffix('+framed')} | {fmt(sc)} | {fmt(fc)} "
+                  f"| {ratio(sc, fc)} | {fmt(sd)} | {fmt(fd)} | {ratio(sd, fd)} |")
+        print()
 
     print("## Stage wall times (s)")
     print()
@@ -58,7 +88,7 @@ def main():
     print()
     print(f"Totals: {baseline.get('total_seconds', 0):.3f}s → "
           f"{current.get('total_seconds', 0):.3f}s "
-          f"(baseline: committed PR 2 artifact)")
+          f"(baseline: committed benchmarks/BASELINE_sweep.json)")
 
 
 if __name__ == "__main__":

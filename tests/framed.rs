@@ -1,0 +1,339 @@
+//! Framed multi-block container: property tests over the real compressors.
+//!
+//! The frame module's own unit tests pin the container logic against a
+//! store-everything codec; this suite drives the actual SZ/ZFP/MGARD
+//! pipelines through it:
+//!
+//! * framed round-trips across block counts 1..=8, including non-divisible
+//!   row tails and 1×N / N×1 degenerate fields, always hold the error bound,
+//! * a single-block frame is byte-identical to the unframed stream
+//!   (version-0 passthrough),
+//! * a multi-block frame decodes to exactly the values obtained by
+//!   decoding each block's stand-alone stream and stitching the rows,
+//! * the scratch-threaded `decompress_view_with` path is bit-identical to
+//!   `decompress_field` under heavy arena reuse,
+//! * corrupt frames (bad version, truncated table, overflowing/overlapping
+//!   lengths) error out instead of panicking for every compressor.
+
+use lcc::grid::Field2D;
+use lcc::mgard::MgardCompressor;
+use lcc::par::ThreadPoolConfig;
+use lcc::pressio::frame::{
+    compress_framed_with, decompress_framed, decompress_framed_with, is_framed,
+};
+use lcc::pressio::{
+    CompressError, Compressor, ErrorBound, FrameScratch, ScratchArena, FRAME_MAGIC, FRAME_VERSION,
+};
+use lcc::sz::SzCompressor;
+use lcc::zfp::ZfpCompressor;
+use proptest::prelude::*;
+
+fn compressors() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(SzCompressor::default()),
+        Box::new(ZfpCompressor::default()),
+        Box::new(MgardCompressor::default()),
+    ]
+}
+
+fn wavy(ny: usize, nx: usize, seed: u64) -> Field2D {
+    let mut s = seed | 1;
+    Field2D::from_fn(ny, nx, |i, j| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (i as f64 * 0.11).sin() * 2.0
+            + (j as f64 * 0.07).cos()
+            + 0.02 * ((s as f64 / u64::MAX as f64) - 0.5)
+    })
+}
+
+fn pool(threads: usize) -> ThreadPoolConfig {
+    ThreadPoolConfig::with_threads(threads)
+}
+
+#[test]
+fn single_block_frame_is_byte_identical_to_the_unframed_stream() {
+    let field = wavy(48, 37, 5);
+    let bound = ErrorBound::Absolute(1e-3);
+    for comp in compressors() {
+        let raw = comp.compress_view(&field.view(), bound).unwrap();
+        let framed = compress_framed_with(
+            comp.as_ref(),
+            &field.view(),
+            bound,
+            1,
+            pool(3),
+            &mut FrameScratch::new(),
+        )
+        .unwrap();
+        assert_eq!(framed, raw, "{}: single-block passthrough", comp.name());
+        assert!(!is_framed(&framed), "{}", comp.name());
+        // And the framed decoder transparently decodes legacy raw streams.
+        let back = decompress_framed(comp.as_ref(), &raw, pool(3)).unwrap();
+        assert_eq!(back, comp.decompress_field(&raw).unwrap(), "{}", comp.name());
+    }
+}
+
+#[test]
+fn framed_roundtrip_holds_the_bound_across_block_counts() {
+    // 53 rows: blocks 2..=8 all produce non-divisible row tails.
+    let field = wavy(53, 41, 9);
+    let eb = 1e-3;
+    for comp in compressors() {
+        for blocks in 1..=8usize {
+            let stream = compress_framed_with(
+                comp.as_ref(),
+                &field.view(),
+                ErrorBound::Absolute(eb),
+                blocks,
+                pool(4),
+                &mut FrameScratch::new(),
+            )
+            .unwrap();
+            assert_eq!(is_framed(&stream), blocks > 1, "{} blocks={blocks}", comp.name());
+            let back = decompress_framed(comp.as_ref(), &stream, pool(4)).unwrap();
+            assert_eq!(back.shape(), field.shape(), "{} blocks={blocks}", comp.name());
+            assert!(
+                field.max_abs_diff(&back) <= eb,
+                "{} blocks={blocks}: bound violated",
+                comp.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_row_and_column_fields_roundtrip() {
+    let eb = 1e-4;
+    for comp in compressors() {
+        // 1×N: the block count clamps to one row → passthrough.
+        // N×1: genuinely multi-block single-column frames.
+        for (ny, nx) in [(1, 64), (64, 1), (1, 1), (2, 39)] {
+            let field = wavy(ny, nx, 11);
+            for blocks in [1, 3, 8] {
+                let stream = compress_framed_with(
+                    comp.as_ref(),
+                    &field.view(),
+                    ErrorBound::Absolute(eb),
+                    blocks,
+                    pool(2),
+                    &mut FrameScratch::new(),
+                )
+                .unwrap();
+                let back = decompress_framed(comp.as_ref(), &stream, pool(2)).unwrap();
+                assert_eq!(back.shape(), (ny, nx), "{} {ny}x{nx}/{blocks}", comp.name());
+                assert!(
+                    field.max_abs_diff(&back) <= eb,
+                    "{} {ny}x{nx}/{blocks}: bound violated",
+                    comp.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn framed_decode_matches_stitched_per_block_single_streams() {
+    // A multi-block frame's decoded values must be exactly what decoding
+    // each row band as its own stand-alone stream yields — the frame
+    // container adds structure, never distortion.
+    let field = wavy(47, 29, 21);
+    let bound = ErrorBound::Absolute(1e-3);
+    let blocks = 4usize;
+    for comp in compressors() {
+        let stream = compress_framed_with(
+            comp.as_ref(),
+            &field.view(),
+            bound,
+            blocks,
+            pool(4),
+            &mut FrameScratch::new(),
+        )
+        .unwrap();
+        let framed_decode = decompress_framed(comp.as_ref(), &stream, pool(4)).unwrap();
+
+        let mut stitched = Field2D::zeros(field.ny(), field.nx());
+        for range in lcc::par::split_ranges(field.ny(), blocks) {
+            let sub = field.view().subview(range.start, 0, range.len(), field.nx());
+            let sub_stream = comp.compress_view(&sub, bound).unwrap();
+            let sub_back = comp.decompress_field(&sub_stream).unwrap();
+            assert_eq!(sub_back.shape(), (range.len(), field.nx()));
+            for (k, i) in range.clone().enumerate() {
+                stitched.row_mut(i).copy_from_slice(sub_back.row(k));
+            }
+        }
+        assert_eq!(framed_decode, stitched, "{}: framed != stitched blocks", comp.name());
+    }
+}
+
+#[test]
+fn framed_stream_is_deterministic_across_pool_widths() {
+    let field = wavy(40, 33, 3);
+    let bound = ErrorBound::Absolute(1e-3);
+    for comp in compressors() {
+        let mut streams = Vec::new();
+        for threads in [1, 2, 7] {
+            streams.push(
+                compress_framed_with(
+                    comp.as_ref(),
+                    &field.view(),
+                    bound,
+                    5,
+                    pool(threads),
+                    &mut FrameScratch::new(),
+                )
+                .unwrap(),
+            );
+        }
+        assert_eq!(streams[0], streams[1], "{}", comp.name());
+        assert_eq!(streams[0], streams[2], "{}", comp.name());
+    }
+}
+
+#[test]
+fn scratch_decode_is_bit_identical_to_compat_wrapper_under_reuse() {
+    // One arena shared across compressors, bounds and rounds — the decode
+    // counterpart of the compress-side stream-identity gate.
+    let field = wavy(50, 61, 13);
+    let mut arena = ScratchArena::new();
+    let mut out = Field2D::zeros(1, 1);
+    for comp in compressors() {
+        for eb in [1e-4, 1e-2] {
+            let stream = comp.compress_view(&field.view(), ErrorBound::Absolute(eb)).unwrap();
+            let reference = comp.decompress_field(&stream).unwrap();
+            for round in 0..3 {
+                comp.decompress_view_with(&stream, &mut arena, &mut out).unwrap();
+                assert_eq!(out, reference, "{} eb={eb} round={round}", comp.name());
+            }
+        }
+    }
+    assert!(!arena.is_empty(), "real codecs materialize decode scratch");
+}
+
+#[test]
+fn corrupt_frames_error_for_every_compressor() {
+    let field = wavy(36, 24, 7);
+    let bound = ErrorBound::Absolute(1e-3);
+    for comp in compressors() {
+        let good = compress_framed_with(
+            comp.as_ref(),
+            &field.view(),
+            bound,
+            4,
+            pool(2),
+            &mut FrameScratch::new(),
+        )
+        .unwrap();
+        assert!(is_framed(&good));
+
+        let decode = |bytes: &[u8]| decompress_framed(comp.as_ref(), bytes, pool(2));
+
+        // Bad version byte.
+        let mut bad = good.clone();
+        bad[4] = 0x7f;
+        assert!(
+            matches!(decode(&bad), Err(CompressError::CorruptStream(_))),
+            "{}: version",
+            comp.name()
+        );
+
+        // Truncated frame table (header claims blocks the table can't hold).
+        let mut forged = Vec::new();
+        forged.extend_from_slice(&FRAME_MAGIC);
+        forged.push(FRAME_VERSION);
+        forged.extend_from_slice(&512u64.to_le_bytes());
+        forged.extend_from_slice(&512u64.to_le_bytes());
+        forged.extend_from_slice(&500u32.to_le_bytes());
+        forged.extend_from_slice(&[0u8; 16]);
+        assert!(
+            matches!(decode(&forged), Err(CompressError::CorruptStream(_))),
+            "{}: truncated table",
+            comp.name()
+        );
+
+        // Overflowing block length.
+        let mut bad = good.clone();
+        bad[25..33].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode(&bad).is_err(), "{}: overflowing length", comp.name());
+
+        // Overlapping lengths: grow the first entry so the blocks overlap
+        // and the sum no longer matches the payload.
+        let mut bad = good.clone();
+        let first = u64::from_le_bytes(bad[25..33].try_into().unwrap());
+        bad[25..33].copy_from_slice(&(first + 7).to_le_bytes());
+        assert!(decode(&bad).is_err(), "{}: overlapping lengths", comp.name());
+
+        // Truncated payload.
+        assert!(decode(&good[..good.len() - 5]).is_err(), "{}: truncated body", comp.name());
+
+        // Forged giant dimensions over a tiny valid-looking table: all
+        // checks up to the allocation guard pass (2 blocks <= 2^40 rows,
+        // table fits, lengths sum to the empty body), but the claimed cell
+        // count must be rejected before `out` is resized to exabytes.
+        let mut forged = Vec::new();
+        forged.extend_from_slice(&FRAME_MAGIC);
+        forged.push(FRAME_VERSION);
+        forged.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        forged.extend_from_slice(&(1u64 << 16).to_le_bytes());
+        forged.extend_from_slice(&2u32.to_le_bytes());
+        forged.extend_from_slice(&0u64.to_le_bytes());
+        forged.extend_from_slice(&0u64.to_le_bytes());
+        assert!(
+            matches!(decode(&forged), Err(CompressError::CorruptStream(_))),
+            "{}: forged giant shape",
+            comp.name()
+        );
+
+        // A block whose substream decodes to the wrong shape: swap the
+        // lengths so block boundaries land mid-stream (only meaningful when
+        // the two blocks compressed to different sizes).
+        let second = u64::from_le_bytes(good[33..41].try_into().unwrap());
+        if first != second {
+            let mut bad = good.clone();
+            bad[25..33].copy_from_slice(&second.to_le_bytes());
+            bad[33..41].copy_from_slice(&first.to_le_bytes());
+            assert!(decode(&bad).is_err(), "{}: swapped lengths", comp.name());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary shapes and block counts: the frame must round-trip inside
+    /// the bound and stay deterministic regardless of the worker count.
+    #[test]
+    fn framed_roundtrip_property(
+        ny in 1usize..64,
+        nx in 1usize..64,
+        blocks in 1usize..9,
+        threads in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let field = wavy(ny, nx, seed);
+        let eb = 1e-3;
+        for comp in compressors() {
+            let stream = compress_framed_with(
+                comp.as_ref(),
+                &field.view(),
+                ErrorBound::Absolute(eb),
+                blocks,
+                pool(threads),
+                &mut FrameScratch::new(),
+            )
+            .unwrap();
+            let mut out = Field2D::zeros(1, 1);
+            decompress_framed_with(
+                comp.as_ref(),
+                &stream,
+                pool(threads),
+                &mut FrameScratch::new(),
+                &mut out,
+            )
+            .unwrap();
+            prop_assert_eq!(out.shape(), (ny, nx));
+            prop_assert!(field.max_abs_diff(&out) <= eb, "{}: bound violated", comp.name());
+        }
+    }
+}
