@@ -16,7 +16,7 @@ use lcc_bench::CliOptions;
 use lcc_core::benchreport::{CodecThroughput, StageTimings};
 use lcc_core::dataset::StudyDatasets;
 use lcc_core::experiment::{run_sweep, SweepConfig};
-use lcc_core::registry::default_registry;
+use lcc_core::registry::entropy_ablation_registry;
 use lcc_core::statistics::{CorrelationStatistics, StatisticsConfig};
 use lcc_geostat::variogram::estimate_range;
 use lcc_geostat::{local_range_std, local_svd_truncation_std, LocalStatConfig};
@@ -57,13 +57,17 @@ fn main() {
 
     // Stage 2: per-compressor codec throughput on the full-size field at
     // the paper's mid-grid bound, recorded both as `compress_<name>` stages
-    // and as MB/s throughput entries (the number the codec hot-path work is
-    // judged by). Best of `--reps` runs (default 3) so single-shot
-    // scheduler noise doesn't pollute the perf trajectory; the compressors
-    // run through a reused ScratchArena exactly like a sweep worker.
+    // and as MB/s + ratio throughput entries (the numbers the codec
+    // hot-path work is judged by). The registry is the entropy ablation:
+    // every study compressor next to its rANS-backend variant, so the
+    // Huffman-vs-rANS ratio/throughput tradeoff lands in the same report.
+    // Best of `--reps` runs (default 3) so single-shot scheduler noise
+    // doesn't pollute the perf trajectory; the compressors run through a
+    // reused ScratchArena exactly like a sweep worker.
     let reps = opts.get_usize("reps", 3).max(1);
-    let registry = default_registry();
-    let megabytes = (field.len() * std::mem::size_of::<f64>()) as f64 / 1e6;
+    let registry = entropy_ablation_registry();
+    let uncompressed_bytes = (field.len() * std::mem::size_of::<f64>()) as f64;
+    let megabytes = uncompressed_bytes / 1e6;
     let bound = ErrorBound::Absolute(1e-3);
     let mut arena = ScratchArena::new();
     let mut recon = Field2D::zeros(1, 1);
@@ -71,12 +75,14 @@ fn main() {
         let name = compressor.name().to_string();
         let mut compress_seconds = f64::MAX;
         let mut decompress_seconds = f64::MAX;
+        let mut stream_len = 0usize;
         for _ in 0..reps {
             let start = Instant::now();
             let stream = compressor
                 .compress_view_with(&field.view(), bound, &mut arena)
                 .expect("bench compressor succeeds");
             compress_seconds = compress_seconds.min(start.elapsed().as_secs_f64());
+            stream_len = stream.len();
             let start = Instant::now();
             compressor
                 .decompress_view_with(&stream, &mut arena, &mut recon)
@@ -91,6 +97,7 @@ fn main() {
             megabytes,
             compress_seconds,
             decompress_seconds,
+            compression_ratio: uncompressed_bytes / stream_len.max(1) as f64,
         });
     }
 
@@ -106,6 +113,7 @@ fn main() {
         let name = compressor.name().to_string();
         let mut compress_seconds = f64::MAX;
         let mut decompress_seconds = f64::MAX;
+        let mut stream_len = 0usize;
         for _ in 0..reps {
             let start = Instant::now();
             let stream = frame::compress_framed_with(
@@ -118,6 +126,7 @@ fn main() {
             )
             .expect("framed compressor succeeds");
             compress_seconds = compress_seconds.min(start.elapsed().as_secs_f64());
+            stream_len = stream.len();
             let start = Instant::now();
             frame::decompress_framed_with(
                 compressor.as_ref(),
@@ -137,11 +146,13 @@ fn main() {
             megabytes,
             compress_seconds,
             decompress_seconds,
+            compression_ratio: uncompressed_bytes / stream_len.max(1) as f64,
         });
     }
 
-    // Stage 3: a reduced (3 fields × 3 compressors × 4 bounds) study through
-    // the flat work-item scheduler.
+    // Stage 3: a reduced (3 fields × 6 compressors × 4 bounds) study through
+    // the flat work-item scheduler — the ablation registry, so `run_sweep`
+    // exercises both entropy backends end to end.
     let datasets = StudyDatasets {
         gaussian_size: sweep_size,
         n_ranges: 3,
@@ -181,6 +192,20 @@ fn main() {
         }
     }
     println!("  sweep records: {}", records.len());
+    for base in ["sz", "zfp", "mgard"] {
+        let rans = format!("{base}-rans");
+        if let (Some(h), Some(r)) = (report.throughput(base), report.throughput(&rans)) {
+            println!(
+                "  entropy ablation {base}: huffman {:.2} MB/s @ {:.2}x ratio — rans {:.2} MB/s \
+                 @ {:.2}x ratio ({:.2}x compress speedup)",
+                h.compress_mb_per_s(),
+                h.compression_ratio,
+                r.compress_mb_per_s(),
+                r.compression_ratio,
+                r.compress_mb_per_s() / h.compress_mb_per_s().max(f64::MIN_POSITIVE),
+            );
+        }
+    }
     println!("  total: {:.3}s", report.total_seconds());
 
     let path = out_dir.join("BENCH_sweep.json");

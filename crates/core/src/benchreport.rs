@@ -24,6 +24,10 @@ pub struct CodecThroughput {
     pub compress_seconds: f64,
     /// Wall time of the decompress call(s), seconds.
     pub decompress_seconds: f64,
+    /// Measured compression ratio (uncompressed ÷ stream size; 0.0 when the
+    /// measurement predates the ratio column). The entropy-backend ablation
+    /// reads ratio and MB/s from the same row — the tradeoff in one line.
+    pub compression_ratio: f64,
 }
 
 impl CodecThroughput {
@@ -115,13 +119,15 @@ impl StageTimings {
             out.push_str(&format!(
                 "    {{\"compressor\": \"{}\", \"megabytes\": {:.6}, \
                  \"compress_seconds\": {:.6}, \"compress_mb_per_s\": {:.3}, \
-                 \"decompress_seconds\": {:.6}, \"decompress_mb_per_s\": {:.3}}}{comma}\n",
+                 \"decompress_seconds\": {:.6}, \"decompress_mb_per_s\": {:.3}, \
+                 \"compression_ratio\": {:.3}}}{comma}\n",
                 escape(&t.compressor),
                 t.megabytes,
                 t.compress_seconds,
                 t.compress_mb_per_s(),
                 t.decompress_seconds,
                 t.decompress_mb_per_s(),
+                t.compression_ratio,
             ));
         }
         out.push_str(&format!("  ],\n  \"total_seconds\": {:.6}\n}}\n", self.total_seconds()));
@@ -192,6 +198,7 @@ mod tests {
             megabytes: 8.454272,
             compress_seconds: 2.0,
             decompress_seconds: 0.5,
+            compression_ratio: 6.25,
         });
         let entry = t.throughput("sz").unwrap();
         assert!((entry.compress_mb_per_s() - 4.227136).abs() < 1e-9);
@@ -201,6 +208,7 @@ mod tests {
         assert!(json.contains("\"compressor\": \"sz\""));
         assert!(json.contains("\"compress_mb_per_s\": 4.227"));
         assert!(json.contains("\"decompress_mb_per_s\": 16.909"));
+        assert!(json.contains("\"compression_ratio\": 6.250"));
     }
 
     #[test]
@@ -210,6 +218,7 @@ mod tests {
             megabytes: 1.0,
             compress_seconds: 0.0,
             decompress_seconds: 0.0,
+            compression_ratio: 0.0,
         };
         assert_eq!(t.compress_mb_per_s(), 0.0);
         assert_eq!(t.decompress_mb_per_s(), 0.0);

@@ -340,6 +340,9 @@ fn compressor_id(name: &str) -> f64 {
         "sz" => 0.0,
         "zfp" => 1.0,
         "mgard" => 2.0,
+        "sz-rans" => 3.0,
+        "zfp-rans" => 4.0,
+        "mgard-rans" => 5.0,
         _ => -1.0,
     }
 }

@@ -23,6 +23,21 @@ pub fn default_registry() -> Registry {
     registry
 }
 
+/// Build the entropy-ablation registry: the three study compressors plus
+/// their interleaved-rANS backend variants (`sz-rans`, `zfp-rans`,
+/// `mgard-rans`) as first-class compressors. `bench_sweep` drives this
+/// registry so every sweep and framed-codec measurement covers both points
+/// of the ratio-vs-throughput axis; the paper-figure binaries keep using
+/// [`default_registry`] (the study compares algorithms, not entropy
+/// backends).
+pub fn entropy_ablation_registry() -> Registry {
+    let mut registry = default_registry();
+    registry.register(Arc::new(SzCompressor::rans()), SZ_VERSION);
+    registry.register(Arc::new(ZfpCompressor::rans()), ZFP_VERSION);
+    registry.register(Arc::new(MgardCompressor::rans()), MGARD_VERSION);
+    registry
+}
+
 /// Build a registry holding only SZ and ZFP (the paper omits MGARD from the
 /// local-SVD figures because it is insensitive to those statistics).
 pub fn sz_zfp_registry() -> Registry {
@@ -52,6 +67,30 @@ mod tests {
     fn sz_zfp_registry_omits_mgard() {
         let registry = sz_zfp_registry();
         assert_eq!(registry.names(), vec!["sz", "zfp"]);
+    }
+
+    #[test]
+    fn ablation_registry_adds_the_rans_variants() {
+        let registry = entropy_ablation_registry();
+        assert_eq!(
+            registry.names(),
+            vec!["mgard", "mgard-rans", "sz", "sz-rans", "zfp", "zfp-rans"]
+        );
+    }
+
+    #[test]
+    fn rans_variants_round_trip_and_match_their_huffman_twin() {
+        let field =
+            Field2D::from_fn(48, 48, |i, j| (i as f64 * 0.1).sin() + (j as f64 * 0.2).cos());
+        let registry = entropy_ablation_registry();
+        for base in ["sz", "zfp", "mgard"] {
+            let huff = registry.get(base).unwrap();
+            let rans = registry.get(&format!("{base}-rans")).unwrap();
+            let a = huff.compress(&field, ErrorBound::Absolute(1e-3)).unwrap();
+            let b = rans.compress(&field, ErrorBound::Absolute(1e-3)).unwrap();
+            assert!(b.metrics.max_abs_error <= 1e-3, "{base}-rans violated the bound");
+            assert_eq!(a.reconstruction, b.reconstruction, "{base} backends disagree");
+        }
     }
 
     #[test]

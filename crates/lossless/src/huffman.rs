@@ -35,7 +35,7 @@
 //! `single_distinct_symbol_*` tests below.
 
 use crate::bitstream::BitReader;
-use crate::scratch::{CodecScratch, HeapNode, DENSE_SPAN_MAX};
+use crate::scratch::{build_alphabet_into, CodecScratch, HeapNode, TableMode};
 use crate::{read_varint, write_varint, CodecError};
 use std::collections::BinaryHeap;
 
@@ -50,14 +50,6 @@ const MAX_CODE_LEN: u32 = 48;
 /// alphabet of typical quantization-code distributions while keeping the
 /// two tables at 4096 entries.
 const LUT_BITS: u32 = 12;
-
-/// How the per-call symbol tables are addressed: densely by
-/// `symbol − min_symbol`, or through the scratch's symbol map.
-#[derive(Clone, Copy)]
-enum TableMode {
-    Dense { min: u32 },
-    Sparse,
-}
 
 /// Encode `symbols` into a self-describing byte stream.
 ///
@@ -142,54 +134,15 @@ pub fn huffman_encode_with(scratch: &mut CodecScratch, symbols: &[u32], out: &mu
 
 /// Histogram `symbols` into `scratch.alphabet` as `(symbol, count)` pairs
 /// sorted by symbol, choosing dense or sparse table addressing by the
-/// alphabet's value span.
+/// alphabet's value span (shared machinery with the rANS coder).
 fn build_alphabet(scratch: &mut CodecScratch, symbols: &[u32]) -> TableMode {
-    let mut min = u32::MAX;
-    let mut max = 0u32;
-    for &s in symbols {
-        min = min.min(s);
-        max = max.max(s);
-    }
-    let span = (max - min) as usize + 1;
-    scratch.alphabet.clear();
-
-    if span <= DENSE_SPAN_MAX {
-        if scratch.hist.len() < span {
-            scratch.hist.resize(span, 0);
-        }
-        for &s in symbols {
-            let idx = (s - min) as usize;
-            if scratch.hist[idx] == 0 {
-                scratch.alphabet.push((s, 0));
-            }
-            scratch.hist[idx] += 1;
-        }
-        scratch.alphabet.sort_unstable_by_key(|&(sym, _)| sym);
-        for entry in &mut scratch.alphabet {
-            let idx = (entry.0 - min) as usize;
-            entry.1 = scratch.hist[idx];
-            scratch.hist[idx] = 0; // restore the all-zero invariant
-        }
-        TableMode::Dense { min }
-    } else {
-        scratch.sym_map.clear();
-        scratch.slot_counts.clear();
-        for &s in symbols {
-            let (slot, inserted) = scratch.sym_map.get_or_insert(s);
-            if inserted {
-                scratch.slot_counts.push(0);
-                scratch.alphabet.push((s, 0));
-            }
-            scratch.slot_counts[slot as usize] += 1;
-        }
-        // Slots were handed out in insertion order, matching `alphabet`.
-        debug_assert_eq!(scratch.sym_map.len(), scratch.alphabet.len());
-        for (slot, entry) in scratch.alphabet.iter_mut().enumerate() {
-            entry.1 = scratch.slot_counts[slot];
-        }
-        scratch.alphabet.sort_unstable_by_key(|&(sym, _)| sym);
-        TableMode::Sparse
-    }
+    build_alphabet_into(
+        &mut scratch.hist,
+        &mut scratch.sym_map,
+        &mut scratch.slot_counts,
+        &mut scratch.alphabet,
+        symbols,
+    )
 }
 
 /// Huffman code lengths from `scratch.alphabet` into `scratch.lens`

@@ -10,6 +10,10 @@
 //! * [`huffman`] — canonical Huffman coding over `u32` symbols with an
 //!   embedded code-length table (table-driven encode and LUT decode),
 //! * [`lz77`] — greedy hash-chain LZ77 with byte-oriented token encoding,
+//! * [`rans`] — a 2-way interleaved byte-oriented rANS coder (12-bit
+//!   normalized tables), the fast-path entropy backend of the
+//!   ratio-vs-throughput ablation; [`pipeline::EntropyBackend`] names the
+//!   Huffman/rANS choice the compressors thread through their streams,
 //! * [`rle`] — zero-run-length pre-pass that pairs well with quantization
 //!   codes dominated by the "perfectly predicted" symbol,
 //! * [`pipeline`] — the composition `Huffman → LZ77` exposed through the
@@ -28,13 +32,18 @@ pub mod bitstream;
 pub mod huffman;
 pub mod lz77;
 pub mod pipeline;
+pub mod rans;
 pub mod rle;
 pub mod scratch;
 
 pub use bitstream::{BitReader, BitWriter};
 pub use huffman::{huffman_decode, huffman_decode_with, huffman_encode, huffman_encode_with};
 pub use lz77::{lz77_compress, lz77_compress_with, lz77_decompress, lz77_decompress_into};
-pub use pipeline::{ByteCodec, HuffLzCodec, RawCodec};
+pub use pipeline::{ByteCodec, EntropyBackend, HuffLzCodec, RansCodec, RawCodec};
+pub use rans::{
+    rans_decode, rans_decode_bytes_with, rans_decode_with, rans_encode, rans_encode_bytes_with,
+    rans_encode_with, RansScratch,
+};
 pub use scratch::CodecScratch;
 
 /// Errors produced while decoding a lossless stream.

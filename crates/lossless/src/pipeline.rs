@@ -1,8 +1,40 @@
 //! Composable byte codecs and the Huffman→LZ77 pipeline used as the "Zstd"
 //! stage of the lossy compressors.
 
-use crate::{lz77_compress, lz77_decompress, read_varint, write_varint, CodecError};
+use crate::rans::RansScratch;
+use crate::{
+    lz77_compress, lz77_decompress, rans_decode_bytes_with, rans_encode_bytes_with, read_varint,
+    write_varint, CodecError,
+};
 use bytes::{BufMut, BytesMut};
+
+/// The entropy-coder choice of a compressor's lossless stage — the
+/// ratio-vs-throughput ablation axis. Every stream self-describes its
+/// backend (a tag or magic variant), so any decoder accepts both; the enum
+/// only selects what the *encoder* emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EntropyBackend {
+    /// Canonical Huffman (plus the historical LZ77 pass where the codec
+    /// applies one) — the default; streams are byte-identical to every
+    /// release before the backend existed.
+    #[default]
+    Huffman,
+    /// 2-way interleaved rANS ([`crate::rans`]): fractional-bit coding from
+    /// 12-bit normalized tables, skipping the follow-up LZ77 pass (rANS
+    /// output is already near the entropy, so a second pass buys ~nothing
+    /// while costing most of the encode time).
+    Rans,
+}
+
+impl EntropyBackend {
+    /// Short name used in compressor registry keys (`sz` vs `sz-rans`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EntropyBackend::Huffman => "huffman",
+            EntropyBackend::Rans => "rans",
+        }
+    }
+}
 
 /// A reversible byte-stream codec.
 pub trait ByteCodec {
@@ -78,17 +110,7 @@ impl ByteCodec for HuffLzCodec {
     }
 
     fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
-        if input.is_empty() {
-            return Err(CodecError::UnexpectedEof);
-        }
-        let mode = input[0];
-        let (len, used) = read_varint(&input[1..])?;
-        let start = 1 + used;
-        let end = start + len as usize;
-        if input.len() < end {
-            return Err(CodecError::UnexpectedEof);
-        }
-        let payload = &input[start..end];
+        let (mode, payload) = split_mode_payload(input)?;
         match mode {
             MODE_RAW => Ok(payload.to_vec()),
             MODE_HUFF => {
@@ -103,6 +125,64 @@ impl ByteCodec for HuffLzCodec {
             other => Err(CodecError::Corrupt(format!("unknown pipeline mode {other}"))),
         }
     }
+}
+
+/// Byte-level interleaved rANS behind the same raw-fallback header as
+/// [`HuffLzCodec`] — the [`EntropyBackend::Rans`] pipeline. The encoder
+/// keeps whichever of {raw, rANS} is smaller, so pathological inputs never
+/// expand by more than the header.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RansCodec;
+
+const MODE_RANS: u8 = 3;
+
+impl ByteCodec for RansCodec {
+    fn name(&self) -> &'static str {
+        "rans"
+    }
+
+    fn encode(&self, input: &[u8]) -> Vec<u8> {
+        let mut rans = Vec::new();
+        rans_encode_bytes_with(&mut RansScratch::new(), input, &mut rans);
+        let (mode, payload): (u8, &[u8]) =
+            if input.len() <= rans.len() { (MODE_RAW, input) } else { (MODE_RANS, &rans) };
+        let mut out = BytesMut::with_capacity(payload.len() + 10);
+        out.put_u8(mode);
+        let mut len_prefix = Vec::new();
+        write_varint(&mut len_prefix, payload.len() as u64);
+        out.put_slice(&len_prefix);
+        out.put_slice(payload);
+        out.to_vec()
+    }
+
+    fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let (mode, payload) = split_mode_payload(input)?;
+        match mode {
+            MODE_RAW => Ok(payload.to_vec()),
+            MODE_RANS => {
+                let mut out = Vec::new();
+                rans_decode_bytes_with(&mut RansScratch::new(), payload, &mut out)?;
+                Ok(out)
+            }
+            other => Err(CodecError::Corrupt(format!("unknown pipeline mode {other}"))),
+        }
+    }
+}
+
+/// Parse the `mode | varint len | payload` framing shared by the pipeline
+/// codecs.
+fn split_mode_payload(input: &[u8]) -> Result<(u8, &[u8]), CodecError> {
+    if input.is_empty() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mode = input[0];
+    let (len, used) = read_varint(&input[1..])?;
+    let start = 1 + used;
+    let end = start + len as usize;
+    if input.len() < end {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok((mode, &input[start..end]))
 }
 
 fn symbols_to_bytes(symbols: &[u32]) -> Result<Vec<u8>, CodecError> {
@@ -177,6 +257,52 @@ mod tests {
         let c = HuffLzCodec;
         let n = roundtrip(&c, &data);
         assert!(n < data.len() / 4, "skewed data compressed to only {n} of {}", data.len());
+    }
+
+    #[test]
+    fn entropy_backend_default_and_names() {
+        assert_eq!(EntropyBackend::default(), EntropyBackend::Huffman);
+        assert_eq!(EntropyBackend::Huffman.name(), "huffman");
+        assert_eq!(EntropyBackend::Rans.name(), "rans");
+    }
+
+    #[test]
+    fn rans_codec_roundtrips_various_inputs() {
+        let c = RansCodec;
+        assert_eq!(c.name(), "rans");
+        roundtrip(&c, b"");
+        roundtrip(&c, b"a");
+        roundtrip(&c, b"abcabcabcabcabc");
+        let zeros = vec![0u8; 50_000];
+        let n = roundtrip(&c, &zeros);
+        assert!(n < 64, "zeros compressed to {n}");
+    }
+
+    #[test]
+    fn rans_codec_never_expands_past_the_header() {
+        let c = RansCodec;
+        let mut state = 88172645463325252u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state & 0xFF) as u8
+            })
+            .collect();
+        let n = roundtrip(&c, &data);
+        assert!(n <= data.len() + 16, "incompressible data expanded to {n}");
+    }
+
+    #[test]
+    fn rans_codec_rejects_corruption() {
+        let c = RansCodec;
+        let enc = c.encode(b"hello hello hello hello hello");
+        assert!(c.decode(&[]).is_err());
+        assert!(c.decode(&enc[..enc.len() - 1]).is_err());
+        let mut bad = enc.clone();
+        bad[0] = 9; // unknown mode
+        assert!(c.decode(&bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,934 @@
+//! Two-way interleaved byte-oriented rANS coding over `u32` symbols.
+//!
+//! The fast-path entropy backend of the codec ablation: where the Huffman
+//! coder spends whole bits per symbol and needs a code tree, rANS codes at
+//! fractional-bit granularity from a flat frequency table and renormalizes
+//! byte-at-a-time, so encode and decode are short branch-light integer
+//! pipelines. The layout follows the well-known public-domain byte-wise
+//! rANS construction:
+//!
+//! * **32-bit states** kept in the renormalization interval
+//!   `[2^23, 2^31)`, emitting/consuming one byte at a time,
+//! * **12-bit normalized frequency tables** (`SCALE = 4096`): per-symbol
+//!   frequencies are scaled to sum exactly to `SCALE`, so the decoder's
+//!   cumulative-table lookup is a single 4096-entry LUT load,
+//! * **2-way interleaving**: symbols at even indices thread one state,
+//!   odd indices the other, giving the CPU two independent dependency
+//!   chains to overlap (the encoder walks the input in reverse — rANS is
+//!   LIFO — and both states flush into one shared reversed-emit buffer),
+//! * **division-free encoding** via precomputed reciprocals
+//!   (`q = (x·rcp) >> shift` replaces `x / freq` in the hot loop).
+//!
+//! Alphabets with more than `SCALE` distinct symbols cannot be normalized
+//! into a 12-bit table; those streams fall back to an embedded canonical
+//! Huffman section behind a mode byte (the analogue of FSE's raw/RLE escape
+//! modes). Quantization-code streams sit far below the limit in practice.
+//!
+//! All working memory lives in a caller-owned [`RansScratch`] — the
+//! frequency/cumulative tables, the normalization workspace, and the
+//! reversed-emit buffer are cleared, never shrunk, between calls, so the
+//! `*_with` entry points are allocation-free in steady state exactly like
+//! their Huffman counterparts.
+//!
+//! ## Stream layout
+//!
+//! ```text
+//! u8 mode                     0 = rANS, 1 = embedded Huffman fallback
+//! mode 0:
+//!   varint n_symbols
+//!   varint alphabet_size      1..=4096 (absent when n_symbols == 0)
+//!   (varint symbol, varint freq)*   ascending symbols; freqs sum to 4096
+//!   varint payload_len
+//!   payload                   u32-LE state0, u32-LE state1, renorm bytes
+//! mode 1:
+//!   a self-describing `huffman_encode` stream
+//! ```
+
+use crate::scratch::{build_alphabet_into, CodecScratch, SymbolLike, SymbolMap, TableMode};
+use crate::{huffman_decode_with, huffman_encode_with, read_varint, write_varint, CodecError};
+
+/// Log2 of the normalized frequency scale (12-bit tables).
+pub const SCALE_BITS: u32 = 12;
+/// Normalized frequencies sum to this value.
+const SCALE: u32 = 1 << SCALE_BITS;
+/// Lower bound of the state renormalization interval `[L, L·256)`.
+const RANS_L: u32 = 1 << 23;
+/// Mode byte: interleaved rANS payload.
+const MODE_RANS: u8 = 0;
+/// Mode byte: embedded Huffman stream (alphabet wider than the 12-bit table).
+const MODE_HUFF: u8 = 1;
+/// Decode-side cap on a single-symbol (zero-cost) stream's run length.
+/// A one-entry alphabet codes for free, so the count is the only bound on
+/// the output — 2^28 symbols (a 16384×16384 constant field) is far beyond
+/// any workload here while keeping a forged tiny stream from claiming an
+/// effectively unbounded allocation. Multi-symbol streams are instead
+/// bounded by what their payload could possibly encode (see `decode_impl`).
+const MAX_DEGENERATE_RUN: u64 = 1 << 28;
+
+/// Precomputed per-symbol encoder metadata: renormalization threshold plus
+/// the reciprocal that turns the `x / freq` of the state update into a
+/// multiply-shift (the standard public-domain trick).
+#[derive(Debug, Clone, Copy, Default)]
+struct EncSym {
+    /// Renormalize (emit a byte) while the state is at or above this.
+    x_max: u32,
+    /// Fixed-point reciprocal of the frequency.
+    rcp_freq: u32,
+    /// Additive bias folding the cumulative offset (and the `freq == 1`
+    /// correction) into one term.
+    bias: u32,
+    /// `SCALE - freq`, the multiplier of the reciprocal quotient.
+    cmpl_freq: u32,
+    /// Right shift applied after the reciprocal multiply.
+    rcp_shift: u32,
+}
+
+impl EncSym {
+    /// Build the encoder entry for a symbol with cumulative start `start`
+    /// and normalized frequency `freq` (`1..=SCALE`).
+    fn new(start: u32, freq: u32) -> EncSym {
+        debug_assert!((1..=SCALE).contains(&freq));
+        let x_max = ((RANS_L >> SCALE_BITS) << 8) * freq;
+        if freq < 2 {
+            // freq == 1: q must equal x exactly. rcp = 2^32 − 1 gives
+            // q = x − 1 (for x ≥ 1), compensated by folding SCALE − 1 into
+            // the bias: x + start + SCALE − 1 + (x−1)(SCALE−1) = x·SCALE + start.
+            EncSym {
+                x_max,
+                rcp_freq: u32::MAX,
+                rcp_shift: 0,
+                bias: start + SCALE - 1,
+                cmpl_freq: SCALE - 1,
+            }
+        } else {
+            // shift = ceil(log2(freq)); the rounded-up reciprocal makes
+            // q = floor(x / freq) exact for all x < 2^31.
+            let mut shift = 0u32;
+            while (1u64 << shift) < u64::from(freq) {
+                shift += 1;
+            }
+            let rcp_freq = (1u64 << (shift + 31)).div_ceil(u64::from(freq)) as u32;
+            EncSym { x_max, rcp_freq, rcp_shift: shift - 1, bias: start, cmpl_freq: SCALE - freq }
+        }
+    }
+}
+
+/// One encoder step: renormalize `x` into range for `sym`, then push the
+/// symbol. Emitted bytes go onto the reversed-emit stack.
+#[inline(always)]
+fn enc_put(mut x: u32, rev: &mut Vec<u8>, sym: &EncSym) -> u32 {
+    while x >= sym.x_max {
+        rev.push(x as u8);
+        x >>= 8;
+    }
+    let q = ((u64::from(x) * u64::from(sym.rcp_freq)) >> 32 >> sym.rcp_shift) as u32;
+    x + sym.bias + q * sym.cmpl_freq
+}
+
+/// Reusable working memory of the rANS coder: one instance per worker (held
+/// inside the compressor scratches in a
+/// [`ScratchArena`](https://docs.rs/lcc_pressio)-style bag) turns every
+/// per-call table build and emit buffer into a cleared-not-freed reuse.
+#[derive(Debug, Default)]
+pub struct RansScratch {
+    // ---- alphabet discovery (shared machinery with the Huffman coder) ----
+    /// Dense counts indexed by `symbol − min_symbol`.
+    /// Invariant: all-zero between calls.
+    hist: Vec<u64>,
+    /// Sparse-path counts indexed by symbol-map slot.
+    slot_counts: Vec<u64>,
+    /// Sparse-path symbol → slot map.
+    sym_map: SymbolMap,
+    /// `(symbol, count)` pairs sorted by symbol.
+    alphabet: Vec<(u32, u64)>,
+
+    // ---- normalization workspace ----
+    /// Normalized frequency per alphabet index (sums to `SCALE`).
+    freqs: Vec<u32>,
+    /// Index permutation used to shave normalization excess deterministically.
+    norm_order: Vec<u32>,
+
+    // ---- encode tables ----
+    /// Reciprocal metadata per alphabet index.
+    enc_syms: Vec<EncSym>,
+    /// Dense `symbol − min_symbol` → alphabet index. Entries are only
+    /// meaningful for symbols of the current alphabet (which covers every
+    /// input symbol); the used entries are re-zeroed after each encode.
+    dense_idx: Vec<u32>,
+    /// Sparse symbol-map slot → alphabet index.
+    slot_idx: Vec<u32>,
+    /// Reversed-emit buffer: bytes are pushed while encoding in reverse,
+    /// then the buffer is reversed once into the output stream.
+    rev: Vec<u8>,
+
+    // ---- decode tables ----
+    /// Symbol per alphabet index.
+    dec_syms: Vec<u32>,
+    /// Normalized frequency per alphabet index.
+    dec_freq: Vec<u16>,
+    /// Cumulative start per alphabet index.
+    dec_cum: Vec<u16>,
+    /// 4096-entry slot → alphabet index LUT.
+    slot_lut: Vec<u16>,
+
+    // ---- Huffman fallback (alphabets wider than the 12-bit table) ----
+    /// Working memory of the embedded Huffman section.
+    huff: CodecScratch,
+    /// Widened copy of the input for the fallback encoder, and the decode
+    /// target of fallback byte streams.
+    syms_u32: Vec<u32>,
+}
+
+impl RansScratch {
+    /// Create an empty scratch; buffers grow on first use and are then
+    /// recycled across calls.
+    pub fn new() -> Self {
+        RansScratch::default()
+    }
+}
+
+/// Encode `symbols` into a self-describing rANS stream (fresh scratch).
+pub fn rans_encode(symbols: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    rans_encode_with(&mut RansScratch::new(), symbols, &mut out);
+    out
+}
+
+/// [`rans_encode`] into a caller-owned output buffer, reusing `scratch` for
+/// every table and the emit buffer. Appends to `out` (callers embed rANS
+/// sections inside larger containers).
+pub fn rans_encode_with(scratch: &mut RansScratch, symbols: &[u32], out: &mut Vec<u8>) {
+    encode_impl(scratch, symbols, out);
+}
+
+/// Byte-stream variant of [`rans_encode_with`]: codes the bytes as symbols
+/// without widening the input to `u32` first (the ZFP container and the
+/// byte-codec pipeline feed multi-megabyte bit streams through here).
+pub fn rans_encode_bytes_with(scratch: &mut RansScratch, bytes: &[u8], out: &mut Vec<u8>) {
+    encode_impl(scratch, bytes, out);
+}
+
+/// Decode a stream produced by [`rans_encode`] (fresh scratch). Returns the
+/// symbols and the number of bytes consumed.
+pub fn rans_decode(bytes: &[u8]) -> Result<(Vec<u32>, usize), CodecError> {
+    let mut out = Vec::new();
+    let used = rans_decode_with(&mut RansScratch::new(), bytes, &mut out)?;
+    Ok((out, used))
+}
+
+/// [`rans_decode`] into a caller-owned symbol buffer (cleared first),
+/// reusing `scratch` for the frequency tables and the slot LUT. Returns the
+/// number of bytes consumed, so callers can embed the stream in a container.
+pub fn rans_decode_with(
+    scratch: &mut RansScratch,
+    bytes: &[u8],
+    out: &mut Vec<u32>,
+) -> Result<usize, CodecError> {
+    decode_impl(scratch, bytes, u32::MAX, out)
+}
+
+/// Byte-stream variant of [`rans_decode_with`]: symbols above 255 in the
+/// frequency table (or the fallback section) are rejected as corruption, so
+/// the decode loop narrows to `u8` without per-symbol checks.
+pub fn rans_decode_bytes_with(
+    scratch: &mut RansScratch,
+    bytes: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<usize, CodecError> {
+    decode_impl(scratch, bytes, u8::MAX.into(), out)
+}
+
+/// Output element of the generic decode loop; conversion is infallible
+/// because the frequency table was validated against the sink's `max_sym`.
+trait SinkSym: Copy {
+    fn of_sym(sym: u32) -> Self;
+}
+
+impl SinkSym for u32 {
+    #[inline(always)]
+    fn of_sym(sym: u32) -> u32 {
+        sym
+    }
+}
+
+impl SinkSym for u8 {
+    #[inline(always)]
+    fn of_sym(sym: u32) -> u8 {
+        debug_assert!(sym <= 255);
+        sym as u8
+    }
+}
+
+/// Normalize the histogram in `alphabet` to frequencies summing exactly to
+/// `SCALE`, every entry at least 1. Deterministic: floor-scaled counts, the
+/// deficit granted to the most frequent symbol, any excess shaved from the
+/// largest normalized frequencies first (stable on ties).
+fn normalize_freqs(alphabet: &[(u32, u64)], freqs: &mut Vec<u32>, order: &mut Vec<u32>) {
+    debug_assert!(!alphabet.is_empty() && alphabet.len() <= SCALE as usize);
+    let total: u64 = alphabet.iter().map(|&(_, c)| c).sum();
+    freqs.clear();
+    let mut sum = 0u32;
+    for &(_, count) in alphabet {
+        let f = ((u128::from(count) << SCALE_BITS) / u128::from(total)) as u32;
+        let f = f.max(1);
+        freqs.push(f);
+        sum += f;
+    }
+    if sum < SCALE {
+        let k = alphabet
+            .iter()
+            .enumerate()
+            .max_by_key(|&(k, &(_, count))| (count, std::cmp::Reverse(k)))
+            .map(|(k, _)| k)
+            .expect("alphabet is non-empty");
+        freqs[k] += SCALE - sum;
+    } else if sum > SCALE {
+        // Shave from the largest frequencies first; total reducible mass is
+        // sum − len ≥ sum − SCALE, so one pass always suffices.
+        let mut excess = sum - SCALE;
+        order.clear();
+        order.extend(0..freqs.len() as u32);
+        order.sort_by_key(|&k| std::cmp::Reverse(freqs[k as usize]));
+        for &k in order.iter() {
+            if excess == 0 {
+                break;
+            }
+            let take = excess.min(freqs[k as usize] - 1);
+            freqs[k as usize] -= take;
+            excess -= take;
+        }
+        debug_assert_eq!(excess, 0);
+    }
+}
+
+fn encode_impl<S: SymbolLike>(scratch: &mut RansScratch, symbols: &[S], out: &mut Vec<u8>) {
+    if symbols.is_empty() {
+        out.push(MODE_RANS);
+        write_varint(out, 0);
+        return;
+    }
+
+    let mode = build_alphabet_into(
+        &mut scratch.hist,
+        &mut scratch.sym_map,
+        &mut scratch.slot_counts,
+        &mut scratch.alphabet,
+        symbols,
+    );
+
+    if scratch.alphabet.len() > SCALE as usize {
+        // Too many distinct symbols for a 12-bit table: embed a canonical
+        // Huffman stream instead (never reachable from the byte-oriented
+        // entry points — 256 ≤ SCALE).
+        out.push(MODE_HUFF);
+        scratch.syms_u32.clear();
+        scratch.syms_u32.extend(symbols.iter().map(|s| s.sym()));
+        huffman_encode_with(&mut scratch.huff, &scratch.syms_u32, out);
+        return;
+    }
+
+    out.push(MODE_RANS);
+    write_varint(out, symbols.len() as u64);
+
+    normalize_freqs(&scratch.alphabet, &mut scratch.freqs, &mut scratch.norm_order);
+
+    // Header: (symbol, normalized frequency) pairs in ascending symbol order.
+    write_varint(out, scratch.alphabet.len() as u64);
+    for (k, &(sym, _)) in scratch.alphabet.iter().enumerate() {
+        write_varint(out, u64::from(sym));
+        write_varint(out, u64::from(scratch.freqs[k]));
+    }
+
+    // Encoder tables: cumulative starts + reciprocals per alphabet index,
+    // and the symbol → index addressing for the chosen table mode.
+    scratch.enc_syms.clear();
+    let mut cum = 0u32;
+    for &f in &scratch.freqs {
+        scratch.enc_syms.push(EncSym::new(cum, f));
+        cum += f;
+    }
+    debug_assert_eq!(cum, SCALE);
+    match mode {
+        TableMode::Dense { min } => {
+            let span = (scratch.alphabet.last().expect("non-empty").0 - min) as usize + 1;
+            if scratch.dense_idx.len() < span {
+                scratch.dense_idx.resize(span, 0);
+            }
+            for (k, &(sym, _)) in scratch.alphabet.iter().enumerate() {
+                scratch.dense_idx[(sym - min) as usize] = k as u32;
+            }
+        }
+        TableMode::Sparse => {
+            scratch.slot_idx.clear();
+            scratch.slot_idx.resize(scratch.alphabet.len(), 0);
+            for (k, &(sym, _)) in scratch.alphabet.iter().enumerate() {
+                let slot = scratch.sym_map.get(sym).expect("alphabet symbol") as usize;
+                scratch.slot_idx[slot] = k as u32;
+            }
+        }
+    }
+
+    // Encode in reverse (rANS is LIFO) with two interleaved states: the
+    // symbol's index parity selects its state, so the decoder can alternate
+    // states while walking forward. Both states share one emit stack.
+    let rev = &mut scratch.rev;
+    rev.clear();
+    let mut x0 = RANS_L;
+    let mut x1 = RANS_L;
+    let enc_syms = &scratch.enc_syms;
+    let mut i = symbols.len();
+    macro_rules! sym_of {
+        ($s:expr) => {{
+            let k = match mode {
+                TableMode::Dense { min } => scratch.dense_idx[($s.sym() - min) as usize],
+                TableMode::Sparse => {
+                    let slot = scratch.sym_map.get($s.sym()).expect("alphabet covers input");
+                    scratch.slot_idx[slot as usize]
+                }
+            };
+            &enc_syms[k as usize]
+        }};
+    }
+    if i & 1 == 1 {
+        // Odd length: the highest index is even and threads state 0.
+        i -= 1;
+        x0 = enc_put(x0, rev, sym_of!(symbols[i]));
+    }
+    while i >= 2 {
+        // Two independent dependency chains per iteration: index i−1 is
+        // odd (state 1), index i−2 even (state 0).
+        i -= 1;
+        x1 = enc_put(x1, rev, sym_of!(symbols[i]));
+        i -= 1;
+        x0 = enc_put(x0, rev, sym_of!(symbols[i]));
+    }
+    // Flush so the reversed stream opens with state0 then state1, LE each.
+    rev.extend_from_slice(&x1.to_be_bytes());
+    rev.extend_from_slice(&x0.to_be_bytes());
+    rev.reverse();
+    write_varint(out, rev.len() as u64);
+    out.extend_from_slice(rev);
+
+    // Restore the all-zero invariant of the dense index table
+    // (O(distinct), not O(span)).
+    if let TableMode::Dense { min } = mode {
+        for &(sym, _) in &scratch.alphabet {
+            scratch.dense_idx[(sym - min) as usize] = 0;
+        }
+    }
+}
+
+fn decode_impl<T: SinkSym>(
+    scratch: &mut RansScratch,
+    bytes: &[u8],
+    max_sym: u32,
+    out: &mut Vec<T>,
+) -> Result<usize, CodecError> {
+    out.clear();
+    if bytes.is_empty() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mode = bytes[0];
+    let mut offset = 1usize;
+    if mode == MODE_HUFF {
+        // Embedded Huffman fallback: decode into the widened scratch buffer,
+        // then narrow (checked against the sink's symbol ceiling).
+        let used = huffman_decode_with(&mut scratch.huff, &bytes[offset..], &mut scratch.syms_u32)?;
+        offset += used;
+        out.reserve(scratch.syms_u32.len());
+        for &s in &scratch.syms_u32 {
+            if s > max_sym {
+                return Err(CodecError::Corrupt(format!("symbol {s} exceeds the sink range")));
+            }
+            out.push(T::of_sym(s));
+        }
+        return Ok(offset);
+    }
+    if mode != MODE_RANS {
+        return Err(CodecError::Corrupt(format!("unknown rans mode {mode}")));
+    }
+
+    let (n_symbols, used) = read_varint(&bytes[offset..])?;
+    offset += used;
+    if n_symbols == 0 {
+        return Ok(offset);
+    }
+
+    let (alphabet_size, used) = read_varint(&bytes[offset..])?;
+    offset += used;
+    if alphabet_size == 0 || alphabet_size > u64::from(SCALE) {
+        return Err(CodecError::Corrupt(format!(
+            "rans alphabet size {alphabet_size} outside 1..={SCALE}"
+        )));
+    }
+    let alphabet_size = alphabet_size as usize;
+
+    // Frequency table: bounded parse (each entry costs at least two stream
+    // bytes, and the size itself was just capped at 4096), validating the
+    // sink ceiling and the exact 12-bit sum before any LUT fill.
+    scratch.dec_syms.clear();
+    scratch.dec_freq.clear();
+    scratch.dec_cum.clear();
+    let mut cum = 0u32;
+    for _ in 0..alphabet_size {
+        let (sym, used) = read_varint(&bytes[offset..])?;
+        offset += used;
+        let (freq, used) = read_varint(&bytes[offset..])?;
+        offset += used;
+        if sym > u64::from(max_sym) {
+            return Err(CodecError::Corrupt(format!("symbol {sym} exceeds the sink range")));
+        }
+        if freq == 0 || freq > u64::from(SCALE) {
+            return Err(CodecError::Corrupt(format!("invalid rans frequency {freq}")));
+        }
+        scratch.dec_syms.push(sym as u32);
+        scratch.dec_freq.push(freq as u16);
+        scratch.dec_cum.push(cum as u16);
+        cum += freq as u32;
+        if cum > SCALE {
+            return Err(CodecError::Corrupt(format!(
+                "rans frequencies sum past {SCALE} at symbol {sym}"
+            )));
+        }
+    }
+    if cum != SCALE {
+        return Err(CodecError::Corrupt(format!(
+            "rans frequencies sum to {cum}, expected {SCALE}"
+        )));
+    }
+
+    // Slot LUT: every 12-bit slot maps to exactly one alphabet index (the
+    // exact-sum check above guarantees full coverage).
+    scratch.slot_lut.clear();
+    scratch.slot_lut.resize(SCALE as usize, 0);
+    for k in 0..alphabet_size {
+        let lo = u32::from(scratch.dec_cum[k]) as usize;
+        let hi = lo + u32::from(scratch.dec_freq[k]) as usize;
+        for entry in &mut scratch.slot_lut[lo..hi] {
+            *entry = k as u16;
+        }
+    }
+
+    let (payload_len, used) = read_varint(&bytes[offset..])?;
+    offset += used;
+    let payload_len = payload_len as usize;
+    if bytes.len() < offset || bytes.len() - offset < payload_len {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let payload = &bytes[offset..offset + payload_len];
+    let consumed = offset + payload_len;
+    if payload.len() < 8 {
+        return Err(CodecError::Corrupt("rans payload too short for two states".into()));
+    }
+    let mut x0 = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
+    let mut x1 = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes"));
+    if x0 < RANS_L || x1 < RANS_L {
+        return Err(CodecError::Corrupt("rans state below the renormalization interval".into()));
+    }
+    let mut ptr = 8usize;
+
+    // A single-symbol alphabet is the one genuinely zero-cost stream shape
+    // (freq == SCALE makes every coding step the identity): the payload is
+    // exactly the two seed states and the count alone sets the output size.
+    // Handle it as a bulk fill behind an absolute run cap — without the
+    // per-byte coupling a forged count would otherwise exploit, and without
+    // false-rejecting huge constant inputs the encoder legitimately emits.
+    if alphabet_size == 1 {
+        if n_symbols > MAX_DEGENERATE_RUN {
+            return Err(CodecError::Corrupt(format!(
+                "single-symbol run of {n_symbols} exceeds the {MAX_DEGENERATE_RUN} cap"
+            )));
+        }
+        if payload.len() != 8 || x0 != RANS_L || x1 != RANS_L {
+            return Err(CodecError::Corrupt(
+                "single-symbol payload must be exactly the two seed states".into(),
+            ));
+        }
+        out.resize(n_symbols as usize, T::of_sym(scratch.dec_syms[0]));
+        return Ok(consumed);
+    }
+
+    // Every other alphabet has max_freq ≤ SCALE − 1, so each symbol costs
+    // real information: at least ~log2(SCALE / max_freq) bits must come out
+    // of the payload (state flush included). Cap the claimed count at a
+    // generous multiple of that bound — honest streams sit well inside it
+    // (coding overhead only makes them larger), while a forged header can
+    // no longer turn a few bytes into an absurd allocation or decode loop.
+    let max_freq = scratch.dec_freq.iter().map(|&f| u64::from(f)).max().expect("non-empty table");
+    let budget_bits = payload.len() as u64 * 8 + 64;
+    let max_symbols =
+        budget_bits.saturating_mul(3 * u64::from(SCALE) / (u64::from(SCALE) - max_freq));
+    if n_symbols > max_symbols {
+        return Err(CodecError::Corrupt(format!(
+            "implausible symbol count {n_symbols} for a {}-byte payload",
+            payload.len()
+        )));
+    }
+    let n_symbols = n_symbols as usize;
+
+    // The reserve is a hint bounded by the input; near-zero-entropy streams
+    // may decode more (amortized push growth covers the rest).
+    out.reserve(n_symbols.min(payload.len().saturating_mul(8) + 64));
+
+    let lut = &scratch.slot_lut;
+    let dec_syms = &scratch.dec_syms;
+    let dec_freq = &scratch.dec_freq;
+    let dec_cum = &scratch.dec_cum;
+    macro_rules! step {
+        ($x:ident) => {{
+            let slot = $x & (SCALE - 1);
+            let k = lut[slot as usize] as usize;
+            out.push(T::of_sym(dec_syms[k]));
+            $x = u32::from(dec_freq[k]) * ($x >> SCALE_BITS) + slot - u32::from(dec_cum[k]);
+            while $x < RANS_L {
+                if ptr >= payload.len() {
+                    return Err(CodecError::UnexpectedEof);
+                }
+                $x = ($x << 8) | u32::from(payload[ptr]);
+                ptr += 1;
+            }
+        }};
+    }
+    let pairs = n_symbols / 2;
+    for _ in 0..pairs {
+        step!(x0);
+        step!(x1);
+    }
+    if n_symbols & 1 == 1 {
+        step!(x0);
+    }
+
+    // A well-formed stream ends with both states back at their seed and the
+    // payload fully drained; anything else is corruption.
+    if x0 != RANS_L || x1 != RANS_L {
+        return Err(CodecError::Corrupt("rans states did not return to the seed".into()));
+    }
+    if ptr != payload.len() {
+        return Err(CodecError::Corrupt(format!(
+            "rans payload has {} undecoded trailing bytes",
+            payload.len() - ptr
+        )));
+    }
+    Ok(consumed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32]) -> Vec<u8> {
+        let encoded = rans_encode(symbols);
+        let (decoded, used) = rans_decode(&encoded).unwrap();
+        assert_eq!(decoded, symbols);
+        assert_eq!(used, encoded.len());
+        // The scratch-reusing entry points agree byte for byte with the
+        // wrappers, including when the same scratch served other inputs.
+        let mut scratch = RansScratch::new();
+        let mut warmup = Vec::new();
+        rans_encode_with(&mut scratch, &[9, 9, 1, 2, 3, 9], &mut warmup);
+        let mut with_out = Vec::new();
+        rans_encode_with(&mut scratch, symbols, &mut with_out);
+        assert_eq!(with_out, encoded);
+        let mut decoded_with = Vec::new();
+        let used_with = rans_decode_with(&mut scratch, &encoded, &mut decoded_with).unwrap();
+        assert_eq!(decoded_with, symbols);
+        assert_eq!(used_with, encoded.len());
+        encoded
+    }
+
+    #[test]
+    fn empty_input() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn single_symbol_costs_almost_nothing() {
+        // freq == SCALE makes the encode step the identity: the payload is
+        // just the two flushed states.
+        let encoded = roundtrip(&[42; 100_000]);
+        assert!(encoded.len() < 24, "single-symbol stream is {} bytes", encoded.len());
+    }
+
+    #[test]
+    fn short_streams_roundtrip() {
+        roundtrip(&[5]);
+        roundtrip(&[5, 6]);
+        roundtrip(&[5, 6, 5]);
+        roundtrip(&[0, u32::MAX]);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses_below_huffman_floor() {
+        // 99% zeros: Huffman pays ≥ 1 bit per symbol; rANS codes the hot
+        // symbol at a fraction of a bit.
+        let mut symbols = vec![0u32; 99_000];
+        symbols.extend((0..1000).map(|i| (i % 17) as u32 + 1));
+        let encoded = roundtrip(&symbols);
+        let huff = crate::huffman_encode(&symbols);
+        assert!(
+            encoded.len() < huff.len() / 4,
+            "rans {} vs huffman {} bytes",
+            encoded.len(),
+            huff.len()
+        );
+    }
+
+    #[test]
+    fn uniform_byte_alphabet_roundtrips() {
+        let symbols: Vec<u32> = (0..40_960u32).map(|i| i % 256).collect();
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn sparse_large_symbol_values_roundtrip() {
+        // Span > DENSE_SPAN_MAX: exercises the symbol-map addressing.
+        let symbols = vec![0u32, u32::MAX, 123_456_789, 42, u32::MAX, 42, 0, 0];
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn wide_alphabet_falls_back_to_embedded_huffman() {
+        // More than 4096 distinct symbols cannot fit a 12-bit table.
+        let symbols: Vec<u32> = (0..6000u32).collect();
+        let encoded = roundtrip(&symbols);
+        assert_eq!(encoded[0], MODE_HUFF);
+        // Under the limit the rANS path is used.
+        let narrow: Vec<u32> = (0..4096u32).collect();
+        assert_eq!(roundtrip(&narrow)[0], MODE_RANS);
+    }
+
+    #[test]
+    fn byte_entry_points_match_widened_u32_streams() {
+        let bytes: Vec<u8> = (0..20_000usize).map(|i| (i * i % 251) as u8).collect();
+        let widened: Vec<u32> = bytes.iter().map(|&b| u32::from(b)).collect();
+        let mut scratch = RansScratch::new();
+        let mut from_bytes = Vec::new();
+        rans_encode_bytes_with(&mut scratch, &bytes, &mut from_bytes);
+        assert_eq!(from_bytes, rans_encode(&widened));
+        let mut back = Vec::new();
+        let used = rans_decode_bytes_with(&mut scratch, &from_bytes, &mut back).unwrap();
+        assert_eq!(back, bytes);
+        assert_eq!(used, from_bytes.len());
+    }
+
+    #[test]
+    fn byte_decode_rejects_wide_symbols() {
+        let encoded = rans_encode(&[300u32; 50]);
+        let mut scratch = RansScratch::new();
+        let mut out = Vec::new();
+        assert!(matches!(
+            rans_decode_bytes_with(&mut scratch, &encoded, &mut out),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn pseudorandom_sequence_roundtrips() {
+        let mut state = 0x12345678u64;
+        let symbols: Vec<u32> = (0..50_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) % 300) as u32
+            })
+            .collect();
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn geometric_skew_roundtrips() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let symbols: Vec<u32> = (0..30_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state.trailing_zeros() % 24
+            })
+            .collect();
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn normalization_is_exact_for_adversarial_histograms() {
+        // Many tiny counts next to one huge one force both the deficit and
+        // the excess paths of the normalizer.
+        let mut symbols = vec![7u32; 1_000_000];
+        symbols.extend(0..4000u32);
+        roundtrip(&symbols);
+        // All counts equal at a size that does not divide SCALE.
+        let symbols: Vec<u32> = (0..3000u32).flat_map(|s| [s, s, s]).collect();
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn decode_reports_consumed_length_inside_container() {
+        let encoded = rans_encode(&[9, 9, 8, 7]);
+        let mut container = encoded.clone();
+        container.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        let (decoded, used) = rans_decode(&container).unwrap();
+        assert_eq!(decoded, vec![9, 9, 8, 7]);
+        assert_eq!(used, encoded.len());
+    }
+
+    #[test]
+    fn truncated_streams_are_errors() {
+        let encoded = rans_encode(&[1, 2, 3, 1, 2, 3, 3, 3, 200, 1, 1]);
+        for cut in 0..encoded.len() {
+            assert!(rans_decode(&encoded[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn truncated_frequency_table_is_an_error_not_an_allocation() {
+        // A header claiming 4096 alphabet entries with two bytes of table
+        // must fail the entry parse, not reserve anything sized by the claim.
+        let mut bad = vec![MODE_RANS];
+        write_varint(&mut bad, 10); // n_symbols
+        write_varint(&mut bad, 4096); // alphabet_size
+        write_varint(&mut bad, 1); // one symbol…
+        write_varint(&mut bad, 2); // …and its freq, then nothing
+        assert_eq!(rans_decode(&bad), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn frequencies_must_sum_to_scale() {
+        for freqs in [[2048u64, 2047].as_slice(), &[2048, 2049], &[4096, 1]] {
+            let mut bad = vec![MODE_RANS];
+            write_varint(&mut bad, 4); // n_symbols
+            write_varint(&mut bad, freqs.len() as u64);
+            for (sym, &f) in freqs.iter().enumerate() {
+                write_varint(&mut bad, sym as u64);
+                write_varint(&mut bad, f);
+            }
+            write_varint(&mut bad, 8);
+            bad.extend_from_slice(&[0u8; 8]);
+            assert!(
+                matches!(rans_decode(&bad), Err(CodecError::Corrupt(_))),
+                "freqs {freqs:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_frequency_and_oversized_alphabet_are_rejected() {
+        let mut bad = vec![MODE_RANS];
+        write_varint(&mut bad, 4);
+        write_varint(&mut bad, 1);
+        write_varint(&mut bad, 7);
+        write_varint(&mut bad, 0); // freq 0
+        assert!(matches!(rans_decode(&bad), Err(CodecError::Corrupt(_))));
+
+        let mut bad = vec![MODE_RANS];
+        write_varint(&mut bad, 4);
+        write_varint(&mut bad, 4097); // alphabet too wide for 12-bit tables
+        assert!(matches!(rans_decode(&bad), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn unknown_mode_byte_is_rejected() {
+        let mut bad = rans_encode(&[1, 2, 3]);
+        bad[0] = 7;
+        assert!(matches!(rans_decode(&bad), Err(CodecError::Corrupt(_))));
+        assert_eq!(rans_decode(&[]), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn implausible_symbol_count_is_rejected_without_allocation() {
+        // A tiny single-symbol stream claiming 2^60 symbols must fail the
+        // degenerate-run cap, not spin the decode loop.
+        let mut bad = vec![MODE_RANS];
+        write_varint(&mut bad, 1u64 << 60);
+        write_varint(&mut bad, 1);
+        write_varint(&mut bad, 7);
+        write_varint(&mut bad, u64::from(SCALE));
+        write_varint(&mut bad, 8);
+        bad.extend_from_slice(&RANS_L.to_le_bytes());
+        bad.extend_from_slice(&RANS_L.to_le_bytes());
+        assert!(matches!(rans_decode(&bad), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn huge_single_symbol_runs_under_the_cap_roundtrip() {
+        // Regression: the old per-stream-byte plausibility cap rejected the
+        // encoder's own output for constant inputs past ~19M symbols. The
+        // degenerate bulk-fill path must round-trip far beyond that.
+        let symbols = vec![3u32; 30_000_000];
+        let encoded = rans_encode(&symbols);
+        assert!(encoded.len() < 24, "degenerate stream is {} bytes", encoded.len());
+        let (decoded, used) = rans_decode(&encoded).unwrap();
+        assert_eq!(decoded, symbols);
+        assert_eq!(used, encoded.len());
+    }
+
+    #[test]
+    fn forged_multi_symbol_count_is_bounded_by_the_payload_budget() {
+        // A near-degenerate two-symbol table (freqs 4095/1) over a seed-only
+        // payload cannot plausibly encode 10M symbols: the information
+        // bound must reject the claim before the decode loop multiplies a
+        // 20-byte stream into a 40MB allocation.
+        let mut bad = vec![MODE_RANS];
+        write_varint(&mut bad, 10_000_000);
+        write_varint(&mut bad, 2);
+        write_varint(&mut bad, 0);
+        write_varint(&mut bad, 4095);
+        write_varint(&mut bad, 1);
+        write_varint(&mut bad, 1);
+        write_varint(&mut bad, 8);
+        bad.extend_from_slice(&RANS_L.to_le_bytes());
+        bad.extend_from_slice(&RANS_L.to_le_bytes());
+        match rans_decode(&bad) {
+            Err(CodecError::Corrupt(msg)) => {
+                assert!(msg.contains("implausible"), "unexpected message: {msg}")
+            }
+            other => panic!("expected the information-bound rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_stream_with_trailing_payload_is_rejected() {
+        // The single-symbol fast path must not silently accept payload
+        // bytes beyond the two seed states.
+        let mut bad = vec![MODE_RANS];
+        write_varint(&mut bad, 4);
+        write_varint(&mut bad, 1);
+        write_varint(&mut bad, 7);
+        write_varint(&mut bad, u64::from(SCALE));
+        write_varint(&mut bad, 9);
+        bad.extend_from_slice(&RANS_L.to_le_bytes());
+        bad.extend_from_slice(&RANS_L.to_le_bytes());
+        bad.push(0xAB);
+        assert!(matches!(rans_decode(&bad), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_seed_check() {
+        // Flip a payload byte: decode either errors mid-stream or fails the
+        // final state/consumption checks — it must never "succeed" silently
+        // with the wrong length. (Symbol-level corruption within a valid
+        // state walk is undetectable by any entropy coder; the containers
+        // above add their own counts/shape checks.)
+        let symbols: Vec<u32> = (0..500u32).map(|i| i % 7).collect();
+        let encoded = rans_encode(&symbols);
+        let mut bad = encoded.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        match rans_decode(&bad) {
+            Err(_) => {}
+            Ok((decoded, _)) => assert_eq!(decoded.len(), symbols.len()),
+        }
+    }
+
+    #[test]
+    fn states_seed_check_rejects_forged_states() {
+        // A hand-built stream whose states do not decode back to the seed.
+        let mut bad = vec![MODE_RANS];
+        write_varint(&mut bad, 2); // n_symbols
+        write_varint(&mut bad, 1); // single symbol
+        write_varint(&mut bad, 3);
+        write_varint(&mut bad, u64::from(SCALE));
+        write_varint(&mut bad, 8);
+        bad.extend_from_slice(&(RANS_L + 5).to_le_bytes()); // wrong seed
+        bad.extend_from_slice(&RANS_L.to_le_bytes());
+        assert!(matches!(rans_decode(&bad), Err(CodecError::Corrupt(_))));
+    }
+}

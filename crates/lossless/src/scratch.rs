@@ -150,6 +150,96 @@ impl SymbolMap {
     }
 }
 
+/// Input symbol types the alphabet machinery accepts: the coders work over
+/// `u32` symbols, and the byte-oriented entry points feed `u8` streams
+/// through the same histogram without widening the input first.
+pub(crate) trait SymbolLike: Copy {
+    /// The `u32` symbol value this input element codes for.
+    fn sym(self) -> u32;
+}
+
+impl SymbolLike for u32 {
+    #[inline(always)]
+    fn sym(self) -> u32 {
+        self
+    }
+}
+
+impl SymbolLike for u8 {
+    #[inline(always)]
+    fn sym(self) -> u32 {
+        u32::from(self)
+    }
+}
+
+/// How the per-call symbol tables are addressed: densely by
+/// `symbol − min_symbol`, or through the scratch's symbol map.
+#[derive(Clone, Copy)]
+pub(crate) enum TableMode {
+    Dense { min: u32 },
+    Sparse,
+}
+
+/// Histogram `symbols` into `alphabet` as `(symbol, count)` pairs sorted by
+/// symbol, choosing dense or sparse table addressing by the alphabet's value
+/// span. Shared by the Huffman and rANS coders (the first stage of both);
+/// the caller hands in the reusable buffers of its scratch. The dense `hist`
+/// keeps its all-zero between-calls invariant (used entries are re-zeroed).
+pub(crate) fn build_alphabet_into<S: SymbolLike>(
+    hist: &mut Vec<u64>,
+    sym_map: &mut SymbolMap,
+    slot_counts: &mut Vec<u64>,
+    alphabet: &mut Vec<(u32, u64)>,
+    symbols: &[S],
+) -> TableMode {
+    let mut min = u32::MAX;
+    let mut max = 0u32;
+    for &s in symbols {
+        min = min.min(s.sym());
+        max = max.max(s.sym());
+    }
+    let span = (max - min) as usize + 1;
+    alphabet.clear();
+
+    if span <= DENSE_SPAN_MAX {
+        if hist.len() < span {
+            hist.resize(span, 0);
+        }
+        for &s in symbols {
+            let idx = (s.sym() - min) as usize;
+            if hist[idx] == 0 {
+                alphabet.push((s.sym(), 0));
+            }
+            hist[idx] += 1;
+        }
+        alphabet.sort_unstable_by_key(|&(sym, _)| sym);
+        for entry in alphabet.iter_mut() {
+            let idx = (entry.0 - min) as usize;
+            entry.1 = hist[idx];
+            hist[idx] = 0; // restore the all-zero invariant
+        }
+        TableMode::Dense { min }
+    } else {
+        sym_map.clear();
+        slot_counts.clear();
+        for &s in symbols {
+            let (slot, inserted) = sym_map.get_or_insert(s.sym());
+            if inserted {
+                slot_counts.push(0);
+                alphabet.push((s.sym(), 0));
+            }
+            slot_counts[slot as usize] += 1;
+        }
+        // Slots were handed out in insertion order, matching `alphabet`.
+        debug_assert_eq!(sym_map.len(), alphabet.len());
+        for (slot, entry) in alphabet.iter_mut().enumerate() {
+            entry.1 = slot_counts[slot];
+        }
+        alphabet.sort_unstable_by_key(|&(sym, _)| sym);
+        TableMode::Sparse
+    }
+}
+
 /// Reusable buffers for every stage of the lossless hot path. See the
 /// module documentation; the fields are crate-private — callers only create
 /// the scratch and pass it to the `*_with` entry points.

@@ -38,7 +38,7 @@ pub mod decompose;
 use lcc_grid::{Field2D, FieldView};
 use lcc_lossless::{
     huffman_decode_with, huffman_encode_with, lz77_compress_with, lz77_decompress_into,
-    CodecScratch,
+    rans_decode_with, rans_encode_with, CodecScratch, EntropyBackend, RansScratch,
 };
 use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound, ScratchArena};
 
@@ -50,11 +50,18 @@ pub struct MgardConfig {
     pub max_levels: u32,
     /// Quantization code radius; residuals outside it are stored exactly.
     pub code_radius: u32,
+    /// Entropy backend of the coefficient stream. [`EntropyBackend::Huffman`]
+    /// (the default) emits the historical `LMG1` container — Huffman codes
+    /// plus the outer LZ77 pass — byte-identical to every earlier release.
+    /// [`EntropyBackend::Rans`] emits the `LMR1` container: interleaved rANS
+    /// codes and no outer LZ77 pass (the ratio-vs-throughput ablation's fast
+    /// point).
+    pub entropy: EntropyBackend,
 }
 
 impl Default for MgardConfig {
     fn default() -> Self {
-        MgardConfig { max_levels: 16, code_radius: 1 << 30 }
+        MgardConfig { max_levels: 16, code_radius: 1 << 30, entropy: EntropyBackend::Huffman }
     }
 }
 
@@ -72,6 +79,14 @@ impl MgardCompressor {
         MgardCompressor { config }
     }
 
+    /// Create the rANS-backend variant (registry name `mgard-rans`).
+    pub fn rans() -> Self {
+        MgardCompressor::new(MgardConfig {
+            entropy: EntropyBackend::Rans,
+            ..MgardConfig::default()
+        })
+    }
+
     /// The active configuration.
     pub fn config(&self) -> MgardConfig {
         self.config
@@ -79,6 +94,12 @@ impl MgardCompressor {
 }
 
 const MAGIC: &[u8; 4] = b"LMG1";
+/// Magic of the rANS-backend container, emitted at the top level (the `LMR1`
+/// payload is not LZ77-wrapped). No collision with `LMG1` streams: LZ77
+/// output opens with the decompressed-length varint, and whenever its first
+/// byte could read as `b'L'` the next byte is a token tag of `0x00`/`0x01`,
+/// never `b'M'`.
+const RANS_MAGIC: &[u8; 4] = b"LMR1";
 
 /// Reusable working memory of the MGARD compress path: the multilevel
 /// coefficient workspace, the code/exact buffers, the assembled payload and
@@ -87,6 +108,8 @@ const MAGIC: &[u8; 4] = b"LMG1";
 #[derive(Debug, Default)]
 pub struct MgardScratch {
     codec: CodecScratch,
+    /// rANS working memory (the `mgard-rans` backend).
+    rans: RansScratch,
     /// Coefficient workspace of [`decompose::forward_into`] (lazy:
     /// `Field2D` has no empty value).
     work: Option<Field2D>,
@@ -145,33 +168,58 @@ impl MgardCompressor {
 
         let payload = &mut s.payload;
         payload.clear();
-        payload.extend_from_slice(MAGIC);
+        payload.extend_from_slice(match self.config.entropy {
+            EntropyBackend::Huffman => MAGIC,
+            EntropyBackend::Rans => RANS_MAGIC,
+        });
         payload.extend_from_slice(&(ny as u64).to_le_bytes());
         payload.extend_from_slice(&(nx as u64).to_le_bytes());
         payload.extend_from_slice(&eb.to_le_bytes());
         payload.extend_from_slice(&levels.to_le_bytes());
         payload.extend_from_slice(&self.config.code_radius.to_le_bytes());
         s.huff.clear();
-        huffman_encode_with(&mut s.codec, &s.codes, &mut s.huff);
+        match self.config.entropy {
+            EntropyBackend::Huffman => huffman_encode_with(&mut s.codec, &s.codes, &mut s.huff),
+            EntropyBackend::Rans => rans_encode_with(&mut s.rans, &s.codes, &mut s.huff),
+        }
         payload.extend_from_slice(&(s.huff.len() as u64).to_le_bytes());
         payload.extend_from_slice(&s.huff);
         payload.extend_from_slice(&(s.exact.len() as u64).to_le_bytes());
         for v in &s.exact {
             payload.extend_from_slice(&v.to_le_bytes());
         }
-        let mut out = Vec::new();
-        lz77_compress_with(&mut s.codec, &s.payload, &mut out);
-        Ok(out)
+        match self.config.entropy {
+            EntropyBackend::Huffman => {
+                let mut out = Vec::new();
+                lz77_compress_with(&mut s.codec, &s.payload, &mut out);
+                Ok(out)
+            }
+            // The rANS payload ships raw: the coefficient stream is already
+            // entropy-coded, so the LZ77 pass would trade most of the encode
+            // time for ~no ratio.
+            EntropyBackend::Rans => Ok(s.payload.clone()),
+        }
     }
 }
 
 impl Compressor for MgardCompressor {
     fn name(&self) -> &str {
-        "mgard"
+        match self.config.entropy {
+            EntropyBackend::Huffman => "mgard",
+            EntropyBackend::Rans => "mgard-rans",
+        }
     }
 
     fn description(&self) -> &str {
-        "MGARD-style multilevel interpolation decomposition with level-aware quantization"
+        match self.config.entropy {
+            EntropyBackend::Huffman => {
+                "MGARD-style multilevel interpolation decomposition with level-aware quantization"
+            }
+            EntropyBackend::Rans => {
+                "MGARD-style multilevel interpolation decomposition with level-aware \
+                 quantization and interleaved rANS"
+            }
+        }
     }
 
     fn compress_view(
@@ -198,9 +246,15 @@ impl Compressor for MgardCompressor {
         out: &mut Field2D,
     ) -> Result<(), CompressError> {
         let s = scratch.get_or_default::<MgardScratch>();
-        lz77_decompress_into(stream, &mut s.dec_payload)
-            .map_err(|e| CompressError::CorruptStream(format!("lz77: {e}")))?;
-        let payload: &[u8] = &s.dec_payload;
+        // Streams self-describe their backend: `LMR1` containers are raw at
+        // the top level, everything else is the historical LZ77 wrapping.
+        let payload: &[u8] = if stream.starts_with(RANS_MAGIC) {
+            stream
+        } else {
+            lz77_decompress_into(stream, &mut s.dec_payload)
+                .map_err(|e| CompressError::CorruptStream(format!("lz77: {e}")))?;
+            &s.dec_payload
+        };
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8], CompressError> {
             // Subtraction side: `*pos + n` could wrap for a forged length.
@@ -212,9 +266,14 @@ impl Compressor for MgardCompressor {
             Ok(out)
         };
 
-        if take(&mut pos, 4)? != MAGIC {
+        let magic = take(&mut pos, 4)?;
+        let codes_backend = if magic == MAGIC {
+            EntropyBackend::Huffman
+        } else if magic == RANS_MAGIC {
+            EntropyBackend::Rans
+        } else {
             return Err(CompressError::CorruptStream("bad magic".into()));
-        }
+        };
         let ny = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
         let nx = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
         let eb = f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
@@ -230,8 +289,12 @@ impl Compressor for MgardCompressor {
             .ok_or_else(|| CompressError::CorruptStream("cell count overflows".into()))?;
         let huff_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
         let huff = take(&mut pos, huff_len)?;
-        huffman_decode_with(&mut s.codec, huff, &mut s.codes)
-            .map_err(|e| CompressError::CorruptStream(format!("huffman: {e}")))?;
+        match codes_backend {
+            EntropyBackend::Huffman => huffman_decode_with(&mut s.codec, huff, &mut s.codes)
+                .map_err(|e| CompressError::CorruptStream(format!("huffman: {e}")))?,
+            EntropyBackend::Rans => rans_decode_with(&mut s.rans, huff, &mut s.codes)
+                .map_err(|e| CompressError::CorruptStream(format!("rans: {e}")))?,
+        };
         if s.codes.len() != cells {
             return Err(CompressError::CorruptStream("code count mismatch".into()));
         }
@@ -389,5 +452,36 @@ mod tests {
         assert_eq!(mgard.name(), "mgard");
         assert!(mgard.description().contains("multilevel"));
         assert!(mgard.config().max_levels >= 1);
+        let rans = MgardCompressor::rans();
+        assert_eq!(rans.name(), "mgard-rans");
+        assert!(rans.description().contains("rANS"));
+    }
+
+    #[test]
+    fn rans_backend_respects_bounds_and_decodes_identically() {
+        // The entropy stage is lossless, so the two backends must decode to
+        // bit-identical fields — and either compressor instance must decode
+        // the other's self-describing stream.
+        let huff = MgardCompressor::default();
+        let rans = MgardCompressor::rans();
+        for field in [smooth(64, 64), smooth(61, 83), rough(64, 11)] {
+            for eb in [1e-4, 1e-2] {
+                let a = huff.compress(&field, ErrorBound::Absolute(eb)).unwrap();
+                let b = rans.compress(&field, ErrorBound::Absolute(eb)).unwrap();
+                assert!(b.metrics.max_abs_error <= eb);
+                assert_eq!(a.reconstruction, b.reconstruction, "backends disagree at eb={eb}");
+                assert!(b.stream.starts_with(RANS_MAGIC));
+                assert_eq!(huff.decompress_field(&b.stream).unwrap(), b.reconstruction);
+                assert_eq!(rans.decompress_field(&a.stream).unwrap(), a.reconstruction);
+            }
+        }
+    }
+
+    #[test]
+    fn rans_streams_reject_corruption() {
+        let rans = MgardCompressor::rans();
+        let stream = rans.compress_field(&smooth(32, 32), ErrorBound::Absolute(1e-3)).unwrap();
+        assert!(rans.decompress_field(&stream[..stream.len() / 2]).is_err());
+        assert!(rans.decompress_field(&stream[..5]).is_err());
     }
 }

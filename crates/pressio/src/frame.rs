@@ -36,9 +36,20 @@
 //! unchanged, and the bit-identity/stream-identity fixture suites pin the
 //! same bytes they always have. [`decompress_framed_with`] dispatches on the
 //! magic: no `LCCF` prefix means passthrough. The magic cannot collide with
-//! the inner codecs' streams (SZ/MGARD streams open with an LZ77 varint
-//! whose next byte is a token tag of `0x00`/`0x01`, never `b'C'`; ZFP
-//! streams open with a `0`/`1` container tag, never `b'L'`).
+//! the inner codecs' streams (SZ/MGARD Huffman streams open with an LZ77
+//! varint whose next byte is a token tag of `0x00`/`0x01`, never `b'C'`;
+//! their rANS containers open with the magics `LSR1`/`LMR1`, whose second
+//! byte is never `b'C'`; ZFP streams open with a `0`/`1`/`2` container tag,
+//! never `b'L'`).
+//!
+//! ## Pipelined encode assembly
+//!
+//! The encoder does not wait for every block before assembling the frame: it
+//! reserves the header and a zeroed length table up front, and each block's
+//! worker appends the block's bytes (backfilling its table slot) the moment
+//! all earlier blocks have landed — later blocks are still encoding while
+//! early ones are copied into place. The produced bytes are identical to a
+//! barrier-then-concatenate assembly.
 //!
 //! Because each block is compressed as an independent field, a multi-block
 //! frame's decoded values are identical to decoding each block's stream on
@@ -49,6 +60,7 @@
 use crate::{CompressError, Compressor, ErrorBound, ScratchArena};
 use lcc_grid::{Field2D, FieldView};
 use lcc_par::{parallel_block_map, split_ranges, ThreadPoolConfig};
+use std::sync::Mutex;
 
 /// Magic prefix of a version-1 multi-block frame.
 pub const FRAME_MAGIC: [u8; 4] = *b"LCCF";
@@ -155,30 +167,79 @@ pub fn compress_framed_with(
     let ranges = split_ranges(ny, blocks);
     let sub_views: Vec<FieldView<'_>> =
         ranges.iter().map(|r| view.subview(r.start, 0, r.len(), nx)).collect();
-    let workers = scratch.workers(pool.threads().min(sub_views.len()));
-    let encoded: Vec<Result<Vec<u8>, CompressError>> =
-        parallel_block_map(pool, workers, sub_views, |worker, _, sub| {
-            compressor.compress_view_with(&sub, bound, &mut worker.arena)
-        });
+    let n_blocks = sub_views.len();
 
-    let mut streams = Vec::with_capacity(encoded.len());
-    for result in encoded {
-        streams.push(result?);
+    // Pipelined stream assembly: the header and a zeroed length table are
+    // reserved up front, and every finished block appends its bytes and
+    // backfills its table slot as soon as all earlier blocks have landed —
+    // assembly of early blocks overlaps with encoding of later ones instead
+    // of waiting at a barrier and concatenating afterwards. The emitted
+    // bytes are identical to the barrier version: same header, same table,
+    // same in-order concatenation.
+    let mut header = Vec::with_capacity(HEADER_LEN + 8 * n_blocks);
+    header.extend_from_slice(&FRAME_MAGIC);
+    header.push(FRAME_VERSION);
+    header.extend_from_slice(&(ny as u64).to_le_bytes());
+    header.extend_from_slice(&(nx as u64).to_le_bytes());
+    header.extend_from_slice(&(n_blocks as u32).to_le_bytes());
+    header.resize(HEADER_LEN + 8 * n_blocks, 0);
+    let assembler = Mutex::new(FrameAssembler {
+        out: header,
+        next: 0,
+        pending: (0..n_blocks).map(|_| None).collect(),
+        error: None,
+    });
+
+    let workers = scratch.workers(pool.threads().min(n_blocks));
+    parallel_block_map(pool, workers, sub_views, |worker, b, sub| {
+        let result = compressor.compress_view_with(&sub, bound, &mut worker.arena);
+        assembler.lock().expect("assembler lock is never poisoned").submit(b, result);
+    });
+
+    let assembler = assembler.into_inner().expect("assembler lock is never poisoned");
+    match assembler.error {
+        Some(error) => Err(error),
+        None => {
+            debug_assert_eq!(assembler.next, n_blocks, "every block was appended");
+            Ok(assembler.out)
+        }
     }
-    let body: usize = streams.iter().map(Vec::len).sum();
-    let mut out = Vec::with_capacity(HEADER_LEN + 8 * streams.len() + body);
-    out.extend_from_slice(&FRAME_MAGIC);
-    out.push(FRAME_VERSION);
-    out.extend_from_slice(&(ny as u64).to_le_bytes());
-    out.extend_from_slice(&(nx as u64).to_le_bytes());
-    out.extend_from_slice(&(streams.len() as u32).to_le_bytes());
-    for stream in &streams {
-        out.extend_from_slice(&(stream.len() as u64).to_le_bytes());
+}
+
+/// In-order assembly state of a multi-block frame under construction: the
+/// output already holds the header and the reserved (zeroed) length table;
+/// blocks arriving out of order park in `pending` until their turn.
+struct FrameAssembler {
+    out: Vec<u8>,
+    /// Next block index to append.
+    next: usize,
+    /// Encoded streams of blocks that finished before their predecessors.
+    pending: Vec<Option<Vec<u8>>>,
+    /// First compression error observed (the frame is abandoned).
+    error: Option<CompressError>,
+}
+
+impl FrameAssembler {
+    /// Record one block's encode result: append it (and any unblocked
+    /// successors) to the stream, backfilling the reserved table slots.
+    fn submit(&mut self, block: usize, result: Result<Vec<u8>, CompressError>) {
+        match result {
+            Err(error) => {
+                if self.error.is_none() {
+                    self.error = Some(error);
+                }
+            }
+            Ok(stream) => {
+                self.pending[block] = Some(stream);
+                while let Some(stream) = self.pending.get_mut(self.next).and_then(Option::take) {
+                    let slot = HEADER_LEN + 8 * self.next;
+                    self.out[slot..slot + 8].copy_from_slice(&(stream.len() as u64).to_le_bytes());
+                    self.out.extend_from_slice(&stream);
+                    self.next += 1;
+                }
+            }
+        }
     }
-    for stream in &streams {
-        out.extend_from_slice(stream);
-    }
-    Ok(out)
 }
 
 /// Decompress a (framed or raw) stream with fresh scratch, returning an
@@ -455,6 +516,53 @@ mod tests {
             decompress_framed_with(&Store, &stream, pool(), &mut scratch, &mut out).unwrap();
             assert_eq!(out, field, "round {round}");
         }
+    }
+
+    /// A compressor that fails on any block containing the marker value,
+    /// exercising the assembler's error path.
+    struct FailOnMarker;
+
+    impl Compressor for FailOnMarker {
+        fn name(&self) -> &str {
+            "fail-on-marker"
+        }
+
+        fn compress_view(
+            &self,
+            view: &FieldView<'_>,
+            bound: ErrorBound,
+        ) -> Result<Vec<u8>, CompressError> {
+            if view.iter().any(|v| v == -999.0) {
+                return Err(CompressError::InvalidInput("marker block".into()));
+            }
+            Store.compress_view(view, bound)
+        }
+
+        fn decompress_view_with(
+            &self,
+            stream: &[u8],
+            scratch: &mut ScratchArena,
+            out: &mut Field2D,
+        ) -> Result<(), CompressError> {
+            Store.decompress_view_with(stream, scratch, out)
+        }
+    }
+
+    #[test]
+    fn block_error_abandons_the_frame() {
+        // Poison a row band in the middle: the pipelined assembler must
+        // surface the error instead of emitting a half-assembled frame.
+        let mut field = ramp(24, 8);
+        field.set(12, 3, -999.0);
+        let result = compress_framed_with(
+            &FailOnMarker,
+            &field.view(),
+            ErrorBound::Absolute(1.0),
+            4,
+            pool(),
+            &mut FrameScratch::new(),
+        );
+        assert!(matches!(result, Err(CompressError::InvalidInput(_))));
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod stream;
 use lcc_grid::{Field2D, FieldView, WindowIter};
 use lcc_lossless::{
     huffman_decode_with, huffman_encode_with, lz77_compress_with, lz77_decompress_into,
-    CodecScratch,
+    rans_decode_with, rans_encode_with, CodecScratch, EntropyBackend, RansScratch,
 };
 use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound, ScratchArena};
 use predictor::{lorenzo_predict, plane_predict, BlockMode};
@@ -54,11 +54,24 @@ pub struct SzConfig {
     /// Enable the block regression (hyper-plane) predictor in addition to
     /// Lorenzo. Disabling it is the `sz_predictor_ablation` bench baseline.
     pub enable_regression: bool,
+    /// Entropy backend of the quantized-residual stream. [`EntropyBackend::Huffman`]
+    /// (the default) emits the historical `LSZ1` container — Huffman codes
+    /// plus the outer LZ77 pass — byte-identical to every earlier release.
+    /// [`EntropyBackend::Rans`] emits the `LSR1` container: interleaved rANS
+    /// codes and **no** outer LZ77 pass (rANS output is already near the
+    /// entropy, so the pass costs most of the encode time for ~no ratio) —
+    /// the fast point of the ratio-vs-throughput ablation.
+    pub entropy: EntropyBackend,
 }
 
 impl Default for SzConfig {
     fn default() -> Self {
-        SzConfig { block_size: 16, quantization_radius: 32768, enable_regression: true }
+        SzConfig {
+            block_size: 16,
+            quantization_radius: 32768,
+            enable_regression: true,
+            entropy: EntropyBackend::Huffman,
+        }
     }
 }
 
@@ -81,6 +94,11 @@ impl SzCompressor {
         SzCompressor::new(SzConfig { enable_regression: false, ..SzConfig::default() })
     }
 
+    /// Create the rANS-backend variant (registry name `sz-rans`).
+    pub fn rans() -> Self {
+        SzCompressor::new(SzConfig { entropy: EntropyBackend::Rans, ..SzConfig::default() })
+    }
+
     /// The active configuration.
     pub fn config(&self) -> SzConfig {
         self.config
@@ -88,6 +106,12 @@ impl SzCompressor {
 }
 
 const MAGIC: &[u8; 4] = b"LSZ1";
+/// Magic of the rANS-backend container. Emitted at the top level (the `LSR1`
+/// payload is not LZ77-wrapped), which cannot collide with an `LSZ1` stream:
+/// LZ77 output opens with the decompressed-length varint, and whenever its
+/// first byte could read as `b'L'` (a single-byte varint, high bit clear)
+/// the next byte is a token tag of `0x00`/`0x01`, never `b'S'`.
+const RANS_MAGIC: &[u8; 4] = b"LSR1";
 
 /// Reusable working memory of the SZ compress path: one instance per sweep
 /// worker (held in a [`ScratchArena`]) turns every per-call allocation —
@@ -97,6 +121,8 @@ const MAGIC: &[u8; 4] = b"LSZ1";
 pub struct SzScratch {
     /// Huffman + LZ77 working memory.
     codec: CodecScratch,
+    /// rANS working memory (the `sz-rans` backend).
+    rans: RansScratch,
     /// Row-major reconstruction buffer. Never zeroed: the block scan writes
     /// every cell before any predictor reads it (Lorenzo only looks at
     /// already-visited neighbours and treats the field boundary as zero
@@ -110,7 +136,7 @@ pub struct SzScratch {
     modes: Vec<BlockMode>,
     /// Regression coefficients for regression blocks.
     planes: Vec<[f64; 3]>,
-    /// Encoded Huffman section.
+    /// Encoded entropy section (Huffman or rANS, per the backend).
     huff: Vec<u8>,
     /// Assembled container payload (input of the final LZ77 pass).
     payload: StreamWriter,
@@ -239,10 +265,14 @@ impl SzCompressor {
             }
         }
 
-        // Assemble the self-describing payload.
+        // Assemble the self-describing payload (the magic names the entropy
+        // backend of the codes section).
         let w = &mut s.payload;
         w.clear();
-        w.bytes(MAGIC);
+        w.bytes(match self.config.entropy {
+            EntropyBackend::Huffman => MAGIC,
+            EntropyBackend::Rans => RANS_MAGIC,
+        });
         w.u64(ny as u64);
         w.u64(nx as u64);
         w.f64(eb);
@@ -262,7 +292,10 @@ impl SzCompressor {
             w.f64(p[2]);
         }
         s.huff.clear();
-        huffman_encode_with(&mut s.codec, &s.codes, &mut s.huff);
+        match self.config.entropy {
+            EntropyBackend::Huffman => huffman_encode_with(&mut s.codec, &s.codes, &mut s.huff),
+            EntropyBackend::Rans => rans_encode_with(&mut s.rans, &s.codes, &mut s.huff),
+        }
         w.u64(s.huff.len() as u64);
         w.bytes(&s.huff);
         w.u64(s.exact.len() as u64);
@@ -270,20 +303,40 @@ impl SzCompressor {
             w.f64(*v);
         }
 
-        // Final lossless pass over the assembled payload (Zstd's role).
-        let mut out = Vec::new();
-        lz77_compress_with(&mut s.codec, s.payload.as_bytes(), &mut out);
-        Ok(out)
+        match self.config.entropy {
+            // Final lossless pass over the assembled payload (Zstd's role).
+            EntropyBackend::Huffman => {
+                let mut out = Vec::new();
+                lz77_compress_with(&mut s.codec, s.payload.as_bytes(), &mut out);
+                Ok(out)
+            }
+            // The rANS payload ships raw: its dominant section is already
+            // entropy-coded, so the LZ77 pass would trade most of the encode
+            // time for ~no ratio (the ablation's fast point).
+            EntropyBackend::Rans => Ok(s.payload.as_bytes().to_vec()),
+        }
     }
 }
 
 impl Compressor for SzCompressor {
     fn name(&self) -> &str {
-        "sz"
+        match self.config.entropy {
+            EntropyBackend::Huffman => "sz",
+            EntropyBackend::Rans => "sz-rans",
+        }
     }
 
     fn description(&self) -> &str {
-        "SZ-style block prediction (Lorenzo + regression) with linear quantization, Huffman and LZ77"
+        match self.config.entropy {
+            EntropyBackend::Huffman => {
+                "SZ-style block prediction (Lorenzo + regression) with linear quantization, \
+                 Huffman and LZ77"
+            }
+            EntropyBackend::Rans => {
+                "SZ-style block prediction (Lorenzo + regression) with linear quantization \
+                 and interleaved rANS"
+            }
+        }
     }
 
     fn compress_view(
@@ -310,13 +363,24 @@ impl Compressor for SzCompressor {
         out: &mut Field2D,
     ) -> Result<(), CompressError> {
         let s = scratch.get_or_default::<SzScratch>();
-        lz77_decompress_into(stream, &mut s.dec_payload)
-            .map_err(|e| CompressError::CorruptStream(format!("lz77: {e}")))?;
-        let mut r = StreamReader::new(&s.dec_payload);
+        // Streams self-describe their backend: `LSR1` containers are raw at
+        // the top level, everything else is the historical LZ77 wrapping.
+        let payload: &[u8] = if stream.starts_with(RANS_MAGIC) {
+            stream
+        } else {
+            lz77_decompress_into(stream, &mut s.dec_payload)
+                .map_err(|e| CompressError::CorruptStream(format!("lz77: {e}")))?;
+            &s.dec_payload
+        };
+        let mut r = StreamReader::new(payload);
         let magic = r.bytes(4)?;
-        if magic != MAGIC {
+        let codes_backend = if magic == MAGIC {
+            EntropyBackend::Huffman
+        } else if magic == RANS_MAGIC {
+            EntropyBackend::Rans
+        } else {
             return Err(CompressError::CorruptStream("bad magic".into()));
-        }
+        };
         let ny = r.u64()? as usize;
         let nx = r.u64()? as usize;
         let eb = r.f64()?;
@@ -352,8 +416,12 @@ impl Compressor for SzCompressor {
         }
         let huff_len = r.u64()? as usize;
         let huff_bytes = r.bytes(huff_len)?;
-        huffman_decode_with(&mut s.codec, huff_bytes, &mut s.codes)
-            .map_err(|e| CompressError::CorruptStream(format!("huffman: {e}")))?;
+        match codes_backend {
+            EntropyBackend::Huffman => huffman_decode_with(&mut s.codec, huff_bytes, &mut s.codes)
+                .map_err(|e| CompressError::CorruptStream(format!("huffman: {e}")))?,
+            EntropyBackend::Rans => rans_decode_with(&mut s.rans, huff_bytes, &mut s.codes)
+                .map_err(|e| CompressError::CorruptStream(format!("rans: {e}")))?,
+        };
         if s.codes.len() != cells {
             return Err(CompressError::CorruptStream(format!(
                 "expected {cells} codes, found {}",
@@ -569,5 +637,43 @@ mod tests {
         let sz = SzCompressor::default();
         assert_eq!(sz.name(), "sz");
         assert!(sz.description().contains("Lorenzo"));
+        let rans = SzCompressor::rans();
+        assert_eq!(rans.name(), "sz-rans");
+        assert!(rans.description().contains("rANS"));
+    }
+
+    #[test]
+    fn rans_backend_respects_bounds_and_decodes_identically() {
+        // The entropy stage is lossless, so the two backends must decode to
+        // bit-identical fields — and either compressor instance must decode
+        // the other's self-describing stream.
+        let huff = SzCompressor::default();
+        let rans = SzCompressor::rans();
+        for field in [smooth_field(80), rough_field(64, 7)] {
+            for eb in [1e-4, 1e-2] {
+                let a = huff.compress(&field, ErrorBound::Absolute(eb)).unwrap();
+                let b = rans.compress(&field, ErrorBound::Absolute(eb)).unwrap();
+                assert!(b.metrics.max_abs_error <= eb);
+                assert_eq!(a.reconstruction, b.reconstruction, "backends disagree at eb={eb}");
+                assert_ne!(a.stream, b.stream, "containers must differ");
+                assert!(b.stream.starts_with(RANS_MAGIC));
+                assert_eq!(huff.decompress_field(&b.stream).unwrap(), b.reconstruction);
+                assert_eq!(rans.decompress_field(&a.stream).unwrap(), a.reconstruction);
+            }
+        }
+    }
+
+    #[test]
+    fn rans_streams_reject_corruption() {
+        let rans = SzCompressor::rans();
+        let stream = rans.compress_field(&smooth_field(32), ErrorBound::Absolute(1e-3)).unwrap();
+        assert!(rans.decompress_field(&stream[..stream.len() / 2]).is_err());
+        assert!(rans.decompress_field(&stream[..6]).is_err());
+        // Clobber the entropy section's mode byte region; must error, never
+        // panic.
+        let mut bad = stream.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x55;
+        let _ = rans.decompress_field(&bad);
     }
 }

@@ -40,7 +40,10 @@ pub mod codec;
 pub mod transform;
 
 use lcc_grid::{Field2D, FieldView};
-use lcc_lossless::{lz77_compress_with, lz77_decompress_into, BitReader, BitWriter, CodecScratch};
+use lcc_lossless::{
+    lz77_compress_with, lz77_decompress_into, rans_decode_bytes_with, rans_encode_bytes_with,
+    BitReader, BitWriter, CodecScratch, EntropyBackend, RansScratch,
+};
 use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound, ScratchArena};
 
 /// Side length of a coding block (fixed at 4, as in ZFP's 2D mode).
@@ -54,15 +57,21 @@ pub struct ZfpConfig {
     /// Fixed-point precision (bits) used for the block-floating-point
     /// conversion. 40 leaves ample headroom for transform growth in `i64`.
     pub precision_bits: u32,
-    /// Apply the final LZ77 pass over the assembled bit stream. ZFP itself
+    /// Apply a final lossless pass over the assembled bit stream. ZFP itself
     /// does not re-compress its output; this defaults to `false` and exists
     /// for ablation.
     pub lossless_pass: bool,
+    /// Which lossless pass `lossless_pass` applies:
+    /// [`EntropyBackend::Huffman`] keeps the historical LZ77 container
+    /// (tag 1, byte-identical to earlier releases),
+    /// [`EntropyBackend::Rans`] codes the bit-stream bytes with interleaved
+    /// rANS (tag 2). Ignored when `lossless_pass` is `false`.
+    pub entropy: EntropyBackend,
 }
 
 impl Default for ZfpConfig {
     fn default() -> Self {
-        ZfpConfig { precision_bits: 40, lossless_pass: false }
+        ZfpConfig { precision_bits: 40, lossless_pass: false, entropy: EntropyBackend::Huffman }
     }
 }
 
@@ -82,6 +91,16 @@ impl ZfpCompressor {
         ZfpCompressor { config }
     }
 
+    /// Create the rANS-container variant (registry name `zfp-rans`): the
+    /// bit-plane stream wrapped in an interleaved-rANS lossless pass.
+    pub fn rans() -> Self {
+        ZfpCompressor::new(ZfpConfig {
+            lossless_pass: true,
+            entropy: EntropyBackend::Rans,
+            ..ZfpConfig::default()
+        })
+    }
+
     /// The active configuration.
     pub fn config(&self) -> ZfpConfig {
         self.config
@@ -98,8 +117,10 @@ const MAGIC: &[u8; 4] = b"LZF1";
 pub struct ZfpScratch {
     writer: BitWriter,
     codec: CodecScratch,
-    /// Decode side: the LZ77-expanded bit stream (tag-1 containers only;
-    /// tag-0 streams are read in place without a copy).
+    /// rANS working memory (the tag-2 `zfp-rans` container).
+    rans: RansScratch,
+    /// Decode side: the expanded bit stream (tag-1 LZ77 and tag-2 rANS
+    /// containers; tag-0 streams are read in place without a copy).
     body: Vec<u8>,
 }
 
@@ -143,9 +164,18 @@ impl ZfpCompressor {
 
         let bits = s.writer.as_bytes();
         if self.config.lossless_pass {
-            let mut out = vec![1u8];
-            lz77_compress_with(&mut s.codec, bits, &mut out);
-            Ok(out)
+            match self.config.entropy {
+                EntropyBackend::Huffman => {
+                    let mut out = vec![1u8];
+                    lz77_compress_with(&mut s.codec, bits, &mut out);
+                    Ok(out)
+                }
+                EntropyBackend::Rans => {
+                    let mut out = vec![2u8];
+                    rans_encode_bytes_with(&mut s.rans, bits, &mut out);
+                    Ok(out)
+                }
+            }
         } else {
             let mut out = Vec::with_capacity(1 + bits.len());
             out.push(0u8);
@@ -157,11 +187,19 @@ impl ZfpCompressor {
 
 impl Compressor for ZfpCompressor {
     fn name(&self) -> &str {
-        "zfp"
+        if self.config.lossless_pass && self.config.entropy == EntropyBackend::Rans {
+            "zfp-rans"
+        } else {
+            "zfp"
+        }
     }
 
     fn description(&self) -> &str {
-        "ZFP-style 4x4 block transform coding with tolerance-driven bit-plane truncation"
+        if self.config.lossless_pass && self.config.entropy == EntropyBackend::Rans {
+            "ZFP-style 4x4 block transform coding with bit-plane truncation and interleaved rANS"
+        } else {
+            "ZFP-style 4x4 block transform coding with tolerance-driven bit-plane truncation"
+        }
     }
 
     fn compress_view(
@@ -196,6 +234,11 @@ impl Compressor for ZfpCompressor {
             1 => {
                 lz77_decompress_into(&stream[1..], &mut s.body)
                     .map_err(|e| CompressError::CorruptStream(format!("lz77: {e}")))?;
+                &s.body
+            }
+            2 => {
+                rans_decode_bytes_with(&mut s.rans, &stream[1..], &mut s.body)
+                    .map_err(|e| CompressError::CorruptStream(format!("rans: {e}")))?;
                 &s.body
             }
             other => {
@@ -389,5 +432,43 @@ mod tests {
         assert_eq!(zfp.name(), "zfp");
         assert!(zfp.description().contains("4x4"));
         assert_eq!(zfp.config().precision_bits, 40);
+        let rans = ZfpCompressor::rans();
+        assert_eq!(rans.name(), "zfp-rans");
+        assert!(rans.config().lossless_pass);
+    }
+
+    #[test]
+    fn rans_container_respects_bounds_and_decodes_identically() {
+        // All three containers carry the same bit-plane stream, so every
+        // decode must agree bit for bit, from any compressor instance.
+        let raw = ZfpCompressor::default();
+        let lz = ZfpCompressor::new(ZfpConfig { lossless_pass: true, ..Default::default() });
+        let rans = ZfpCompressor::rans();
+        for field in [smooth(64), rough(64, 5)] {
+            for eb in [1e-4, 1e-2] {
+                let a = raw.compress(&field, ErrorBound::Absolute(eb)).unwrap();
+                let b = lz.compress(&field, ErrorBound::Absolute(eb)).unwrap();
+                let c = rans.compress(&field, ErrorBound::Absolute(eb)).unwrap();
+                assert!(c.metrics.max_abs_error <= eb);
+                assert_eq!(a.reconstruction, b.reconstruction);
+                assert_eq!(a.reconstruction, c.reconstruction);
+                assert_eq!(c.stream[0], 2, "rans container tag");
+                assert_eq!(raw.decompress_field(&c.stream).unwrap(), c.reconstruction);
+                assert_eq!(rans.decompress_field(&a.stream).unwrap(), a.reconstruction);
+            }
+        }
+    }
+
+    #[test]
+    fn rans_container_rejects_corruption_and_unknown_tags() {
+        let rans = ZfpCompressor::rans();
+        let stream = rans.compress_field(&smooth(32), ErrorBound::Absolute(1e-3)).unwrap();
+        assert!(rans.decompress_field(&stream[..stream.len() / 3]).is_err());
+        let mut bad = stream.clone();
+        bad[0] = 3; // unknown container tag
+        assert!(matches!(
+            rans.decompress_field(&bad),
+            Err(CompressError::CorruptStream(msg)) if msg.contains("unknown container tag")
+        ));
     }
 }

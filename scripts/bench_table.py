@@ -4,14 +4,24 @@
 Usage: bench_table.py BASELINE.json CURRENT.json
 
 Emits GitHub-flavoured markdown: one table for per-compressor codec
-throughput (MB/s, with the after/before ratio) and one for stage wall
-times. CI pipes the output into $GITHUB_STEP_SUMMARY so perf regressions
-are visible at a glance; the committed baseline lives in
+throughput (MB/s, with the after/before ratio), one for the Huffman-vs-rANS
+entropy-backend ablation (ratio and MB/s side by side), and one for stage
+wall times. CI pipes the output into $GITHUB_STEP_SUMMARY so perf
+regressions are visible at a glance; the committed baseline lives in
 benchmarks/BASELINE_sweep.json.
+
+The script FAILS (non-zero exit) when the current report is missing any
+registry variant it is supposed to measure — a silently skipped compressor
+must break the bench-smoke job, not vanish from the summary.
 """
 
 import json
 import sys
+
+# Every compressor bench_sweep's ablation registry must have measured, in
+# both single-stream and framed form. Keep in sync with
+# lcc_core::registry::entropy_ablation_registry().
+REQUIRED_VARIANTS = ["mgard", "mgard-rans", "sz", "sz-rans", "zfp", "zfp-rans"]
 
 
 def load(path):
@@ -29,10 +39,23 @@ def fmt(v):
     return f"{v:.1f}" if v is not None else "—"
 
 
+def check_required_variants(current):
+    """Fail loudly when a registry variant is missing from the report."""
+    present = {t["compressor"] for t in current.get("throughput", [])}
+    missing = [name for name in REQUIRED_VARIANTS if name not in present]
+    missing += [f"{name}+framed" for name in REQUIRED_VARIANTS
+                if f"{name}+framed" not in present]
+    if missing:
+        print(f"bench_table.py: BENCH report is missing registry variants: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        sys.exit(1)
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__)
     baseline, current = load(sys.argv[1]), load(sys.argv[2])
+    check_required_variants(current)
 
     print(f"## Codec throughput — {current.get('label', '?')} (MB/s)")
     print()
@@ -55,11 +78,34 @@ def main():
               f"| {fmt(bd)} | {fmt(ad)} | {ratio(bd, ad)} |")
     print()
 
+    # Entropy-backend ablation: each study codec against its rANS-backend
+    # variant, read from the *current* run — ratio and throughput side by
+    # side, the tradeoff the backend axis exists to measure.
+    cur_tp = {t["compressor"]: t for t in current.get("throughput", [])}
+    pairs = [(name, cur_tp.get(name), cur_tp.get(f"{name}-rans"))
+             for name in ["sz", "zfp", "mgard"]]
+    pairs = [(n, h, r) for n, h, r in pairs if h and r]
+    if pairs:
+        print("## Entropy backend ablation — Huffman vs rANS, current run")
+        print()
+        print("| codec | ratio huffman | ratio rans | compress huffman | "
+              "compress rans | speedup | decompress huffman | decompress rans "
+              "| speedup |")
+        print("|---|---|---|---|---|---|---|---|---|")
+        for name, h, r in pairs:
+            hc, rc = h["compress_mb_per_s"], r["compress_mb_per_s"]
+            hd, rd = h["decompress_mb_per_s"], r["decompress_mb_per_s"]
+            hr = h.get("compression_ratio")
+            rr = r.get("compression_ratio")
+            print(f"| {name} | {fmt(hr)} | {fmt(rr)} | {fmt(hc)} | {fmt(rc)} "
+                  f"| {ratio(hc, rc)} | {fmt(hd)} | {fmt(rd)} "
+                  f"| {ratio(hd, rd)} |")
+        print()
+
     # Block-parallel framed codec: `<name>+framed` entries measure the same
     # single-field work through the multi-block container, so the speedup
     # column here is the block-parallel scaling of the *current* run (the
     # before/after table above tracks the trajectory across PRs).
-    cur_tp = {t["compressor"]: t for t in current.get("throughput", [])}
     framed = [(name, t) for name, t in cur_tp.items() if name.endswith("+framed")]
     if framed:
         print("## Block-parallel framed codec — current run (MB/s)")

@@ -10,7 +10,8 @@
 use lcc::grid::{stats, Field2D};
 use lcc::lossless::{
     huffman_decode, huffman_decode_with, huffman_encode, huffman_encode_with, lz77_compress,
-    lz77_compress_with, lz77_decompress, ByteCodec, CodecScratch, HuffLzCodec,
+    lz77_compress_with, lz77_decompress, rans_decode, rans_decode_with, rans_encode,
+    rans_encode_with, ByteCodec, CodecScratch, HuffLzCodec, RansCodec, RansScratch,
 };
 use lcc::mgard::MgardCompressor;
 use lcc::pressio::{Compressor, ErrorBound};
@@ -107,6 +108,71 @@ proptest! {
         lz77_compress_with(&mut scratch, &bytes, &mut lz);
         prop_assert_eq!(&lz, &lz77_compress(&bytes));
         prop_assert_eq!(lz77_decompress(&lz).expect("decode"), bytes);
+    }
+
+    /// rANS degenerate alphabet: any symbol value, any multiplicity. The
+    /// full-scale frequency makes the encode step the identity, so the
+    /// stream must stay tiny regardless of the count.
+    #[test]
+    fn rans_single_symbol_alphabet_roundtrips(sym in any::<u32>(), count in 0usize..3000) {
+        let symbols = vec![sym; count];
+        let encoded = rans_encode(&symbols);
+        let (decoded, used) = rans_decode(&encoded).expect("decode");
+        prop_assert_eq!(decoded, symbols);
+        prop_assert_eq!(used, encoded.len());
+        prop_assert!(encoded.len() < 32, "degenerate stream is {} bytes", encoded.len());
+    }
+
+    /// Uniform draw over the full 2^16 alphabet: flat histograms with (at
+    /// larger sizes) more distinct symbols than the 12-bit table holds, so
+    /// both the normalized-table path and the embedded-Huffman fallback run.
+    #[test]
+    fn rans_uniform_u16_alphabet_roundtrips(symbols in proptest::collection::vec(0u32..65_536, 0..6000)) {
+        let encoded = rans_encode(&symbols);
+        let (decoded, used) = rans_decode(&encoded).expect("decode");
+        prop_assert_eq!(decoded, symbols);
+        prop_assert_eq!(used, encoded.len());
+    }
+
+    /// Geometric skew (exponentially decaying symbol frequencies): hot
+    /// symbols code below one bit — the regime where rANS beats Huffman.
+    #[test]
+    fn rans_geometric_skew_roundtrips(seed in any::<u64>(), n in 0usize..8000, offset in 0u32..1000) {
+        let mut state = seed | 1;
+        let symbols: Vec<u32> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                offset + (state.trailing_zeros() % 20)
+            })
+            .collect();
+        let encoded = rans_encode(&symbols);
+        let (decoded, used) = rans_decode(&encoded).expect("decode");
+        prop_assert_eq!(decoded, symbols);
+        prop_assert_eq!(used, encoded.len());
+    }
+
+    /// The scratch-reusing rANS entry points must emit the exact bytes of
+    /// the fresh-scratch wrappers on arbitrary inputs, and the byte-codec
+    /// pipeline over rANS must invert itself.
+    #[test]
+    fn rans_scratch_reuse_is_byte_identical_on_arbitrary_streams(
+        symbols in proptest::collection::vec(0u32..10_000, 0..4000),
+        bytes in proptest::collection::vec(any::<u8>(), 0..8000),
+    ) {
+        let mut scratch = RansScratch::new();
+        let mut encoded = Vec::new();
+        rans_encode_with(&mut scratch, &symbols, &mut encoded);
+        prop_assert_eq!(&encoded, &rans_encode(&symbols));
+        let mut decoded = Vec::new();
+        let used = rans_decode_with(&mut scratch, &encoded, &mut decoded).expect("decode");
+        prop_assert_eq!(decoded, symbols);
+        prop_assert_eq!(used, encoded.len());
+
+        let codec = RansCodec;
+        let pipe = codec.encode(&bytes);
+        prop_assert_eq!(codec.decode(&pipe).expect("decode"), bytes);
     }
 
     #[test]
