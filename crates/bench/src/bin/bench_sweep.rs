@@ -16,7 +16,7 @@ use lcc_bench::CliOptions;
 use lcc_core::benchreport::{CodecThroughput, StageTimings};
 use lcc_core::dataset::StudyDatasets;
 use lcc_core::experiment::{run_sweep, SweepConfig};
-use lcc_core::registry::entropy_ablation_registry;
+use lcc_core::registry::{entropy_ablation_registry, framed_variant_name};
 use lcc_core::statistics::{CorrelationStatistics, StatisticsConfig};
 use lcc_geostat::variogram::estimate_range;
 use lcc_geostat::{local_range_std, local_svd_truncation_std, LocalStatConfig};
@@ -142,7 +142,7 @@ fn main() {
         report.record(format!("compress_framed_{name}"), compress_seconds);
         report.record(format!("decompress_framed_{name}"), decompress_seconds);
         report.record_throughput(CodecThroughput {
-            compressor: format!("{name}+framed"),
+            compressor: framed_variant_name(&name),
             megabytes,
             compress_seconds,
             decompress_seconds,
@@ -180,7 +180,7 @@ fn main() {
                 t.decompress_mb_per_s()
             );
         }
-        let framed = format!("{name}+framed");
+        let framed = framed_variant_name(&name);
         if let (Some(single), Some(t)) = (report.throughput(&name), report.throughput(&framed)) {
             println!(
                 "  {framed}: compress {:.2} MB/s ({:.2}x)   decompress {:.2} MB/s ({:.2}x)",

@@ -1,16 +1,24 @@
-//! Wall-clock stage timings serialized as a small JSON report
-//! (`BENCH_sweep.json`).
+//! Wall-clock stage timings and sustained-traffic load reports serialized
+//! as small JSON reports (`BENCH_sweep.json`, `BENCH_load.json`).
 //!
 //! The CI benchmark smoke job and the paper-scale statistics gate both emit
-//! this file so successive PRs leave a machine-readable perf trajectory
-//! behind: one entry per pipeline stage (field generation, global variogram,
-//! local statistics, compression sweep), each with its measured wall time,
-//! plus one [`CodecThroughput`] entry per compressor (compress/decompress
-//! MB/s over the uncompressed payload size) so codec-side speedups are
-//! visible in the CI artifact, not just total wall time.
+//! `BENCH_sweep.json` so successive PRs leave a machine-readable perf
+//! trajectory behind: one entry per pipeline stage (field generation, global
+//! variogram, local statistics, compression sweep), each with its measured
+//! wall time, plus one [`CodecThroughput`] entry per compressor
+//! (compress/decompress MB/s over the uncompressed payload size) so
+//! codec-side speedups are visible in the CI artifact, not just total wall
+//! time.
+//!
+//! The load generator emits the sibling `BENCH_load.json` from the same
+//! schema family: a [`LoadReport`] with one [`LoadVariant`] row per registry
+//! variant, carrying request counts, round-trip p50/p90/p99/max latency
+//! extracted from a fixed-bucket log-scaled [`LatencyHistogram`], and MB/s
+//! per core. `scripts/bench_table.py --gate` compares both files against
+//! their committed baselines and fails CI on a threshold breach.
 
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Measured compress/decompress throughput of one compressor over a known
 /// uncompressed payload size.
@@ -146,6 +154,325 @@ impl StageTimings {
     }
 }
 
+/// Sub-bucket resolution of [`LatencyHistogram`]: each power-of-two octave
+/// splits into `2^SUB_BITS` linear sub-buckets, bounding the relative
+/// quantile error at `2^-SUB_BITS` (6.25%).
+const SUB_BITS: u32 = 4;
+const SUBS_PER_OCTAVE: usize = 1 << SUB_BITS;
+/// Total fixed bucket count: values below `2^SUB_BITS` get exact buckets,
+/// every octave from there up to `2^63` gets [`SUBS_PER_OCTAVE`] buckets.
+const BUCKETS: usize = (64 - SUB_BITS as usize) * SUBS_PER_OCTAVE + SUBS_PER_OCTAVE;
+
+/// Fixed-bucket log-scaled latency histogram over nanosecond samples.
+///
+/// Recording is O(1) into one of [`BUCKETS`] pre-sized buckets (no
+/// allocation after construction — safe to hold per worker in a steady-state
+/// loop), bucket width is at most 6.25% of the value, and per-worker
+/// histograms [`merge`](LatencyHistogram::merge) losslessly because every
+/// histogram shares the same fixed bucket boundaries. Minimum and maximum
+/// are additionally tracked exactly, so `quantile_ns(1.0)` is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram with all buckets pre-allocated.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Bucket index of a nanosecond value: exact below `2^SUB_BITS`,
+    /// log-scaled with [`SUBS_PER_OCTAVE`] linear sub-buckets per octave
+    /// above.
+    fn bucket_index(ns: u64) -> usize {
+        if ns < SUBS_PER_OCTAVE as u64 {
+            return ns as usize;
+        }
+        let octave = 63 - ns.leading_zeros(); // ns in [2^octave, 2^(octave+1))
+        let sub = (ns >> (octave - SUB_BITS)) as usize & (SUBS_PER_OCTAVE - 1);
+        (octave - SUB_BITS + 1) as usize * SUBS_PER_OCTAVE + sub
+    }
+
+    /// Inclusive upper bound of bucket `index` — the value
+    /// [`quantile_ns`](LatencyHistogram::quantile_ns) reports for samples
+    /// landing in that bucket ("latency ≤ X").
+    fn bucket_upper(index: usize) -> u64 {
+        if index < SUBS_PER_OCTAVE {
+            return index as u64;
+        }
+        let octave = (index / SUBS_PER_OCTAVE) as u32 + SUB_BITS - 1;
+        let sub = (index % SUBS_PER_OCTAVE) as u128;
+        // u128 arithmetic: the top octave's last bucket upper bound is
+        // 2^64 - 1, which would overflow the shift in u64.
+        let upper = ((SUBS_PER_OCTAVE as u128 + sub + 1) << (octave - SUB_BITS)) - 1;
+        u64::try_from(upper).unwrap_or(u64::MAX)
+    }
+
+    /// Record one latency sample in nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Record a [`Duration`] sample (saturating at `u64::MAX` nanoseconds).
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest recorded sample (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Exact largest recorded sample (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean of the recorded samples in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Sum of all recorded samples in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.sum_ns as f64 / 1e9
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) in nanoseconds: the upper
+    /// bound of the bucket holding the sample of rank `ceil(q · count)`,
+    /// clamped to the exact recorded extremes so `quantile_ns(0.0)` and
+    /// `quantile_ns(1.0)` are exact. Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(index).clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Convenience: the quantile in microseconds (the unit the load report
+    /// serializes).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.quantile_ns(q) as f64 / 1e3
+    }
+
+    /// Fold another histogram into this one. Lossless: every histogram
+    /// shares the same fixed bucket boundaries, so the merged quantiles
+    /// equal the quantiles of the concatenated sample streams (up to the
+    /// shared bucket resolution).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// One registry variant's row in a [`LoadReport`]: request counts, uncompressed
+/// volume, busy time, round-trip latency distribution and mean compression
+/// ratio under sustained mixed traffic.
+#[derive(Debug, Clone, Default)]
+pub struct LoadVariant {
+    /// Variant key (`"sz"`, `"sz+framed"`, `"mgard-rans"`, …).
+    pub variant: String,
+    /// Round trips completed without error.
+    pub requests: u64,
+    /// Round trips that failed (compress error, decode error, or a
+    /// round-trip hash mismatch against the single-threaded reference).
+    pub errors: u64,
+    /// Uncompressed payload volume round-tripped, in megabytes (counted
+    /// once per request, not once per direction).
+    pub megabytes: f64,
+    /// Sum of this variant's request latencies in seconds — single-core
+    /// occupancy time, the denominator of MB/s *per core*.
+    pub busy_seconds: f64,
+    /// Mean compression ratio over the variant's requests.
+    pub compression_ratio: f64,
+    /// Round-trip latency distribution (compress + decompress + verify).
+    pub latency: LatencyHistogram,
+}
+
+impl LoadVariant {
+    /// Round-trip throughput in MB/s per busy core: uncompressed megabytes
+    /// divided by the time a core spent serving this variant. Unlike
+    /// `megabytes / wall_time` this is well-defined when many variants
+    /// share the same wall clock.
+    pub fn mb_per_s_per_core(&self) -> f64 {
+        if self.busy_seconds > 0.0 {
+            self.megabytes / self.busy_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Sustained-traffic load report — the `BENCH_load.json` sibling of the
+/// sweep report, one row per registry variant.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Workload description (e.g. `"4 workers, 2000 ms, sizes 64-128"`).
+    pub label: String,
+    /// Concurrent worker count of the run.
+    pub workers: usize,
+    /// Measured wall-clock duration of the run, seconds.
+    pub duration_seconds: f64,
+    /// Mean allocations per request in the steady state (warmup excluded);
+    /// `None` when the counting allocator was not compiled in.
+    pub allocs_per_request: Option<f64>,
+    /// Per-variant rows, in the order they were registered.
+    pub variants: Vec<LoadVariant>,
+}
+
+impl LoadReport {
+    /// Total completed requests across all variants.
+    pub fn total_requests(&self) -> u64 {
+        self.variants.iter().map(|v| v.requests).sum()
+    }
+
+    /// Total failed requests across all variants.
+    pub fn total_errors(&self) -> u64 {
+        self.variants.iter().map(|v| v.errors).sum()
+    }
+
+    /// Total uncompressed megabytes round-tripped.
+    pub fn total_megabytes(&self) -> f64 {
+        self.variants.iter().map(|v| v.megabytes).sum()
+    }
+
+    /// Aggregate round-trip throughput, MB/s over the wall clock.
+    pub fn mb_per_s(&self) -> f64 {
+        if self.duration_seconds > 0.0 {
+            self.total_megabytes() / self.duration_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate MB/s divided by the worker count.
+    pub fn mb_per_s_per_core(&self) -> f64 {
+        if self.workers > 0 {
+            self.mb_per_s() / self.workers as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// The row for a variant, if present.
+    pub fn variant(&self, name: &str) -> Option<&LoadVariant> {
+        self.variants.iter().find(|v| v.variant == name)
+    }
+
+    /// Serialize the report as JSON (schema family of
+    /// [`StageTimings::to_json`]: a top-level `"bench"` discriminator plus
+    /// flat numeric rows).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"bench\": \"load\",\n  \"label\": \"{}\",\n  \"workers\": {},\n  \
+             \"duration_seconds\": {:.6},\n  \"total_requests\": {},\n  \
+             \"total_errors\": {},\n  \"total_megabytes\": {:.6},\n  \
+             \"mb_per_s\": {:.3},\n  \"mb_per_s_per_core\": {:.3},\n",
+            escape(&self.label),
+            self.workers,
+            self.duration_seconds,
+            self.total_requests(),
+            self.total_errors(),
+            self.total_megabytes(),
+            self.mb_per_s(),
+            self.mb_per_s_per_core(),
+        ));
+        match self.allocs_per_request {
+            Some(a) => out.push_str(&format!("  \"allocs_per_request\": {a:.3},\n")),
+            None => out.push_str("  \"allocs_per_request\": null,\n"),
+        }
+        out.push_str("  \"variants\": [\n");
+        for (k, v) in self.variants.iter().enumerate() {
+            let comma = if k + 1 < self.variants.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"variant\": \"{}\", \"requests\": {}, \"errors\": {}, \
+                 \"megabytes\": {:.6}, \"busy_seconds\": {:.6}, \
+                 \"mb_per_s_per_core\": {:.3}, \"compression_ratio\": {:.3}, \
+                 \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \
+                 \"max_us\": {:.1}}}{comma}\n",
+                escape(&v.variant),
+                v.requests,
+                v.errors,
+                v.megabytes,
+                v.busy_seconds,
+                v.mb_per_s_per_core(),
+                v.compression_ratio,
+                v.latency.quantile_us(0.50),
+                v.latency.quantile_us(0.90),
+                v.latency.quantile_us(0.99),
+                v.latency.max_ns() as f64 / 1e3,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write the JSON report to `path`, creating parent directories.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -228,5 +555,174 @@ mod tests {
     fn escapes_quotes_in_labels() {
         let t = StageTimings::new("a\"b\\c");
         assert!(t.to_json().contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_exact_below_sixteen_and_tight_above() {
+        // Small values get exact buckets: every distinct value its own bin.
+        for v in 0u64..16 {
+            assert_eq!(LatencyHistogram::bucket_index(v), v as usize);
+            assert_eq!(LatencyHistogram::bucket_upper(v as usize), v);
+        }
+        // Above that, every value lands in a bucket whose bounds contain it
+        // and the relative width stays within the designed 6.25%.
+        for v in [16u64, 17, 31, 32, 33, 63, 64, 1000, 4096, 1 << 20, u64::MAX] {
+            let index = LatencyHistogram::bucket_index(v);
+            let upper = LatencyHistogram::bucket_upper(index);
+            assert!(upper >= v, "upper {upper} < value {v}");
+            assert!(
+                index == 0 || LatencyHistogram::bucket_upper(index - 1) < v,
+                "value {v} below its bucket's lower bound"
+            );
+            assert!((upper - v) as f64 <= v as f64 / 16.0 + 1.0, "bucket too wide at {v}");
+        }
+        // Adjacent bucket uppers are strictly increasing across the table.
+        for i in 1..BUCKETS {
+            assert!(LatencyHistogram::bucket_upper(i) > LatencyHistogram::bucket_upper(i - 1));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_match_a_sorted_reference() {
+        // Deterministic pseudo-random samples spanning several octaves.
+        let mut samples: Vec<u64> = Vec::new();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            samples.push(x % 5_000_000 + 1); // 1 ns .. 5 ms
+        }
+        let mut hist = LatencyHistogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        samples.sort_unstable();
+        assert_eq!(hist.count(), samples.len() as u64);
+        assert_eq!(hist.min_ns(), samples[0]);
+        assert_eq!(hist.max_ns(), *samples.last().unwrap());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let reference = samples[rank - 1];
+            let measured = hist.quantile_ns(q);
+            // The histogram reports the containing bucket's upper bound, so
+            // it can only overshoot, and by at most one bucket width.
+            assert!(measured >= reference, "q={q}: {measured} < reference {reference}");
+            assert!(
+                measured as f64 <= reference as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+                "q={q}: {measured} too far above reference {reference}"
+            );
+        }
+        let exact_mean = samples.iter().map(|&s| s as f64).sum::<f64>() / samples.len() as f64;
+        assert!((hist.mean_ns() - exact_mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * 977 + 13;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merged per-worker histograms must equal the combined one");
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile_ns(q), whole.quantile_ns(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn record_duration_and_second_totals() {
+        let mut h = LatencyHistogram::new();
+        h.record_duration(Duration::from_micros(250));
+        h.record_duration(Duration::from_micros(750));
+        assert_eq!(h.count(), 2);
+        assert!((h.total_seconds() - 1e-3).abs() < 1e-12);
+        assert!((h.quantile_us(0.5) - 250.0).abs() <= 250.0 / 16.0 + 1.0);
+    }
+
+    #[test]
+    fn load_report_aggregates_and_serializes() {
+        let mut sz = LoadVariant { variant: "sz".into(), ..LoadVariant::default() };
+        for _ in 0..10 {
+            sz.latency.record(2_000_000); // 2 ms
+        }
+        sz.requests = 10;
+        sz.megabytes = 10.0 * 0.032768;
+        sz.busy_seconds = 0.02;
+        sz.compression_ratio = 12.5;
+        let mut framed = LoadVariant { variant: "sz+framed".into(), ..LoadVariant::default() };
+        framed.latency.record(4_000_000);
+        framed.requests = 1;
+        framed.errors = 1;
+        framed.megabytes = 0.032768;
+        framed.busy_seconds = 0.004;
+        let report = LoadReport {
+            label: "smoke".into(),
+            workers: 4,
+            duration_seconds: 0.5,
+            allocs_per_request: Some(3.25),
+            variants: vec![sz, framed],
+        };
+        assert_eq!(report.total_requests(), 11);
+        assert_eq!(report.total_errors(), 1);
+        assert!((report.total_megabytes() - 11.0 * 0.032768).abs() < 1e-9);
+        assert!(report.mb_per_s() > 0.0);
+        assert!((report.mb_per_s_per_core() - report.mb_per_s() / 4.0).abs() < 1e-9);
+        let row = report.variant("sz").unwrap();
+        assert!((row.mb_per_s_per_core() - row.megabytes / row.busy_seconds).abs() < 1e-9);
+        assert!(report.variant("zfp").is_none());
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"load\""));
+        assert!(json.contains("\"variant\": \"sz+framed\""));
+        assert!(json.contains("\"allocs_per_request\": 3.250"));
+        assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"total_errors\": 1"));
+        // The quantile columns sit near the recorded 2 ms latency.
+        assert!(json.contains("\"p50_us\": 2"));
+    }
+
+    #[test]
+    fn load_report_without_alloc_tracking_serializes_null() {
+        let report = LoadReport {
+            label: "x".into(),
+            workers: 1,
+            duration_seconds: 0.0,
+            allocs_per_request: None,
+            variants: Vec::new(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"allocs_per_request\": null"));
+        assert_eq!(report.mb_per_s(), 0.0);
+        assert_eq!(report.mb_per_s_per_core(), 0.0);
+    }
+
+    #[test]
+    fn load_report_writes_to_disk() {
+        let dir = std::env::temp_dir().join("lcc_loadreport_test");
+        let path = dir.join("BENCH_load.json");
+        let report = LoadReport { label: "disk".into(), workers: 2, ..LoadReport::default() };
+        report.write(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench\": \"load\""));
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

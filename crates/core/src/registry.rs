@@ -38,6 +38,15 @@ pub fn entropy_ablation_registry() -> Registry {
     registry
 }
 
+/// Report key of a compressor measured through the block-parallel framed
+/// container (`"sz"` → `"sz+framed"`). `bench_sweep` and the load generator
+/// both derive their `BENCH_*.json` variant keys from this, and
+/// `scripts/bench_table.py` joins rows across reports on it — one place to
+/// change the convention.
+pub fn framed_variant_name(name: &str) -> String {
+    format!("{name}+framed")
+}
+
 /// Build a registry holding only SZ and ZFP (the paper omits MGARD from the
 /// local-SVD figures because it is insensitive to those statistics).
 pub fn sz_zfp_registry() -> Registry {
@@ -67,6 +76,12 @@ mod tests {
     fn sz_zfp_registry_omits_mgard() {
         let registry = sz_zfp_registry();
         assert_eq!(registry.names(), vec!["sz", "zfp"]);
+    }
+
+    #[test]
+    fn framed_variant_name_appends_the_framed_suffix() {
+        assert_eq!(framed_variant_name("sz"), "sz+framed");
+        assert_eq!(framed_variant_name("mgard-rans"), "mgard-rans+framed");
     }
 
     #[test]

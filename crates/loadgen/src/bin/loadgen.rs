@@ -1,0 +1,111 @@
+//! Serving-grade load harness over the full entropy-ablation registry —
+//! writes `BENCH_load.json` next to `BENCH_sweep.json`.
+//!
+//! ```text
+//! cargo run --release -p lcc_loadgen --bin loadgen -- \
+//!     --duration-ms 2000 --workers 4 --sizes 64,96,128 --out target/bench
+//! ```
+//!
+//! Drives N concurrent workers through all 12 registry variants (6 codecs ×
+//! {single-stream, framed}) with a seeded deterministic request mix, prints
+//! a per-variant p50/p99/MB-per-core table, and exits non-zero when any
+//! round trip failed verification — the CI smoke contract. Build with
+//! `--features loadgen-alloc` to also report steady-state allocations per
+//! request (the binary then runs under a counting global allocator).
+
+use lcc_bench::CliOptions;
+use lcc_loadgen::{run_load, LoadgenConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+#[cfg(feature = "loadgen-alloc")]
+#[global_allocator]
+static ALLOC: lcc_loadgen::alloc_count::CountingAllocator =
+    lcc_loadgen::alloc_count::CountingAllocator;
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let workers = opts.get_usize("workers", 4);
+    let duration_ms = opts.get_u64("duration-ms", 2000);
+    let seed = opts.get_u64("seed", 42);
+    let queue_capacity = opts.get_usize("queue-capacity", 0);
+    let framed_blocks = opts.get_usize("framed-blocks", 4);
+    let bound = opts.get_f64("bound", 1e-3);
+    let sizes: Vec<usize> = opts
+        .get_str("sizes", "64,96,128")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&s| s >= 8)
+        .collect();
+    let out_dir = PathBuf::from(opts.get_str("out", "target/bench"));
+
+    let mut config = LoadgenConfig {
+        workers,
+        duration: Duration::from_millis(duration_ms),
+        seed,
+        queue_capacity,
+        bound,
+        framed_blocks,
+        ..LoadgenConfig::default()
+    };
+    if !sizes.is_empty() {
+        config.sizes = sizes;
+    }
+    // Guarantee at least two full round-robins over the 12 variants so even
+    // a near-zero duration produces a row (with a warmup-free histogram)
+    // for every variant.
+    config.min_requests = 24;
+
+    let report = match run_load(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen: reference setup failed: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("loadgen: {}", report.label);
+    println!(
+        "  {:<20} {:>9} {:>7} {:>10} {:>10} {:>10} {:>12}",
+        "variant", "requests", "errors", "p50 us", "p99 us", "max us", "MB/s/core"
+    );
+    for v in &report.variants {
+        println!(
+            "  {:<20} {:>9} {:>7} {:>10.1} {:>10.1} {:>10.1} {:>12.2}",
+            v.variant,
+            v.requests,
+            v.errors,
+            v.latency.quantile_us(0.50),
+            v.latency.quantile_us(0.99),
+            v.latency.max_ns() as f64 / 1e3,
+            v.mb_per_s_per_core(),
+        );
+    }
+    println!(
+        "  total: {} requests, {} errors, {:.2} MB in {:.3}s — {:.2} MB/s ({:.2} MB/s per core)",
+        report.total_requests(),
+        report.total_errors(),
+        report.total_megabytes(),
+        report.duration_seconds,
+        report.mb_per_s(),
+        report.mb_per_s_per_core(),
+    );
+    match report.allocs_per_request {
+        Some(a) => println!("  steady-state allocations per request: {a:.2}"),
+        None => println!(
+            "  steady-state allocations: not tracked (build with --features loadgen-alloc)"
+        ),
+    }
+
+    let path = out_dir.join("BENCH_load.json");
+    report.write(&path).expect("write BENCH_load.json");
+    println!("wrote {}", path.display());
+
+    if report.total_errors() > 0 {
+        eprintln!(
+            "loadgen: {} round trip(s) failed verification under concurrent traffic",
+            report.total_errors()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,518 @@
+//! # lcc-loadgen — serving-grade sustained-traffic load generator
+//!
+//! `bench_sweep` measures one-shot kernel throughput; this crate measures
+//! the production question: what latency distribution and per-core
+//! throughput does the codec stack sustain under *concurrent mixed
+//! traffic*? A seeded deterministic [`schedule`] drives N worker threads
+//! through the full [`entropy_ablation_registry`] — all six codec variants,
+//! each in single-stream and `LCCF`-framed form, over mixed field sizes —
+//! via the bounded work queue in [`lcc_par::queue`] (backpressure instead
+//! of an unbounded backlog, like a serving admission queue).
+//!
+//! Every request is a full round trip: compress a field view through the
+//! worker's persistent [`ScratchArena`]/[`FrameScratch`], decode the stream
+//! back into the worker's reusable reconstruction field, and verify both
+//! the stream and the reconstruction hash-match a single-threaded reference
+//! computed at setup — so a run with zero errors *proves* byte-identical
+//! round trips under concurrency, not just absence of panics. Per-request
+//! latency lands in a per-worker per-variant
+//! [`LatencyHistogram`](lcc_core::benchreport::LatencyHistogram); the
+//! merged [`LoadReport`] (`BENCH_load.json`) carries p50/p90/p99/max, MB/s
+//! per core, and — with the `loadgen-alloc` feature — steady-state
+//! allocations per request.
+
+pub mod alloc_count;
+pub mod schedule;
+
+use lcc_core::benchreport::{LatencyHistogram, LoadReport, LoadVariant};
+use lcc_core::registry::{entropy_ablation_registry, framed_variant_name};
+use lcc_grid::Field2D;
+use lcc_par::{run_bounded_queue, ThreadPoolConfig};
+use lcc_pressio::{frame, CompressError, Compressor, ErrorBound, FrameScratch, ScratchArena};
+use lcc_synth::{generate_single_range, GaussianFieldConfig};
+use schedule::{Request, Schedule};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent worker threads draining the request queue.
+    pub workers: usize,
+    /// Target wall-clock duration of the submission phase.
+    pub duration: Duration,
+    /// Seed of the deterministic request schedule and payload fields.
+    pub seed: u64,
+    /// Edge lengths of the square payload fields (two correlation ranges
+    /// are generated per size, so the payload table is `2 × sizes.len()`
+    /// fields).
+    pub sizes: Vec<usize>,
+    /// Admission-queue capacity; 0 means `4 × workers`.
+    pub queue_capacity: usize,
+    /// Minimum number of requests to submit even if the deadline passes
+    /// first — at least one full round-robin over the variants guarantees
+    /// every variant appears in the report of an arbitrarily short run.
+    pub min_requests: u64,
+    /// Absolute point-wise error bound of every compress call.
+    pub bound: f64,
+    /// Block count of framed requests (clamped to the field's row count by
+    /// the frame layer). Blocks encode sequentially *within* a worker —
+    /// concurrency comes from the request level, as in a serving pool.
+    pub framed_blocks: usize,
+    /// Per-worker requests excluded from the steady-state allocation
+    /// average (scratch arenas grow to their high-water mark first).
+    pub warmup_requests: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            workers: 4,
+            duration: Duration::from_millis(2000),
+            seed: 42,
+            sizes: vec![64, 96, 128],
+            queue_capacity: 0,
+            min_requests: 0,
+            bound: 1e-3,
+            framed_blocks: 4,
+            warmup_requests: 4,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// One-line workload description used as the report label.
+    fn label(&self) -> String {
+        let sizes: Vec<String> = self.sizes.iter().map(|s| s.to_string()).collect();
+        format!(
+            "{} workers, {} ms, sizes [{}], seed {}",
+            self.workers,
+            self.duration.as_millis(),
+            sizes.join(","),
+            self.seed
+        )
+    }
+
+    fn capacity(&self) -> usize {
+        if self.queue_capacity > 0 {
+            self.queue_capacity
+        } else {
+            self.workers.max(1) * 4
+        }
+    }
+}
+
+/// One entry of the run's variant table: a registry compressor in either
+/// single-stream or framed form.
+struct Variant {
+    compressor: Arc<dyn Compressor>,
+    framed: bool,
+    label: String,
+}
+
+/// Single-threaded reference of one (variant, field) cell: the expected
+/// stream and reconstruction hashes every concurrent round trip must
+/// reproduce, plus the stream length for the ratio column.
+#[derive(Debug, Clone, Copy)]
+struct Reference {
+    stream_hash: u64,
+    recon_hash: u64,
+    stream_len: usize,
+}
+
+/// Per-variant accumulator of one worker.
+#[derive(Default)]
+struct VariantStats {
+    requests: u64,
+    errors: u64,
+    bytes: f64,
+    busy_seconds: f64,
+    ratio_sum: f64,
+    latency: LatencyHistogram,
+}
+
+/// Per-worker state: persistent scratch plus accumulators, handed to the
+/// worker thread by [`run_bounded_queue`] for the whole run.
+struct Worker {
+    arena: ScratchArena,
+    frame: FrameScratch,
+    recon: Field2D,
+    per_variant: Vec<VariantStats>,
+    served: u64,
+    alloc_calls: u64,
+    alloc_requests: u64,
+}
+
+impl Worker {
+    fn new(n_variants: usize) -> Self {
+        Worker {
+            arena: ScratchArena::new(),
+            frame: FrameScratch::new(),
+            recon: Field2D::zeros(1, 1),
+            per_variant: std::iter::repeat_with(VariantStats::default).take(n_variants).collect(),
+            served: 0,
+            alloc_calls: 0,
+            alloc_requests: 0,
+        }
+    }
+}
+
+/// FNV-1a over a byte slice — cheap, dependency-free stream fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a over a field's values in row-major bit pattern.
+fn hash_field(field: &Field2D) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for v in field.as_slice() {
+        for b in v.to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Build the run's variant table from the ablation registry: every codec in
+/// single-stream form first (registry order), then every codec framed — the
+/// same ordering `bench_sweep` uses for its throughput rows.
+fn build_variants() -> Vec<Variant> {
+    let registry = entropy_ablation_registry();
+    let mut variants = Vec::with_capacity(registry.len() * 2);
+    for compressor in registry.compressors() {
+        let label = compressor.name().to_string();
+        variants.push(Variant { compressor, framed: false, label });
+    }
+    for compressor in registry.compressors() {
+        let label = framed_variant_name(compressor.name());
+        variants.push(Variant { compressor, framed: true, label });
+    }
+    variants
+}
+
+/// Generate the payload table: two Gaussian random fields per configured
+/// size (a short- and a long-correlation-range instance), all derived from
+/// the run seed.
+fn build_fields(config: &LoadgenConfig) -> Vec<Field2D> {
+    let mut fields = Vec::with_capacity(config.sizes.len() * 2);
+    for (k, &size) in config.sizes.iter().enumerate() {
+        let size = size.max(8);
+        for (r, range_div) in [8.0, 3.0].iter().enumerate() {
+            let range = (size as f64 / range_div).max(2.0);
+            let seed = config.seed.wrapping_add((k * 2 + r) as u64 + 1);
+            let cfg = GaussianFieldConfig::new(size, size, range, seed);
+            fields.push(generate_single_range(&cfg));
+        }
+    }
+    fields
+}
+
+/// Run one (variant, field) round trip through the given worker scratch,
+/// returning the stream. Framed variants run their blocks sequentially on a
+/// single-thread pool: request-level workers are the concurrency.
+fn round_trip(
+    variant: &Variant,
+    field: &Field2D,
+    bound: ErrorBound,
+    blocks: usize,
+    arena: &mut ScratchArena,
+    frame_scratch: &mut FrameScratch,
+    recon: &mut Field2D,
+) -> Result<Vec<u8>, CompressError> {
+    if variant.framed {
+        let pool = ThreadPoolConfig::with_threads(1);
+        let stream = frame::compress_framed_with(
+            variant.compressor.as_ref(),
+            &field.view(),
+            bound,
+            blocks,
+            pool,
+            frame_scratch,
+        )?;
+        frame::decompress_framed_with(
+            variant.compressor.as_ref(),
+            &stream,
+            pool,
+            frame_scratch,
+            recon,
+        )?;
+        Ok(stream)
+    } else {
+        variant.compressor.roundtrip_with(&field.view(), bound, arena, recon)
+    }
+}
+
+/// Compute the single-threaded reference table: one compress+decompress per
+/// (variant, field) cell through a fresh scratch set.
+fn build_references(
+    variants: &[Variant],
+    fields: &[Field2D],
+    bound: ErrorBound,
+    blocks: usize,
+) -> Result<Vec<Vec<Reference>>, CompressError> {
+    let mut arena = ScratchArena::new();
+    let mut frame_scratch = FrameScratch::new();
+    let mut recon = Field2D::zeros(1, 1);
+    variants
+        .iter()
+        .map(|variant| {
+            fields
+                .iter()
+                .map(|field| {
+                    let stream = round_trip(
+                        variant,
+                        field,
+                        bound,
+                        blocks,
+                        &mut arena,
+                        &mut frame_scratch,
+                        &mut recon,
+                    )?;
+                    Ok(Reference {
+                        stream_hash: fnv1a(&stream),
+                        recon_hash: hash_field(&recon),
+                        stream_len: stream.len(),
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Everything a worker needs to serve requests: the immutable variant,
+/// payload, and reference tables plus the run's codec parameters. Shared
+/// read-only across all worker threads.
+struct Workload {
+    variants: Vec<Variant>,
+    fields: Vec<Field2D>,
+    references: Vec<Vec<Reference>>,
+    bound: ErrorBound,
+    blocks: usize,
+    warmup: u64,
+}
+
+/// Serve one request on a worker: round trip, verify against the reference,
+/// record latency/bytes/ratio or an error.
+fn serve(worker: &mut Worker, request: Request, load: &Workload) {
+    let variant = &load.variants[request.variant];
+    let field = &load.fields[request.field];
+    let reference = &load.references[request.variant][request.field];
+    let uncompressed_bytes = (field.len() * std::mem::size_of::<f64>()) as f64;
+
+    let allocs_before = alloc_count::thread_allocs();
+    let start = Instant::now();
+    let outcome = round_trip(
+        variant,
+        field,
+        load.bound,
+        load.blocks,
+        &mut worker.arena,
+        &mut worker.frame,
+        &mut worker.recon,
+    );
+    let elapsed = start.elapsed();
+    let alloc_delta = alloc_count::thread_allocs() - allocs_before;
+
+    worker.served += 1;
+    if worker.served > load.warmup {
+        worker.alloc_calls += alloc_delta;
+        worker.alloc_requests += 1;
+    }
+
+    let stats = &mut worker.per_variant[request.variant];
+    let verified = match outcome {
+        Ok(stream) => {
+            fnv1a(&stream) == reference.stream_hash
+                && hash_field(&worker.recon) == reference.recon_hash
+        }
+        Err(_) => false,
+    };
+    if verified {
+        stats.requests += 1;
+        stats.bytes += uncompressed_bytes;
+        stats.busy_seconds += elapsed.as_secs_f64();
+        stats.ratio_sum += uncompressed_bytes / reference.stream_len.max(1) as f64;
+        stats.latency.record_duration(elapsed);
+    } else {
+        stats.errors += 1;
+    }
+}
+
+/// Run a sustained load according to `config` and return the merged report.
+///
+/// The calling thread produces requests from the seeded schedule until the
+/// deadline passes (and at least `min_requests` went out); `workers` scoped
+/// threads drain the bounded queue through persistent per-worker scratch.
+/// Returns an error only when the single-threaded reference setup fails —
+/// per-request failures during the run are *counted*, not propagated, like
+/// a serving error budget.
+pub fn run_load(config: &LoadgenConfig) -> Result<LoadReport, CompressError> {
+    let workers = config.workers.max(1);
+    let bound = ErrorBound::Absolute(config.bound);
+    let blocks = config.framed_blocks.max(2);
+    let variants = build_variants();
+    let fields = build_fields(config);
+    let references = build_references(&variants, &fields, bound, blocks)?;
+    let load =
+        Workload { variants, fields, references, bound, blocks, warmup: config.warmup_requests };
+
+    let mut states: Vec<Worker> =
+        std::iter::repeat_with(|| Worker::new(load.variants.len())).take(workers).collect();
+    let mut schedule = Schedule::new(config.seed, load.variants.len(), load.fields.len());
+
+    let started = Instant::now();
+    let deadline = started + config.duration;
+    let min_requests = config.min_requests;
+    run_bounded_queue(
+        ThreadPoolConfig::with_threads(workers),
+        &mut states,
+        config.capacity(),
+        |queue| loop {
+            let issued = schedule.issued();
+            if issued >= min_requests && Instant::now() >= deadline {
+                break;
+            }
+            if queue.push(schedule.next_request()).is_err() {
+                break;
+            }
+        },
+        |worker, _, request| serve(worker, request, &load),
+    );
+    let duration_seconds = started.elapsed().as_secs_f64();
+
+    // Merge the per-worker accumulators into one report row per variant.
+    let mut rows: Vec<LoadVariant> = load
+        .variants
+        .iter()
+        .map(|v| LoadVariant { variant: v.label.clone(), ..LoadVariant::default() })
+        .collect();
+    let mut alloc_calls = 0u64;
+    let mut alloc_requests = 0u64;
+    for worker in &states {
+        alloc_calls += worker.alloc_calls;
+        alloc_requests += worker.alloc_requests;
+        for (row, stats) in rows.iter_mut().zip(&worker.per_variant) {
+            row.requests += stats.requests;
+            row.errors += stats.errors;
+            row.megabytes += stats.bytes / 1e6;
+            row.busy_seconds += stats.busy_seconds;
+            row.compression_ratio += stats.ratio_sum;
+            row.latency.merge(&stats.latency);
+        }
+    }
+    for row in &mut rows {
+        if row.requests > 0 {
+            row.compression_ratio /= row.requests as f64;
+        }
+    }
+
+    let allocs_per_request = (alloc_count::enabled() && alloc_requests > 0)
+        .then(|| alloc_calls as f64 / alloc_requests as f64);
+    Ok(LoadReport {
+        label: config.label(),
+        workers,
+        duration_seconds,
+        allocs_per_request,
+        variants: rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn hash_field_distinguishes_values_and_matches_bytes() {
+        let a = Field2D::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let mut b = a.clone();
+        assert_eq!(hash_field(&a), hash_field(&b));
+        b.set(2, 2, -1.0);
+        assert_ne!(hash_field(&a), hash_field(&b));
+        // Equivalent to hashing the raw little-endian bytes.
+        let bytes: Vec<u8> = a.as_slice().iter().flat_map(|v| v.to_le_bytes()).collect();
+        assert_eq!(hash_field(&a), fnv1a(&bytes));
+    }
+
+    #[test]
+    fn variant_table_is_all_codecs_single_then_framed() {
+        let variants = build_variants();
+        assert_eq!(variants.len(), 12);
+        let labels: Vec<&str> = variants.iter().map(|v| v.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "mgard",
+                "mgard-rans",
+                "sz",
+                "sz-rans",
+                "zfp",
+                "zfp-rans",
+                "mgard+framed",
+                "mgard-rans+framed",
+                "sz+framed",
+                "sz-rans+framed",
+                "zfp+framed",
+                "zfp-rans+framed",
+            ]
+        );
+        assert!(variants[..6].iter().all(|v| !v.framed));
+        assert!(variants[6..].iter().all(|v| v.framed));
+    }
+
+    #[test]
+    fn payload_fields_are_seed_deterministic() {
+        let config = LoadgenConfig { sizes: vec![32, 48], ..LoadgenConfig::default() };
+        let a = build_fields(&config);
+        let b = build_fields(&config);
+        assert_eq!(a.len(), 4, "two ranges per size");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(hash_field(x), hash_field(y));
+        }
+        let other = LoadgenConfig { seed: 1234, ..config };
+        let c = build_fields(&other);
+        assert_ne!(hash_field(&a[0]), hash_field(&c[0]));
+    }
+
+    #[test]
+    fn references_are_scratch_independent() {
+        // The reference table must not depend on arena reuse order:
+        // computing a single cell with fresh scratch gives the same hashes.
+        let config = LoadgenConfig { sizes: vec![32], ..LoadgenConfig::default() };
+        let variants = build_variants();
+        let fields = build_fields(&config);
+        let bound = ErrorBound::Absolute(config.bound);
+        let refs = build_references(&variants, &fields, bound, 4).unwrap();
+        let mut arena = ScratchArena::new();
+        let mut frame_scratch = FrameScratch::new();
+        let mut recon = Field2D::zeros(1, 1);
+        for (v, variant) in variants.iter().enumerate() {
+            let stream = round_trip(
+                variant,
+                &fields[1],
+                bound,
+                4,
+                &mut arena,
+                &mut frame_scratch,
+                &mut recon,
+            )
+            .unwrap();
+            assert_eq!(fnv1a(&stream), refs[v][1].stream_hash, "variant {}", variant.label);
+            assert_eq!(hash_field(&recon), refs[v][1].recon_hash, "variant {}", variant.label);
+            assert_eq!(stream.len(), refs[v][1].stream_len);
+        }
+    }
+}

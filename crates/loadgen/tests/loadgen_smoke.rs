@@ -1,0 +1,82 @@
+//! Default-suite load-generator smoke test: a short concurrent run over all
+//! 12 registry variants must complete with zero errors — which, by the
+//! harness's verification design, proves every round trip produced a stream
+//! and a reconstruction byte-identical to the single-threaded reference
+//! even under concurrent mixed-codec traffic.
+
+use lcc_loadgen::{run_load, LoadgenConfig};
+use std::time::Duration;
+
+fn smoke_config() -> LoadgenConfig {
+    LoadgenConfig {
+        workers: 4,
+        // Keep the timed phase short; min_requests guarantees coverage.
+        duration: Duration::from_millis(200),
+        seed: 7,
+        sizes: vec![48, 64],
+        min_requests: 36,
+        warmup_requests: 2,
+        ..LoadgenConfig::default()
+    }
+}
+
+#[test]
+fn concurrent_mixed_codec_run_is_error_free_and_covers_every_variant() {
+    let report = run_load(&smoke_config()).expect("reference setup succeeds");
+
+    assert_eq!(
+        report.total_errors(),
+        0,
+        "a non-zero error count means a round trip was not byte-identical \
+         to the single-threaded reference under concurrency"
+    );
+    assert_eq!(report.variants.len(), 12, "6 codecs × {{single, framed}}");
+    assert!(report.total_requests() >= 36);
+    assert_eq!(report.workers, 4);
+    assert!(report.duration_seconds > 0.0);
+
+    for v in &report.variants {
+        assert!(v.requests >= 1, "variant {} never served a request", v.variant);
+        assert!(v.megabytes > 0.0, "variant {} recorded no payload volume", v.variant);
+        assert!(v.busy_seconds > 0.0);
+        assert!(v.compression_ratio > 1.0, "variant {} ratio not > 1", v.variant);
+        assert!(v.mb_per_s_per_core() > 0.0);
+        // Quantiles are ordered and bounded by the exact max.
+        let p50 = v.latency.quantile_ns(0.50);
+        let p99 = v.latency.quantile_ns(0.99);
+        assert!(p50 <= p99, "variant {}: p50 {} > p99 {}", v.variant, p50, p99);
+        assert!(p99 <= v.latency.max_ns().max(p99));
+        assert_eq!(v.latency.count(), v.requests);
+    }
+
+    // The report serializes with every column the CI table renders.
+    let json = report.to_json();
+    for needle in [
+        "\"bench\": \"load\"",
+        "\"variant\": \"sz\"",
+        "\"variant\": \"sz+framed\"",
+        "\"variant\": \"zfp-rans+framed\"",
+        "\"p50_us\"",
+        "\"p99_us\"",
+        "\"mb_per_s_per_core\"",
+        "\"total_errors\": 0",
+    ] {
+        assert!(json.contains(needle), "BENCH_load.json missing {needle}");
+    }
+}
+
+#[test]
+fn single_worker_run_matches_the_same_schedule() {
+    // One worker exercises the inline (non-spawning) queue path end to end.
+    let config = LoadgenConfig {
+        workers: 1,
+        duration: Duration::from_millis(50),
+        min_requests: 12,
+        sizes: vec![32],
+        ..LoadgenConfig::default()
+    };
+    let report = run_load(&config).expect("setup succeeds");
+    assert_eq!(report.total_errors(), 0);
+    assert_eq!(report.workers, 1);
+    assert!(report.variants.iter().all(|v| v.requests >= 1));
+}

@@ -12,7 +12,10 @@
 //!   mutable slice (used by the hydro solver's stencil updates),
 //! * [`ThreadPoolConfig`] — chooses the worker count (defaults to the number
 //!   of available CPUs, overridable with the `LCC_THREADS` environment
-//!   variable so benches can pin a thread count).
+//!   variable so benches can pin a thread count),
+//! * [`queue`] — a bounded work queue plus [`run_bounded_queue`] for
+//!   sustained submission under backpressure (the load-generator shape, as
+//!   opposed to the one-shot maps above).
 //!
 //! Work distribution uses an atomic cursor over the input (a simple
 //! self-scheduling loop). For the coarse-grained tasks in this study the
@@ -20,6 +23,10 @@
 //! noise of a work-stealing deque while staying trivially correct; the
 //! threads themselves come from [`std::thread::scope`], so borrowed inputs
 //! need no `'static` bound and no `Arc` cloning.
+
+pub mod queue;
+
+pub use queue::{run_bounded_queue, BoundedQueue};
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};

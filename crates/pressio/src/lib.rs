@@ -172,6 +172,25 @@ pub trait Compressor: Send + Sync {
         Ok(CompressionResult { stream, reconstruction, metrics })
     }
 
+    /// Compress `view` and immediately decode the stream back into the
+    /// caller's `recon`, both directions through `scratch` — the sustained-
+    /// traffic round trip the load generator times per request. Unlike
+    /// [`Compressor::compress_measured_with`] nothing but the returned
+    /// stream is freshly allocated: the reconstruction lands in the reused
+    /// `recon` and no metrics comparison runs, so the call measures codec
+    /// cost, not measurement cost.
+    fn roundtrip_with(
+        &self,
+        view: &FieldView<'_>,
+        bound: ErrorBound,
+        scratch: &mut ScratchArena,
+        recon: &mut Field2D,
+    ) -> Result<Vec<u8>, CompressError> {
+        let stream = self.compress_view_with(view, bound, scratch)?;
+        self.decompress_view_with(&stream, scratch, recon)?;
+        Ok(stream)
+    }
+
     /// [`Compressor::compress_measured`] for an owned field.
     fn compress(
         &self,
@@ -274,6 +293,23 @@ mod tests {
         assert_eq!(measured.reconstruction, field);
         assert_eq!(measured.stream, direct);
         assert!(arena.is_empty(), "default impls do not touch the arena");
+    }
+
+    #[test]
+    fn roundtrip_with_reconstructs_into_the_callers_field() {
+        let field = Field2D::from_fn(7, 9, |i, j| (i * 13 + j) as f64);
+        let c = StoreCompressor;
+        let mut arena = ScratchArena::new();
+        let mut recon = Field2D::zeros(1, 1);
+        let stream = c
+            .roundtrip_with(&field.view(), ErrorBound::Absolute(1.0), &mut arena, &mut recon)
+            .unwrap();
+        assert_eq!(recon, field);
+        assert_eq!(stream, c.compress_view(&field.view(), ErrorBound::Absolute(1.0)).unwrap());
+        // A second round trip through the same recon field overwrites it.
+        let other = Field2D::from_fn(3, 3, |i, j| -((i + j) as f64));
+        c.roundtrip_with(&other.view(), ErrorBound::Absolute(1.0), &mut arena, &mut recon).unwrap();
+        assert_eq!(recon, other);
     }
 
     #[test]

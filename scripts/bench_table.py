@@ -1,20 +1,37 @@
 #!/usr/bin/env python3
-"""Render a compact before/after perf table from two BENCH_sweep.json files.
+"""Render perf tables from BENCH_*.json reports and gate CI on regressions.
 
-Usage: bench_table.py BASELINE.json CURRENT.json
+Usage:
+  bench_table.py [--gate PCT] BASELINE.json CURRENT.json
+      Render GitHub-flavoured markdown comparing the two reports (both must
+      be the same kind: "sweep" or "load"). With --gate, additionally print
+      a PASS/FAIL row per gated metric and exit non-zero if any metric
+      regressed by more than PCT percent against the baseline.
 
-Emits GitHub-flavoured markdown: one table for per-compressor codec
-throughput (MB/s, with the after/before ratio), one for the Huffman-vs-rANS
-entropy-backend ablation (ratio and MB/s side by side), and one for stage
-wall times. CI pipes the output into $GITHUB_STEP_SUMMARY so perf
-regressions are visible at a glance; the committed baseline lives in
-benchmarks/BASELINE_sweep.json.
+  bench_table.py --check-only FILE [FILE ...]
+      Validate that each file parses and matches a known report schema.
+      A malformed or truncated artifact fails with a one-line message
+      (never a stack trace), so CI steps surface the real problem.
 
-The script FAILS (non-zero exit) when the current report is missing any
+  bench_table.py --self-test
+      Run the built-in checks: the gate must fail on a synthetic regressed
+      input (sweep and load), pass on a non-regressed one, and malformed
+      JSON must produce a clean error. Exits 0 when all checks hold.
+
+Sweep reports (BENCH_sweep.json, emitted by bench_sweep) carry per-codec
+throughput and stage wall times; committed baseline:
+benchmarks/BASELINE_sweep.json. Load reports (BENCH_load.json, emitted by
+loadgen) carry per-variant p50/p99 round-trip latency and MB/s per core;
+committed baseline: benchmarks/BASELINE_load.json. The gate compares
+compress/decompress MB/s (sweep) and MB/s-per-core (load); latency columns
+are rendered but not gated (too noisy on shared runners).
+
+The renderer FAILS (non-zero exit) when the current report is missing any
 registry variant it is supposed to measure — a silently skipped compressor
 must break the bench-smoke job, not vanish from the summary.
 """
 
+import argparse
 import json
 import sys
 
@@ -22,11 +39,75 @@ import sys
 # both single-stream and framed form. Keep in sync with
 # lcc_core::registry::entropy_ablation_registry().
 REQUIRED_VARIANTS = ["mgard", "mgard-rans", "sz", "sz-rans", "zfp", "zfp-rans"]
+# The load generator measures the same registry: every codec single-stream
+# and framed (lcc_core::registry::framed_variant_name).
+REQUIRED_LOAD_VARIANTS = REQUIRED_VARIANTS + [f"{n}+framed" for n in REQUIRED_VARIANTS]
+
+# Default regression threshold, percent. Generous on purpose: shared CI
+# runners jitter by tens of percent, and the gate exists to catch real
+# regressions (an accidentally quadratic loop, a lost fast path), not noise.
+DEFAULT_GATE_PCT = 25.0
+
+
+class TableError(Exception):
+    """A user-facing failure: printed as one line, never a traceback."""
 
 
 def load(path):
-    with open(path) as fh:
-        return json.load(fh)
+    """Parse a report file, raising TableError with a clear message."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as e:
+        raise TableError(f"cannot read {path}: {e}") from e
+    except json.JSONDecodeError as e:
+        raise TableError(f"{path} is not valid JSON: {e}") from e
+    if not isinstance(data, dict):
+        raise TableError(f"{path}: expected a JSON object at top level")
+    validate(data, path)
+    return data
+
+
+def kind(report):
+    return report.get("bench", "sweep")
+
+
+def validate(report, path):
+    """Schema check shared by --check-only and normal rendering."""
+    k = kind(report)
+    if k == "sweep":
+        rows = report.get("throughput")
+        if not isinstance(rows, list):
+            raise TableError(f"{path}: sweep report has no 'throughput' array")
+        for row in rows:
+            for key in ("compressor", "compress_mb_per_s", "decompress_mb_per_s"):
+                if key not in row:
+                    raise TableError(
+                        f"{path}: throughput row {row.get('compressor', '?')!r} "
+                        f"is missing '{key}'")
+        if not isinstance(report.get("stages", []), list):
+            raise TableError(f"{path}: 'stages' is not an array")
+    elif k == "load":
+        rows = report.get("variants")
+        if not isinstance(rows, list):
+            raise TableError(f"{path}: load report has no 'variants' array")
+        for row in rows:
+            for key in ("variant", "requests", "errors", "mb_per_s_per_core",
+                        "p50_us", "p99_us"):
+                if key not in row:
+                    raise TableError(
+                        f"{path}: variant row {row.get('variant', '?')!r} "
+                        f"is missing '{key}'")
+    else:
+        raise TableError(f"{path}: unknown report kind {k!r}")
+
+
+def check_required(report, path, required, key, rows_key):
+    present = {t[key] for t in report.get(rows_key, [])}
+    missing = [name for name in required if name not in present]
+    if missing:
+        raise TableError(f"{path}: report is missing registry variants: "
+                         f"{', '.join(missing)}")
 
 
 def ratio(before, after):
@@ -39,24 +120,7 @@ def fmt(v):
     return f"{v:.1f}" if v is not None else "—"
 
 
-def check_required_variants(current):
-    """Fail loudly when a registry variant is missing from the report."""
-    present = {t["compressor"] for t in current.get("throughput", [])}
-    missing = [name for name in REQUIRED_VARIANTS if name not in present]
-    missing += [f"{name}+framed" for name in REQUIRED_VARIANTS
-                if f"{name}+framed" not in present]
-    if missing:
-        print(f"bench_table.py: BENCH report is missing registry variants: "
-              f"{', '.join(missing)}", file=sys.stderr)
-        sys.exit(1)
-
-
-def main():
-    if len(sys.argv) != 3:
-        sys.exit(__doc__)
-    baseline, current = load(sys.argv[1]), load(sys.argv[2])
-    check_required_variants(current)
-
+def render_sweep(baseline, current):
     print(f"## Codec throughput — {current.get('label', '?')} (MB/s)")
     print()
     print("| compressor | compress before | compress after | ratio | "
@@ -106,7 +170,8 @@ def main():
     # single-field work through the multi-block container, so the speedup
     # column here is the block-parallel scaling of the *current* run (the
     # before/after table above tracks the trajectory across PRs).
-    framed = [(name, t) for name, t in cur_tp.items() if name.endswith("+framed")]
+    framed = [(name, t) for name, t in cur_tp.items()
+              if name.endswith("+framed")]
     if framed:
         print("## Block-parallel framed codec — current run (MB/s)")
         print()
@@ -118,14 +183,16 @@ def main():
             sc, fc = single.get("compress_mb_per_s"), t["compress_mb_per_s"]
             sd, fd = single.get("decompress_mb_per_s"), t["decompress_mb_per_s"]
             print(f"| {name.removesuffix('+framed')} | {fmt(sc)} | {fmt(fc)} "
-                  f"| {ratio(sc, fc)} | {fmt(sd)} | {fmt(fd)} | {ratio(sd, fd)} |")
+                  f"| {ratio(sc, fc)} | {fmt(sd)} | {fmt(fd)} "
+                  f"| {ratio(sd, fd)} |")
         print()
 
     print("## Stage wall times (s)")
     print()
     print("| stage | before | after | speedup |")
     print("|---|---|---|---|")
-    base_stages = {s["stage"]: s["seconds"] for s in baseline.get("stages", [])}
+    base_stages = {s["stage"]: s["seconds"]
+                   for s in baseline.get("stages", [])}
     for s in current.get("stages", []):
         b = base_stages.get(s["stage"])
         before = f"{b:.3f}" if b is not None else "—"
@@ -135,6 +202,238 @@ def main():
     print(f"Totals: {baseline.get('total_seconds', 0):.3f}s → "
           f"{current.get('total_seconds', 0):.3f}s "
           f"(baseline: committed benchmarks/BASELINE_sweep.json)")
+
+
+def render_load(baseline, current):
+    print(f"## Sustained load — {current.get('label', '?')}")
+    print()
+    print(f"{current.get('workers', '?')} workers, "
+          f"{current.get('total_requests', 0)} requests, "
+          f"{current.get('total_errors', 0)} errors, "
+          f"{current.get('mb_per_s', 0):.1f} MB/s aggregate "
+          f"({current.get('mb_per_s_per_core', 0):.1f} MB/s per core); "
+          f"baseline {baseline.get('mb_per_s_per_core', 0):.1f} MB/s per "
+          f"core. Steady-state allocations per request: "
+          f"{current.get('allocs_per_request', 'not tracked')}.")
+    print()
+    print("| variant | requests | errors | p50 us | p99 us | max us | "
+          "MB/s/core before | MB/s/core after | ratio |")
+    print("|---|---|---|---|---|---|---|---|---|")
+    base_rows = {v["variant"]: v for v in baseline.get("variants", [])}
+    for v in current.get("variants", []):
+        b = base_rows.get(v["variant"], {})
+        bm, am = b.get("mb_per_s_per_core"), v["mb_per_s_per_core"]
+        print(f"| {v['variant']} | {v['requests']} | {v['errors']} "
+              f"| {fmt(v['p50_us'])} | {fmt(v['p99_us'])} "
+              f"| {fmt(v.get('max_us'))} "
+              f"| {fmt(bm)} | {fmt(am)} | {ratio(bm, am)} |")
+    print()
+
+
+def gate_rows(baseline, current):
+    """Yield (label, metric, before, after) tuples the gate compares."""
+    if kind(current) == "load":
+        base_rows = {v["variant"]: v for v in baseline.get("variants", [])}
+        for v in current.get("variants", []):
+            b = base_rows.get(v["variant"])
+            if b is None:
+                continue  # new variant: no baseline to regress against
+            yield (v["variant"], "mb_per_s_per_core",
+                   b.get("mb_per_s_per_core"), v["mb_per_s_per_core"])
+    else:
+        base_rows = {t["compressor"]: t for t in baseline.get("throughput", [])}
+        for t in current.get("throughput", []):
+            b = base_rows.get(t["compressor"])
+            if b is None:
+                continue
+            for metric in ("compress_mb_per_s", "decompress_mb_per_s"):
+                yield (t["compressor"], metric, b.get(metric), t[metric])
+
+
+def apply_gate(baseline, current, pct):
+    """Print the PASS/FAIL gate table; return the number of breaches."""
+    floor = 1.0 - pct / 100.0
+    breaches = 0
+    print(f"## Perf gate — fail below {pct:.0f}% of baseline")
+    print()
+    print("| row | metric | baseline | current | of baseline | verdict |")
+    print("|---|---|---|---|---|---|")
+    for label, metric, before, after in gate_rows(baseline, current):
+        if not before or before <= 0.0:
+            verdict, frac = "PASS (no baseline)", None
+        elif after >= before * floor:
+            verdict, frac = "PASS", after / before
+        else:
+            verdict, frac = "**FAIL**", after / before
+            breaches += 1
+        of_base = f"{frac * 100:.0f}%" if frac is not None else "n/a"
+        print(f"| {label} | {metric} | {fmt(before)} | {fmt(after)} "
+              f"| {of_base} | {verdict} |")
+    print()
+    if breaches:
+        print(f"Gate: {breaches} metric(s) regressed more than {pct:.0f}% — "
+              f"failing the job. If the regression is intended, regenerate "
+              f"the committed baseline (see README 'Load harness & CI "
+              f"gates').")
+    else:
+        print(f"Gate: all metrics within {pct:.0f}% of baseline.")
+    return breaches
+
+
+def compare(baseline_path, current_path, gate_pct):
+    baseline, current = load(baseline_path), load(current_path)
+    if kind(baseline) != kind(current):
+        raise TableError(
+            f"report kinds differ: {baseline_path} is '{kind(baseline)}', "
+            f"{current_path} is '{kind(current)}'")
+    if kind(current) == "load":
+        check_required(current, current_path, REQUIRED_LOAD_VARIANTS,
+                       "variant", "variants")
+        render_load(baseline, current)
+    else:
+        check_required(
+            current, current_path, REQUIRED_VARIANTS
+            + [f"{n}+framed" for n in REQUIRED_VARIANTS],
+            "compressor", "throughput")
+        render_sweep(baseline, current)
+    if gate_pct is not None:
+        print()
+        if apply_gate(baseline, current, gate_pct):
+            raise TableError("perf gate breached")
+
+
+# ---------------------------------------------------------------------------
+# Self-test: synthetic inputs that must make the gate fail (and pass).
+
+def synth_sweep(scale):
+    throughput = []
+    for name in REQUIRED_VARIANTS + [f"{n}+framed" for n in REQUIRED_VARIANTS]:
+        throughput.append({
+            "compressor": name,
+            "compress_mb_per_s": 200.0 * scale,
+            "decompress_mb_per_s": 600.0 * scale,
+            "compression_ratio": 10.0,
+        })
+    return {"bench": "sweep", "label": "self-test",
+            "throughput": throughput,
+            "stages": [{"stage": "s", "seconds": 1.0}], "total_seconds": 1.0}
+
+
+def synth_load(scale):
+    variants = []
+    for name in REQUIRED_LOAD_VARIANTS:
+        variants.append({
+            "variant": name, "requests": 100, "errors": 0,
+            "megabytes": 3.2, "busy_seconds": 0.1,
+            "mb_per_s_per_core": 32.0 * scale, "compression_ratio": 10.0,
+            "p50_us": 200.0, "p90_us": 300.0, "p99_us": 400.0,
+            "max_us": 500.0,
+        })
+    return {"bench": "load", "label": "self-test", "workers": 4,
+            "duration_seconds": 1.0, "total_requests": 1200,
+            "total_errors": 0, "total_megabytes": 38.4, "mb_per_s": 38.4,
+            "mb_per_s_per_core": 9.6, "allocs_per_request": None,
+            "variants": variants}
+
+
+def expect(condition, what):
+    if not condition:
+        raise TableError(f"self-test failed: {what}")
+
+
+def run_gate_quietly(baseline, current, pct):
+    """Run apply_gate with stdout suppressed; return the breach count."""
+    import contextlib
+    import io
+    with contextlib.redirect_stdout(io.StringIO()):
+        return apply_gate(baseline, current, pct)
+
+
+def self_test():
+    # A 50% regression must breach the default 25% gate, for both kinds.
+    expect(run_gate_quietly(synth_sweep(1.0), synth_sweep(0.5),
+                            DEFAULT_GATE_PCT) > 0,
+           "gate passed a 50% sweep regression")
+    expect(run_gate_quietly(synth_load(1.0), synth_load(0.5),
+                            DEFAULT_GATE_PCT) > 0,
+           "gate passed a 50% load regression")
+    # A 10% dip rides inside the default 25% threshold.
+    expect(run_gate_quietly(synth_sweep(1.0), synth_sweep(0.9),
+                            DEFAULT_GATE_PCT) == 0,
+           "gate failed a 10% sweep wobble")
+    expect(run_gate_quietly(synth_load(1.0), synth_load(1.2),
+                            DEFAULT_GATE_PCT) == 0,
+           "gate failed an improvement")
+    # A tighter threshold catches the 10% dip.
+    expect(run_gate_quietly(synth_sweep(1.0), synth_sweep(0.9), 5.0) > 0,
+           "5% gate passed a 10% regression")
+    # Malformed JSON surfaces as TableError, not a traceback.
+    import tempfile
+    with tempfile.NamedTemporaryFile("w", suffix=".json") as fh:
+        fh.write('{"bench": "sweep", "throughput": [truncated')
+        fh.flush()
+        try:
+            load(fh.name)
+        except TableError:
+            pass
+        else:
+            raise TableError("self-test failed: malformed JSON was accepted")
+    # Schema violations are caught too.
+    with tempfile.NamedTemporaryFile("w", suffix=".json") as fh:
+        fh.write('{"bench": "load", "variants": [{"variant": "sz"}]}')
+        fh.flush()
+        try:
+            load(fh.name)
+        except TableError:
+            pass
+        else:
+            raise TableError("self-test failed: schema violation accepted")
+    # Missing registry variants are caught.
+    crippled = synth_sweep(1.0)
+    crippled["throughput"] = crippled["throughput"][:3]
+    try:
+        check_required(
+            crippled, "<synthetic>", REQUIRED_VARIANTS, "compressor",
+            "throughput")
+    except TableError:
+        pass
+    else:
+        raise TableError("self-test failed: missing variants accepted")
+    print("bench_table.py --self-test: all checks passed "
+          "(gate fails on synthetic regression, clean errors on malformed "
+          "input)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--gate", type=float, metavar="PCT", default=None,
+                        help="fail if any gated metric regresses more than "
+                             f"PCT percent (suggested: {DEFAULT_GATE_PCT:.0f})")
+    parser.add_argument("--check-only", action="store_true",
+                        help="validate report files and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in gate/error-handling checks")
+    parser.add_argument("files", nargs="*",
+                        help="BASELINE CURRENT (or FILE... with --check-only)")
+    args = parser.parse_args()
+
+    try:
+        if args.self_test:
+            self_test()
+        elif args.check_only:
+            if not args.files:
+                raise TableError("--check-only needs at least one file")
+            for path in args.files:
+                load(path)
+                print(f"{path}: OK ({kind(load(path))} report)")
+        else:
+            if len(args.files) != 2:
+                parser.error("expected exactly two files: BASELINE CURRENT")
+            compare(args.files[0], args.files[1], args.gate)
+    except TableError as e:
+        print(f"bench_table.py: {e}", file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":
