@@ -13,7 +13,7 @@
 //! same for every `ThreadPoolConfig::auto()` call in the process).
 
 use lcc_bench::CliOptions;
-use lcc_core::benchreport::{CodecThroughput, StageTimings};
+use lcc_core::benchreport::{CodecThroughput, KernelThroughput, StageTimings};
 use lcc_core::dataset::StudyDatasets;
 use lcc_core::experiment::{run_sweep, SweepConfig};
 use lcc_core::registry::{entropy_ablation_registry, framed_variant_name};
@@ -21,9 +21,16 @@ use lcc_core::statistics::{CorrelationStatistics, StatisticsConfig};
 use lcc_geostat::variogram::estimate_range;
 use lcc_geostat::{local_range_std, local_svd_truncation_std, LocalStatConfig};
 use lcc_grid::Field2D;
+use lcc_lossless::{
+    lz77_compress_with_at, rans_decode_with_at, rans_encode, simd_level, CodecScratch, RansScratch,
+    SimdLevel,
+};
 use lcc_par::ThreadPoolConfig;
 use lcc_pressio::{frame, ErrorBound, FrameScratch, ScratchArena};
 use lcc_synth::{generate_single_range, GaussianFieldConfig};
+use lcc_sz::quantize::{quantize_plane_row_at, Quantizer};
+use lcc_zfp::transform::{fwd_transform_at, inv_transform_at};
+use lcc_zfp::BLOCK_LEN;
 use std::time::Instant;
 
 fn main() {
@@ -40,6 +47,8 @@ fn main() {
     let out_dir = opts.output_dir();
 
     let mut report = StageTimings::new(format!("{size}x{size}"));
+    let level = simd_level();
+    report.set_simd_level(level.label());
 
     // Stage 1: paper-scale single-field statistics, one stage per estimator
     // plus the bundled computation the sweep scheduler amortizes.
@@ -150,6 +159,150 @@ fn main() {
         });
     }
 
+    // Stage 2c: per-kernel SIMD microbenches — each hot kernel timed at the
+    // scalar tier and at the detected dispatch tier over the same payload,
+    // best of `--reps`. These are the numbers that attribute a codec-level
+    // speedup to the kernel that produced it (and the rows
+    // `bench_table.py --gate` checks against the committed baseline).
+    {
+        fn lcg(state: &mut u64) -> u64 {
+            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *state >> 33
+        }
+        fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+            let mut best = f64::MAX;
+            for _ in 0..reps {
+                let start = Instant::now();
+                f();
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            best
+        }
+
+        // rANS decode: a skewed quantizer-code-like alphabet, the shape the
+        // SZ/MGARD entropy stage feeds the decoder.
+        let mut state = 0xC0FF_EE00u64;
+        let symbols: Vec<u32> =
+            (0..6_000_000).map(|_| lcg(&mut state).trailing_zeros() % 24).collect();
+        let encoded = rans_encode(&symbols);
+        let mut rans_scratch = RansScratch::new();
+        let mut decoded: Vec<u32> = Vec::new();
+        let mut rans_at = |at: SimdLevel| {
+            best_of(reps, || {
+                decoded.clear();
+                rans_decode_with_at(&mut rans_scratch, at, &encoded, &mut decoded)
+                    .expect("bench rans stream decodes");
+            })
+        };
+        let kernel = KernelThroughput {
+            kernel: "rans_decode".into(),
+            megabytes: (symbols.len() * 4) as f64 / 1e6,
+            scalar_seconds: rans_at(SimdLevel::Scalar),
+            simd_seconds: rans_at(level),
+        };
+        report.record("kernel_rans_decode", kernel.simd_seconds);
+        report.record_kernel(kernel);
+
+        // SZ plane quantizer: smooth rows plus mild residual noise — the
+        // regression-predictor inner loop of `compress_into`.
+        let (rows, cols) = (2_000usize, 1_000usize);
+        let plane = [4.2e-1, 3.1e-4, -2.7e-4];
+        let mut state = 0xDEAD_BEA7u64;
+        let orig: Vec<f64> = (0..rows * cols)
+            .map(|k| {
+                let (i, j) = (k / cols, k % cols);
+                plane[0]
+                    + plane[1] * i as f64
+                    + plane[2] * j as f64
+                    + (lcg(&mut state) as f64 / (1u64 << 31) as f64 - 1.0) * 5e-4
+            })
+            .collect();
+        let quantizer = Quantizer::new(1e-3, 1 << 15);
+        let mut recon = vec![0.0; cols];
+        let mut codes: Vec<u32> = Vec::new();
+        let mut exact: Vec<f64> = Vec::new();
+        // Several passes per timed rep: a single sweep over the plane is
+        // ~5 ms dispatched, short enough that scheduler noise dominates the
+        // best-of spread on a busy host.
+        const QUANT_PASSES: usize = 4;
+        let mut quant_at = |at: SimdLevel| {
+            best_of(reps, || {
+                for _ in 0..QUANT_PASSES {
+                    codes.clear();
+                    exact.clear();
+                    for (di, row) in orig.chunks_exact(cols).enumerate() {
+                        quantize_plane_row_at(
+                            at, &quantizer, &plane, di, row, &mut recon, &mut codes, &mut exact,
+                        );
+                    }
+                }
+            })
+        };
+        let kernel = KernelThroughput {
+            kernel: "lorenzo_quant".into(),
+            megabytes: (orig.len() * 8 * QUANT_PASSES) as f64 / 1e6,
+            scalar_seconds: quant_at(SimdLevel::Scalar),
+            simd_seconds: quant_at(level),
+        };
+        report.record("kernel_lorenzo_quant", kernel.simd_seconds);
+        report.record_kernel(kernel);
+
+        // ZFP block transform: forward + inverse lift, repeated over an
+        // L2-resident block batch (4096 blocks = 512 KiB) so the timing is
+        // compute-bound — a single pass over a DRAM-sized batch finishes in
+        // ~2 ms of pure memory traffic and drowns the lift arithmetic the
+        // kernel actually dispatches on.
+        const ZFP_BLOCKS: usize = 4_096;
+        const ZFP_PASSES: usize = 128;
+        let mut state = 0x5EED_CAFEu64;
+        let mut blocks_buf: Vec<[i64; BLOCK_LEN]> = (0..ZFP_BLOCKS)
+            .map(|_| std::array::from_fn(|_| lcg(&mut state) as i64 - (1 << 30)))
+            .collect();
+        let mut zfp_at = |at: SimdLevel| {
+            best_of(reps, || {
+                for _ in 0..ZFP_PASSES {
+                    for block in &mut blocks_buf {
+                        fwd_transform_at(at, block);
+                        inv_transform_at(at, block);
+                    }
+                }
+            })
+        };
+        let kernel = KernelThroughput {
+            kernel: "zfp_transform".into(),
+            megabytes: (ZFP_BLOCKS * ZFP_PASSES * BLOCK_LEN * 8) as f64 / 1e6,
+            scalar_seconds: zfp_at(SimdLevel::Scalar),
+            simd_seconds: zfp_at(level),
+        };
+        report.record("kernel_zfp_transform", kernel.simd_seconds);
+        report.record_kernel(kernel);
+
+        // LZ77 matcher: byte-plane-like data with long, near-periodic
+        // matches, dominated by `match_length` compares.
+        let mut state = 0x0FAC_E0FFu64;
+        let mut input = Vec::with_capacity(4 << 20);
+        for k in 0..(4 << 20) as u64 {
+            let byte = ((k / 8) % 251) as u8;
+            input.push(if lcg(&mut state) % 997 == 0 { byte ^ 0x3C } else { byte });
+        }
+        let mut codec_scratch = CodecScratch::new();
+        let mut out = Vec::new();
+        let mut lz_at = |at: SimdLevel| {
+            best_of(reps, || {
+                out.clear();
+                lz77_compress_with_at(&mut codec_scratch, at, &input, &mut out);
+            })
+        };
+        let kernel = KernelThroughput {
+            kernel: "lz77_match".into(),
+            megabytes: input.len() as f64 / 1e6,
+            scalar_seconds: lz_at(SimdLevel::Scalar),
+            simd_seconds: lz_at(level),
+        };
+        report.record("kernel_lz77_match", kernel.simd_seconds);
+        report.record_kernel(kernel);
+    }
+
     // Stage 3: a reduced (3 fields × 6 compressors × 4 bounds) study through
     // the flat work-item scheduler — the ablation registry, so `run_sweep`
     // exercises both entropy backends end to end.
@@ -169,7 +322,22 @@ fn main() {
     });
 
     println!("bench_sweep: {size}x{size} field, sweep at {sweep_size}x{sweep_size}");
-    println!("  pool: {} threads, framed codec blocks: {blocks}", pool.threads());
+    println!(
+        "  pool: {} threads, framed codec blocks: {blocks}, simd: {}",
+        pool.threads(),
+        level.label()
+    );
+    for name in ["rans_decode", "lorenzo_quant", "zfp_transform", "lz77_match"] {
+        if let Some(k) = report.kernel(name) {
+            println!(
+                "  kernel {name}: scalar {:.2} MB/s — {} {:.2} MB/s ({:.2}x)",
+                k.scalar_mb_per_s(),
+                level.label(),
+                k.simd_mb_per_s(),
+                k.speedup()
+            );
+        }
+    }
     println!("  global variogram range: {:.3} (sill {:.3})", global.range, global.sill);
     println!("  local range std: {range_spread:.4}   local svd std: {svd_spread:.4}");
     for name in registry.names() {

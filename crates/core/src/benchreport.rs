@@ -58,19 +58,81 @@ impl CodecThroughput {
     }
 }
 
+/// Scalar-vs-dispatched throughput of one hot kernel (rANS decode, the SZ
+/// plane quantizer, the ZFP block transform, the LZ77 matcher) over the
+/// same payload: the per-kernel evidence behind a SIMD speedup claim, kept
+/// separate from [`CodecThroughput`] because a whole-codec number hides
+/// which kernel moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelThroughput {
+    /// Kernel key (`"rans_decode"`, `"lorenzo_quant"`, `"zfp_transform"`,
+    /// `"lz77_match"`).
+    pub kernel: String,
+    /// Payload processed per timed pass, in megabytes (10^6 bytes).
+    pub megabytes: f64,
+    /// Wall time of the scalar-tier pass, seconds.
+    pub scalar_seconds: f64,
+    /// Wall time of the dispatched (best-tier) pass, seconds.
+    pub simd_seconds: f64,
+}
+
+impl KernelThroughput {
+    /// Scalar-tier throughput in MB/s (infinite times collapse to 0).
+    pub fn scalar_mb_per_s(&self) -> f64 {
+        if self.scalar_seconds > 0.0 {
+            self.megabytes / self.scalar_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Dispatched-tier throughput in MB/s (infinite times collapse to 0).
+    pub fn simd_mb_per_s(&self) -> f64 {
+        if self.simd_seconds > 0.0 {
+            self.megabytes / self.simd_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Scalar time over dispatched time — >1 means the SIMD tier is faster.
+    pub fn speedup(&self) -> f64 {
+        if self.simd_seconds > 0.0 {
+            self.scalar_seconds / self.simd_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
 /// An accumulating set of named stage timings.
 #[derive(Debug, Clone, Default)]
 pub struct StageTimings {
     label: String,
+    /// Detected SIMD dispatch tier of the run (`"scalar"`, `"sse4"`,
+    /// `"avx2"`, …; empty when the producer predates the field). Plain
+    /// string so `lcc_core` stays independent of the kernel crates.
+    simd_level: String,
     stages: Vec<(String, f64)>,
     throughputs: Vec<CodecThroughput>,
+    kernels: Vec<KernelThroughput>,
 }
 
 impl StageTimings {
     /// Start an empty report; `label` describes the workload (e.g.
     /// `"1028x1028"`).
     pub fn new(label: impl Into<String>) -> Self {
-        StageTimings { label: label.into(), stages: Vec::new(), throughputs: Vec::new() }
+        StageTimings { label: label.into(), ..StageTimings::default() }
+    }
+
+    /// Record the SIMD dispatch tier the run executed under.
+    pub fn set_simd_level(&mut self, level: impl Into<String>) {
+        self.simd_level = level.into();
+    }
+
+    /// The recorded SIMD dispatch tier (empty when never set).
+    pub fn simd_level(&self) -> &str {
+        &self.simd_level
     }
 
     /// Record a stage measured externally.
@@ -106,12 +168,23 @@ impl StageTimings {
         self.throughputs.iter().find(|t| t.compressor == compressor)
     }
 
+    /// Record a per-kernel scalar-vs-dispatched measurement.
+    pub fn record_kernel(&mut self, kernel: KernelThroughput) {
+        self.kernels.push(kernel);
+    }
+
+    /// The recorded kernel entry, if present.
+    pub fn kernel(&self, kernel: &str) -> Option<&KernelThroughput> {
+        self.kernels.iter().find(|k| k.kernel == kernel)
+    }
+
     /// Serialize the report as JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!(
-            "  \"bench\": \"sweep\",\n  \"label\": \"{}\",\n",
-            escape(&self.label)
+            "  \"bench\": \"sweep\",\n  \"label\": \"{}\",\n  \"simd_level\": \"{}\",\n",
+            escape(&self.label),
+            escape(&self.simd_level)
         ));
         out.push_str("  \"stages\": [\n");
         for (k, (name, seconds)) in self.stages.iter().enumerate() {
@@ -136,6 +209,23 @@ impl StageTimings {
                 t.decompress_seconds,
                 t.decompress_mb_per_s(),
                 t.compression_ratio,
+            ));
+        }
+        out.push_str("  ],\n  \"kernels\": [\n");
+        for (k, kt) in self.kernels.iter().enumerate() {
+            let comma = if k + 1 < self.kernels.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"megabytes\": {:.6}, \
+                 \"scalar_seconds\": {:.6}, \"scalar_mb_per_s\": {:.3}, \
+                 \"simd_seconds\": {:.6}, \"simd_mb_per_s\": {:.3}, \
+                 \"speedup\": {:.3}}}{comma}\n",
+                escape(&kt.kernel),
+                kt.megabytes,
+                kt.scalar_seconds,
+                kt.scalar_mb_per_s(),
+                kt.simd_seconds,
+                kt.simd_mb_per_s(),
+                kt.speedup(),
             ));
         }
         out.push_str(&format!("  ],\n  \"total_seconds\": {:.6}\n}}\n", self.total_seconds()));
@@ -362,6 +452,9 @@ impl LoadVariant {
 pub struct LoadReport {
     /// Workload description (e.g. `"4 workers, 2000 ms, sizes 64-128"`).
     pub label: String,
+    /// Detected SIMD dispatch tier of the run (empty when the producer
+    /// predates the field).
+    pub simd_level: String,
     /// Concurrent worker count of the run.
     pub workers: usize,
     /// Measured wall-clock duration of the run, seconds.
@@ -418,11 +511,13 @@ impl LoadReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!(
-            "  \"bench\": \"load\",\n  \"label\": \"{}\",\n  \"workers\": {},\n  \
+            "  \"bench\": \"load\",\n  \"label\": \"{}\",\n  \"simd_level\": \"{}\",\n  \
+             \"workers\": {},\n  \
              \"duration_seconds\": {:.6},\n  \"total_requests\": {},\n  \
              \"total_errors\": {},\n  \"total_megabytes\": {:.6},\n  \
              \"mb_per_s\": {:.3},\n  \"mb_per_s_per_core\": {:.3},\n",
             escape(&self.label),
+            escape(&self.simd_level),
             self.workers,
             self.duration_seconds,
             self.total_requests(),
@@ -536,6 +631,42 @@ mod tests {
         assert!(json.contains("\"compress_mb_per_s\": 4.227"));
         assert!(json.contains("\"decompress_mb_per_s\": 16.909"));
         assert!(json.contains("\"compression_ratio\": 6.250"));
+    }
+
+    #[test]
+    fn simd_level_and_kernels_round_trip_into_json() {
+        let mut t = StageTimings::new("1028x1028");
+        assert_eq!(t.simd_level(), "");
+        t.set_simd_level("avx2");
+        assert_eq!(t.simd_level(), "avx2");
+        t.record_kernel(KernelThroughput {
+            kernel: "rans_decode".into(),
+            megabytes: 4.0,
+            scalar_seconds: 0.2,
+            simd_seconds: 0.1,
+        });
+        let k = t.kernel("rans_decode").unwrap();
+        assert!((k.scalar_mb_per_s() - 20.0).abs() < 1e-9);
+        assert!((k.simd_mb_per_s() - 40.0).abs() < 1e-9);
+        assert!((k.speedup() - 2.0).abs() < 1e-9);
+        assert!(t.kernel("lz77_match").is_none());
+        let json = t.to_json();
+        assert!(json.contains("\"simd_level\": \"avx2\""));
+        assert!(json.contains("\"kernel\": \"rans_decode\""));
+        assert!(json.contains("\"speedup\": 2.000"));
+    }
+
+    #[test]
+    fn zero_second_kernel_collapses_to_zero() {
+        let k = KernelThroughput {
+            kernel: "x".into(),
+            megabytes: 1.0,
+            scalar_seconds: 0.0,
+            simd_seconds: 0.0,
+        };
+        assert_eq!(k.scalar_mb_per_s(), 0.0);
+        assert_eq!(k.simd_mb_per_s(), 0.0);
+        assert_eq!(k.speedup(), 0.0);
     }
 
     #[test]
@@ -677,6 +808,7 @@ mod tests {
         framed.busy_seconds = 0.004;
         let report = LoadReport {
             label: "smoke".into(),
+            simd_level: "avx2".into(),
             workers: 4,
             duration_seconds: 0.5,
             allocs_per_request: Some(3.25),
@@ -704,6 +836,7 @@ mod tests {
     fn load_report_without_alloc_tracking_serializes_null() {
         let report = LoadReport {
             label: "x".into(),
+            simd_level: String::new(),
             workers: 1,
             duration_seconds: 0.0,
             allocs_per_request: None,

@@ -416,6 +416,7 @@ pub fn run_load(config: &LoadgenConfig) -> Result<LoadReport, CompressError> {
         .then(|| alloc_calls as f64 / alloc_requests as f64);
     Ok(LoadReport {
         label: config.label(),
+        simd_level: lcc_lossless::simd_level().label().to_string(),
         workers,
         duration_seconds,
         allocs_per_request,

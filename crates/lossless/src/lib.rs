@@ -16,6 +16,13 @@
 //!   Huffman/rANS choice the compressors thread through their streams,
 //! * [`rle`] — zero-run-length pre-pass that pairs well with quantization
 //!   codes dominated by the "perfectly predicted" symbol,
+//! * [`dispatch`] — one-time runtime SIMD feature detection
+//!   ([`SimdLevel`], the `LCC_SIMD` override); the rANS decode loop, the
+//!   LZ77 comparator, and the [`xxhash`] stripe loop pick their widest
+//!   implementation at or below the active tier, with byte-identical
+//!   streams at every tier,
+//! * [`xxhash`] — XXH64 checksums (scalar + AVX2 stripe loop) used for the
+//!   framed container's optional per-block integrity checksums,
 //! * [`pipeline`] — the composition `Huffman → LZ77` exposed through the
 //!   [`pipeline::ByteCodec`] trait, mirroring the role Zstd plays for
 //!   SZ/MGARD,
@@ -29,22 +36,29 @@
 //! sections), so decoding needs no out-of-band metadata.
 
 pub mod bitstream;
+pub mod dispatch;
 pub mod huffman;
 pub mod lz77;
 pub mod pipeline;
 pub mod rans;
 pub mod rle;
 pub mod scratch;
+pub mod xxhash;
 
 pub use bitstream::{BitReader, BitWriter};
+pub use dispatch::{detected_level, simd_level, supported_levels, SimdLevel};
 pub use huffman::{huffman_decode, huffman_decode_with, huffman_encode, huffman_encode_with};
-pub use lz77::{lz77_compress, lz77_compress_with, lz77_decompress, lz77_decompress_into};
+pub use lz77::{
+    lz77_compress, lz77_compress_with, lz77_compress_with_at, lz77_decompress,
+    lz77_decompress_into, match_length_at,
+};
 pub use pipeline::{ByteCodec, EntropyBackend, HuffLzCodec, RansCodec, RawCodec};
 pub use rans::{
-    rans_decode, rans_decode_bytes_with, rans_decode_with, rans_encode, rans_encode_bytes_with,
-    rans_encode_with, RansScratch,
+    rans_decode, rans_decode_bytes_with, rans_decode_bytes_with_at, rans_decode_with,
+    rans_decode_with_at, rans_encode, rans_encode_bytes_with, rans_encode_with, RansScratch,
 };
 pub use scratch::CodecScratch;
+pub use xxhash::{xxh64, xxh64_at};
 
 /// Errors produced while decoding a lossless stream.
 #[derive(Debug, Clone, PartialEq, Eq)]

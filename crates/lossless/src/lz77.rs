@@ -21,6 +21,7 @@
 //! therefore the emitted token stream — are identical to the historical
 //! byte-at-a-time encoder (pinned by `tests/bit_identity.rs`).
 
+use crate::dispatch::{simd_level, SimdLevel};
 use crate::scratch::{CodecScratch, CHAIN_NIL};
 use crate::{read_varint, write_varint, CodecError};
 
@@ -57,6 +58,108 @@ fn match_length(bytes: &[u8], a_at: usize, b_at: usize, max_len: usize) -> usize
     len
 }
 
+/// [`match_length`] at an explicit SIMD tier: the SSE tier compares 16 bytes
+/// per iteration, AVX2 compares 32, both locating the first mismatch with a
+/// `movemask`. Every tier returns the same length as the scalar comparator,
+/// so the greedy token stream is independent of the dispatch level.
+///
+/// # Panics
+/// Panics unless `a_at <= b_at` and `b_at + max_len <= bytes.len()` — the
+/// in-bounds window the wide loads rely on (the compress loop guarantees it:
+/// `max_len` is capped at `input.len() - pos` and candidates sit before
+/// `pos`).
+// Sanctioned `unsafe_code` waiver (see `crate::dispatch`): this shim owns
+// the bounds assertion the wide loads rely on and the feature-detection
+// guard that makes the intrinsics legal.
+#[allow(unsafe_code)]
+pub fn match_length_at(
+    level: SimdLevel,
+    bytes: &[u8],
+    a_at: usize,
+    b_at: usize,
+    max_len: usize,
+) -> usize {
+    assert!(
+        a_at <= b_at && max_len <= bytes.len() && b_at <= bytes.len() - max_len,
+        "match window out of bounds"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if level >= SimdLevel::Avx2 && max_len >= 32 {
+            // SAFETY: AVX2 verified by dispatch; bounds asserted above.
+            return unsafe { simd::match_length_avx2(bytes, a_at, b_at, max_len) };
+        }
+        if level >= SimdLevel::Sse4 && max_len >= 16 {
+            // SAFETY: 128-bit loads are baseline x86_64; bounds asserted above.
+            return unsafe { simd::match_length_sse2(bytes, a_at, b_at, max_len) };
+        }
+    }
+    let _ = level;
+    match_length(bytes, a_at, b_at, max_len)
+}
+
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    // Sanctioned `unsafe_code` waiver (see `crate::dispatch`): `core::arch`
+    // intrinsics are unsafe by definition; the callers assert the bounds the
+    // wide loads need and the bit-identity suite pins scalar equivalence.
+    #![allow(unsafe_code)]
+
+    use std::arch::x86_64::*;
+
+    /// 16-byte compare loop, falling back to the scalar comparator for the
+    /// sub-16-byte tail.
+    ///
+    /// # Safety
+    /// Requires `a_at <= b_at` and `b_at + max_len <= bytes.len()`.
+    #[inline]
+    pub(super) unsafe fn match_length_sse2(
+        bytes: &[u8],
+        a_at: usize,
+        b_at: usize,
+        max_len: usize,
+    ) -> usize {
+        let base = bytes.as_ptr();
+        let mut len = 0usize;
+        while len + 16 <= max_len {
+            let a = _mm_loadu_si128(base.add(a_at + len) as *const __m128i);
+            let b = _mm_loadu_si128(base.add(b_at + len) as *const __m128i);
+            let eq = _mm_movemask_epi8(_mm_cmpeq_epi8(a, b)) as u32;
+            if eq != 0xFFFF {
+                return len + (!eq).trailing_zeros() as usize;
+            }
+            len += 16;
+        }
+        len + super::match_length(bytes, a_at + len, b_at + len, max_len - len)
+    }
+
+    /// 32-byte compare loop, falling back to the scalar comparator for the
+    /// sub-32-byte tail.
+    ///
+    /// # Safety
+    /// Requires AVX2, `a_at <= b_at`, and `b_at + max_len <= bytes.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn match_length_avx2(
+        bytes: &[u8],
+        a_at: usize,
+        b_at: usize,
+        max_len: usize,
+    ) -> usize {
+        let base = bytes.as_ptr();
+        let mut len = 0usize;
+        while len + 32 <= max_len {
+            let a = _mm256_loadu_si256(base.add(a_at + len) as *const __m256i);
+            let b = _mm256_loadu_si256(base.add(b_at + len) as *const __m256i);
+            let eq = _mm256_movemask_epi8(_mm256_cmpeq_epi8(a, b)) as u32;
+            if eq != 0xFFFF_FFFF {
+                return len + (!eq).trailing_zeros() as usize;
+            }
+            len += 32;
+        }
+        len + super::match_length(bytes, a_at + len, b_at + len, max_len - len)
+    }
+}
+
 /// Compress `input` with greedy LZ77. The output always starts with a varint
 /// holding the original length.
 ///
@@ -78,6 +181,20 @@ pub fn lz77_compress(input: &[u8]) -> Vec<u8> {
 /// # Panics
 /// Panics on inputs of 4 GiB or more (see [`lz77_compress`]).
 pub fn lz77_compress_with(scratch: &mut CodecScratch, input: &[u8], out: &mut Vec<u8>) {
+    lz77_compress_with_at(scratch, simd_level(), input, out);
+}
+
+/// [`lz77_compress_with`] at an explicit SIMD tier (tests and benchmarks —
+/// the emitted stream is identical at every tier).
+///
+/// # Panics
+/// Panics on inputs of 4 GiB or more (see [`lz77_compress`]).
+pub fn lz77_compress_with_at(
+    scratch: &mut CodecScratch,
+    level: SimdLevel,
+    input: &[u8],
+    out: &mut Vec<u8>,
+) {
     out.reserve(input.len() / 2 + 16);
     write_varint(out, input.len() as u64);
     if input.is_empty() {
@@ -136,7 +253,7 @@ pub fn lz77_compress_with(scratch: &mut CodecScratch, input: &[u8], out: &mut Ve
                 // prefix is ≤ best_len and the candidate cannot win. The
                 // greedy outcome is unchanged.
                 if input[candidate_pos + best_len] == input[pos + best_len] {
-                    let len = match_length(input, candidate_pos, pos, max_len);
+                    let len = match_length_at(level, input, candidate_pos, pos, max_len);
                     if len > best_len {
                         best_len = len;
                         best_dist = pos - candidate_pos;
@@ -351,6 +468,52 @@ mod tests {
                 data[a..].iter().zip(&data[b..]).take(cap).take_while(|(x, y)| x == y).count();
             assert_eq!(match_length(&data, a, b, cap), reference, "a={a} b={b} cap={cap}");
         }
+    }
+
+    #[test]
+    fn match_length_levels_agree_on_every_mismatch_offset() {
+        use crate::dispatch::supported_levels;
+        // A long shared prefix broken at every offset in turn hits the wide
+        // loops, their movemask mismatch location, and the scalar tail.
+        let period = 97usize; // coprime with 16 and 32 → mismatches land at every lane
+        let template: Vec<u8> = (0..400).map(|i| (i % period) as u8).collect();
+        let mut data = template.clone();
+        data.extend_from_slice(&template);
+        let b_at = template.len();
+        for mismatch in 0..160usize {
+            let mut bytes = data.clone();
+            bytes[b_at + mismatch] ^= 0xA5;
+            for cap in [mismatch / 2 + 1, mismatch, mismatch + 1, 160, 400] {
+                let reference = match_length(&bytes, 0, b_at, cap);
+                for &level in supported_levels() {
+                    assert_eq!(
+                        match_length_at(level, &bytes, 0, b_at, cap),
+                        reference,
+                        "mismatch={mismatch} cap={cap} level={level:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compress_streams_identical_at_every_level() {
+        use crate::dispatch::supported_levels;
+        let mut data = Vec::new();
+        for i in 0..4096 {
+            let v = ((i / 7) % 50) as f64 * 0.25 - 3.0;
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        data.extend_from_slice(&vec![7u8; 10_000]);
+        let mut scratch = CodecScratch::new();
+        let mut reference = Vec::new();
+        lz77_compress_with_at(&mut scratch, SimdLevel::Scalar, &data, &mut reference);
+        for &level in supported_levels() {
+            let mut out = Vec::new();
+            lz77_compress_with_at(&mut scratch, level, &data, &mut out);
+            assert_eq!(out, reference, "level={level:?}");
+        }
+        assert_eq!(lz77_decompress(&reference).unwrap(), data);
     }
 
     #[test]

@@ -14,18 +14,32 @@
 //! ```text
 //! offset  size        field
 //! 0       4           magic  b"LCCF"
-//! 4       1           version (currently 1)
+//! 4       1           version (1, OR-ed with flag bits; see below)
 //! 5       8           ny  (u64 LE, total rows)
 //! 13      8           nx  (u64 LE, columns)
 //! 21      4           n_blocks (u32 LE, >= 2)
 //! 25      8*n_blocks  per-block compressed byte length (u64 LE each)
+//! …       8*n_blocks  per-block XXH64 digest (u64 LE each) — only when
+//!                     the `FLAG_CHECKSUM` bit is set in the version byte
 //! …       …           the n_blocks compressed streams, concatenated
 //! ```
 //!
 //! Rows are split by [`lcc_par::split_ranges`]: block `b` covers a
 //! contiguous row range, every block is a self-describing stream of the
 //! *inner* compressor, and the block lengths must sum exactly to the bytes
-//! that follow the table.
+//! that follow the table(s).
+//!
+//! ## Per-block checksums
+//!
+//! The high bit group of the version byte carries flags: `0x41` is a
+//! version-1 frame whose length table is followed by a table of XXH64
+//! digests ([`lcc_lossless::xxh64`] with seed 0), one per block, hashed
+//! over that block's compressed bytes. The decoder verifies each block's
+//! digest *before* handing the bytes to the inner block decoder, turning
+//! silent bit corruption into a crisp [`CompressError::CorruptStream`]
+//! instead of whatever a damaged entropy stream happens to decode to.
+//! Plain `0x01` frames (every stream written before the flag existed)
+//! carry no digest table and decode exactly as they always have.
 //!
 //! ## Version-0 passthrough
 //!
@@ -59,6 +73,7 @@
 
 use crate::{CompressError, Compressor, ErrorBound, ScratchArena};
 use lcc_grid::{Field2D, FieldView};
+use lcc_lossless::xxh64;
 use lcc_par::{parallel_block_map, split_ranges, ThreadPoolConfig};
 use std::sync::Mutex;
 
@@ -66,6 +81,9 @@ use std::sync::Mutex;
 pub const FRAME_MAGIC: [u8; 4] = *b"LCCF";
 /// Current frame-format version byte.
 pub const FRAME_VERSION: u8 = 1;
+/// Version-byte flag bit: the length table is followed by a per-block
+/// XXH64 digest table, verified before each block decodes.
+pub const FLAG_CHECKSUM: u8 = 0x40;
 
 /// Fixed header bytes before the block-length table.
 const HEADER_LEN: usize = 4 + 1 + 8 + 8 + 4;
@@ -158,6 +176,39 @@ pub fn compress_framed_with(
     pool: ThreadPoolConfig,
     scratch: &mut FrameScratch,
 ) -> Result<Vec<u8>, CompressError> {
+    compress_framed_impl(compressor, view, bound, blocks, pool, scratch, false)
+}
+
+/// [`compress_framed_with`] plus a per-block XXH64 digest table: the
+/// version byte gains [`FLAG_CHECKSUM`] and every block's compressed bytes
+/// are hashed on the worker that encoded them, so
+/// [`decompress_framed_with`] can reject corruption before block decode.
+///
+/// A single-block output is still the inner compressor's raw stream —
+/// passthrough streams carry no frame header to hang a digest off, and
+/// keeping them byte-identical to [`Compressor::compress_view`] is the
+/// stronger invariant.
+pub fn compress_framed_checksummed_with(
+    compressor: &dyn Compressor,
+    view: &FieldView<'_>,
+    bound: ErrorBound,
+    blocks: usize,
+    pool: ThreadPoolConfig,
+    scratch: &mut FrameScratch,
+) -> Result<Vec<u8>, CompressError> {
+    compress_framed_impl(compressor, view, bound, blocks, pool, scratch, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compress_framed_impl(
+    compressor: &dyn Compressor,
+    view: &FieldView<'_>,
+    bound: ErrorBound,
+    blocks: usize,
+    pool: ThreadPoolConfig,
+    scratch: &mut FrameScratch,
+    checksum: bool,
+) -> Result<Vec<u8>, CompressError> {
     let (ny, nx) = view.shape();
     let blocks = blocks.clamp(1, ny);
     if blocks == 1 {
@@ -169,30 +220,38 @@ pub fn compress_framed_with(
         ranges.iter().map(|r| view.subview(r.start, 0, r.len(), nx)).collect();
     let n_blocks = sub_views.len();
 
-    // Pipelined stream assembly: the header and a zeroed length table are
-    // reserved up front, and every finished block appends its bytes and
-    // backfills its table slot as soon as all earlier blocks have landed —
-    // assembly of early blocks overlaps with encoding of later ones instead
-    // of waiting at a barrier and concatenating afterwards. The emitted
-    // bytes are identical to the barrier version: same header, same table,
-    // same in-order concatenation.
-    let mut header = Vec::with_capacity(HEADER_LEN + 8 * n_blocks);
+    // Pipelined stream assembly: the header and zeroed length (and, when
+    // checksummed, digest) tables are reserved up front, and every finished
+    // block appends its bytes and backfills its table slots as soon as all
+    // earlier blocks have landed — assembly of early blocks overlaps with
+    // encoding of later ones instead of waiting at a barrier and
+    // concatenating afterwards. The emitted bytes are identical to the
+    // barrier version: same header, same tables, same in-order
+    // concatenation.
+    let tables = if checksum { 16 } else { 8 };
+    let mut header = Vec::with_capacity(HEADER_LEN + tables * n_blocks);
     header.extend_from_slice(&FRAME_MAGIC);
-    header.push(FRAME_VERSION);
+    header.push(if checksum { FRAME_VERSION | FLAG_CHECKSUM } else { FRAME_VERSION });
     header.extend_from_slice(&(ny as u64).to_le_bytes());
     header.extend_from_slice(&(nx as u64).to_le_bytes());
     header.extend_from_slice(&(n_blocks as u32).to_le_bytes());
-    header.resize(HEADER_LEN + 8 * n_blocks, 0);
+    header.resize(HEADER_LEN + tables * n_blocks, 0);
     let assembler = Mutex::new(FrameAssembler {
         out: header,
         next: 0,
         pending: (0..n_blocks).map(|_| None).collect(),
         error: None,
+        hash_table_at: checksum.then_some(HEADER_LEN + 8 * n_blocks),
     });
 
     let workers = scratch.workers(pool.threads().min(n_blocks));
     parallel_block_map(pool, workers, sub_views, |worker, b, sub| {
-        let result = compressor.compress_view_with(&sub, bound, &mut worker.arena);
+        // The digest is computed here, on the encoding worker, so hashing
+        // of one block overlaps with encoding of the others.
+        let result = compressor.compress_view_with(&sub, bound, &mut worker.arena).map(|stream| {
+            let digest = checksum.then(|| xxh64(&stream, 0));
+            (stream, digest)
+        });
         assembler.lock().expect("assembler lock is never poisoned").submit(b, result);
     });
 
@@ -213,27 +272,36 @@ struct FrameAssembler {
     out: Vec<u8>,
     /// Next block index to append.
     next: usize,
-    /// Encoded streams of blocks that finished before their predecessors.
-    pending: Vec<Option<Vec<u8>>>,
+    /// Encoded streams (and optional digests) of blocks that finished
+    /// before their predecessors.
+    pending: Vec<Option<(Vec<u8>, Option<u64>)>>,
     /// First compression error observed (the frame is abandoned).
     error: Option<CompressError>,
+    /// Byte offset of the reserved digest table, when checksumming.
+    hash_table_at: Option<usize>,
 }
 
 impl FrameAssembler {
     /// Record one block's encode result: append it (and any unblocked
     /// successors) to the stream, backfilling the reserved table slots.
-    fn submit(&mut self, block: usize, result: Result<Vec<u8>, CompressError>) {
+    fn submit(&mut self, block: usize, result: Result<(Vec<u8>, Option<u64>), CompressError>) {
         match result {
             Err(error) => {
                 if self.error.is_none() {
                     self.error = Some(error);
                 }
             }
-            Ok(stream) => {
-                self.pending[block] = Some(stream);
-                while let Some(stream) = self.pending.get_mut(self.next).and_then(Option::take) {
+            Ok(entry) => {
+                self.pending[block] = Some(entry);
+                while let Some((stream, digest)) =
+                    self.pending.get_mut(self.next).and_then(Option::take)
+                {
                     let slot = HEADER_LEN + 8 * self.next;
                     self.out[slot..slot + 8].copy_from_slice(&(stream.len() as u64).to_le_bytes());
+                    if let (Some(base), Some(digest)) = (self.hash_table_at, digest) {
+                        let slot = base + 8 * self.next;
+                        self.out[slot..slot + 8].copy_from_slice(&digest.to_le_bytes());
+                    }
                     self.out.extend_from_slice(&stream);
                     self.next += 1;
                 }
@@ -276,9 +344,14 @@ pub fn decompress_framed_with(
         return compressor.decompress_view_with(stream, &mut scratch.workers(1)[0].arena, out);
     }
     let corrupt = |msg: &str| CompressError::CorruptStream(format!("frame: {msg}"));
-    if stream[4] != FRAME_VERSION {
-        return Err(corrupt(&format!("unsupported version byte {}", stream[4])));
+    // The version byte carries flag bits above the version number; mask
+    // the known flags off before comparing so checksummed (0x41) and plain
+    // (0x01) version-1 frames both decode — and so plain v1 streams keep
+    // decoding forever, whatever flags later encoders add to *new* streams.
+    if stream[4] & !FLAG_CHECKSUM != FRAME_VERSION {
+        return Err(corrupt(&format!("unsupported version byte {:#04x}", stream[4])));
     }
+    let checksummed = stream[4] & FLAG_CHECKSUM != 0;
     let ny = u64::from_le_bytes(stream[5..13].try_into().unwrap());
     let nx = u64::from_le_bytes(stream[13..21].try_into().unwrap());
     let n_blocks = u32::from_le_bytes(stream[21..25].try_into().unwrap()) as usize;
@@ -293,21 +366,30 @@ pub fn decompress_framed_with(
         // corrupt by construction.
         return Err(corrupt(&format!("block count {n_blocks} invalid for {ny} rows")));
     }
-    // The table itself must fit before anything sized by it is allocated.
+    // The tables themselves must fit before anything sized by them is
+    // allocated (a checksummed frame carries two: lengths, then digests).
     let rest = &stream[HEADER_LEN..];
+    let per_block = if checksummed { 16 } else { 8 };
     let table_bytes = n_blocks
-        .checked_mul(8)
+        .checked_mul(per_block)
         .filter(|&t| t <= rest.len())
         .ok_or_else(|| corrupt(&format!("block table for {n_blocks} blocks exceeds stream")))?;
     let (table, body) = rest.split_at(table_bytes);
+    let (length_table, digest_table) = table.split_at(8 * n_blocks);
     let mut lengths = Vec::with_capacity(n_blocks);
     let mut total = 0usize;
-    for entry in table.chunks_exact(8) {
+    for entry in length_table.chunks_exact(8) {
         let len = u64::from_le_bytes(entry.try_into().unwrap());
         let len = usize::try_from(len).map_err(|_| corrupt("block length overflows usize"))?;
         total = total.checked_add(len).ok_or_else(|| corrupt("block lengths overflow"))?;
         lengths.push(len);
     }
+    let digests: Option<Vec<u64>> = checksummed.then(|| {
+        digest_table
+            .chunks_exact(8)
+            .map(|entry| u64::from_le_bytes(entry.try_into().unwrap()))
+            .collect()
+    });
     if total != body.len() {
         return Err(corrupt(&format!(
             "block lengths sum to {total} but {} payload bytes remain",
@@ -347,6 +429,16 @@ pub fn decompress_framed_with(
     let workers = scratch.workers(pool.threads().min(n_blocks));
     let decoded: Vec<Result<(), CompressError>> =
         parallel_block_map(pool, workers, items, |worker, b, (rows, sub, chunk)| {
+            // Verify the digest before the inner decoder touches the bytes:
+            // corruption surfaces as this crisp error, never as a garbled
+            // entropy-decode failure (or, worse, a silently wrong field).
+            if let Some(digests) = &digests {
+                if xxh64(sub, 0) != digests[b] {
+                    return Err(CompressError::CorruptStream(format!(
+                        "frame: block {b} checksum mismatch"
+                    )));
+                }
+            }
             let block = worker.block.get_or_insert_with(|| Field2D::zeros(1, 1));
             compressor.decompress_view_with(sub, &mut worker.arena, block)?;
             if block.shape() != (rows, nx) {
@@ -563,6 +655,151 @@ mod tests {
             &mut FrameScratch::new(),
         );
         assert!(matches!(result, Err(CompressError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn checksummed_frames_roundtrip_and_flag_the_version_byte() {
+        let field = ramp(23, 7);
+        let bound = ErrorBound::Absolute(1.0);
+        for blocks in 2..=8 {
+            let mut scratch = FrameScratch::new();
+            let framed = compress_framed_checksummed_with(
+                &Store,
+                &field.view(),
+                bound,
+                blocks,
+                pool(),
+                &mut scratch,
+            )
+            .unwrap();
+            assert!(is_framed(&framed), "{blocks} blocks");
+            assert_eq!(framed[4], FRAME_VERSION | FLAG_CHECKSUM);
+            let back = decompress_framed(&Store, &framed, pool()).unwrap();
+            assert_eq!(back, field, "{blocks} blocks");
+        }
+    }
+
+    #[test]
+    fn checksummed_frame_is_the_plain_frame_plus_digest_table() {
+        // Same header fields, same lengths, same payload — the digest table
+        // is strictly additive, so the checksummed encoder cannot change
+        // what the blocks themselves contain.
+        let field = ramp(40, 6);
+        let bound = ErrorBound::Absolute(1.0);
+        let plain =
+            compress_framed_with(&Store, &field.view(), bound, 4, pool(), &mut FrameScratch::new())
+                .unwrap();
+        let summed = compress_framed_checksummed_with(
+            &Store,
+            &field.view(),
+            bound,
+            4,
+            pool(),
+            &mut FrameScratch::new(),
+        )
+        .unwrap();
+        let table_end = HEADER_LEN + 8 * 4;
+        assert_eq!(summed[..4], plain[..4]);
+        assert_eq!(summed[4], plain[4] | FLAG_CHECKSUM);
+        assert_eq!(summed[5..table_end], plain[5..table_end], "header + length table");
+        assert_eq!(summed[table_end + 8 * 4..], plain[table_end..], "block payloads");
+        // And each digest in the table matches an independent hash of the
+        // block bytes it covers.
+        let mut block_at = table_end + 8 * 4;
+        for b in 0..4 {
+            let len =
+                u64::from_le_bytes(summed[HEADER_LEN + 8 * b..][..8].try_into().unwrap()) as usize;
+            let digest = u64::from_le_bytes(summed[table_end + 8 * b..][..8].try_into().unwrap());
+            assert_eq!(
+                digest,
+                lcc_lossless::xxh64(&summed[block_at..block_at + len], 0),
+                "block {b}"
+            );
+            block_at += len;
+        }
+    }
+
+    #[test]
+    fn checksummed_single_block_is_still_the_raw_stream() {
+        let field = ramp(8, 5);
+        let bound = ErrorBound::Absolute(1.0);
+        let raw = Store.compress_view(&field.view(), bound).unwrap();
+        let framed = compress_framed_checksummed_with(
+            &Store,
+            &field.view(),
+            bound,
+            1,
+            pool(),
+            &mut FrameScratch::new(),
+        )
+        .unwrap();
+        assert_eq!(framed, raw, "single-block passthrough must stay unframed");
+    }
+
+    #[test]
+    fn checksum_catches_payload_corruption() {
+        let field = ramp(24, 8);
+        let bound = ErrorBound::Absolute(1.0);
+        let good = compress_framed_checksummed_with(
+            &Store,
+            &field.view(),
+            bound,
+            4,
+            pool(),
+            &mut FrameScratch::new(),
+        )
+        .unwrap();
+        let body_at = HEADER_LEN + 16 * 4;
+
+        // Flip one payload bit in each block's first byte: the digest check
+        // must reject it with the block-naming message. (The Store codec
+        // would otherwise happily decode some of these corruptions into a
+        // wrong field — the checksum is what catches them.)
+        let lengths: Vec<usize> = (0..4)
+            .map(|b| {
+                u64::from_le_bytes(good[HEADER_LEN + 8 * b..][..8].try_into().unwrap()) as usize
+            })
+            .collect();
+        let mut at = body_at;
+        for (b, len) in lengths.iter().enumerate() {
+            let mut bad = good.clone();
+            bad[at + len - 1] ^= 0x10;
+            match decompress_framed(&Store, &bad, pool()) {
+                Err(CompressError::CorruptStream(msg)) => {
+                    assert_eq!(msg, format!("frame: block {b} checksum mismatch"));
+                }
+                other => panic!("block {b}: expected checksum mismatch, got {other:?}"),
+            }
+            at += len;
+        }
+
+        // A flipped digest-table bit is equally fatal.
+        let mut bad = good.clone();
+        bad[HEADER_LEN + 8 * 4] ^= 1;
+        assert!(matches!(
+            decompress_framed(&Store, &bad, pool()),
+            Err(CompressError::CorruptStream(msg)) if msg.contains("checksum mismatch")
+        ));
+
+        // The untouched stream still decodes to the original field.
+        assert_eq!(decompress_framed(&Store, &good, pool()).unwrap(), field);
+    }
+
+    #[test]
+    fn checksummed_header_too_short_for_both_tables_is_rejected() {
+        // A forged checksummed header claiming more blocks than the stream
+        // can hold tables for must fail the early size check.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&FRAME_MAGIC);
+        bad.push(FRAME_VERSION | FLAG_CHECKSUM);
+        bad.extend_from_slice(&1000u64.to_le_bytes());
+        bad.extend_from_slice(&8u64.to_le_bytes());
+        bad.extend_from_slice(&200u32.to_le_bytes());
+        bad.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            decompress_framed(&Store, &bad, pool()),
+            Err(CompressError::CorruptStream(_))
+        ));
     }
 
     #[test]

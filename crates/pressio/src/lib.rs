@@ -23,7 +23,7 @@ pub mod registry;
 pub mod scratch;
 
 pub use bound::ErrorBound;
-pub use frame::{FrameScratch, FRAME_MAGIC, FRAME_VERSION};
+pub use frame::{FrameScratch, FLAG_CHECKSUM, FRAME_MAGIC, FRAME_VERSION};
 pub use metrics::Metrics;
 pub use registry::{CompressorInfo, Registry};
 pub use scratch::ScratchArena;

@@ -35,6 +35,7 @@ pub mod quantize;
 pub mod stream;
 
 use lcc_grid::{Field2D, FieldView, WindowIter};
+use lcc_lossless::dispatch::simd_level;
 use lcc_lossless::{
     huffman_decode_with, huffman_encode_with, lz77_compress_with, lz77_decompress_into,
     rans_decode_with, rans_encode_with, CodecScratch, EntropyBackend, RansScratch,
@@ -189,6 +190,8 @@ impl SzCompressor {
         let (ny, nx) = field.shape();
         let bs = self.config.block_size;
         let quantizer = Quantizer::new(eb, self.config.quantization_radius);
+        // One dispatch lookup per stream, threaded into the row kernel.
+        let level = simd_level();
 
         // Reconstruction buffer: predictions always read reconstructed values
         // so the decompressor sees the same inputs.
@@ -231,19 +234,21 @@ impl SzCompressor {
                 // plane loop is independent per cell).
                 match plane {
                     Some(p) => {
+                        // Independent per cell → the runtime-dispatched row
+                        // kernel (AVX2 4-lane on capable hosts, scalar
+                        // otherwise; bit-identical streams either way).
                         let di = i - win.i0;
-                        for j in win.j0..win.j0 + win.width {
-                            let original = orig_row[j];
-                            let prediction = plane_predict(&p, di, j - win.j0);
-                            quantize_cell(
-                                &quantizer,
-                                original,
-                                prediction,
-                                &mut s.codes,
-                                &mut s.exact,
-                                &mut cur_row[j],
-                            );
-                        }
+                        let span = win.j0..win.j0 + win.width;
+                        quantize::quantize_plane_row_at(
+                            level,
+                            &quantizer,
+                            &p,
+                            di,
+                            &orig_row[span.clone()],
+                            &mut cur_row[span],
+                            &mut s.codes,
+                            &mut s.exact,
+                        );
                     }
                     None => {
                         for j in win.j0..win.j0 + win.width {

@@ -19,6 +19,7 @@
 //! the inverse reverses that order.
 
 use crate::{BLOCK_DIM, BLOCK_LEN};
+use lcc_lossless::dispatch::{simd_level, SimdLevel};
 
 /// Forward 1D transform of four integers.
 #[inline]
@@ -46,8 +47,54 @@ pub fn inv_lift4(v: [i64; 4]) -> [i64; 4] {
     [x0, x1, x2, x3]
 }
 
-/// Forward 2D transform of a 4×4 block (rows, then columns), in place.
+/// Forward 2D transform of a 4×4 block (rows, then columns), in place, at
+/// the process-wide dispatch level.
 pub fn fwd_transform(block: &mut [i64; BLOCK_LEN]) {
+    fwd_transform_at(simd_level(), block);
+}
+
+/// Inverse 2D transform (columns, then rows), in place, at the process-wide
+/// dispatch level.
+pub fn inv_transform(block: &mut [i64; BLOCK_LEN]) {
+    inv_transform_at(simd_level(), block);
+}
+
+/// [`fwd_transform`] at an explicit SIMD tier. The AVX2 tier holds the whole
+/// block in four 256-bit registers (one row each) and runs the lifting
+/// vertically across 4 lanes, transposing in-register between the row and
+/// column passes; its integer arithmetic is identical to the scalar lifts,
+/// so the coefficients are bit-equal at every tier. The SSE tier lowers to
+/// scalar (4×4 of i64 wants 256-bit lanes to pay off).
+// Sanctioned `unsafe_code` waiver (see `lcc_lossless::dispatch`): the shim
+// holds the feature-detection guard that makes the intrinsics legal.
+#[allow(unsafe_code)]
+pub fn fwd_transform_at(level: SimdLevel, block: &mut [i64; BLOCK_LEN]) {
+    #[cfg(target_arch = "x86_64")]
+    if level >= SimdLevel::Avx2 {
+        // SAFETY: AVX2 presence is guaranteed by dispatch.
+        unsafe { simd::fwd_transform_avx2(block) };
+        return;
+    }
+    let _ = level;
+    fwd_transform_scalar(block);
+}
+
+/// [`inv_transform`] at an explicit SIMD tier (see [`fwd_transform_at`]).
+// Sanctioned `unsafe_code` waiver (see `lcc_lossless::dispatch`).
+#[allow(unsafe_code)]
+pub fn inv_transform_at(level: SimdLevel, block: &mut [i64; BLOCK_LEN]) {
+    #[cfg(target_arch = "x86_64")]
+    if level >= SimdLevel::Avx2 {
+        // SAFETY: AVX2 presence is guaranteed by dispatch.
+        unsafe { simd::inv_transform_avx2(block) };
+        return;
+    }
+    let _ = level;
+    inv_transform_scalar(block);
+}
+
+/// Scalar forward 2D transform (rows, then columns), in place.
+fn fwd_transform_scalar(block: &mut [i64; BLOCK_LEN]) {
     // Rows.
     for r in 0..BLOCK_DIM {
         let o = r * BLOCK_DIM;
@@ -68,8 +115,8 @@ pub fn fwd_transform(block: &mut [i64; BLOCK_LEN]) {
     }
 }
 
-/// Inverse 2D transform (columns, then rows), in place.
-pub fn inv_transform(block: &mut [i64; BLOCK_LEN]) {
+/// Scalar inverse 2D transform (columns, then rows), in place.
+fn inv_transform_scalar(block: &mut [i64; BLOCK_LEN]) {
     for c in 0..BLOCK_DIM {
         let col = inv_lift4([
             block[c],
@@ -85,6 +132,114 @@ pub fn inv_transform(block: &mut [i64; BLOCK_LEN]) {
         let o = r * BLOCK_DIM;
         let row = inv_lift4([block[o], block[o + 1], block[o + 2], block[o + 3]]);
         block[o..o + 4].copy_from_slice(&row);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    // Sanctioned `unsafe_code` waiver (see `lcc_lossless::dispatch`):
+    // `core::arch` intrinsics are unsafe by definition; the callers hold the
+    // feature-detection guard and the bit-identity suite pins scalar
+    // equivalence.
+    #![allow(unsafe_code)]
+
+    use crate::BLOCK_LEN;
+    use std::arch::x86_64::*;
+
+    /// Arithmetic `>> 1` on four i64 lanes (AVX2 has no 64-bit `vpsraq`):
+    /// logical shift, then re-set each lane's sign bit.
+    #[inline(always)]
+    unsafe fn sar1_epi64(v: __m256i) -> __m256i {
+        let sign = _mm256_and_si256(v, _mm256_set1_epi64x(i64::MIN));
+        _mm256_or_si256(_mm256_srli_epi64::<1>(v), sign)
+    }
+
+    /// Lane-wise [`super::fwd_lift4`] across four registers: each lane
+    /// column `[v0ᵢ, v1ᵢ, v2ᵢ, v3ᵢ]` is lifted independently.
+    #[inline(always)]
+    unsafe fn fwd_lift_vertical(v: [__m256i; 4]) -> [__m256i; 4] {
+        let [x0, x1, x2, x3] = v;
+        let d0 = _mm256_sub_epi64(x1, x0);
+        let a0 = _mm256_add_epi64(x0, sar1_epi64(d0));
+        let d1 = _mm256_sub_epi64(x3, x2);
+        let a1 = _mm256_add_epi64(x2, sar1_epi64(d1));
+        let d2 = _mm256_sub_epi64(a1, a0);
+        let a2 = _mm256_add_epi64(a0, sar1_epi64(d2));
+        [a2, d2, d0, d1]
+    }
+
+    /// Lane-wise [`super::inv_lift4`] across four registers.
+    #[inline(always)]
+    unsafe fn inv_lift_vertical(v: [__m256i; 4]) -> [__m256i; 4] {
+        let [a2, d2, d0, d1] = v;
+        let a0 = _mm256_sub_epi64(a2, sar1_epi64(d2));
+        let a1 = _mm256_add_epi64(a0, d2);
+        let x0 = _mm256_sub_epi64(a0, sar1_epi64(d0));
+        let x1 = _mm256_add_epi64(x0, d0);
+        let x2 = _mm256_sub_epi64(a1, sar1_epi64(d1));
+        let x3 = _mm256_add_epi64(x2, d1);
+        [x0, x1, x2, x3]
+    }
+
+    /// In-register 4×4 i64 transpose (`vpunpck[lh]qdq` + `vperm2i128`).
+    #[inline(always)]
+    unsafe fn transpose(v: [__m256i; 4]) -> [__m256i; 4] {
+        let [r0, r1, r2, r3] = v;
+        let t0 = _mm256_unpacklo_epi64(r0, r1); // a0 b0 | a2 b2
+        let t1 = _mm256_unpackhi_epi64(r0, r1); // a1 b1 | a3 b3
+        let t2 = _mm256_unpacklo_epi64(r2, r3); // c0 d0 | c2 d2
+        let t3 = _mm256_unpackhi_epi64(r2, r3); // c1 d1 | c3 d3
+        [
+            _mm256_permute2x128_si256::<0x20>(t0, t2), // a0 b0 c0 d0
+            _mm256_permute2x128_si256::<0x20>(t1, t3), // a1 b1 c1 d1
+            _mm256_permute2x128_si256::<0x31>(t0, t2), // a2 b2 c2 d2
+            _mm256_permute2x128_si256::<0x31>(t1, t3), // a3 b3 c3 d3
+        ]
+    }
+
+    #[inline(always)]
+    unsafe fn load(block: &[i64; BLOCK_LEN]) -> [__m256i; 4] {
+        let p = block.as_ptr();
+        [
+            _mm256_loadu_si256(p as *const __m256i),
+            _mm256_loadu_si256(p.add(4) as *const __m256i),
+            _mm256_loadu_si256(p.add(8) as *const __m256i),
+            _mm256_loadu_si256(p.add(12) as *const __m256i),
+        ]
+    }
+
+    #[inline(always)]
+    unsafe fn store(block: &mut [i64; BLOCK_LEN], v: [__m256i; 4]) {
+        let p = block.as_mut_ptr();
+        _mm256_storeu_si256(p as *mut __m256i, v[0]);
+        _mm256_storeu_si256(p.add(4) as *mut __m256i, v[1]);
+        _mm256_storeu_si256(p.add(8) as *mut __m256i, v[2]);
+        _mm256_storeu_si256(p.add(12) as *mut __m256i, v[3]);
+    }
+
+    /// Forward 2D transform: the vertical lift works on columns, so the row
+    /// pass runs on the transposed block (transpose → lift → transpose),
+    /// then the column pass lifts directly — same rows-then-columns order as
+    /// the scalar transform.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fwd_transform_avx2(block: &mut [i64; BLOCK_LEN]) {
+        let rows = load(block);
+        let rows = transpose(fwd_lift_vertical(transpose(rows)));
+        store(block, fwd_lift_vertical(rows));
+    }
+
+    /// Inverse 2D transform: columns first (direct vertical lift), then rows
+    /// (transpose → lift → transpose) — mirroring the scalar order.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn inv_transform_avx2(block: &mut [i64; BLOCK_LEN]) {
+        let cols = inv_lift_vertical(load(block));
+        store(block, transpose(inv_lift_vertical(transpose(cols))));
     }
 }
 
@@ -166,6 +321,31 @@ mod tests {
                     "detail ({i},{j}) = {}",
                     block[i * BLOCK_DIM + j]
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn every_supported_level_transforms_identically() {
+        use lcc_lossless::dispatch::supported_levels;
+        for seed in 1..200u64 {
+            // Large amplitudes exercise the emulated arithmetic shift's
+            // sign handling; small ones the common codec range.
+            for amplitude in [1i64 << 40, 1 << 20, 5, 1] {
+                let original = pseudo_random_block(seed, amplitude);
+                let mut fwd_ref = original;
+                fwd_transform_at(SimdLevel::Scalar, &mut fwd_ref);
+                let mut inv_ref = fwd_ref;
+                inv_transform_at(SimdLevel::Scalar, &mut inv_ref);
+                assert_eq!(inv_ref, original);
+                for &level in supported_levels() {
+                    let mut fwd = original;
+                    fwd_transform_at(level, &mut fwd);
+                    assert_eq!(fwd, fwd_ref, "fwd seed={seed} level={level:?}");
+                    let mut inv = fwd;
+                    inv_transform_at(level, &mut inv);
+                    assert_eq!(inv, original, "inv seed={seed} level={level:?}");
+                }
             }
         }
     }

@@ -42,6 +42,9 @@ REQUIRED_VARIANTS = ["mgard", "mgard-rans", "sz", "sz-rans", "zfp", "zfp-rans"]
 # The load generator measures the same registry: every codec single-stream
 # and framed (lcc_core::registry::framed_variant_name).
 REQUIRED_LOAD_VARIANTS = REQUIRED_VARIANTS + [f"{n}+framed" for n in REQUIRED_VARIANTS]
+# Every hot kernel bench_sweep's SIMD pass must have measured scalar vs
+# dispatched. Keep in sync with bench_sweep's Stage 2c.
+REQUIRED_KERNELS = ["rans_decode", "lorenzo_quant", "zfp_transform", "lz77_match"]
 
 # Default regression threshold, percent. Generous on purpose: shared CI
 # runners jitter by tens of percent, and the gate exists to catch real
@@ -87,6 +90,15 @@ def validate(report, path):
                         f"is missing '{key}'")
         if not isinstance(report.get("stages", []), list):
             raise TableError(f"{path}: 'stages' is not an array")
+        kernels = report.get("kernels", [])
+        if not isinstance(kernels, list):
+            raise TableError(f"{path}: 'kernels' is not an array")
+        for row in kernels:
+            for key in ("kernel", "scalar_mb_per_s", "simd_mb_per_s"):
+                if key not in row:
+                    raise TableError(
+                        f"{path}: kernel row {row.get('kernel', '?')!r} "
+                        f"is missing '{key}'")
     elif k == "load":
         rows = report.get("variants")
         if not isinstance(rows, list):
@@ -116,12 +128,23 @@ def ratio(before, after):
     return "n/a"
 
 
+def simd_note(baseline, current):
+    """One-line dispatch-tier note for either report kind: which SIMD level
+    each artifact ran at (empty / missing means the producer predates the
+    field)."""
+    b = baseline.get("simd_level") or "unrecorded"
+    c = current.get("simd_level") or "unrecorded"
+    return f"SIMD dispatch level: baseline {b}, current {c}."
+
+
 def fmt(v):
     return f"{v:.1f}" if v is not None else "—"
 
 
 def render_sweep(baseline, current):
     print(f"## Codec throughput — {current.get('label', '?')} (MB/s)")
+    print()
+    print(simd_note(baseline, current))
     print()
     print("| compressor | compress before | compress after | ratio | "
           "decompress before | decompress after | ratio |")
@@ -187,6 +210,25 @@ def render_sweep(baseline, current):
                   f"| {ratio(sd, fd)} |")
         print()
 
+    # SIMD kernel pass: scalar vs dispatched throughput per hot kernel, from
+    # the *current* run (the speedup column is the whole point of the SIMD
+    # tier), plus the dispatched number's trajectory against the baseline.
+    kernels = current.get("kernels", [])
+    if kernels:
+        base_kernels = {k["kernel"]: k for k in baseline.get("kernels", [])}
+        print("## SIMD kernel pass — scalar vs dispatched, current run (MB/s)")
+        print()
+        print("| kernel | scalar | dispatched | speedup | "
+              "dispatched before | ratio |")
+        print("|---|---|---|---|---|---|")
+        for k in kernels:
+            b = base_kernels.get(k["kernel"], {})
+            bs = b.get("simd_mb_per_s")
+            print(f"| {k['kernel']} | {fmt(k['scalar_mb_per_s'])} "
+                  f"| {fmt(k['simd_mb_per_s'])} | {k.get('speedup', 0):.2f}x "
+                  f"| {fmt(bs)} | {ratio(bs, k['simd_mb_per_s'])} |")
+        print()
+
     print("## Stage wall times (s)")
     print()
     print("| stage | before | after | speedup |")
@@ -206,6 +248,8 @@ def render_sweep(baseline, current):
 
 def render_load(baseline, current):
     print(f"## Sustained load — {current.get('label', '?')}")
+    print()
+    print(simd_note(baseline, current))
     print()
     print(f"{current.get('workers', '?')} workers, "
           f"{current.get('total_requests', 0)} requests, "
@@ -248,6 +292,16 @@ def gate_rows(baseline, current):
                 continue
             for metric in ("compress_mb_per_s", "decompress_mb_per_s"):
                 yield (t["compressor"], metric, b.get(metric), t[metric])
+        # Per-kernel dispatched throughput is gated like codec throughput:
+        # losing a SIMD fast path (or a detection regression that silently
+        # drops the run to scalar) shows up here as a throughput cliff.
+        base_kernels = {k["kernel"]: k for k in baseline.get("kernels", [])}
+        for k in current.get("kernels", []):
+            b = base_kernels.get(k["kernel"])
+            if b is None:
+                continue
+            yield (k["kernel"], "simd_mb_per_s",
+                   b.get("simd_mb_per_s"), k["simd_mb_per_s"])
 
 
 def apply_gate(baseline, current, pct):
@@ -295,6 +349,8 @@ def compare(baseline_path, current_path, gate_pct):
             current, current_path, REQUIRED_VARIANTS
             + [f"{n}+framed" for n in REQUIRED_VARIANTS],
             "compressor", "throughput")
+        check_required(current, current_path, REQUIRED_KERNELS,
+                       "kernel", "kernels")
         render_sweep(baseline, current)
     if gate_pct is not None:
         print()
@@ -305,7 +361,7 @@ def compare(baseline_path, current_path, gate_pct):
 # ---------------------------------------------------------------------------
 # Self-test: synthetic inputs that must make the gate fail (and pass).
 
-def synth_sweep(scale):
+def synth_sweep(scale, kernel_scale=None):
     throughput = []
     for name in REQUIRED_VARIANTS + [f"{n}+framed" for n in REQUIRED_VARIANTS]:
         throughput.append({
@@ -314,8 +370,16 @@ def synth_sweep(scale):
             "decompress_mb_per_s": 600.0 * scale,
             "compression_ratio": 10.0,
         })
-    return {"bench": "sweep", "label": "self-test",
-            "throughput": throughput,
+    kernel_scale = scale if kernel_scale is None else kernel_scale
+    kernels = [{
+        "kernel": name,
+        "megabytes": 8.0,
+        "scalar_mb_per_s": 400.0,
+        "simd_mb_per_s": 800.0 * kernel_scale,
+        "speedup": 2.0 * kernel_scale,
+    } for name in REQUIRED_KERNELS]
+    return {"bench": "sweep", "label": "self-test", "simd_level": "avx2",
+            "throughput": throughput, "kernels": kernels,
             "stages": [{"stage": "s", "seconds": 1.0}], "total_seconds": 1.0}
 
 
@@ -367,6 +431,21 @@ def self_test():
     # A tighter threshold catches the 10% dip.
     expect(run_gate_quietly(synth_sweep(1.0), synth_sweep(0.9), 5.0) > 0,
            "5% gate passed a 10% regression")
+    # A lost SIMD fast path (kernel rows halved, codec rows steady) breaches
+    # the gate on the kernel rows alone.
+    expect(run_gate_quietly(synth_sweep(1.0), synth_sweep(1.0, 0.5),
+                            DEFAULT_GATE_PCT) > 0,
+           "gate passed a kernel-only SIMD regression")
+    # Missing kernel rows in a current sweep report are caught.
+    no_kernels = synth_sweep(1.0)
+    no_kernels["kernels"] = []
+    try:
+        check_required(no_kernels, "<synthetic>", REQUIRED_KERNELS,
+                       "kernel", "kernels")
+    except TableError:
+        pass
+    else:
+        raise TableError("self-test failed: missing kernel rows accepted")
     # Malformed JSON surfaces as TableError, not a traceback.
     import tempfile
     with tempfile.NamedTemporaryFile("w", suffix=".json") as fh:
