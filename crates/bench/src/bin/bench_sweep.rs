@@ -11,6 +11,12 @@
 //! codec stage and the flat sweep, so block-parallel scaling can be
 //! measured at fixed widths (`LCC_THREADS` in the environment does the
 //! same for every `ThreadPoolConfig::auto()` call in the process).
+//!
+//! `--stage <name>` runs a single stage (`stats`, `codecs`, `framed`,
+//! `kernels`, or `sweep`) instead of all of them — the fast loop when
+//! iterating on one kernel or codec; the written report then holds only
+//! that stage's rows, so don't gate a partial report against the full
+//! baseline.
 
 use lcc_bench::CliOptions;
 use lcc_core::benchreport::{CodecThroughput, KernelThroughput, StageTimings};
@@ -22,16 +28,21 @@ use lcc_geostat::variogram::estimate_range;
 use lcc_geostat::{local_range_std, local_svd_truncation_std, LocalStatConfig};
 use lcc_grid::Field2D;
 use lcc_lossless::{
-    lz77_compress_with_at, rans_decode_with_at, rans_encode, simd_level, CodecScratch, RansScratch,
-    SimdLevel,
+    lz77_compress_with_at, rans8_decode_with_at, rans8_encode, rans_decode_with_at, rans_encode,
+    simd_level, CodecScratch, RansScratch, SimdLevel,
 };
 use lcc_par::ThreadPoolConfig;
 use lcc_pressio::{frame, ErrorBound, FrameScratch, ScratchArena};
 use lcc_synth::{generate_single_range, GaussianFieldConfig};
 use lcc_sz::quantize::{quantize_plane_row_at, Quantizer};
-use lcc_zfp::transform::{fwd_transform_at, inv_transform_at};
+use lcc_zfp::transform::{
+    fwd_transform_at, fwd_transform_batch_at, inv_transform_at, inv_transform_batch_at,
+};
 use lcc_zfp::BLOCK_LEN;
 use std::time::Instant;
+
+/// Valid `--stage` names; `all` (the default) runs every stage in order.
+const STAGES: [&str; 6] = ["all", "stats", "codecs", "framed", "kernels", "sweep"];
 
 fn main() {
     let opts = CliOptions::from_env();
@@ -39,6 +50,12 @@ fn main() {
     let sweep_size = opts.get_usize("sweep-size", 256);
     let seed = opts.get_u64("seed", 7);
     let threads = opts.get_usize("threads", 0);
+    let stage = opts.get_str("stage", "all");
+    if !STAGES.contains(&stage.as_str()) {
+        eprintln!("bench_sweep: unknown --stage {stage:?} (expected one of {STAGES:?})");
+        std::process::exit(2);
+    }
+    let run = |name: &str| stage == "all" || stage == name;
     let pool = if threads > 0 {
         ThreadPoolConfig::with_threads(threads)
     } else {
@@ -50,64 +67,78 @@ fn main() {
     let level = simd_level();
     report.set_simd_level(level.label());
 
+    // The paper-scale field feeds the stats, codecs, and framed stages;
+    // kernel microbenches and the sweep build their own payloads, so a
+    // filtered run skips the (multi-second) generation when it can.
+    let field = (run("stats") || run("codecs") || run("framed")).then(|| {
+        report.time("generate_field", || {
+            generate_single_range(&GaussianFieldConfig::new(size, size, 16.0, seed))
+        })
+    });
+
     // Stage 1: paper-scale single-field statistics, one stage per estimator
     // plus the bundled computation the sweep scheduler amortizes.
-    let field = report.time("generate_field", || {
-        generate_single_range(&GaussianFieldConfig::new(size, size, 16.0, seed))
-    });
-    let global = report.time("global_variogram_range", || estimate_range(&field));
-    let range_spread = report
-        .time("local_variogram_range_std", || local_range_std(&field, &LocalStatConfig::default()));
-    let svd_spread = report
-        .time("local_svd_truncation_std", || local_svd_truncation_std(&field, 32, 0.99, None));
-    report.time("correlation_statistics_compute", || {
-        CorrelationStatistics::compute(&field, &StatisticsConfig::default())
-    });
+    let mut stats_lines = None;
+    if run("stats") {
+        let field = field.as_ref().expect("stats stage generated the field");
+        let global = report.time("global_variogram_range", || estimate_range(field));
+        let range_spread = report.time("local_variogram_range_std", || {
+            local_range_std(field, &LocalStatConfig::default())
+        });
+        let svd_spread = report
+            .time("local_svd_truncation_std", || local_svd_truncation_std(field, 32, 0.99, None));
+        report.time("correlation_statistics_compute", || {
+            CorrelationStatistics::compute(field, &StatisticsConfig::default())
+        });
+        stats_lines = Some((global, range_spread, svd_spread));
+    }
 
     // Stage 2: per-compressor codec throughput on the full-size field at
     // the paper's mid-grid bound, recorded both as `compress_<name>` stages
     // and as MB/s + ratio throughput entries (the numbers the codec
     // hot-path work is judged by). The registry is the entropy ablation:
-    // every study compressor next to its rANS-backend variant, so the
-    // Huffman-vs-rANS ratio/throughput tradeoff lands in the same report.
-    // Best of `--reps` runs (default 3) so single-shot scheduler noise
-    // doesn't pollute the perf trajectory; the compressors run through a
-    // reused ScratchArena exactly like a sweep worker.
+    // every study compressor next to its rANS-backend variants, so the
+    // Huffman-vs-rANS-vs-rANS8 ratio/throughput tradeoff lands in the same
+    // report. Best of `--reps` runs (default 3) so single-shot scheduler
+    // noise doesn't pollute the perf trajectory; the compressors run
+    // through a reused ScratchArena exactly like a sweep worker.
     let reps = opts.get_usize("reps", 3).max(1);
     let registry = entropy_ablation_registry();
-    let uncompressed_bytes = (field.len() * std::mem::size_of::<f64>()) as f64;
-    let megabytes = uncompressed_bytes / 1e6;
     let bound = ErrorBound::Absolute(1e-3);
-    let mut arena = ScratchArena::new();
     let mut recon = Field2D::zeros(1, 1);
-    for compressor in registry.compressors() {
-        let name = compressor.name().to_string();
-        let mut compress_seconds = f64::MAX;
-        let mut decompress_seconds = f64::MAX;
-        let mut stream_len = 0usize;
-        for _ in 0..reps {
-            let start = Instant::now();
-            let stream = compressor
-                .compress_view_with(&field.view(), bound, &mut arena)
-                .expect("bench compressor succeeds");
-            compress_seconds = compress_seconds.min(start.elapsed().as_secs_f64());
-            stream_len = stream.len();
-            let start = Instant::now();
-            compressor
-                .decompress_view_with(&stream, &mut arena, &mut recon)
-                .expect("bench stream decodes");
-            decompress_seconds = decompress_seconds.min(start.elapsed().as_secs_f64());
-            assert_eq!(recon.shape(), field.shape());
+    if run("codecs") {
+        let field = field.as_ref().expect("codecs stage generated the field");
+        let uncompressed_bytes = (field.len() * std::mem::size_of::<f64>()) as f64;
+        let mut arena = ScratchArena::new();
+        for compressor in registry.compressors() {
+            let name = compressor.name().to_string();
+            let mut compress_seconds = f64::MAX;
+            let mut decompress_seconds = f64::MAX;
+            let mut stream_len = 0usize;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let stream = compressor
+                    .compress_view_with(&field.view(), bound, &mut arena)
+                    .expect("bench compressor succeeds");
+                compress_seconds = compress_seconds.min(start.elapsed().as_secs_f64());
+                stream_len = stream.len();
+                let start = Instant::now();
+                compressor
+                    .decompress_view_with(&stream, &mut arena, &mut recon)
+                    .expect("bench stream decodes");
+                decompress_seconds = decompress_seconds.min(start.elapsed().as_secs_f64());
+                assert_eq!(recon.shape(), field.shape());
+            }
+            report.record(format!("compress_{name}"), compress_seconds);
+            report.record(format!("decompress_{name}"), decompress_seconds);
+            report.record_throughput(CodecThroughput {
+                compressor: name,
+                megabytes: uncompressed_bytes / 1e6,
+                compress_seconds,
+                decompress_seconds,
+                compression_ratio: uncompressed_bytes / stream_len.max(1) as f64,
+            });
         }
-        report.record(format!("compress_{name}"), compress_seconds);
-        report.record(format!("decompress_{name}"), decompress_seconds);
-        report.record_throughput(CodecThroughput {
-            compressor: name,
-            megabytes,
-            compress_seconds,
-            decompress_seconds,
-            compression_ratio: uncompressed_bytes / stream_len.max(1) as f64,
-        });
     }
 
     // Stage 2b: the same single-field codec work through the block-parallel
@@ -116,47 +147,52 @@ fn main() {
     // per-worker arenas live in one FrameScratch reused across reps, and
     // the `<name>+framed` throughput rows land next to the single-stream
     // rows so the block-parallel speedup is visible in the same table.
-    let blocks = frame::auto_block_count(field.ny(), field.nx(), pool.threads());
-    let mut frame_scratch = FrameScratch::new();
-    for compressor in registry.compressors() {
-        let name = compressor.name().to_string();
-        let mut compress_seconds = f64::MAX;
-        let mut decompress_seconds = f64::MAX;
-        let mut stream_len = 0usize;
-        for _ in 0..reps {
-            let start = Instant::now();
-            let stream = frame::compress_framed_with(
-                compressor.as_ref(),
-                &field.view(),
-                bound,
-                blocks,
-                pool,
-                &mut frame_scratch,
-            )
-            .expect("framed compressor succeeds");
-            compress_seconds = compress_seconds.min(start.elapsed().as_secs_f64());
-            stream_len = stream.len();
-            let start = Instant::now();
-            frame::decompress_framed_with(
-                compressor.as_ref(),
-                &stream,
-                pool,
-                &mut frame_scratch,
-                &mut recon,
-            )
-            .expect("framed stream decodes");
-            decompress_seconds = decompress_seconds.min(start.elapsed().as_secs_f64());
-            assert_eq!(recon.shape(), field.shape());
+    let mut blocks = 0usize;
+    if run("framed") {
+        let field = field.as_ref().expect("framed stage generated the field");
+        let uncompressed_bytes = (field.len() * std::mem::size_of::<f64>()) as f64;
+        blocks = frame::auto_block_count(field.ny(), field.nx(), pool.threads());
+        let mut frame_scratch = FrameScratch::new();
+        for compressor in registry.compressors() {
+            let name = compressor.name().to_string();
+            let mut compress_seconds = f64::MAX;
+            let mut decompress_seconds = f64::MAX;
+            let mut stream_len = 0usize;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let stream = frame::compress_framed_with(
+                    compressor.as_ref(),
+                    &field.view(),
+                    bound,
+                    blocks,
+                    pool,
+                    &mut frame_scratch,
+                )
+                .expect("framed compressor succeeds");
+                compress_seconds = compress_seconds.min(start.elapsed().as_secs_f64());
+                stream_len = stream.len();
+                let start = Instant::now();
+                frame::decompress_framed_with(
+                    compressor.as_ref(),
+                    &stream,
+                    pool,
+                    &mut frame_scratch,
+                    &mut recon,
+                )
+                .expect("framed stream decodes");
+                decompress_seconds = decompress_seconds.min(start.elapsed().as_secs_f64());
+                assert_eq!(recon.shape(), field.shape());
+            }
+            report.record(format!("compress_framed_{name}"), compress_seconds);
+            report.record(format!("decompress_framed_{name}"), decompress_seconds);
+            report.record_throughput(CodecThroughput {
+                compressor: framed_variant_name(&name),
+                megabytes: uncompressed_bytes / 1e6,
+                compress_seconds,
+                decompress_seconds,
+                compression_ratio: uncompressed_bytes / stream_len.max(1) as f64,
+            });
         }
-        report.record(format!("compress_framed_{name}"), compress_seconds);
-        report.record(format!("decompress_framed_{name}"), decompress_seconds);
-        report.record_throughput(CodecThroughput {
-            compressor: framed_variant_name(&name),
-            megabytes,
-            compress_seconds,
-            decompress_seconds,
-            compression_ratio: uncompressed_bytes / stream_len.max(1) as f64,
-        });
     }
 
     // Stage 2c: per-kernel SIMD microbenches — each hot kernel timed at the
@@ -164,7 +200,7 @@ fn main() {
     // best of `--reps`. These are the numbers that attribute a codec-level
     // speedup to the kernel that produced it (and the rows
     // `bench_table.py --gate` checks against the committed baseline).
-    {
+    if run("kernels") {
         fn lcg(state: &mut u64) -> u64 {
             *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             *state >> 33
@@ -180,7 +216,10 @@ fn main() {
         }
 
         // rANS decode: a skewed quantizer-code-like alphabet, the shape the
-        // SZ/MGARD entropy stage feeds the decoder.
+        // SZ/MGARD entropy stage feeds the decoder. The same symbol payload
+        // is then re-encoded in the 8-way format so the `rans8_decode` row
+        // is directly comparable — the 8-way acceptance bar is its
+        // dispatched-tier MB/s against this row's.
         let mut state = 0xC0FF_EE00u64;
         let symbols: Vec<u32> =
             (0..6_000_000).map(|_| lcg(&mut state).trailing_zeros() % 24).collect();
@@ -201,6 +240,23 @@ fn main() {
             simd_seconds: rans_at(level),
         };
         report.record("kernel_rans_decode", kernel.simd_seconds);
+        report.record_kernel(kernel);
+
+        let encoded8 = rans8_encode(&symbols);
+        let mut rans8_at = |at: SimdLevel| {
+            best_of(reps, || {
+                decoded.clear();
+                rans8_decode_with_at(&mut rans_scratch, at, &encoded8, &mut decoded)
+                    .expect("bench rans8 stream decodes");
+            })
+        };
+        let kernel = KernelThroughput {
+            kernel: "rans8_decode".into(),
+            megabytes: (symbols.len() * 4) as f64 / 1e6,
+            scalar_seconds: rans8_at(SimdLevel::Scalar),
+            simd_seconds: rans8_at(level),
+        };
+        report.record("kernel_rans8_decode", kernel.simd_seconds);
         report.record_kernel(kernel);
 
         // SZ plane quantizer: smooth rows plus mild residual noise — the
@@ -277,6 +333,28 @@ fn main() {
         report.record("kernel_zfp_transform", kernel.simd_seconds);
         report.record_kernel(kernel);
 
+        // The same lift through the 4-block batch entry points the codec
+        // uses since the batching change — the delta against
+        // `zfp_transform` is pure dispatch/call amortization.
+        let mut zfp_batch_at = |at: SimdLevel| {
+            best_of(reps, || {
+                for _ in 0..ZFP_PASSES {
+                    for chunk in blocks_buf.chunks_mut(lcc_zfp::codec::TRANSFORM_BATCH) {
+                        fwd_transform_batch_at(at, chunk);
+                        inv_transform_batch_at(at, chunk);
+                    }
+                }
+            })
+        };
+        let kernel = KernelThroughput {
+            kernel: "zfp_transform_batch".into(),
+            megabytes: (ZFP_BLOCKS * ZFP_PASSES * BLOCK_LEN * 8) as f64 / 1e6,
+            scalar_seconds: zfp_batch_at(SimdLevel::Scalar),
+            simd_seconds: zfp_batch_at(level),
+        };
+        report.record("kernel_zfp_transform_batch", kernel.simd_seconds);
+        report.record_kernel(kernel);
+
         // LZ77 matcher: byte-plane-like data with long, near-periodic
         // matches, dominated by `match_length` compares.
         let mut state = 0x0FAC_E0FFu64;
@@ -303,31 +381,41 @@ fn main() {
         report.record_kernel(kernel);
     }
 
-    // Stage 3: a reduced (3 fields × 6 compressors × 4 bounds) study through
+    // Stage 3: a reduced (3 fields × 9 compressors × 4 bounds) study through
     // the flat work-item scheduler — the ablation registry, so `run_sweep`
-    // exercises both entropy backends end to end.
-    let datasets = StudyDatasets {
-        gaussian_size: sweep_size,
-        n_ranges: 3,
-        min_range: 4.0,
-        max_range: 24.0,
-        replicates: 1,
-        seed,
-    };
-    let fields = datasets.single_range_fields();
-    let sweep_config =
-        SweepConfig { threads: (threads > 0).then_some(threads), ..SweepConfig::default() };
-    let records = report.time("flat_sweep_3_fields", || {
-        run_sweep(&fields, &registry, &sweep_config).expect("sweep completes")
-    });
+    // exercises every entropy backend end to end.
+    let mut sweep_records = None;
+    if run("sweep") {
+        let datasets = StudyDatasets {
+            gaussian_size: sweep_size,
+            n_ranges: 3,
+            min_range: 4.0,
+            max_range: 24.0,
+            replicates: 1,
+            seed,
+        };
+        let fields = datasets.single_range_fields();
+        let sweep_config =
+            SweepConfig { threads: (threads > 0).then_some(threads), ..SweepConfig::default() };
+        sweep_records = Some(report.time("flat_sweep_3_fields", || {
+            run_sweep(&fields, &registry, &sweep_config).expect("sweep completes")
+        }));
+    }
 
     println!("bench_sweep: {size}x{size} field, sweep at {sweep_size}x{sweep_size}");
     println!(
-        "  pool: {} threads, framed codec blocks: {blocks}, simd: {}",
+        "  pool: {} threads, framed codec blocks: {blocks}, simd: {}, stage: {stage}",
         pool.threads(),
         level.label()
     );
-    for name in ["rans_decode", "lorenzo_quant", "zfp_transform", "lz77_match"] {
+    for name in [
+        "rans_decode",
+        "rans8_decode",
+        "lorenzo_quant",
+        "zfp_transform",
+        "zfp_transform_batch",
+        "lz77_match",
+    ] {
         if let Some(k) = report.kernel(name) {
             println!(
                 "  kernel {name}: scalar {:.2} MB/s — {} {:.2} MB/s ({:.2}x)",
@@ -338,8 +426,17 @@ fn main() {
             );
         }
     }
-    println!("  global variogram range: {:.3} (sill {:.3})", global.range, global.sill);
-    println!("  local range std: {range_spread:.4}   local svd std: {svd_spread:.4}");
+    if let (Some(two), Some(eight)) = (report.kernel("rans_decode"), report.kernel("rans8_decode"))
+    {
+        println!(
+            "  rans8 vs rans at the dispatched tier: {:.2}x",
+            eight.simd_mb_per_s() / two.simd_mb_per_s().max(f64::MIN_POSITIVE)
+        );
+    }
+    if let Some((global, range_spread, svd_spread)) = stats_lines {
+        println!("  global variogram range: {:.3} (sill {:.3})", global.range, global.sill);
+        println!("  local range std: {range_spread:.4}   local svd std: {svd_spread:.4}");
+    }
     for name in registry.names() {
         if let Some(t) = report.throughput(&name) {
             println!(
@@ -359,18 +456,26 @@ fn main() {
             );
         }
     }
-    println!("  sweep records: {}", records.len());
+    if let Some(records) = &sweep_records {
+        println!("  sweep records: {}", records.len());
+    }
     for base in ["sz", "zfp", "mgard"] {
         let rans = format!("{base}-rans");
-        if let (Some(h), Some(r)) = (report.throughput(base), report.throughput(&rans)) {
+        let rans8 = format!("{base}-rans8");
+        if let (Some(h), Some(r), Some(r8)) =
+            (report.throughput(base), report.throughput(&rans), report.throughput(&rans8))
+        {
             println!(
                 "  entropy ablation {base}: huffman {:.2} MB/s @ {:.2}x ratio — rans {:.2} MB/s \
-                 @ {:.2}x ratio ({:.2}x compress speedup)",
+                 @ {:.2}x ratio ({:.2}x compress speedup) — rans8 decompress {:.2} MB/s \
+                 ({:.2}x over rans)",
                 h.compress_mb_per_s(),
                 h.compression_ratio,
                 r.compress_mb_per_s(),
                 r.compression_ratio,
                 r.compress_mb_per_s() / h.compress_mb_per_s().max(f64::MIN_POSITIVE),
+                r8.decompress_mb_per_s(),
+                r8.decompress_mb_per_s() / r.decompress_mb_per_s().max(f64::MIN_POSITIVE),
             );
         }
     }

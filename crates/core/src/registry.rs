@@ -25,16 +25,20 @@ pub fn default_registry() -> Registry {
 
 /// Build the entropy-ablation registry: the three study compressors plus
 /// their interleaved-rANS backend variants (`sz-rans`, `zfp-rans`,
-/// `mgard-rans`) as first-class compressors. `bench_sweep` drives this
-/// registry so every sweep and framed-codec measurement covers both points
-/// of the ratio-vs-throughput axis; the paper-figure binaries keep using
-/// [`default_registry`] (the study compares algorithms, not entropy
-/// backends).
+/// `mgard-rans`) and the 8-way throughput-first variants (`sz-rans8`,
+/// `zfp-rans8`, `mgard-rans8`) as first-class compressors. `bench_sweep`
+/// drives this registry so every sweep and framed-codec measurement covers
+/// all three points of the ratio-vs-throughput axis; the paper-figure
+/// binaries keep using [`default_registry`] (the study compares algorithms,
+/// not entropy backends).
 pub fn entropy_ablation_registry() -> Registry {
     let mut registry = default_registry();
     registry.register(Arc::new(SzCompressor::rans()), SZ_VERSION);
     registry.register(Arc::new(ZfpCompressor::rans()), ZFP_VERSION);
     registry.register(Arc::new(MgardCompressor::rans()), MGARD_VERSION);
+    registry.register(Arc::new(SzCompressor::rans8()), SZ_VERSION);
+    registry.register(Arc::new(ZfpCompressor::rans8()), ZFP_VERSION);
+    registry.register(Arc::new(MgardCompressor::rans8()), MGARD_VERSION);
     registry
 }
 
@@ -45,6 +49,14 @@ pub fn entropy_ablation_registry() -> Registry {
 /// change the convention.
 pub fn framed_variant_name(name: &str) -> String {
     format!("{name}+framed")
+}
+
+/// Report key of a compressor measured through the checksummed framed
+/// container (`"sz"` → `"sz+framed+ck"`): the same block-parallel `LCCF`
+/// frame plus a per-block XXH64 verified on decode, so the delta against the
+/// `+framed` row is the integrity-check cost.
+pub fn checksummed_variant_name(name: &str) -> String {
+    format!("{name}+framed+ck")
 }
 
 /// Build a registry holding only SZ and ZFP (the paper omits MGARD from the
@@ -82,6 +94,8 @@ mod tests {
     fn framed_variant_name_appends_the_framed_suffix() {
         assert_eq!(framed_variant_name("sz"), "sz+framed");
         assert_eq!(framed_variant_name("mgard-rans"), "mgard-rans+framed");
+        assert_eq!(checksummed_variant_name("sz"), "sz+framed+ck");
+        assert_eq!(checksummed_variant_name("zfp-rans8"), "zfp-rans8+framed+ck");
     }
 
     #[test]
@@ -89,7 +103,17 @@ mod tests {
         let registry = entropy_ablation_registry();
         assert_eq!(
             registry.names(),
-            vec!["mgard", "mgard-rans", "sz", "sz-rans", "zfp", "zfp-rans"]
+            vec![
+                "mgard",
+                "mgard-rans",
+                "mgard-rans8",
+                "sz",
+                "sz-rans",
+                "sz-rans8",
+                "zfp",
+                "zfp-rans",
+                "zfp-rans8"
+            ]
         );
     }
 
@@ -100,11 +124,13 @@ mod tests {
         let registry = entropy_ablation_registry();
         for base in ["sz", "zfp", "mgard"] {
             let huff = registry.get(base).unwrap();
-            let rans = registry.get(&format!("{base}-rans")).unwrap();
             let a = huff.compress(&field, ErrorBound::Absolute(1e-3)).unwrap();
-            let b = rans.compress(&field, ErrorBound::Absolute(1e-3)).unwrap();
-            assert!(b.metrics.max_abs_error <= 1e-3, "{base}-rans violated the bound");
-            assert_eq!(a.reconstruction, b.reconstruction, "{base} backends disagree");
+            for suffix in ["-rans", "-rans8"] {
+                let rans = registry.get(&format!("{base}{suffix}")).unwrap();
+                let b = rans.compress(&field, ErrorBound::Absolute(1e-3)).unwrap();
+                assert!(b.metrics.max_abs_error <= 1e-3, "{base}{suffix} violated the bound");
+                assert_eq!(a.reconstruction, b.reconstruction, "{base}{suffix} disagrees");
+            }
         }
     }
 

@@ -6,10 +6,11 @@
 //!     --duration-ms 2000 --workers 4 --sizes 64,96,128 --out target/bench
 //! ```
 //!
-//! Drives N concurrent workers through all 12 registry variants (6 codecs ×
-//! {single-stream, framed}) with a seeded deterministic request mix, prints
-//! a per-variant p50/p99/MB-per-core table, and exits non-zero when any
-//! round trip failed verification — the CI smoke contract. Build with
+//! Drives N concurrent workers through all 27 registry variants (9 codecs ×
+//! {single-stream, framed, framed+checksummed}) with a seeded deterministic
+//! request mix, prints a per-variant p50/p99/MB-per-core table, and exits
+//! non-zero when any round trip failed verification — the CI smoke
+//! contract. Build with
 //! `--features loadgen-alloc` to also report steady-state allocations per
 //! request (the binary then runs under a counting global allocator).
 
@@ -51,10 +52,10 @@ fn main() {
     if !sizes.is_empty() {
         config.sizes = sizes;
     }
-    // Guarantee at least two full round-robins over the 12 variants so even
+    // Guarantee at least two full round-robins over the 27 variants so even
     // a near-zero duration produces a row (with a warmup-free histogram)
     // for every variant.
-    config.min_requests = 24;
+    config.min_requests = 54;
 
     let report = match run_load(&config) {
         Ok(report) => report,

@@ -4,10 +4,12 @@
 //! the production question: what latency distribution and per-core
 //! throughput does the codec stack sustain under *concurrent mixed
 //! traffic*? A seeded deterministic [`schedule`] drives N worker threads
-//! through the full [`entropy_ablation_registry`] — all six codec variants,
-//! each in single-stream and `LCCF`-framed form, over mixed field sizes —
-//! via the bounded work queue in [`lcc_par::queue`] (backpressure instead
-//! of an unbounded backlog, like a serving admission queue).
+//! through the full [`entropy_ablation_registry`] — all nine codec
+//! variants, each in single-stream, `LCCF`-framed, and checksummed-framed
+//! (`+framed+ck`, per-block XXH64 verified on decode) form, over mixed
+//! field sizes — via the bounded work queue in [`lcc_par::queue`]
+//! (backpressure instead of an unbounded backlog, like a serving admission
+//! queue).
 //!
 //! Every request is a full round trip: compress a field view through the
 //! worker's persistent [`ScratchArena`]/[`FrameScratch`], decode the stream
@@ -25,7 +27,9 @@ pub mod alloc_count;
 pub mod schedule;
 
 use lcc_core::benchreport::{LatencyHistogram, LoadReport, LoadVariant};
-use lcc_core::registry::{entropy_ablation_registry, framed_variant_name};
+use lcc_core::registry::{
+    checksummed_variant_name, entropy_ablation_registry, framed_variant_name,
+};
 use lcc_grid::Field2D;
 use lcc_par::{run_bounded_queue, ThreadPoolConfig};
 use lcc_pressio::{frame, CompressError, Compressor, ErrorBound, FrameScratch, ScratchArena};
@@ -102,11 +106,22 @@ impl LoadgenConfig {
     }
 }
 
-/// One entry of the run's variant table: a registry compressor in either
-/// single-stream or framed form.
+/// Container form of one variant-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VariantMode {
+    /// Plain single-stream compress/decompress.
+    Single,
+    /// Block-parallel `LCCF` frame.
+    Framed,
+    /// `LCCF` frame with per-block XXH64 checksums verified on decode.
+    FramedChecksummed,
+}
+
+/// One entry of the run's variant table: a registry compressor in
+/// single-stream, framed, or checksummed-framed form.
 struct Variant {
     compressor: Arc<dyn Compressor>,
-    framed: bool,
+    mode: VariantMode,
     label: String,
 }
 
@@ -180,18 +195,23 @@ fn hash_field(field: &Field2D) -> u64 {
 }
 
 /// Build the run's variant table from the ablation registry: every codec in
-/// single-stream form first (registry order), then every codec framed — the
-/// same ordering `bench_sweep` uses for its throughput rows.
+/// single-stream form first (registry order), then every codec framed, then
+/// every codec checksummed-framed — the same ordering `bench_sweep` uses
+/// for its throughput rows.
 fn build_variants() -> Vec<Variant> {
     let registry = entropy_ablation_registry();
-    let mut variants = Vec::with_capacity(registry.len() * 2);
+    let mut variants = Vec::with_capacity(registry.len() * 3);
     for compressor in registry.compressors() {
         let label = compressor.name().to_string();
-        variants.push(Variant { compressor, framed: false, label });
+        variants.push(Variant { compressor, mode: VariantMode::Single, label });
     }
     for compressor in registry.compressors() {
         let label = framed_variant_name(compressor.name());
-        variants.push(Variant { compressor, framed: true, label });
+        variants.push(Variant { compressor, mode: VariantMode::Framed, label });
+    }
+    for compressor in registry.compressors() {
+        let label = checksummed_variant_name(compressor.name());
+        variants.push(Variant { compressor, mode: VariantMode::FramedChecksummed, label });
     }
     variants
 }
@@ -225,27 +245,26 @@ fn round_trip(
     frame_scratch: &mut FrameScratch,
     recon: &mut Field2D,
 ) -> Result<Vec<u8>, CompressError> {
-    if variant.framed {
-        let pool = ThreadPoolConfig::with_threads(1);
-        let stream = frame::compress_framed_with(
-            variant.compressor.as_ref(),
-            &field.view(),
-            bound,
-            blocks,
-            pool,
-            frame_scratch,
-        )?;
-        frame::decompress_framed_with(
-            variant.compressor.as_ref(),
-            &stream,
-            pool,
-            frame_scratch,
-            recon,
-        )?;
-        Ok(stream)
-    } else {
-        variant.compressor.roundtrip_with(&field.view(), bound, arena, recon)
+    if variant.mode == VariantMode::Single {
+        return variant.compressor.roundtrip_with(&field.view(), bound, arena, recon);
     }
+    let pool = ThreadPoolConfig::with_threads(1);
+    let compress = match variant.mode {
+        VariantMode::Framed => frame::compress_framed_with,
+        _ => frame::compress_framed_checksummed_with,
+    };
+    let stream =
+        compress(variant.compressor.as_ref(), &field.view(), bound, blocks, pool, frame_scratch)?;
+    // Checksummed frames self-describe; the one decode path verifies when
+    // the flag is present.
+    frame::decompress_framed_with(
+        variant.compressor.as_ref(),
+        &stream,
+        pool,
+        frame_scratch,
+        recon,
+    )?;
+    Ok(stream)
 }
 
 /// Compute the single-threaded reference table: one compress+decompress per
@@ -449,29 +468,31 @@ mod tests {
     }
 
     #[test]
-    fn variant_table_is_all_codecs_single_then_framed() {
+    fn variant_table_is_all_codecs_single_then_framed_then_checksummed() {
         let variants = build_variants();
-        assert_eq!(variants.len(), 12);
+        assert_eq!(variants.len(), 27);
         let labels: Vec<&str> = variants.iter().map(|v| v.label.as_str()).collect();
-        assert_eq!(
-            labels,
-            vec![
-                "mgard",
-                "mgard-rans",
-                "sz",
-                "sz-rans",
-                "zfp",
-                "zfp-rans",
-                "mgard+framed",
-                "mgard-rans+framed",
-                "sz+framed",
-                "sz-rans+framed",
-                "zfp+framed",
-                "zfp-rans+framed",
-            ]
-        );
-        assert!(variants[..6].iter().all(|v| !v.framed));
-        assert!(variants[6..].iter().all(|v| v.framed));
+        let codecs = [
+            "mgard",
+            "mgard-rans",
+            "mgard-rans8",
+            "sz",
+            "sz-rans",
+            "sz-rans8",
+            "zfp",
+            "zfp-rans",
+            "zfp-rans8",
+        ];
+        let expected: Vec<String> = codecs
+            .iter()
+            .map(|c| c.to_string())
+            .chain(codecs.iter().map(|c| format!("{c}+framed")))
+            .chain(codecs.iter().map(|c| format!("{c}+framed+ck")))
+            .collect();
+        assert_eq!(labels, expected);
+        assert!(variants[..9].iter().all(|v| v.mode == VariantMode::Single));
+        assert!(variants[9..18].iter().all(|v| v.mode == VariantMode::Framed));
+        assert!(variants[18..].iter().all(|v| v.mode == VariantMode::FramedChecksummed));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Default-suite load-generator smoke test: a short concurrent run over all
-//! 12 registry variants must complete with zero errors — which, by the
+//! 27 registry variants must complete with zero errors — which, by the
 //! harness's verification design, proves every round trip produced a stream
 //! and a reconstruction byte-identical to the single-threaded reference
 //! even under concurrent mixed-codec traffic.
@@ -14,7 +14,7 @@ fn smoke_config() -> LoadgenConfig {
         duration: Duration::from_millis(200),
         seed: 7,
         sizes: vec![48, 64],
-        min_requests: 36,
+        min_requests: 54,
         warmup_requests: 2,
         ..LoadgenConfig::default()
     }
@@ -30,8 +30,8 @@ fn concurrent_mixed_codec_run_is_error_free_and_covers_every_variant() {
         "a non-zero error count means a round trip was not byte-identical \
          to the single-threaded reference under concurrency"
     );
-    assert_eq!(report.variants.len(), 12, "6 codecs × {{single, framed}}");
-    assert!(report.total_requests() >= 36);
+    assert_eq!(report.variants.len(), 27, "9 codecs × {{single, framed, framed+ck}}");
+    assert!(report.total_requests() >= 54);
     assert_eq!(report.workers, 4);
     assert!(report.duration_seconds > 0.0);
 
@@ -56,6 +56,8 @@ fn concurrent_mixed_codec_run_is_error_free_and_covers_every_variant() {
         "\"variant\": \"sz\"",
         "\"variant\": \"sz+framed\"",
         "\"variant\": \"zfp-rans+framed\"",
+        "\"variant\": \"sz-rans8\"",
+        "\"variant\": \"zfp-rans8+framed+ck\"",
         "\"p50_us\"",
         "\"p99_us\"",
         "\"mb_per_s_per_core\"",
@@ -71,7 +73,7 @@ fn single_worker_run_matches_the_same_schedule() {
     let config = LoadgenConfig {
         workers: 1,
         duration: Duration::from_millis(50),
-        min_requests: 12,
+        min_requests: 27,
         sizes: vec![32],
         ..LoadgenConfig::default()
     };

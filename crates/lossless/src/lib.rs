@@ -10,10 +10,14 @@
 //! * [`huffman`] — canonical Huffman coding over `u32` symbols with an
 //!   embedded code-length table (table-driven encode and LUT decode),
 //! * [`lz77`] — greedy hash-chain LZ77 with byte-oriented token encoding,
-//! * [`rans`] — a 2-way interleaved byte-oriented rANS coder (12-bit
-//!   normalized tables), the fast-path entropy backend of the
-//!   ratio-vs-throughput ablation; [`pipeline::EntropyBackend`] names the
-//!   Huffman/rANS choice the compressors thread through their streams,
+//! * [`rans`] — 2-way and 8-way interleaved byte-oriented rANS coders
+//!   (shared 12-bit normalized tables, self-describing mode byte), the
+//!   fast-path entropy backends of the ratio-vs-throughput ablation; the
+//!   8-way format splits its payload into per-lane buffers so the decoder
+//!   runs eight independent chains (SSE4.1 unrolled, AVX2 two 4×u64 state
+//!   vectors with gathered slot lookups); [`pipeline::EntropyBackend`]
+//!   names the Huffman/rANS/rANS-8 choice the compressors thread through
+//!   their streams,
 //! * [`rle`] — zero-run-length pre-pass that pairs well with quantization
 //!   codes dominated by the "perfectly predicted" symbol,
 //! * [`dispatch`] — one-time runtime SIMD feature detection
@@ -54,8 +58,10 @@ pub use lz77::{
 };
 pub use pipeline::{ByteCodec, EntropyBackend, HuffLzCodec, RansCodec, RawCodec};
 pub use rans::{
-    rans_decode, rans_decode_bytes_with, rans_decode_bytes_with_at, rans_decode_with,
-    rans_decode_with_at, rans_encode, rans_encode_bytes_with, rans_encode_with, RansScratch,
+    rans8_decode, rans8_decode_bytes_with, rans8_decode_bytes_with_at, rans8_decode_with,
+    rans8_decode_with_at, rans8_encode, rans8_encode_bytes_with, rans8_encode_with, rans_decode,
+    rans_decode_bytes_with, rans_decode_bytes_with_at, rans_decode_with, rans_decode_with_at,
+    rans_encode, rans_encode_bytes_with, rans_encode_with, RansScratch,
 };
 pub use scratch::CodecScratch;
 pub use xxhash::{xxh64, xxh64_at};

@@ -24,14 +24,21 @@ pub enum EntropyBackend {
     /// output is already near the entropy, so a second pass buys ~nothing
     /// while costing most of the encode time).
     Rans,
+    /// 8-way interleaved rANS ([`crate::rans::rans8_encode`]): the same
+    /// tables and ratio as [`EntropyBackend::Rans`] (±24 flush bytes plus a
+    /// lane-length header), but eight independent decode chains, so the
+    /// dispatched decoder runs wide — the throughput-first backend.
+    Rans8,
 }
 
 impl EntropyBackend {
-    /// Short name used in compressor registry keys (`sz` vs `sz-rans`).
+    /// Short name used in compressor registry keys (`sz` vs `sz-rans` vs
+    /// `sz-rans8`).
     pub fn name(self) -> &'static str {
         match self {
             EntropyBackend::Huffman => "huffman",
             EntropyBackend::Rans => "rans",
+            EntropyBackend::Rans8 => "rans8",
         }
     }
 }
@@ -264,6 +271,7 @@ mod tests {
         assert_eq!(EntropyBackend::default(), EntropyBackend::Huffman);
         assert_eq!(EntropyBackend::Huffman.name(), "huffman");
         assert_eq!(EntropyBackend::Rans.name(), "rans");
+        assert_eq!(EntropyBackend::Rans8.name(), "rans8");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Two-way interleaved byte-oriented rANS coding over `u32` symbols.
+//! Interleaved byte-oriented rANS coding over `u32` symbols, in a 2-way
+//! and an 8-way stream format.
 //!
 //! The fast-path entropy backend of the codec ablation: where the Huffman
 //! coder spends whole bits per symbol and needs a code tree, rANS codes at
@@ -12,28 +13,39 @@
 //! * **12-bit normalized frequency tables** (`SCALE = 4096`): per-symbol
 //!   frequencies are scaled to sum exactly to `SCALE`, so the decoder's
 //!   cumulative-table lookup is a single 4096-entry LUT load,
-//! * **2-way interleaving**: symbols at even indices thread one state,
-//!   odd indices the other, giving the CPU two independent dependency
-//!   chains to overlap (the encoder walks the input in reverse — rANS is
-//!   LIFO — and both states flush into one shared reversed-emit buffer),
+//! * **interleaving**: symbol index `i` threads state `i mod N`, giving
+//!   the CPU N independent dependency chains to overlap (the encoder
+//!   walks the input in reverse — rANS is LIFO),
 //! * **division-free encoding** via precomputed reciprocals
 //!   (`q = (x·rcp) >> shift` replaces `x / freq` in the hot loop).
+//!
+//! The 2-way format (`rans_encode`/`rans_decode`) flushes both states into
+//! one shared reversed-emit buffer; its decoder must therefore consume
+//! renormalization bytes strictly in symbol order, which caps lane
+//! parallelism at the two interleaved chains. The 8-way format
+//! (`rans8_encode`/`rans8_decode`) gives every state its **own lane
+//! buffer**, stitched with a lane-length header: each lane carries its seed
+//! state and exactly the renorm bytes that lane consumes, so the decoder
+//! holds eight independent byte cursors and all eight chains retire in
+//! parallel (and the SIMD tiers can refill lanes independently).
 //!
 //! Alphabets with more than `SCALE` distinct symbols cannot be normalized
 //! into a 12-bit table; those streams fall back to an embedded canonical
 //! Huffman section behind a mode byte (the analogue of FSE's raw/RLE escape
-//! modes). Quantization-code streams sit far below the limit in practice.
+//! modes) shared by both interleavings. Quantization-code streams sit far
+//! below the limit in practice.
 //!
 //! All working memory lives in a caller-owned [`RansScratch`] — the
 //! frequency/cumulative tables, the normalization workspace, and the
-//! reversed-emit buffer are cleared, never shrunk, between calls, so the
+//! reversed-emit buffers are cleared, never shrunk, between calls, so the
 //! `*_with` entry points are allocation-free in steady state exactly like
 //! their Huffman counterparts.
 //!
 //! ## Stream layout
 //!
 //! ```text
-//! u8 mode                     0 = rANS, 1 = embedded Huffman fallback
+//! u8 mode                     0 = 2-way rANS, 1 = embedded Huffman
+//!                             fallback, 2 = 8-way rANS
 //! mode 0:
 //!   varint n_symbols
 //!   varint alphabet_size      1..=4096 (absent when n_symbols == 0)
@@ -42,6 +54,16 @@
 //!   payload                   u32-LE state0, u32-LE state1, renorm bytes
 //! mode 1:
 //!   a self-describing `huffman_encode` stream
+//! mode 2:
+//!   varint n_symbols
+//!   varint alphabet_size      1..=4096 (absent when n_symbols == 0)
+//!   (varint symbol, varint freq)*   the same shared 12-bit table
+//!   varint payload_len
+//!   varint lane_len × 8       lane lengths; they sum to payload_len
+//!   payload                   8 concatenated lanes, each a u32-LE seed
+//!                             state followed by that lane's renorm bytes
+//!                             in decode order (lane k decodes symbols
+//!                             k, k+8, k+16, …)
 //! ```
 
 use crate::dispatch::{simd_level, SimdLevel};
@@ -54,10 +76,14 @@ pub const SCALE_BITS: u32 = 12;
 const SCALE: u32 = 1 << SCALE_BITS;
 /// Lower bound of the state renormalization interval `[L, L·256)`.
 const RANS_L: u32 = 1 << 23;
-/// Mode byte: interleaved rANS payload.
+/// Mode byte: 2-way interleaved rANS payload.
 const MODE_RANS: u8 = 0;
 /// Mode byte: embedded Huffman stream (alphabet wider than the 12-bit table).
 const MODE_HUFF: u8 = 1;
+/// Mode byte: 8-way interleaved rANS payload with per-lane buffers.
+const MODE_RANS8: u8 = 2;
+/// Lane count of the 8-way format.
+const LANES: usize = 8;
 /// Decode-side cap on a single-symbol (zero-cost) stream's run length.
 /// A one-entry alphabet codes for free, so the count is the only bound on
 /// the output — 2^28 symbols (a 16384×16384 constant field) is far beyond
@@ -161,6 +187,10 @@ pub struct RansScratch {
     /// Reversed-emit buffer: bytes are pushed while encoding in reverse,
     /// then the buffer is reversed once into the output stream.
     rev: Vec<u8>,
+    /// Per-lane reversed-emit stacks of the 8-way encoder: each state pushes
+    /// its renorm bytes onto its own lane, so decode-side refill cursors are
+    /// independent.
+    lane_rev: [Vec<u8>; LANES],
 
     // ---- decode tables ----
     /// Symbol per alphabet index.
@@ -171,10 +201,11 @@ pub struct RansScratch {
     dec_cum: Vec<u16>,
     /// 4096-entry slot → alphabet index LUT.
     slot_lut: Vec<u16>,
-    /// Fused slot → `symbol << 32 | freq << 16 | cum` entries for the SIMD
-    /// decode path: one 64-bit load replaces the index → symbol/freq/cum
-    /// chain of dependent lookups (gather-free, per the dispatch design).
-    #[cfg(target_arch = "x86_64")]
+    /// Fused slot → `symbol << 32 | freq << 16 | cum` entries: one 64-bit
+    /// load replaces the index → symbol/freq/cum chain of dependent lookups.
+    /// Used by the 2-way SIMD fast path and by every tier of the 8-way
+    /// decoder (the scalar 8-way loop is LUT-bound, so the fused entry is a
+    /// win there too).
     slot_entry: Vec<u64>,
 
     // ---- Huffman fallback (alphabets wider than the 12-bit table) ----
@@ -265,6 +296,77 @@ pub fn rans_decode_bytes_with_at(
     decode_impl(scratch, bytes, u8::MAX.into(), level, out)
 }
 
+/// Encode `symbols` into a self-describing **8-way** interleaved rANS
+/// stream (fresh scratch). Same frequency table and Huffman fallback as
+/// [`rans_encode`], but eight states round-robin over the symbols and each
+/// state emits into its own lane buffer, so the decoder runs eight
+/// independent chains (see the module docs for the lane-length header).
+pub fn rans8_encode(symbols: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    rans8_encode_with(&mut RansScratch::new(), symbols, &mut out);
+    out
+}
+
+/// [`rans8_encode`] into a caller-owned output buffer, reusing `scratch`.
+pub fn rans8_encode_with(scratch: &mut RansScratch, symbols: &[u32], out: &mut Vec<u8>) {
+    encode8_impl(scratch, symbols, out);
+}
+
+/// Byte-stream variant of [`rans8_encode_with`].
+pub fn rans8_encode_bytes_with(scratch: &mut RansScratch, bytes: &[u8], out: &mut Vec<u8>) {
+    encode8_impl(scratch, bytes, out);
+}
+
+/// Decode a stream produced by [`rans8_encode`] (fresh scratch). Returns
+/// the symbols and the number of bytes consumed. 2-way streams (mode 0) are
+/// rejected cleanly — the two formats are deliberately not cross-decodable,
+/// only the shared Huffman fallback (mode 1) is accepted by both.
+pub fn rans8_decode(bytes: &[u8]) -> Result<(Vec<u32>, usize), CodecError> {
+    let mut out = Vec::new();
+    let used = rans8_decode_with(&mut RansScratch::new(), bytes, &mut out)?;
+    Ok((out, used))
+}
+
+/// [`rans8_decode`] into a caller-owned symbol buffer (cleared first),
+/// reusing `scratch`. Returns the number of bytes consumed.
+pub fn rans8_decode_with(
+    scratch: &mut RansScratch,
+    bytes: &[u8],
+    out: &mut Vec<u32>,
+) -> Result<usize, CodecError> {
+    decode8_impl(scratch, bytes, u32::MAX, simd_level(), out)
+}
+
+/// [`rans8_decode_with`] at an explicit SIMD tier (tests and benchmarks —
+/// every tier decodes the same bytes to the same symbols and errors).
+pub fn rans8_decode_with_at(
+    scratch: &mut RansScratch,
+    level: SimdLevel,
+    bytes: &[u8],
+    out: &mut Vec<u32>,
+) -> Result<usize, CodecError> {
+    decode8_impl(scratch, bytes, u32::MAX, level, out)
+}
+
+/// Byte-stream variant of [`rans8_decode_with`].
+pub fn rans8_decode_bytes_with(
+    scratch: &mut RansScratch,
+    bytes: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<usize, CodecError> {
+    decode8_impl(scratch, bytes, u8::MAX.into(), simd_level(), out)
+}
+
+/// [`rans8_decode_bytes_with`] at an explicit SIMD tier.
+pub fn rans8_decode_bytes_with_at(
+    scratch: &mut RansScratch,
+    level: SimdLevel,
+    bytes: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<usize, CodecError> {
+    decode8_impl(scratch, bytes, u8::MAX.into(), level, out)
+}
+
 /// Output element of the generic decode loop; conversion is infallible
 /// because the frequency table was validated against the sink's `max_sym`.
 trait SinkSym: Copy {
@@ -328,13 +430,15 @@ fn normalize_freqs(alphabet: &[(u32, u64)], freqs: &mut Vec<u32>, order: &mut Ve
     }
 }
 
-fn encode_impl<S: SymbolLike>(scratch: &mut RansScratch, symbols: &[S], out: &mut Vec<u8>) {
-    if symbols.is_empty() {
-        out.push(MODE_RANS);
-        write_varint(out, 0);
-        return;
-    }
-
+/// Shared encode-side table build: alphabet discovery, normalization,
+/// reciprocal tables, and the symbol → alphabet-index addressing for the
+/// chosen table mode. Returns `None` when the alphabet exceeds the 12-bit
+/// table and the caller must take the Huffman fallback. On `Some`, the
+/// caller owns restoring the dense-index invariant via [`clear_dense_idx`].
+fn build_encode_tables<S: SymbolLike>(
+    scratch: &mut RansScratch,
+    symbols: &[S],
+) -> Option<TableMode> {
     let mode = build_alphabet_into(
         &mut scratch.hist,
         &mut scratch.sym_map,
@@ -342,29 +446,10 @@ fn encode_impl<S: SymbolLike>(scratch: &mut RansScratch, symbols: &[S], out: &mu
         &mut scratch.alphabet,
         symbols,
     );
-
     if scratch.alphabet.len() > SCALE as usize {
-        // Too many distinct symbols for a 12-bit table: embed a canonical
-        // Huffman stream instead (never reachable from the byte-oriented
-        // entry points — 256 ≤ SCALE).
-        out.push(MODE_HUFF);
-        scratch.syms_u32.clear();
-        scratch.syms_u32.extend(symbols.iter().map(|s| s.sym()));
-        huffman_encode_with(&mut scratch.huff, &scratch.syms_u32, out);
-        return;
+        return None;
     }
-
-    out.push(MODE_RANS);
-    write_varint(out, symbols.len() as u64);
-
     normalize_freqs(&scratch.alphabet, &mut scratch.freqs, &mut scratch.norm_order);
-
-    // Header: (symbol, normalized frequency) pairs in ascending symbol order.
-    write_varint(out, scratch.alphabet.len() as u64);
-    for (k, &(sym, _)) in scratch.alphabet.iter().enumerate() {
-        write_varint(out, u64::from(sym));
-        write_varint(out, u64::from(scratch.freqs[k]));
-    }
 
     // Encoder tables: cumulative starts + reciprocals per alphabet index,
     // and the symbol → index addressing for the chosen table mode.
@@ -394,6 +479,59 @@ fn encode_impl<S: SymbolLike>(scratch: &mut RansScratch, symbols: &[S], out: &mu
             }
         }
     }
+    Some(mode)
+}
+
+/// Write the shared `varint alphabet_size (varint symbol, varint freq)*`
+/// header, pairs in ascending symbol order.
+fn write_freq_table(scratch: &RansScratch, out: &mut Vec<u8>) {
+    write_varint(out, scratch.alphabet.len() as u64);
+    for (k, &(sym, _)) in scratch.alphabet.iter().enumerate() {
+        write_varint(out, u64::from(sym));
+        write_varint(out, u64::from(scratch.freqs[k]));
+    }
+}
+
+/// Restore the all-zero invariant of the dense index table
+/// (O(distinct), not O(span)).
+fn clear_dense_idx(scratch: &mut RansScratch, mode: TableMode) {
+    if let TableMode::Dense { min } = mode {
+        for &(sym, _) in &scratch.alphabet {
+            scratch.dense_idx[(sym - min) as usize] = 0;
+        }
+    }
+}
+
+/// Too many distinct symbols for a 12-bit table: embed a canonical Huffman
+/// stream instead (never reachable from the byte-oriented entry points —
+/// 256 ≤ SCALE). Shared by both interleavings, so a fallback stream decodes
+/// through either decoder.
+fn encode_huffman_fallback<S: SymbolLike>(
+    scratch: &mut RansScratch,
+    symbols: &[S],
+    out: &mut Vec<u8>,
+) {
+    out.push(MODE_HUFF);
+    scratch.syms_u32.clear();
+    scratch.syms_u32.extend(symbols.iter().map(|s| s.sym()));
+    huffman_encode_with(&mut scratch.huff, &scratch.syms_u32, out);
+}
+
+fn encode_impl<S: SymbolLike>(scratch: &mut RansScratch, symbols: &[S], out: &mut Vec<u8>) {
+    if symbols.is_empty() {
+        out.push(MODE_RANS);
+        write_varint(out, 0);
+        return;
+    }
+
+    let Some(mode) = build_encode_tables(scratch, symbols) else {
+        encode_huffman_fallback(scratch, symbols, out);
+        return;
+    };
+
+    out.push(MODE_RANS);
+    write_varint(out, symbols.len() as u64);
+    write_freq_table(scratch, out);
 
     // Encode in reverse (rANS is LIFO) with two interleaved states: the
     // symbol's index parity selects its state, so the decoder can alternate
@@ -436,52 +574,100 @@ fn encode_impl<S: SymbolLike>(scratch: &mut RansScratch, symbols: &[S], out: &mu
     write_varint(out, rev.len() as u64);
     out.extend_from_slice(rev);
 
-    // Restore the all-zero invariant of the dense index table
-    // (O(distinct), not O(span)).
-    if let TableMode::Dense { min } = mode {
-        for &(sym, _) in &scratch.alphabet {
-            scratch.dense_idx[(sym - min) as usize] = 0;
-        }
-    }
+    clear_dense_idx(scratch, mode);
 }
 
-fn decode_impl<T: SinkSym>(
+fn encode8_impl<S: SymbolLike>(scratch: &mut RansScratch, symbols: &[S], out: &mut Vec<u8>) {
+    if symbols.is_empty() {
+        out.push(MODE_RANS8);
+        write_varint(out, 0);
+        return;
+    }
+
+    let Some(mode) = build_encode_tables(scratch, symbols) else {
+        encode_huffman_fallback(scratch, symbols, out);
+        return;
+    };
+
+    out.push(MODE_RANS8);
+    write_varint(out, symbols.len() as u64);
+    write_freq_table(scratch, out);
+
+    // Encode in reverse (rANS is LIFO) with eight round-robin states:
+    // symbol index i threads state i mod 8, and each state pushes its
+    // renorm bytes onto its **own** lane stack, so the decoder walks eight
+    // independent byte cursors instead of one shared stream.
+    let enc_syms = &scratch.enc_syms;
+    let dense_idx = &scratch.dense_idx;
+    let slot_idx = &scratch.slot_idx;
+    let sym_map = &scratch.sym_map;
+    let lanes = &mut scratch.lane_rev;
+    for lane in lanes.iter_mut() {
+        lane.clear();
+    }
+    let mut xs = [RANS_L; LANES];
+    for i in (0..symbols.len()).rev() {
+        let k = i & (LANES - 1);
+        let idx = match mode {
+            TableMode::Dense { min } => dense_idx[(symbols[i].sym() - min) as usize],
+            TableMode::Sparse => {
+                let slot = sym_map.get(symbols[i].sym()).expect("alphabet covers input");
+                slot_idx[slot as usize]
+            }
+        };
+        xs[k] = enc_put(xs[k], &mut lanes[k], &enc_syms[idx as usize]);
+    }
+    // Flush and reverse each lane so it opens with its u32-LE seed state
+    // followed by that lane's renorm bytes in decode order.
+    let mut payload_len = 0u64;
+    for (lane, &x) in lanes.iter_mut().zip(xs.iter()) {
+        lane.extend_from_slice(&x.to_be_bytes());
+        lane.reverse();
+        payload_len += lane.len() as u64;
+    }
+    write_varint(out, payload_len);
+    for lane in lanes.iter() {
+        write_varint(out, lane.len() as u64);
+    }
+    for lane in lanes.iter() {
+        out.extend_from_slice(lane);
+    }
+
+    clear_dense_idx(scratch, mode);
+}
+
+/// Embedded Huffman fallback decode: into the widened scratch buffer, then
+/// narrowed (checked against the sink's symbol ceiling). Shared by both
+/// interleavings' decoders.
+fn decode_huffman_fallback<T: SinkSym>(
     scratch: &mut RansScratch,
     bytes: &[u8],
+    mut offset: usize,
     max_sym: u32,
-    level: SimdLevel,
     out: &mut Vec<T>,
 ) -> Result<usize, CodecError> {
-    out.clear();
-    if bytes.is_empty() {
-        return Err(CodecError::UnexpectedEof);
-    }
-    let mode = bytes[0];
-    let mut offset = 1usize;
-    if mode == MODE_HUFF {
-        // Embedded Huffman fallback: decode into the widened scratch buffer,
-        // then narrow (checked against the sink's symbol ceiling).
-        let used = huffman_decode_with(&mut scratch.huff, &bytes[offset..], &mut scratch.syms_u32)?;
-        offset += used;
-        out.reserve(scratch.syms_u32.len());
-        for &s in &scratch.syms_u32 {
-            if s > max_sym {
-                return Err(CodecError::Corrupt(format!("symbol {s} exceeds the sink range")));
-            }
-            out.push(T::of_sym(s));
-        }
-        return Ok(offset);
-    }
-    if mode != MODE_RANS {
-        return Err(CodecError::Corrupt(format!("unknown rans mode {mode}")));
-    }
-
-    let (n_symbols, used) = read_varint(&bytes[offset..])?;
+    let used = huffman_decode_with(&mut scratch.huff, &bytes[offset..], &mut scratch.syms_u32)?;
     offset += used;
-    if n_symbols == 0 {
-        return Ok(offset);
+    out.reserve(scratch.syms_u32.len());
+    for &s in &scratch.syms_u32 {
+        if s > max_sym {
+            return Err(CodecError::Corrupt(format!("symbol {s} exceeds the sink range")));
+        }
+        out.push(T::of_sym(s));
     }
+    Ok(offset)
+}
 
+/// Parse the shared frequency-table header into the decode tables: a
+/// bounded parse (each entry costs at least two stream bytes, and the size
+/// itself is capped at 4096), validating the sink ceiling and the exact
+/// 12-bit sum before any LUT fill. Returns `(alphabet_size, new_offset)`.
+fn parse_freq_table(
+    scratch: &mut RansScratch,
+    bytes: &[u8],
+    mut offset: usize,
+    max_sym: u32,
+) -> Result<(usize, usize), CodecError> {
     let (alphabet_size, used) = read_varint(&bytes[offset..])?;
     offset += used;
     if alphabet_size == 0 || alphabet_size > u64::from(SCALE) {
@@ -491,9 +677,6 @@ fn decode_impl<T: SinkSym>(
     }
     let alphabet_size = alphabet_size as usize;
 
-    // Frequency table: bounded parse (each entry costs at least two stream
-    // bytes, and the size itself was just capped at 4096), validating the
-    // sink ceiling and the exact 12-bit sum before any LUT fill.
     scratch.dec_syms.clear();
     scratch.dec_freq.clear();
     scratch.dec_cum.clear();
@@ -524,6 +707,60 @@ fn decode_impl<T: SinkSym>(
             "rans frequencies sum to {cum}, expected {SCALE}"
         )));
     }
+    Ok((alphabet_size, offset))
+}
+
+/// Cap a claimed multi-symbol count by what the payload could possibly
+/// encode: every symbol of a table with `max_freq ≤ SCALE − 1` costs at
+/// least ~log2(SCALE / max_freq) bits, so a generous multiple of the
+/// payload's bit budget bounds the count — honest streams sit well inside
+/// it, while a forged header can no longer turn a few bytes into an absurd
+/// allocation or decode loop.
+fn check_symbol_count_plausible(
+    scratch: &RansScratch,
+    payload_len: usize,
+    n_symbols: u64,
+) -> Result<(), CodecError> {
+    let max_freq = scratch.dec_freq.iter().map(|&f| u64::from(f)).max().expect("non-empty table");
+    let budget_bits = payload_len as u64 * 8 + 64;
+    let max_symbols =
+        budget_bits.saturating_mul(3 * u64::from(SCALE) / (u64::from(SCALE) - max_freq));
+    if n_symbols > max_symbols {
+        return Err(CodecError::Corrupt(format!(
+            "implausible symbol count {n_symbols} for a {payload_len}-byte payload"
+        )));
+    }
+    Ok(())
+}
+
+fn decode_impl<T: SinkSym>(
+    scratch: &mut RansScratch,
+    bytes: &[u8],
+    max_sym: u32,
+    level: SimdLevel,
+    out: &mut Vec<T>,
+) -> Result<usize, CodecError> {
+    out.clear();
+    if bytes.is_empty() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mode = bytes[0];
+    let mut offset = 1usize;
+    if mode == MODE_HUFF {
+        return decode_huffman_fallback(scratch, bytes, offset, max_sym, out);
+    }
+    if mode != MODE_RANS {
+        return Err(CodecError::Corrupt(format!("unknown rans mode {mode}")));
+    }
+
+    let (n_symbols, used) = read_varint(&bytes[offset..])?;
+    offset += used;
+    if n_symbols == 0 {
+        return Ok(offset);
+    }
+
+    let (alphabet_size, new_offset) = parse_freq_table(scratch, bytes, offset, max_sym)?;
+    offset = new_offset;
 
     let (payload_len, used) = read_varint(&bytes[offset..])?;
     offset += used;
@@ -565,21 +802,9 @@ fn decode_impl<T: SinkSym>(
     }
 
     // Every other alphabet has max_freq ≤ SCALE − 1, so each symbol costs
-    // real information: at least ~log2(SCALE / max_freq) bits must come out
-    // of the payload (state flush included). Cap the claimed count at a
-    // generous multiple of that bound — honest streams sit well inside it
-    // (coding overhead only makes them larger), while a forged header can
-    // no longer turn a few bytes into an absurd allocation or decode loop.
-    let max_freq = scratch.dec_freq.iter().map(|&f| u64::from(f)).max().expect("non-empty table");
-    let budget_bits = payload.len() as u64 * 8 + 64;
-    let max_symbols =
-        budget_bits.saturating_mul(3 * u64::from(SCALE) / (u64::from(SCALE) - max_freq));
-    if n_symbols > max_symbols {
-        return Err(CodecError::Corrupt(format!(
-            "implausible symbol count {n_symbols} for a {}-byte payload",
-            payload.len()
-        )));
-    }
+    // real information (state flush included); coding overhead only makes
+    // honest streams larger.
+    check_symbol_count_plausible(scratch, payload.len(), n_symbols)?;
     let n_symbols = n_symbols as usize;
 
     // The reserve is a hint bounded by the input; near-zero-entropy streams
@@ -647,6 +872,264 @@ fn decode_impl<T: SinkSym>(
     Ok(consumed)
 }
 
+/// Fill the fused slot → `symbol << 32 | freq << 16 | cum` LUT from the
+/// parsed decode tables (every 12-bit slot maps to exactly one alphabet
+/// index — the exact-sum check of [`parse_freq_table`] guarantees full
+/// coverage).
+fn build_slot_entries(scratch: &mut RansScratch) {
+    scratch.slot_entry.clear();
+    scratch.slot_entry.resize(SCALE as usize, 0);
+    for k in 0..scratch.dec_syms.len() {
+        let freq = u32::from(scratch.dec_freq[k]);
+        let cum = u32::from(scratch.dec_cum[k]);
+        let fused =
+            (u64::from(scratch.dec_syms[k]) << 32) | (u64::from(freq) << 16) | u64::from(cum);
+        for entry in &mut scratch.slot_entry[cum as usize..(cum + freq) as usize] {
+            *entry = fused;
+        }
+    }
+}
+
+fn decode8_impl<T: SinkSym>(
+    scratch: &mut RansScratch,
+    bytes: &[u8],
+    max_sym: u32,
+    level: SimdLevel,
+    out: &mut Vec<T>,
+) -> Result<usize, CodecError> {
+    out.clear();
+    if bytes.is_empty() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mode = bytes[0];
+    let mut offset = 1usize;
+    if mode == MODE_HUFF {
+        return decode_huffman_fallback(scratch, bytes, offset, max_sym, out);
+    }
+    if mode != MODE_RANS8 {
+        // Mode 0 (a 2-way stream) lands here too: the formats are
+        // deliberately not cross-decodable.
+        return Err(CodecError::Corrupt(format!("unknown rans8 mode {mode}")));
+    }
+
+    let (n_symbols, used) = read_varint(&bytes[offset..])?;
+    offset += used;
+    if n_symbols == 0 {
+        return Ok(offset);
+    }
+
+    let (alphabet_size, new_offset) = parse_freq_table(scratch, bytes, offset, max_sym)?;
+    offset = new_offset;
+
+    let (payload_len, used) = read_varint(&bytes[offset..])?;
+    offset += used;
+    let payload_len = payload_len as usize;
+
+    // Lane-length header: eight varints that must sum to the payload length
+    // (a mismatch means a forged or mis-stitched header) and each cover at
+    // least that lane's u32 seed state.
+    let mut lane_len = [0usize; LANES];
+    let mut lane_sum = 0u64;
+    for len in lane_len.iter_mut() {
+        let (l, used) = read_varint(&bytes[offset..])?;
+        offset += used;
+        *len = l as usize;
+        lane_sum += l;
+    }
+    if lane_sum != payload_len as u64 {
+        return Err(CodecError::Corrupt(format!(
+            "rans8 lane lengths sum to {lane_sum}, expected the {payload_len}-byte payload"
+        )));
+    }
+    if bytes.len() < offset || bytes.len() - offset < payload_len {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let payload = &bytes[offset..offset + payload_len];
+    let consumed = offset + payload_len;
+
+    // Per-lane byte regions and seed states.
+    let mut ptrs = [0usize; LANES]; // next renorm byte, per lane
+    let mut ends = [0usize; LANES]; // exclusive end of the lane's region
+    let mut xs = [0u32; LANES];
+    let mut at = 0usize;
+    for k in 0..LANES {
+        if lane_len[k] < 4 {
+            return Err(CodecError::Corrupt(format!(
+                "rans8 lane {k} is {} bytes, too short for its seed state",
+                lane_len[k]
+            )));
+        }
+        xs[k] = u32::from_le_bytes(payload[at..at + 4].try_into().expect("4 bytes"));
+        if xs[k] < RANS_L {
+            return Err(CodecError::Corrupt(
+                "rans state below the renormalization interval".into(),
+            ));
+        }
+        ptrs[k] = at + 4;
+        at += lane_len[k];
+        ends[k] = at;
+    }
+
+    // Single-symbol alphabet: the zero-cost stream shape (freq == SCALE
+    // makes every coding step the identity) — the payload is exactly the
+    // eight seed states and the count alone sets the output size. Bulk-fill
+    // behind the same absolute run cap as the 2-way format.
+    if alphabet_size == 1 {
+        if n_symbols > MAX_DEGENERATE_RUN {
+            return Err(CodecError::Corrupt(format!(
+                "single-symbol run of {n_symbols} exceeds the {MAX_DEGENERATE_RUN} cap"
+            )));
+        }
+        if payload.len() != 4 * LANES || xs.iter().any(|&x| x != RANS_L) {
+            return Err(CodecError::Corrupt(
+                "single-symbol payload must be exactly the eight seed states".into(),
+            ));
+        }
+        out.resize(n_symbols as usize, T::of_sym(scratch.dec_syms[0]));
+        return Ok(consumed);
+    }
+
+    check_symbol_count_plausible(scratch, payload.len(), n_symbols)?;
+    let n_symbols = n_symbols as usize;
+
+    // The reserve is a hint bounded by the input; near-zero-entropy streams
+    // may decode more (amortized push growth covers the rest).
+    out.reserve(n_symbols.min(payload.len().saturating_mul(8) + 64));
+
+    build_slot_entries(scratch);
+
+    #[cfg(target_arch = "x86_64")]
+    if level >= SimdLevel::Sse4 {
+        return decode8_payload_fast(
+            scratch, payload, n_symbols, level, &mut ptrs, &ends, &mut xs, out,
+        )
+        .map(|()| consumed);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = level;
+
+    // Scalar tier: checked round-robin over the eight lanes with the fused
+    // slot LUT.
+    decode8_symbols_careful(
+        &scratch.slot_entry,
+        payload,
+        &mut ptrs,
+        &ends,
+        &mut xs,
+        n_symbols,
+        out,
+    )?;
+    check8_final(&xs, &ptrs, &ends)?;
+    Ok(consumed)
+}
+
+/// Checked round-robin decode of `count` symbols over the fused slot
+/// entries, starting at lane 0 (callers only enter on round boundaries):
+/// the scalar 8-way tier, and the payload-tail / truncated-stream companion
+/// of the unchecked chunk loop — it reports `UnexpectedEof` exactly where
+/// the unchecked loop's byte budget would have been violated.
+fn decode8_symbols_careful<T: SinkSym>(
+    entries: &[u64],
+    payload: &[u8],
+    ptrs: &mut [usize; LANES],
+    ends: &[usize; LANES],
+    xs: &mut [u32; LANES],
+    count: usize,
+    out: &mut Vec<T>,
+) -> Result<(), CodecError> {
+    for j in 0..count {
+        let k = j & (LANES - 1);
+        let mut x = xs[k];
+        let slot = x & (SCALE - 1);
+        let e = entries[slot as usize];
+        out.push(T::of_sym((e >> 32) as u32));
+        x = ((e >> 16) & 0xFFFF) as u32 * (x >> SCALE_BITS) + slot - (e & 0xFFFF) as u32;
+        while x < RANS_L {
+            if ptrs[k] >= ends[k] {
+                return Err(CodecError::UnexpectedEof);
+            }
+            x = (x << 8) | u32::from(payload[ptrs[k]]);
+            ptrs[k] += 1;
+        }
+        xs[k] = x;
+    }
+    Ok(())
+}
+
+/// The well-formedness epilogue of an 8-way decode: every lane's state back
+/// at the seed and every lane's byte region fully drained.
+fn check8_final(
+    xs: &[u32; LANES],
+    ptrs: &[usize; LANES],
+    ends: &[usize; LANES],
+) -> Result<(), CodecError> {
+    if xs.iter().any(|&x| x != RANS_L) {
+        return Err(CodecError::Corrupt("rans8 lane states did not return to the seed".into()));
+    }
+    for k in 0..LANES {
+        if ptrs[k] != ends[k] {
+            return Err(CodecError::Corrupt(format!(
+                "rans8 lane {k} has {} undecoded trailing bytes",
+                ends[k] - ptrs[k]
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The dispatched (≥ SSE4.1) 8-way decode driver. Identical observable
+/// behaviour to the scalar round-robin loop — same symbols, same errors —
+/// structured for throughput: the loop runs in chunks of full 8-symbol
+/// rounds with a **per-lane byte-budget check** up front (a decoded symbol
+/// renormalizes by at most two bytes from its own lane, so a chunk holding
+/// `2 × rounds` spare bytes in every lane needs no per-byte bounds checks),
+/// writing symbols into `out`'s reserved spare capacity. Chunks near any
+/// lane's end — including every stream truncated mid-decode — take the
+/// checked careful loop instead.
+// Sanctioned `unsafe_code` waiver (see `crate::dispatch`): this driver owns
+// the byte-budget and capacity checks the unchecked inner loop relies on.
+#[allow(unsafe_code)]
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "x86_64")]
+fn decode8_payload_fast<T: SinkSym>(
+    scratch: &mut RansScratch,
+    payload: &[u8],
+    n_symbols: usize,
+    level: SimdLevel,
+    ptrs: &mut [usize; LANES],
+    ends: &[usize; LANES],
+    xs: &mut [u32; LANES],
+    out: &mut Vec<T>,
+) -> Result<(), CodecError> {
+    let entries = &scratch.slot_entry;
+    let mut rounds = n_symbols / LANES;
+    const CHUNK_ROUNDS: usize = 128;
+    while rounds > 0 {
+        let take = rounds.min(CHUNK_ROUNDS);
+        out.reserve(take * LANES);
+        if (0..LANES).all(|k| ends[k] - ptrs[k] >= take * 2) {
+            // SAFETY: the dispatched tiers are only reachable on hosts whose
+            // feature detection confirmed them; the per-lane byte budget
+            // just checked keeps every unchecked payload read inside its
+            // lane's region (≤ 2 bytes per symbol), and the reserve covers
+            // the raw output writes.
+            unsafe {
+                if level >= SimdLevel::Avx2 {
+                    simd8::decode_rounds_avx2(entries, payload, ptrs, xs, take, out);
+                } else {
+                    simd8::decode_rounds_sse4(entries, payload, ptrs, xs, take, out);
+                }
+            }
+        } else {
+            decode8_symbols_careful(entries, payload, ptrs, ends, xs, take * LANES, out)?;
+        }
+        rounds -= take;
+    }
+    // Tail: the last n mod 8 symbols on lanes 0.. (checked reads).
+    decode8_symbols_careful(entries, payload, ptrs, ends, xs, n_symbols % LANES, out)?;
+    check8_final(xs, ptrs, ends)
+}
+
 /// The SSE4.1 decode loop for multi-symbol streams. Identical observable
 /// behaviour to the scalar loop — same symbols, same consumed bytes, same
 /// errors — structured for throughput:
@@ -675,17 +1158,7 @@ fn decode_payload_fast<T: SinkSym>(
     mut x1: u32,
     out: &mut Vec<T>,
 ) -> Result<(), CodecError> {
-    scratch.slot_entry.clear();
-    scratch.slot_entry.resize(SCALE as usize, 0);
-    for k in 0..scratch.dec_syms.len() {
-        let freq = u32::from(scratch.dec_freq[k]);
-        let cum = u32::from(scratch.dec_cum[k]);
-        let fused =
-            (u64::from(scratch.dec_syms[k]) << 32) | (u64::from(freq) << 16) | u64::from(cum);
-        for entry in &mut scratch.slot_entry[cum as usize..(cum + freq) as usize] {
-            *entry = fused;
-        }
-    }
+    build_slot_entries(scratch);
     let entries = &scratch.slot_entry;
 
     let mut ptr = 8usize;
@@ -851,6 +1324,232 @@ mod simd {
         }
         out.set_len(out_len + pairs * 2);
         (x0, x1, ptr)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod simd8 {
+    // Sanctioned `unsafe_code` waiver (see `crate::dispatch`): `core::arch`
+    // intrinsics are unsafe by definition, the caller establishes the
+    // per-lane byte budget and output capacity the unchecked accesses rely
+    // on, and the tier-identity suite pins scalar equivalence.
+    #![allow(unsafe_code)]
+
+    use super::{SinkSym, LANES, RANS_L, SCALE, SCALE_BITS};
+
+    /// Decode `rounds` full 8-symbol rounds with no bounds checks: eight
+    /// independent state chains in scalar registers, fully unrolled per
+    /// round, each refilling from its own lane cursor. The chains have no
+    /// cross dependencies, so they retire in parallel on any superscalar
+    /// core — this is where the 8-way format's decode win over the 2-way
+    /// format comes from even before vector ALUs get involved.
+    ///
+    /// The refill is **branchless**: every step reads two big-endian bytes
+    /// at the lane cursor unconditionally, derives the needed injection
+    /// count from the renormalization thresholds (`x < 2^23` needs one
+    /// byte, `x < 2^15` a second — post-step states are ≥ 2^11, so two
+    /// always suffice), and shifts in exactly that many. A branchy refill
+    /// mispredicts roughly every other symbol on entropy-shaped data (the
+    /// per-symbol byte count is what the coder randomizes!), and those
+    /// flushes cost more than the always-taken 2-byte load.
+    ///
+    /// # Safety
+    /// Requires SSE4.1 (for the wrapper's codegen), a spare capacity of at
+    /// least `8 · rounds` in `out`, every `entries` slot filled for a
+    /// 12-bit slot index, all states `≥ RANS_L`, and `rounds · 2` readable
+    /// payload bytes remaining in **every** lane region past its cursor —
+    /// the caller-validated budget that both bounds renormalization and
+    /// keeps the unconditional 2-byte read inside the lane (a round
+    /// consuming `c ≤ 2` bytes leaves the next round's read at most
+    /// `2·rounds` past the chunk start).
+    #[inline(always)]
+    unsafe fn decode_rounds_body<T: SinkSym>(
+        entries: &[u64],
+        payload: &[u8],
+        ptrs: &mut [usize; LANES],
+        xs: &mut [u32; LANES],
+        rounds: usize,
+        out: &mut Vec<T>,
+    ) {
+        debug_assert!(out.capacity() - out.len() >= rounds * LANES);
+        debug_assert_eq!(entries.len(), SCALE as usize);
+        let eb = entries.as_ptr();
+        let pb = payload.as_ptr();
+        let out_len = out.len();
+        let ob = out.as_mut_ptr().add(out_len);
+        let mut x = *xs;
+        let mut p = *ptrs;
+        for r in 0..rounds {
+            macro_rules! lane {
+                ($k:literal) => {{
+                    let slot = x[$k] & (SCALE - 1);
+                    let e = *eb.add(slot as usize);
+                    ob.add(r * LANES + $k).write(T::of_sym((e >> 32) as u32));
+                    let nx = ((e >> 16) & 0xFFFF) as u32 * (x[$k] >> SCALE_BITS) + slot
+                        - (e & 0xFFFF) as u32;
+                    let b = pb.add(p[$k]);
+                    let two = (u32::from(*b) << 8) | u32::from(*b.add(1));
+                    let n = usize::from(nx < RANS_L) + usize::from(nx < (1 << 15));
+                    x[$k] = (nx << (8 * n)) | (two >> (16 - 8 * n));
+                    p[$k] += n;
+                }};
+            }
+            lane!(0);
+            lane!(1);
+            lane!(2);
+            lane!(3);
+            lane!(4);
+            lane!(5);
+            lane!(6);
+            lane!(7);
+        }
+        out.set_len(out_len + rounds * LANES);
+        *xs = x;
+        *ptrs = p;
+    }
+
+    /// The SSE4.1 tier: the eight-chain body compiled with SSE4.1 codegen.
+    ///
+    /// # Safety
+    /// See [`decode_rounds_body`]; additionally requires SSE4.1.
+    #[target_feature(enable = "sse4.1")]
+    pub(super) unsafe fn decode_rounds_sse4<T: SinkSym>(
+        entries: &[u64],
+        payload: &[u8],
+        ptrs: &mut [usize; LANES],
+        xs: &mut [u32; LANES],
+        rounds: usize,
+        out: &mut Vec<T>,
+    ) {
+        decode_rounds_body(entries, payload, ptrs, xs, rounds, out);
+    }
+
+    /// The AVX2 tier: all eight states live in two 4×u64 vectors — two
+    /// **independent** dependency chains, which matters more than lane
+    /// economy: a round's states feed the next round's gathers, so each
+    /// vector is one serial chain and two of them overlap the gather+
+    /// multiply latency. Per round and half, a slot mask and a fused-entry
+    /// gather (`_mm256_i64gather_epi64`) resolve four table loads in one
+    /// instruction, and the `freq · (x >> 12) + slot − cum` update runs as
+    /// 4-wide `vpmuludq`/`vpaddq`/`vpsubq` (freq ≤ 2^12 and `x >> 12` <
+    /// 2^19, so the 32×32→64 multiply never overflows). Each half then
+    /// spills to a lane array for the branchless scalar byte refill (each
+    /// lane reads a data-dependent count from its own cursor, which no
+    /// gather expresses) and reloads.
+    ///
+    /// Two earlier revisions inform this shape: one 8×u32 state vector
+    /// halved the arithmetic op count but also halved the chain count and
+    /// measured ~20% slower end to end, and gating the refill spill behind
+    /// a `vpcmpgtq`+`vpmovmskb` "no lane needs bytes" fast path
+    /// mispredicted constantly on entropy-shaped data (the per-symbol byte
+    /// count is exactly what the coder randomizes), costing nearly 2× the
+    /// unconditional spill/reload it saved.
+    ///
+    /// # Safety
+    /// See [`decode_rounds_body`]; additionally requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn decode_rounds_avx2<T: SinkSym>(
+        entries: &[u64],
+        payload: &[u8],
+        ptrs: &mut [usize; LANES],
+        xs: &mut [u32; LANES],
+        rounds: usize,
+        out: &mut Vec<T>,
+    ) {
+        use core::arch::x86_64::*;
+        debug_assert!(out.capacity() - out.len() >= rounds * LANES);
+        debug_assert_eq!(entries.len(), SCALE as usize);
+        let eb = entries.as_ptr();
+        let pb = payload.as_ptr();
+        let out_len = out.len();
+        let ob = out.as_mut_ptr().add(out_len);
+        let mut p = *ptrs;
+        let mut x_lo = _mm256_setr_epi64x(
+            i64::from(xs[0]),
+            i64::from(xs[1]),
+            i64::from(xs[2]),
+            i64::from(xs[3]),
+        );
+        let mut x_hi = _mm256_setr_epi64x(
+            i64::from(xs[4]),
+            i64::from(xs[5]),
+            i64::from(xs[6]),
+            i64::from(xs[7]),
+        );
+        let slot_mask = _mm256_set1_epi64x(i64::from(SCALE - 1));
+        let low16 = _mm256_set1_epi64x(0xFFFF);
+        let lower_bound = _mm256_set1_epi64x(i64::from(RANS_L));
+        let two_byte_bound = _mm256_set1_epi64x(1 << 15);
+        let sixteen = _mm256_set1_epi64x(16);
+        // Per-half round step: gather, update, emit, vectorized renorm.
+        // The renorm never leaves the vector domain: `vpcmpgtq` masks count
+        // the 0/1/2 refill bytes per lane, `vpsllvq` re-widens the state,
+        // and `vpsrlvq` drops in the big-endian byte pair speculatively
+        // loaded from each lane cursor (the per-round budget in
+        // [`decode8_payload_fast`] guarantees both bytes are in bounds, and
+        // a right shift by 16 discards the pair entirely for lanes that
+        // need no bytes). Only the pair loads and the mask-derived cursor
+        // bumps are scalar, and both hang off the shallow cursor chain, not
+        // the state chain — an earlier revision that spilled the states for
+        // a scalar refill and reloaded them paid two store-forward stalls
+        // per half per round on the state chain and ran ~15% slower.
+        macro_rules! half {
+            ($x:ident, $r:expr, $base:literal) => {{
+                let slot = _mm256_and_si256($x, slot_mask);
+                let e = _mm256_i64gather_epi64(eb as *const i64, slot, 8);
+                let mut syms = [0u64; 4];
+                _mm256_storeu_si256(syms.as_mut_ptr() as *mut __m256i, _mm256_srli_epi64(e, 32));
+                ob.add($r * LANES + $base).write(T::of_sym(syms[0] as u32));
+                ob.add($r * LANES + $base + 1).write(T::of_sym(syms[1] as u32));
+                ob.add($r * LANES + $base + 2).write(T::of_sym(syms[2] as u32));
+                ob.add($r * LANES + $base + 3).write(T::of_sym(syms[3] as u32));
+                let freq = _mm256_and_si256(_mm256_srli_epi64(e, 16), low16);
+                let cum = _mm256_and_si256(e, low16);
+                let prod = _mm256_mul_epu32(freq, _mm256_srli_epi64($x, SCALE_BITS as i32));
+                let nx = _mm256_sub_epi64(_mm256_add_epi64(prod, slot), cum);
+                // Big-endian byte pairs at each lane cursor; `nx < 2^31` so
+                // the signed 64-bit compares below are exact.
+                let two = _mm256_setr_epi64x(
+                    i64::from(u16::swap_bytes((pb.add(p[$base]) as *const u16).read_unaligned())),
+                    i64::from(u16::swap_bytes(
+                        (pb.add(p[$base + 1]) as *const u16).read_unaligned(),
+                    )),
+                    i64::from(u16::swap_bytes(
+                        (pb.add(p[$base + 2]) as *const u16).read_unaligned(),
+                    )),
+                    i64::from(u16::swap_bytes(
+                        (pb.add(p[$base + 3]) as *const u16).read_unaligned(),
+                    )),
+                );
+                let need1 = _mm256_cmpgt_epi64(lower_bound, nx);
+                let need2 = _mm256_cmpgt_epi64(two_byte_bound, nx);
+                let nbytes =
+                    _mm256_sub_epi64(_mm256_setzero_si256(), _mm256_add_epi64(need1, need2));
+                let nbits = _mm256_slli_epi64(nbytes, 3);
+                $x = _mm256_or_si256(
+                    _mm256_sllv_epi64(nx, nbits),
+                    _mm256_srlv_epi64(two, _mm256_sub_epi64(sixteen, nbits)),
+                );
+                let m1 = _mm256_movemask_pd(_mm256_castsi256_pd(need1)) as usize;
+                let m2 = _mm256_movemask_pd(_mm256_castsi256_pd(need2)) as usize;
+                p[$base] += (m1 & 1) + (m2 & 1);
+                p[$base + 1] += ((m1 >> 1) & 1) + ((m2 >> 1) & 1);
+                p[$base + 2] += ((m1 >> 2) & 1) + ((m2 >> 2) & 1);
+                p[$base + 3] += ((m1 >> 3) & 1) + ((m2 >> 3) & 1);
+            }};
+        }
+        for r in 0..rounds {
+            half!(x_lo, r, 0);
+            half!(x_hi, r, 4);
+        }
+        let mut lanes = [0u64; LANES];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, x_lo);
+        _mm256_storeu_si256(lanes.as_mut_ptr().add(4) as *mut __m256i, x_hi);
+        for k in 0..LANES {
+            xs[k] = lanes[k] as u32;
+        }
+        out.set_len(out_len + rounds * LANES);
+        *ptrs = p;
     }
 }
 
@@ -1237,5 +1936,445 @@ mod tests {
         bad.extend_from_slice(&(RANS_L + 5).to_le_bytes()); // wrong seed
         bad.extend_from_slice(&RANS_L.to_le_bytes());
         assert!(matches!(rans_decode(&bad), Err(CodecError::Corrupt(_))));
+    }
+
+    // ------------------------------------------------------------------
+    // 8-way format
+    // ------------------------------------------------------------------
+
+    fn roundtrip8(symbols: &[u32]) -> Vec<u8> {
+        let encoded = rans8_encode(symbols);
+        let (decoded, used) = rans8_decode(&encoded).unwrap();
+        assert_eq!(decoded, symbols);
+        assert_eq!(used, encoded.len());
+        // The scratch-reusing entry points agree byte for byte with the
+        // wrappers, including when the same scratch served other inputs.
+        let mut scratch = RansScratch::new();
+        let mut warmup = Vec::new();
+        rans8_encode_with(&mut scratch, &[9, 9, 1, 2, 3, 9], &mut warmup);
+        let mut with_out = Vec::new();
+        rans8_encode_with(&mut scratch, symbols, &mut with_out);
+        assert_eq!(with_out, encoded);
+        let mut decoded_with = Vec::new();
+        let used_with = rans8_decode_with(&mut scratch, &encoded, &mut decoded_with).unwrap();
+        assert_eq!(decoded_with, symbols);
+        assert_eq!(used_with, encoded.len());
+        encoded
+    }
+
+    /// Split an 8-way stream into `(prefix through the freq table,
+    /// payload_len, lane lengths, payload)` so tests can forge individual
+    /// header fields and restitch with [`join8`].
+    fn split8(encoded: &[u8]) -> (Vec<u8>, u64, Vec<u64>, Vec<u8>) {
+        assert_eq!(encoded[0], MODE_RANS8);
+        let mut off = 1usize;
+        let (_n, u) = read_varint(&encoded[off..]).unwrap();
+        off += u;
+        let (alphabet, u) = read_varint(&encoded[off..]).unwrap();
+        off += u;
+        for _ in 0..alphabet * 2 {
+            let (_, u) = read_varint(&encoded[off..]).unwrap();
+            off += u;
+        }
+        let prefix = encoded[..off].to_vec();
+        let (payload_len, u) = read_varint(&encoded[off..]).unwrap();
+        off += u;
+        let mut lanes = Vec::new();
+        for _ in 0..LANES {
+            let (l, u) = read_varint(&encoded[off..]).unwrap();
+            off += u;
+            lanes.push(l);
+        }
+        (prefix, payload_len, lanes, encoded[off..].to_vec())
+    }
+
+    fn join8(prefix: &[u8], payload_len: u64, lanes: &[u64], payload: &[u8]) -> Vec<u8> {
+        let mut out = prefix.to_vec();
+        write_varint(&mut out, payload_len);
+        for &l in lanes {
+            write_varint(&mut out, l);
+        }
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn rans8_roundtrips_every_short_length() {
+        // 0..=33 covers every lane-count residue twice plus the empty
+        // stream: lanes that never see a symbol still carry seed states.
+        let mut state = 0xC0FFEEu64;
+        for n in 0..=33usize {
+            let symbols: Vec<u32> = (0..n)
+                .map(|_| {
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((state >> 33) % 11) as u32
+                })
+                .collect();
+            roundtrip8(&symbols);
+        }
+    }
+
+    #[test]
+    fn rans8_mode_byte_is_self_describing() {
+        assert_eq!(roundtrip8(&[1, 2, 3, 1, 2, 3, 3, 3])[0], MODE_RANS8);
+        assert_eq!(roundtrip8(&[])[0], MODE_RANS8);
+    }
+
+    #[test]
+    fn rans8_single_symbol_payload_is_exactly_the_seeds() {
+        // freq == SCALE makes every coding step the identity; the payload
+        // is the eight flushed seed states and nothing else.
+        let encoded = roundtrip8(&[42; 100_000]);
+        let (_, payload_len, lanes, payload) = split8(&encoded);
+        assert_eq!(payload_len, 4 * LANES as u64);
+        assert_eq!(lanes, vec![4u64; LANES]);
+        assert_eq!(payload.len(), 4 * LANES);
+    }
+
+    #[test]
+    fn rans8_huge_single_symbol_runs_under_the_cap_roundtrip() {
+        let symbols = vec![3u32; 30_000_000];
+        let encoded = rans8_encode(&symbols);
+        let (decoded, used) = rans8_decode(&encoded).unwrap();
+        assert_eq!(decoded, symbols);
+        assert_eq!(used, encoded.len());
+    }
+
+    #[test]
+    fn rans8_dense_and_skewed_streams_roundtrip() {
+        let mut state = 0x8BADF00Du64;
+        let mut rng = move |m: u32| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % u64::from(m)) as u32
+        };
+        let dense: Vec<u32> = (0..50_000).map(|_| rng(300)).collect();
+        roundtrip8(&dense);
+        let mut skewed = vec![0u32; 80_000];
+        for s in skewed.iter_mut().step_by(89) {
+            *s = rng(17) + 1;
+        }
+        roundtrip8(&skewed);
+        let sparse = vec![0u32, u32::MAX, 123_456_789, 42, u32::MAX, 42, 0, 0, 7];
+        roundtrip8(&sparse);
+    }
+
+    #[test]
+    fn rans8_wide_alphabet_falls_back_to_shared_huffman() {
+        // > 4096 distinct symbols: both encoders emit the same mode-1
+        // Huffman stream, and both decoders accept it — the fallback is the
+        // only cross-decodable mode.
+        let symbols: Vec<u32> = (0..6000u32).collect();
+        let from8 = rans8_encode(&symbols);
+        assert_eq!(from8[0], MODE_HUFF);
+        assert_eq!(from8, rans_encode(&symbols));
+        let (via2, _) = rans_decode(&from8).unwrap();
+        let (via8, _) = rans8_decode(&from8).unwrap();
+        assert_eq!(via2, symbols);
+        assert_eq!(via8, symbols);
+    }
+
+    #[test]
+    fn the_two_formats_reject_each_other_cleanly() {
+        let symbols: Vec<u32> = (0..200u32).map(|i| i % 9).collect();
+        let two_way = rans_encode(&symbols);
+        let eight_way = rans8_encode(&symbols);
+        match rans_decode(&eight_way) {
+            Err(CodecError::Corrupt(msg)) => {
+                assert!(msg.contains("unknown rans mode 2"), "got: {msg}")
+            }
+            other => panic!("2-way decoder accepted an 8-way stream: {other:?}"),
+        }
+        match rans8_decode(&two_way) {
+            Err(CodecError::Corrupt(msg)) => {
+                assert!(msg.contains("unknown rans8 mode 0"), "got: {msg}")
+            }
+            other => panic!("8-way decoder accepted a 2-way stream: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rans8_forged_mode_byte_is_rejected() {
+        let mut bad = rans8_encode(&[1, 2, 3]);
+        bad[0] = 7;
+        match rans8_decode(&bad) {
+            Err(CodecError::Corrupt(msg)) => {
+                assert!(msg.contains("unknown rans8 mode 7"), "got: {msg}")
+            }
+            other => panic!("forged mode accepted: {other:?}"),
+        }
+        assert_eq!(rans8_decode(&[]), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn rans8_truncated_lane_length_header_is_eof() {
+        // A stream that ends after three of the eight lane-length varints.
+        let mut bad = vec![MODE_RANS8];
+        write_varint(&mut bad, 4); // n_symbols
+        write_varint(&mut bad, 2); // alphabet {0, 1}, 2048 each
+        write_varint(&mut bad, 0);
+        write_varint(&mut bad, 2048);
+        write_varint(&mut bad, 1);
+        write_varint(&mut bad, 2048);
+        write_varint(&mut bad, 32); // payload_len
+        for _ in 0..3 {
+            write_varint(&mut bad, 4);
+        }
+        assert_eq!(rans8_decode(&bad), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn rans8_lane_length_sum_mismatch_is_rejected() {
+        let symbols: Vec<u32> = (0..64u32).map(|i| i % 5).collect();
+        let (prefix, payload_len, mut lanes, payload) = split8(&rans8_encode(&symbols));
+        lanes[0] += 1; // sum no longer matches the payload length
+        let bad = join8(&prefix, payload_len, &lanes, &payload);
+        match rans8_decode(&bad) {
+            Err(CodecError::Corrupt(msg)) => {
+                assert!(msg.contains("lane lengths sum"), "got: {msg}")
+            }
+            other => panic!("sum mismatch accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rans8_lane_shorter_than_its_seed_is_rejected() {
+        // Lane lengths that sum correctly but starve lane 0 of its seed.
+        let mut bad = vec![MODE_RANS8];
+        write_varint(&mut bad, 4);
+        write_varint(&mut bad, 2);
+        write_varint(&mut bad, 0);
+        write_varint(&mut bad, 2048);
+        write_varint(&mut bad, 1);
+        write_varint(&mut bad, 2048);
+        write_varint(&mut bad, 32);
+        for len in [3u64, 5, 4, 4, 4, 4, 4, 4] {
+            write_varint(&mut bad, len);
+        }
+        bad.extend_from_slice(&[0u8; 32]);
+        match rans8_decode(&bad) {
+            Err(CodecError::Corrupt(msg)) => {
+                assert!(msg.contains("too short for its seed state"), "got: {msg}")
+            }
+            other => panic!("short lane accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rans8_undrained_lane_bytes_are_rejected() {
+        // Append a byte to lane 7's region (header kept consistent): the
+        // state walk never consumes it, so the drain check must fire.
+        let symbols: Vec<u32> = (0..64u32).map(|i| i % 5).collect();
+        let (prefix, payload_len, mut lanes, mut payload) = split8(&rans8_encode(&symbols));
+        lanes[LANES - 1] += 1;
+        payload.push(0x00);
+        let bad = join8(&prefix, payload_len + 1, &lanes, &payload);
+        match rans8_decode(&bad) {
+            Err(CodecError::Corrupt(msg)) => {
+                assert!(msg.contains("undecoded trailing bytes"), "got: {msg}")
+            }
+            other => panic!("undrained lane accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rans8_forged_seed_state_is_rejected() {
+        // Flip the low byte of lane 0's seed in a multi-symbol stream: the
+        // walk diverges, so decode must error (seed check or mid-stream).
+        let symbols: Vec<u32> = (0..64u32).map(|i| i % 5).collect();
+        let (prefix, payload_len, lanes, mut payload) = split8(&rans8_encode(&symbols));
+        payload[0] ^= 0xFF;
+        let bad = join8(&prefix, payload_len, &lanes, &payload);
+        match rans8_decode(&bad) {
+            Err(_) => {}
+            Ok((decoded, _)) => assert_eq!(decoded.len(), symbols.len()),
+        }
+    }
+
+    #[test]
+    fn rans8_degenerate_forgeries_are_rejected() {
+        // 2^60 claimed symbols over a single-symbol table: the run cap.
+        let mut bad = vec![MODE_RANS8];
+        write_varint(&mut bad, 1u64 << 60);
+        write_varint(&mut bad, 1);
+        write_varint(&mut bad, 7);
+        write_varint(&mut bad, u64::from(SCALE));
+        write_varint(&mut bad, 4 * LANES as u64);
+        for _ in 0..LANES {
+            write_varint(&mut bad, 4);
+        }
+        for _ in 0..LANES {
+            bad.extend_from_slice(&RANS_L.to_le_bytes());
+        }
+        assert!(matches!(rans8_decode(&bad), Err(CodecError::Corrupt(_))));
+
+        // A single-symbol stream with payload beyond the eight seeds.
+        let mut bad = vec![MODE_RANS8];
+        write_varint(&mut bad, 4);
+        write_varint(&mut bad, 1);
+        write_varint(&mut bad, 7);
+        write_varint(&mut bad, u64::from(SCALE));
+        write_varint(&mut bad, 4 * LANES as u64 + 1);
+        write_varint(&mut bad, 5);
+        for _ in 1..LANES {
+            write_varint(&mut bad, 4);
+        }
+        for _ in 0..LANES {
+            bad.extend_from_slice(&RANS_L.to_le_bytes());
+        }
+        bad.push(0xAB);
+        assert!(matches!(rans8_decode(&bad), Err(CodecError::Corrupt(_))));
+
+        // A multi-symbol table over a seeds-only payload claiming 10M
+        // symbols: the information bound.
+        let mut bad = vec![MODE_RANS8];
+        write_varint(&mut bad, 10_000_000);
+        write_varint(&mut bad, 2);
+        write_varint(&mut bad, 0);
+        write_varint(&mut bad, 4095);
+        write_varint(&mut bad, 1);
+        write_varint(&mut bad, 1);
+        write_varint(&mut bad, 4 * LANES as u64);
+        for _ in 0..LANES {
+            write_varint(&mut bad, 4);
+        }
+        for _ in 0..LANES {
+            bad.extend_from_slice(&RANS_L.to_le_bytes());
+        }
+        match rans8_decode(&bad) {
+            Err(CodecError::Corrupt(msg)) => {
+                assert!(msg.contains("implausible"), "got: {msg}")
+            }
+            other => panic!("expected the information-bound rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rans8_byte_entry_points_match_widened_u32_streams() {
+        let bytes: Vec<u8> = (0..20_000usize).map(|i| (i * i % 251) as u8).collect();
+        let widened: Vec<u32> = bytes.iter().map(|&b| u32::from(b)).collect();
+        let mut scratch = RansScratch::new();
+        let mut from_bytes = Vec::new();
+        rans8_encode_bytes_with(&mut scratch, &bytes, &mut from_bytes);
+        assert_eq!(from_bytes, rans8_encode(&widened));
+        let mut back = Vec::new();
+        let used = rans8_decode_bytes_with(&mut scratch, &from_bytes, &mut back).unwrap();
+        assert_eq!(back, bytes);
+        assert_eq!(used, from_bytes.len());
+
+        let wide = rans8_encode(&[300u32; 50]);
+        let mut out = Vec::new();
+        assert!(matches!(
+            rans8_decode_bytes_with(&mut scratch, &wide, &mut out),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rans8_decode_reports_consumed_length_inside_container() {
+        let encoded = rans8_encode(&[9, 9, 8, 7, 9, 8, 7, 6, 5, 9]);
+        let mut container = encoded.clone();
+        container.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        let (decoded, used) = rans8_decode(&container).unwrap();
+        assert_eq!(decoded, vec![9, 9, 8, 7, 9, 8, 7, 6, 5, 9]);
+        assert_eq!(used, encoded.len());
+    }
+
+    #[test]
+    fn rans8_truncated_streams_are_errors() {
+        let encoded = rans8_encode(&[1, 2, 3, 1, 2, 3, 3, 3, 200, 1, 1, 5, 4, 3, 2, 1, 1]);
+        for cut in 0..encoded.len() {
+            assert!(rans8_decode(&encoded[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rans8_every_supported_level_decodes_identically() {
+        use crate::dispatch::supported_levels;
+        // Same regimes as the 2-way tier test: dense high-entropy streams
+        // (unchecked chunks, heavy renormalization — the AVX2 mask path),
+        // skewed streams with tiny payloads (careful chunks), every short
+        // length residue, and the full byte alphabet.
+        let mut state = 0xDEAD8EEFu64;
+        let mut rng = move |m: u32| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % u64::from(m)) as u32
+        };
+        let dense: Vec<u32> = (0..30_007).map(|_| rng(300)).collect();
+        let mut skewed = vec![0u32; 60_000];
+        for s in skewed.iter_mut().step_by(97) {
+            *s = rng(17) + 1;
+        }
+        let cases: Vec<Vec<u32>> = vec![
+            dense,
+            skewed,
+            vec![5],
+            vec![5, 6, 5],
+            (0..u32::from(u8::MAX) + 1).collect(),
+            (0..13).map(|_| rng(7)).collect(),
+        ];
+        let mut scratch = RansScratch::new();
+        for (case, symbols) in cases.iter().enumerate() {
+            let encoded = rans8_encode(symbols);
+            let mut reference = Vec::new();
+            let used_ref =
+                rans8_decode_with_at(&mut scratch, SimdLevel::Scalar, &encoded, &mut reference)
+                    .unwrap();
+            assert_eq!(&reference, symbols);
+            for &level in supported_levels() {
+                let mut out = Vec::new();
+                let used = rans8_decode_with_at(&mut scratch, level, &encoded, &mut out).unwrap();
+                assert_eq!(out, reference, "case={case} level={level:?}");
+                assert_eq!(used, used_ref, "case={case} level={level:?}");
+            }
+            // Truncations fail identically at every level.
+            for cut in [encoded.len() / 3, encoded.len() - 1] {
+                let reference_err = rans8_decode_with_at(
+                    &mut scratch,
+                    SimdLevel::Scalar,
+                    &encoded[..cut],
+                    &mut Vec::new(),
+                );
+                for &level in supported_levels() {
+                    let got =
+                        rans8_decode_with_at(&mut scratch, level, &encoded[..cut], &mut Vec::new());
+                    assert_eq!(got, reference_err, "case={case} cut={cut} level={level:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rans8_byte_sink_levels_agree() {
+        use crate::dispatch::supported_levels;
+        let bytes: Vec<u8> = (0..40_000usize).map(|i| (i * 31 % 251) as u8).collect();
+        let mut scratch = RansScratch::new();
+        let mut encoded = Vec::new();
+        rans8_encode_bytes_with(&mut scratch, &bytes, &mut encoded);
+        for &level in supported_levels() {
+            let mut out = Vec::new();
+            let used = rans8_decode_bytes_with_at(&mut scratch, level, &encoded, &mut out).unwrap();
+            assert_eq!(out, bytes, "level={level:?}");
+            assert_eq!(used, encoded.len());
+        }
+    }
+
+    #[test]
+    fn rans8_compresses_like_the_2_way_format() {
+        // Eight states cost 24 more flush bytes plus the lane-length header;
+        // on real streams the ratio difference must stay marginal.
+        let mut state = 0x777u64;
+        let symbols: Vec<u32> = (0..100_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33).trailing_zeros() % 24
+            })
+            .collect();
+        let two = rans_encode(&symbols).len();
+        let eight = rans8_encode(&symbols).len();
+        assert!(
+            eight as f64 <= two as f64 * 1.01 + 64.0,
+            "8-way stream {eight} bytes vs 2-way {two}"
+        );
     }
 }

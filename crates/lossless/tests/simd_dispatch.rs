@@ -9,7 +9,8 @@
 //! decisions would fail here before it could invalidate archives.
 
 use lcc_lossless::{
-    lz77_compress_with_at, lz77_decompress, rans_decode_bytes_with_at, rans_decode_with_at,
+    lz77_compress_with_at, lz77_decompress, rans8_decode_bytes_with_at, rans8_decode_with_at,
+    rans8_encode, rans8_encode_bytes_with, rans_decode_bytes_with_at, rans_decode_with_at,
     rans_encode, rans_encode_bytes_with, supported_levels, xxh64_at, CodecScratch, RansScratch,
     SimdLevel,
 };
@@ -138,6 +139,81 @@ fn every_level_fails_identically_on_truncated_rans_streams() {
                 _ => panic!("cut {cut} at {level:?}: scalar {reference:?} vs {got:?}"),
             }
         }
+    }
+}
+
+#[test]
+fn every_level_decodes_rans8_symbol_streams_identically() {
+    // The 8-way format exercises a different kernel per tier (scalar
+    // round-robin, SSE4 8-chain, AVX2 gather + vector renorm); the decoded
+    // symbols and consumed byte count must nonetheless be bit-identical.
+    let mut state = 0xFEED_F00Du64;
+    let inputs: Vec<Vec<u32>> = vec![
+        Vec::new(),
+        vec![0; 1],
+        vec![7; 9], // one ragged round: lanes 0..1 hold 2 symbols, lanes 2..7 one
+        vec![42; 50_000],
+        (0..40_000).map(|_| (lcg(&mut state) % 700) as u32).collect(),
+        (0..30_001).map(|_| lcg(&mut state).trailing_zeros()).collect(),
+    ];
+    let mut scratch = RansScratch::new();
+    for (case, symbols) in inputs.iter().enumerate() {
+        let encoded = rans8_encode(symbols);
+        let mut reference = Vec::new();
+        let consumed =
+            rans8_decode_with_at(&mut scratch, SimdLevel::Scalar, &encoded, &mut reference)
+                .unwrap();
+        assert_eq!(&reference, symbols, "case {case}");
+        assert_eq!(consumed, encoded.len(), "case {case}");
+        for &level in &supported_levels()[1..] {
+            let mut out = Vec::new();
+            let c = rans8_decode_with_at(&mut scratch, level, &encoded, &mut out).unwrap();
+            assert_eq!(out, reference, "case {case} at {level:?}");
+            assert_eq!(c, consumed, "case {case} at {level:?}");
+        }
+    }
+}
+
+#[test]
+fn every_level_fails_identically_on_truncated_rans8_streams() {
+    let mut state = 0xBAD_C0DEu64;
+    let symbols: Vec<u32> = (0..20_000).map(|_| (lcg(&mut state) % 300) as u32).collect();
+    let encoded = rans8_encode(&symbols);
+    let mut scratch = RansScratch::new();
+    for cut in [encoded.len() / 4, encoded.len() / 2, encoded.len() - 1] {
+        let truncated = &encoded[..cut];
+        let mut out = Vec::new();
+        let reference = rans8_decode_with_at(&mut scratch, SimdLevel::Scalar, truncated, &mut out)
+            .map(|c| (c, std::mem::take(&mut out)));
+        for &level in &supported_levels()[1..] {
+            let mut out = Vec::new();
+            let got = rans8_decode_with_at(&mut scratch, level, truncated, &mut out)
+                .map(|c| (c, std::mem::take(&mut out)));
+            match (&reference, &got) {
+                (Err(a), Err(b)) => {
+                    assert_eq!(format!("{a}"), format!("{b}"), "cut {cut} at {level:?}")
+                }
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "cut {cut} at {level:?}"),
+                _ => panic!("cut {cut} at {level:?}: scalar {reference:?} vs {got:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_level_decodes_rans8_byte_streams_identically() {
+    let mut state = 0x5EED_1234u64;
+    let data: Vec<u8> = (0..60_000).map(|_| (lcg(&mut state) % 41) as u8).collect();
+    let mut scratch = RansScratch::new();
+    let mut encoded = Vec::new();
+    rans8_encode_bytes_with(&mut scratch, &data, &mut encoded);
+    let mut reference = Vec::new();
+    rans8_decode_bytes_with_at(&mut scratch, SimdLevel::Scalar, &encoded, &mut reference).unwrap();
+    assert_eq!(reference, data);
+    for &level in &supported_levels()[1..] {
+        let mut out = Vec::new();
+        rans8_decode_bytes_with_at(&mut scratch, level, &encoded, &mut out).unwrap();
+        assert_eq!(out, reference, "{level:?}");
     }
 }
 

@@ -38,7 +38,8 @@ pub mod decompose;
 use lcc_grid::{Field2D, FieldView};
 use lcc_lossless::{
     huffman_decode_with, huffman_encode_with, lz77_compress_with, lz77_decompress_into,
-    rans_decode_with, rans_encode_with, CodecScratch, EntropyBackend, RansScratch,
+    rans8_decode_with, rans8_encode_with, rans_decode_with, rans_encode_with, CodecScratch,
+    EntropyBackend, RansScratch,
 };
 use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound, ScratchArena};
 
@@ -55,7 +56,9 @@ pub struct MgardConfig {
     /// plus the outer LZ77 pass — byte-identical to every earlier release.
     /// [`EntropyBackend::Rans`] emits the `LMR1` container: interleaved rANS
     /// codes and no outer LZ77 pass (the ratio-vs-throughput ablation's fast
-    /// point).
+    /// point). [`EntropyBackend::Rans8`] emits the `LM81` container — the
+    /// same layout with the 8-way interleaved stream, whose decoder runs
+    /// wide under SIMD dispatch.
     pub entropy: EntropyBackend,
 }
 
@@ -87,6 +90,14 @@ impl MgardCompressor {
         })
     }
 
+    /// Create the 8-way rANS-backend variant (registry name `mgard-rans8`).
+    pub fn rans8() -> Self {
+        MgardCompressor::new(MgardConfig {
+            entropy: EntropyBackend::Rans8,
+            ..MgardConfig::default()
+        })
+    }
+
     /// The active configuration.
     pub fn config(&self) -> MgardConfig {
         self.config
@@ -100,6 +111,10 @@ const MAGIC: &[u8; 4] = b"LMG1";
 /// byte could read as `b'L'` the next byte is a token tag of `0x00`/`0x01`,
 /// never `b'M'`.
 const RANS_MAGIC: &[u8; 4] = b"LMR1";
+/// Magic of the 8-way rANS-backend container — same top-level raw layout as
+/// `LMR1` (and the same collision argument against `LMG1` streams), but the
+/// coefficient section holds an 8-lane interleaved stream.
+const RANS8_MAGIC: &[u8; 4] = b"LM81";
 
 /// Reusable working memory of the MGARD compress path: the multilevel
 /// coefficient workspace, the code/exact buffers, the assembled payload and
@@ -171,6 +186,7 @@ impl MgardCompressor {
         payload.extend_from_slice(match self.config.entropy {
             EntropyBackend::Huffman => MAGIC,
             EntropyBackend::Rans => RANS_MAGIC,
+            EntropyBackend::Rans8 => RANS8_MAGIC,
         });
         payload.extend_from_slice(&(ny as u64).to_le_bytes());
         payload.extend_from_slice(&(nx as u64).to_le_bytes());
@@ -181,6 +197,7 @@ impl MgardCompressor {
         match self.config.entropy {
             EntropyBackend::Huffman => huffman_encode_with(&mut s.codec, &s.codes, &mut s.huff),
             EntropyBackend::Rans => rans_encode_with(&mut s.rans, &s.codes, &mut s.huff),
+            EntropyBackend::Rans8 => rans8_encode_with(&mut s.rans, &s.codes, &mut s.huff),
         }
         payload.extend_from_slice(&(s.huff.len() as u64).to_le_bytes());
         payload.extend_from_slice(&s.huff);
@@ -194,10 +211,10 @@ impl MgardCompressor {
                 lz77_compress_with(&mut s.codec, &s.payload, &mut out);
                 Ok(out)
             }
-            // The rANS payload ships raw: the coefficient stream is already
+            // The rANS payloads ship raw: the coefficient stream is already
             // entropy-coded, so the LZ77 pass would trade most of the encode
             // time for ~no ratio.
-            EntropyBackend::Rans => Ok(s.payload.clone()),
+            EntropyBackend::Rans | EntropyBackend::Rans8 => Ok(s.payload.clone()),
         }
     }
 }
@@ -207,6 +224,7 @@ impl Compressor for MgardCompressor {
         match self.config.entropy {
             EntropyBackend::Huffman => "mgard",
             EntropyBackend::Rans => "mgard-rans",
+            EntropyBackend::Rans8 => "mgard-rans8",
         }
     }
 
@@ -218,6 +236,10 @@ impl Compressor for MgardCompressor {
             EntropyBackend::Rans => {
                 "MGARD-style multilevel interpolation decomposition with level-aware \
                  quantization and interleaved rANS"
+            }
+            EntropyBackend::Rans8 => {
+                "MGARD-style multilevel interpolation decomposition with level-aware \
+                 quantization and 8-way interleaved rANS"
             }
         }
     }
@@ -246,9 +268,10 @@ impl Compressor for MgardCompressor {
         out: &mut Field2D,
     ) -> Result<(), CompressError> {
         let s = scratch.get_or_default::<MgardScratch>();
-        // Streams self-describe their backend: `LMR1` containers are raw at
-        // the top level, everything else is the historical LZ77 wrapping.
-        let payload: &[u8] = if stream.starts_with(RANS_MAGIC) {
+        // Streams self-describe their backend: `LMR1`/`LM81` containers are
+        // raw at the top level, everything else is the historical LZ77
+        // wrapping.
+        let payload: &[u8] = if stream.starts_with(RANS_MAGIC) || stream.starts_with(RANS8_MAGIC) {
             stream
         } else {
             lz77_decompress_into(stream, &mut s.dec_payload)
@@ -271,6 +294,8 @@ impl Compressor for MgardCompressor {
             EntropyBackend::Huffman
         } else if magic == RANS_MAGIC {
             EntropyBackend::Rans
+        } else if magic == RANS8_MAGIC {
+            EntropyBackend::Rans8
         } else {
             return Err(CompressError::CorruptStream("bad magic".into()));
         };
@@ -294,6 +319,8 @@ impl Compressor for MgardCompressor {
                 .map_err(|e| CompressError::CorruptStream(format!("huffman: {e}")))?,
             EntropyBackend::Rans => rans_decode_with(&mut s.rans, huff, &mut s.codes)
                 .map_err(|e| CompressError::CorruptStream(format!("rans: {e}")))?,
+            EntropyBackend::Rans8 => rans8_decode_with(&mut s.rans, huff, &mut s.codes)
+                .map_err(|e| CompressError::CorruptStream(format!("rans8: {e}")))?,
         };
         if s.codes.len() != cells {
             return Err(CompressError::CorruptStream("code count mismatch".into()));
@@ -455,33 +482,45 @@ mod tests {
         let rans = MgardCompressor::rans();
         assert_eq!(rans.name(), "mgard-rans");
         assert!(rans.description().contains("rANS"));
+        let rans8 = MgardCompressor::rans8();
+        assert_eq!(rans8.name(), "mgard-rans8");
+        assert!(rans8.description().contains("8-way"));
     }
 
     #[test]
     fn rans_backend_respects_bounds_and_decodes_identically() {
-        // The entropy stage is lossless, so the two backends must decode to
-        // bit-identical fields — and either compressor instance must decode
-        // the other's self-describing stream.
+        // The entropy stage is lossless, so all backends must decode to
+        // bit-identical fields — and every compressor instance must decode
+        // every other's self-describing stream.
         let huff = MgardCompressor::default();
         let rans = MgardCompressor::rans();
+        let rans8 = MgardCompressor::rans8();
         for field in [smooth(64, 64), smooth(61, 83), rough(64, 11)] {
             for eb in [1e-4, 1e-2] {
                 let a = huff.compress(&field, ErrorBound::Absolute(eb)).unwrap();
                 let b = rans.compress(&field, ErrorBound::Absolute(eb)).unwrap();
+                let c = rans8.compress(&field, ErrorBound::Absolute(eb)).unwrap();
                 assert!(b.metrics.max_abs_error <= eb);
+                assert!(c.metrics.max_abs_error <= eb);
                 assert_eq!(a.reconstruction, b.reconstruction, "backends disagree at eb={eb}");
+                assert_eq!(a.reconstruction, c.reconstruction, "rans8 disagrees at eb={eb}");
                 assert!(b.stream.starts_with(RANS_MAGIC));
-                assert_eq!(huff.decompress_field(&b.stream).unwrap(), b.reconstruction);
-                assert_eq!(rans.decompress_field(&a.stream).unwrap(), a.reconstruction);
+                assert!(c.stream.starts_with(RANS8_MAGIC));
+                for decoder in [&huff, &rans, &rans8] {
+                    assert_eq!(decoder.decompress_field(&a.stream).unwrap(), a.reconstruction);
+                    assert_eq!(decoder.decompress_field(&b.stream).unwrap(), b.reconstruction);
+                    assert_eq!(decoder.decompress_field(&c.stream).unwrap(), c.reconstruction);
+                }
             }
         }
     }
 
     #[test]
     fn rans_streams_reject_corruption() {
-        let rans = MgardCompressor::rans();
-        let stream = rans.compress_field(&smooth(32, 32), ErrorBound::Absolute(1e-3)).unwrap();
-        assert!(rans.decompress_field(&stream[..stream.len() / 2]).is_err());
-        assert!(rans.decompress_field(&stream[..5]).is_err());
+        for c in [MgardCompressor::rans(), MgardCompressor::rans8()] {
+            let stream = c.compress_field(&smooth(32, 32), ErrorBound::Absolute(1e-3)).unwrap();
+            assert!(c.decompress_field(&stream[..stream.len() / 2]).is_err());
+            assert!(c.decompress_field(&stream[..5]).is_err());
+        }
     }
 }

@@ -38,7 +38,8 @@ use lcc_grid::{Field2D, FieldView, WindowIter};
 use lcc_lossless::dispatch::simd_level;
 use lcc_lossless::{
     huffman_decode_with, huffman_encode_with, lz77_compress_with, lz77_decompress_into,
-    rans_decode_with, rans_encode_with, CodecScratch, EntropyBackend, RansScratch,
+    rans8_decode_with, rans8_encode_with, rans_decode_with, rans_encode_with, CodecScratch,
+    EntropyBackend, RansScratch,
 };
 use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound, ScratchArena};
 use predictor::{lorenzo_predict, plane_predict, BlockMode};
@@ -62,6 +63,9 @@ pub struct SzConfig {
     /// codes and **no** outer LZ77 pass (rANS output is already near the
     /// entropy, so the pass costs most of the encode time for ~no ratio) —
     /// the fast point of the ratio-vs-throughput ablation.
+    /// [`EntropyBackend::Rans8`] emits the `LS81` container: identical layout
+    /// to `LSR1` but with the 8-way interleaved rANS stream, whose decoder
+    /// runs wide under SIMD dispatch — the throughput-first point.
     pub entropy: EntropyBackend,
 }
 
@@ -100,6 +104,11 @@ impl SzCompressor {
         SzCompressor::new(SzConfig { entropy: EntropyBackend::Rans, ..SzConfig::default() })
     }
 
+    /// Create the 8-way rANS-backend variant (registry name `sz-rans8`).
+    pub fn rans8() -> Self {
+        SzCompressor::new(SzConfig { entropy: EntropyBackend::Rans8, ..SzConfig::default() })
+    }
+
     /// The active configuration.
     pub fn config(&self) -> SzConfig {
         self.config
@@ -113,6 +122,10 @@ const MAGIC: &[u8; 4] = b"LSZ1";
 /// first byte could read as `b'L'` (a single-byte varint, high bit clear)
 /// the next byte is a token tag of `0x00`/`0x01`, never `b'S'`.
 const RANS_MAGIC: &[u8; 4] = b"LSR1";
+/// Magic of the 8-way rANS-backend container — same top-level raw layout as
+/// `LSR1` (and the same collision argument against `LSZ1` streams), but the
+/// codes section holds an 8-lane interleaved stream.
+const RANS8_MAGIC: &[u8; 4] = b"LS81";
 
 /// Reusable working memory of the SZ compress path: one instance per sweep
 /// worker (held in a [`ScratchArena`]) turns every per-call allocation —
@@ -277,6 +290,7 @@ impl SzCompressor {
         w.bytes(match self.config.entropy {
             EntropyBackend::Huffman => MAGIC,
             EntropyBackend::Rans => RANS_MAGIC,
+            EntropyBackend::Rans8 => RANS8_MAGIC,
         });
         w.u64(ny as u64);
         w.u64(nx as u64);
@@ -300,6 +314,7 @@ impl SzCompressor {
         match self.config.entropy {
             EntropyBackend::Huffman => huffman_encode_with(&mut s.codec, &s.codes, &mut s.huff),
             EntropyBackend::Rans => rans_encode_with(&mut s.rans, &s.codes, &mut s.huff),
+            EntropyBackend::Rans8 => rans8_encode_with(&mut s.rans, &s.codes, &mut s.huff),
         }
         w.u64(s.huff.len() as u64);
         w.bytes(&s.huff);
@@ -315,10 +330,10 @@ impl SzCompressor {
                 lz77_compress_with(&mut s.codec, s.payload.as_bytes(), &mut out);
                 Ok(out)
             }
-            // The rANS payload ships raw: its dominant section is already
+            // The rANS payloads ship raw: their dominant section is already
             // entropy-coded, so the LZ77 pass would trade most of the encode
-            // time for ~no ratio (the ablation's fast point).
-            EntropyBackend::Rans => Ok(s.payload.as_bytes().to_vec()),
+            // time for ~no ratio (the ablation's fast points).
+            EntropyBackend::Rans | EntropyBackend::Rans8 => Ok(s.payload.as_bytes().to_vec()),
         }
     }
 }
@@ -328,6 +343,7 @@ impl Compressor for SzCompressor {
         match self.config.entropy {
             EntropyBackend::Huffman => "sz",
             EntropyBackend::Rans => "sz-rans",
+            EntropyBackend::Rans8 => "sz-rans8",
         }
     }
 
@@ -340,6 +356,10 @@ impl Compressor for SzCompressor {
             EntropyBackend::Rans => {
                 "SZ-style block prediction (Lorenzo + regression) with linear quantization \
                  and interleaved rANS"
+            }
+            EntropyBackend::Rans8 => {
+                "SZ-style block prediction (Lorenzo + regression) with linear quantization \
+                 and 8-way interleaved rANS"
             }
         }
     }
@@ -368,9 +388,10 @@ impl Compressor for SzCompressor {
         out: &mut Field2D,
     ) -> Result<(), CompressError> {
         let s = scratch.get_or_default::<SzScratch>();
-        // Streams self-describe their backend: `LSR1` containers are raw at
-        // the top level, everything else is the historical LZ77 wrapping.
-        let payload: &[u8] = if stream.starts_with(RANS_MAGIC) {
+        // Streams self-describe their backend: `LSR1`/`LS81` containers are
+        // raw at the top level, everything else is the historical LZ77
+        // wrapping.
+        let payload: &[u8] = if stream.starts_with(RANS_MAGIC) || stream.starts_with(RANS8_MAGIC) {
             stream
         } else {
             lz77_decompress_into(stream, &mut s.dec_payload)
@@ -383,6 +404,8 @@ impl Compressor for SzCompressor {
             EntropyBackend::Huffman
         } else if magic == RANS_MAGIC {
             EntropyBackend::Rans
+        } else if magic == RANS8_MAGIC {
+            EntropyBackend::Rans8
         } else {
             return Err(CompressError::CorruptStream("bad magic".into()));
         };
@@ -426,6 +449,8 @@ impl Compressor for SzCompressor {
                 .map_err(|e| CompressError::CorruptStream(format!("huffman: {e}")))?,
             EntropyBackend::Rans => rans_decode_with(&mut s.rans, huff_bytes, &mut s.codes)
                 .map_err(|e| CompressError::CorruptStream(format!("rans: {e}")))?,
+            EntropyBackend::Rans8 => rans8_decode_with(&mut s.rans, huff_bytes, &mut s.codes)
+                .map_err(|e| CompressError::CorruptStream(format!("rans8: {e}")))?,
         };
         if s.codes.len() != cells {
             return Err(CompressError::CorruptStream(format!(
@@ -645,27 +670,53 @@ mod tests {
         let rans = SzCompressor::rans();
         assert_eq!(rans.name(), "sz-rans");
         assert!(rans.description().contains("rANS"));
+        let rans8 = SzCompressor::rans8();
+        assert_eq!(rans8.name(), "sz-rans8");
+        assert!(rans8.description().contains("8-way"));
     }
 
     #[test]
     fn rans_backend_respects_bounds_and_decodes_identically() {
-        // The entropy stage is lossless, so the two backends must decode to
-        // bit-identical fields — and either compressor instance must decode
-        // the other's self-describing stream.
+        // The entropy stage is lossless, so all backends must decode to
+        // bit-identical fields — and every compressor instance must decode
+        // every other's self-describing stream.
         let huff = SzCompressor::default();
         let rans = SzCompressor::rans();
+        let rans8 = SzCompressor::rans8();
         for field in [smooth_field(80), rough_field(64, 7)] {
             for eb in [1e-4, 1e-2] {
                 let a = huff.compress(&field, ErrorBound::Absolute(eb)).unwrap();
                 let b = rans.compress(&field, ErrorBound::Absolute(eb)).unwrap();
+                let c = rans8.compress(&field, ErrorBound::Absolute(eb)).unwrap();
                 assert!(b.metrics.max_abs_error <= eb);
+                assert!(c.metrics.max_abs_error <= eb);
                 assert_eq!(a.reconstruction, b.reconstruction, "backends disagree at eb={eb}");
+                assert_eq!(a.reconstruction, c.reconstruction, "rans8 disagrees at eb={eb}");
                 assert_ne!(a.stream, b.stream, "containers must differ");
+                assert_ne!(b.stream, c.stream, "rans containers must differ");
                 assert!(b.stream.starts_with(RANS_MAGIC));
-                assert_eq!(huff.decompress_field(&b.stream).unwrap(), b.reconstruction);
-                assert_eq!(rans.decompress_field(&a.stream).unwrap(), a.reconstruction);
+                assert!(c.stream.starts_with(RANS8_MAGIC));
+                for decoder in [&huff, &rans, &rans8] {
+                    assert_eq!(decoder.decompress_field(&a.stream).unwrap(), a.reconstruction);
+                    assert_eq!(decoder.decompress_field(&b.stream).unwrap(), b.reconstruction);
+                    assert_eq!(decoder.decompress_field(&c.stream).unwrap(), c.reconstruction);
+                }
             }
         }
+    }
+
+    #[test]
+    fn rans8_streams_reject_corruption() {
+        let rans8 = SzCompressor::rans8();
+        let stream = rans8.compress_field(&smooth_field(32), ErrorBound::Absolute(1e-3)).unwrap();
+        assert!(rans8.decompress_field(&stream[..stream.len() / 2]).is_err());
+        assert!(rans8.decompress_field(&stream[..6]).is_err());
+        let mut bad = stream.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x55;
+        // Must error or (if the flip landed in slack) decode cleanly — never
+        // panic.
+        let _ = rans8.decompress_field(&bad);
     }
 
     #[test]

@@ -41,8 +41,9 @@ pub mod transform;
 
 use lcc_grid::{Field2D, FieldView};
 use lcc_lossless::{
-    lz77_compress_with, lz77_decompress_into, rans_decode_bytes_with, rans_encode_bytes_with,
-    BitReader, BitWriter, CodecScratch, EntropyBackend, RansScratch,
+    lz77_compress_with, lz77_decompress_into, rans8_decode_bytes_with, rans8_encode_bytes_with,
+    rans_decode_bytes_with, rans_encode_bytes_with, BitReader, BitWriter, CodecScratch,
+    EntropyBackend, RansScratch,
 };
 use lcc_pressio::{validate_finite_view, CompressError, Compressor, ErrorBound, ScratchArena};
 
@@ -64,8 +65,9 @@ pub struct ZfpConfig {
     /// Which lossless pass `lossless_pass` applies:
     /// [`EntropyBackend::Huffman`] keeps the historical LZ77 container
     /// (tag 1, byte-identical to earlier releases),
-    /// [`EntropyBackend::Rans`] codes the bit-stream bytes with interleaved
-    /// rANS (tag 2). Ignored when `lossless_pass` is `false`.
+    /// [`EntropyBackend::Rans`] codes the bit-stream bytes with 2-way
+    /// interleaved rANS (tag 2), and [`EntropyBackend::Rans8`] with the
+    /// 8-way format (tag 3). Ignored when `lossless_pass` is `false`.
     pub entropy: EntropyBackend,
 }
 
@@ -97,6 +99,17 @@ impl ZfpCompressor {
         ZfpCompressor::new(ZfpConfig {
             lossless_pass: true,
             entropy: EntropyBackend::Rans,
+            ..ZfpConfig::default()
+        })
+    }
+
+    /// Create the 8-way rANS variant (registry name `zfp-rans8`): same
+    /// pipeline as [`ZfpCompressor::rans`] with the lane-parallel stream
+    /// format (container tag 3).
+    pub fn rans8() -> Self {
+        ZfpCompressor::new(ZfpConfig {
+            lossless_pass: true,
+            entropy: EntropyBackend::Rans8,
             ..ZfpConfig::default()
         })
     }
@@ -155,12 +168,22 @@ impl ZfpCompressor {
         writer.write_bits(eb.to_bits(), 64);
         writer.write_bits(u64::from(self.config.precision_bits), 8);
 
+        // Blocks are gathered into batches of `TRANSFORM_BATCH` so the
+        // forward transforms share one dispatch call (the stream is
+        // bit-identical to per-block encoding).
+        let mut batch = [[0.0f64; BLOCK_LEN]; codec::TRANSFORM_BATCH];
+        let mut filled = 0usize;
         for bi in (0..ny).step_by(BLOCK_DIM) {
             for bj in (0..nx).step_by(BLOCK_DIM) {
-                let values = block::gather(field, bi, bj);
-                codec::encode_block(writer, &values, eb, self.config.precision_bits);
+                batch[filled] = block::gather(field, bi, bj);
+                filled += 1;
+                if filled == codec::TRANSFORM_BATCH {
+                    codec::encode_blocks(writer, &batch, eb, self.config.precision_bits);
+                    filled = 0;
+                }
             }
         }
+        codec::encode_blocks(writer, &batch[..filled], eb, self.config.precision_bits);
 
         let bits = s.writer.as_bytes();
         if self.config.lossless_pass {
@@ -175,6 +198,11 @@ impl ZfpCompressor {
                     rans_encode_bytes_with(&mut s.rans, bits, &mut out);
                     Ok(out)
                 }
+                EntropyBackend::Rans8 => {
+                    let mut out = vec![3u8];
+                    rans8_encode_bytes_with(&mut s.rans, bits, &mut out);
+                    Ok(out)
+                }
             }
         } else {
             let mut out = Vec::with_capacity(1 + bits.len());
@@ -187,18 +215,24 @@ impl ZfpCompressor {
 
 impl Compressor for ZfpCompressor {
     fn name(&self) -> &str {
-        if self.config.lossless_pass && self.config.entropy == EntropyBackend::Rans {
-            "zfp-rans"
-        } else {
-            "zfp"
+        match (self.config.lossless_pass, self.config.entropy) {
+            (true, EntropyBackend::Rans) => "zfp-rans",
+            (true, EntropyBackend::Rans8) => "zfp-rans8",
+            _ => "zfp",
         }
     }
 
     fn description(&self) -> &str {
-        if self.config.lossless_pass && self.config.entropy == EntropyBackend::Rans {
-            "ZFP-style 4x4 block transform coding with bit-plane truncation and interleaved rANS"
-        } else {
-            "ZFP-style 4x4 block transform coding with tolerance-driven bit-plane truncation"
+        match (self.config.lossless_pass, self.config.entropy) {
+            (true, EntropyBackend::Rans) => {
+                "ZFP-style 4x4 block transform coding with bit-plane truncation and interleaved \
+                 rANS"
+            }
+            (true, EntropyBackend::Rans8) => {
+                "ZFP-style 4x4 block transform coding with bit-plane truncation and 8-way \
+                 interleaved rANS"
+            }
+            _ => "ZFP-style 4x4 block transform coding with tolerance-driven bit-plane truncation",
         }
     }
 
@@ -241,6 +275,11 @@ impl Compressor for ZfpCompressor {
                     .map_err(|e| CompressError::CorruptStream(format!("rans: {e}")))?;
                 &s.body
             }
+            3 => {
+                rans8_decode_bytes_with(&mut s.rans, &stream[1..], &mut s.body)
+                    .map_err(|e| CompressError::CorruptStream(format!("rans8: {e}")))?;
+                &s.body
+            }
             other => {
                 return Err(CompressError::CorruptStream(format!("unknown container tag {other}")))
             }
@@ -277,13 +316,33 @@ impl Compressor for ZfpCompressor {
         }
 
         // Every cell lands in some 4×4 block, so the resized buffer's stale
-        // contents are fully overwritten by the scatter loop.
+        // contents are fully overwritten by the scatter loop. Blocks decode
+        // in batches of `TRANSFORM_BATCH` so the inverse transforms share
+        // one dispatch call.
         out.resize(ny, nx);
+        let mut coords = [(0usize, 0usize); codec::TRANSFORM_BATCH];
+        let mut decoded = [[0.0f64; BLOCK_LEN]; codec::TRANSFORM_BATCH];
+        let mut filled = 0usize;
+        let block_err = |e| CompressError::CorruptStream(format!("block: {e}"));
         for bi in (0..ny).step_by(BLOCK_DIM) {
             for bj in (0..nx).step_by(BLOCK_DIM) {
-                let values = codec::decode_block(&mut reader, eb, precision)
-                    .map_err(|e| CompressError::CorruptStream(format!("block: {e}")))?;
-                block::scatter(out, bi, bj, &values);
+                coords[filled] = (bi, bj);
+                filled += 1;
+                if filled == codec::TRANSFORM_BATCH {
+                    codec::decode_blocks(&mut reader, eb, precision, &mut decoded)
+                        .map_err(block_err)?;
+                    for (&(bi, bj), values) in coords.iter().zip(decoded.iter()) {
+                        block::scatter(out, bi, bj, values);
+                    }
+                    filled = 0;
+                }
+            }
+        }
+        if filled > 0 {
+            codec::decode_blocks(&mut reader, eb, precision, &mut decoded[..filled])
+                .map_err(block_err)?;
+            for (&(bi, bj), values) in coords[..filled].iter().zip(decoded.iter()) {
+                block::scatter(out, bi, bj, values);
             }
         }
         Ok(())
@@ -435,40 +494,53 @@ mod tests {
         let rans = ZfpCompressor::rans();
         assert_eq!(rans.name(), "zfp-rans");
         assert!(rans.config().lossless_pass);
+        let rans8 = ZfpCompressor::rans8();
+        assert_eq!(rans8.name(), "zfp-rans8");
+        assert!(rans8.description().contains("8-way"));
+        assert!(rans8.config().lossless_pass);
     }
 
     #[test]
     fn rans_container_respects_bounds_and_decodes_identically() {
-        // All three containers carry the same bit-plane stream, so every
+        // All four containers carry the same bit-plane stream, so every
         // decode must agree bit for bit, from any compressor instance.
         let raw = ZfpCompressor::default();
         let lz = ZfpCompressor::new(ZfpConfig { lossless_pass: true, ..Default::default() });
         let rans = ZfpCompressor::rans();
+        let rans8 = ZfpCompressor::rans8();
         for field in [smooth(64), rough(64, 5)] {
             for eb in [1e-4, 1e-2] {
                 let a = raw.compress(&field, ErrorBound::Absolute(eb)).unwrap();
                 let b = lz.compress(&field, ErrorBound::Absolute(eb)).unwrap();
                 let c = rans.compress(&field, ErrorBound::Absolute(eb)).unwrap();
+                let d = rans8.compress(&field, ErrorBound::Absolute(eb)).unwrap();
                 assert!(c.metrics.max_abs_error <= eb);
+                assert!(d.metrics.max_abs_error <= eb);
                 assert_eq!(a.reconstruction, b.reconstruction);
                 assert_eq!(a.reconstruction, c.reconstruction);
+                assert_eq!(a.reconstruction, d.reconstruction);
                 assert_eq!(c.stream[0], 2, "rans container tag");
+                assert_eq!(d.stream[0], 3, "rans8 container tag");
                 assert_eq!(raw.decompress_field(&c.stream).unwrap(), c.reconstruction);
+                assert_eq!(raw.decompress_field(&d.stream).unwrap(), d.reconstruction);
                 assert_eq!(rans.decompress_field(&a.stream).unwrap(), a.reconstruction);
+                assert_eq!(rans8.decompress_field(&a.stream).unwrap(), a.reconstruction);
             }
         }
     }
 
     #[test]
     fn rans_container_rejects_corruption_and_unknown_tags() {
-        let rans = ZfpCompressor::rans();
-        let stream = rans.compress_field(&smooth(32), ErrorBound::Absolute(1e-3)).unwrap();
-        assert!(rans.decompress_field(&stream[..stream.len() / 3]).is_err());
-        let mut bad = stream.clone();
-        bad[0] = 3; // unknown container tag
-        assert!(matches!(
-            rans.decompress_field(&bad),
-            Err(CompressError::CorruptStream(msg)) if msg.contains("unknown container tag")
-        ));
+        for compressor in [ZfpCompressor::rans(), ZfpCompressor::rans8()] {
+            let stream =
+                compressor.compress_field(&smooth(32), ErrorBound::Absolute(1e-3)).unwrap();
+            assert!(compressor.decompress_field(&stream[..stream.len() / 3]).is_err());
+            let mut bad = stream.clone();
+            bad[0] = 4; // unknown container tag
+            assert!(matches!(
+                compressor.decompress_field(&bad),
+                Err(CompressError::CorruptStream(msg)) if msg.contains("unknown container tag")
+            ));
+        }
     }
 }

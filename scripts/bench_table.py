@@ -38,13 +38,19 @@ import sys
 # Every compressor bench_sweep's ablation registry must have measured, in
 # both single-stream and framed form. Keep in sync with
 # lcc_core::registry::entropy_ablation_registry().
-REQUIRED_VARIANTS = ["mgard", "mgard-rans", "sz", "sz-rans", "zfp", "zfp-rans"]
-# The load generator measures the same registry: every codec single-stream
-# and framed (lcc_core::registry::framed_variant_name).
-REQUIRED_LOAD_VARIANTS = REQUIRED_VARIANTS + [f"{n}+framed" for n in REQUIRED_VARIANTS]
+REQUIRED_VARIANTS = ["mgard", "mgard-rans", "mgard-rans8", "sz", "sz-rans",
+                     "sz-rans8", "zfp", "zfp-rans", "zfp-rans8"]
+# The load generator measures the same registry: every codec single-stream,
+# framed, and framed+checksummed (lcc_core::registry::framed_variant_name /
+# checksummed_variant_name) — the +framed+ck rows are where the XXH64
+# verify cost must stay visible.
+REQUIRED_LOAD_VARIANTS = (REQUIRED_VARIANTS
+                          + [f"{n}+framed" for n in REQUIRED_VARIANTS]
+                          + [f"{n}+framed+ck" for n in REQUIRED_VARIANTS])
 # Every hot kernel bench_sweep's SIMD pass must have measured scalar vs
 # dispatched. Keep in sync with bench_sweep's Stage 2c.
-REQUIRED_KERNELS = ["rans_decode", "lorenzo_quant", "zfp_transform", "lz77_match"]
+REQUIRED_KERNELS = ["rans_decode", "rans8_decode", "lorenzo_quant",
+                    "zfp_transform", "zfp_transform_batch", "lz77_match"]
 
 # Default regression threshold, percent. Generous on purpose: shared CI
 # runners jitter by tens of percent, and the gate exists to catch real
@@ -165,28 +171,32 @@ def render_sweep(baseline, current):
               f"| {fmt(bd)} | {fmt(ad)} | {ratio(bd, ad)} |")
     print()
 
-    # Entropy-backend ablation: each study codec against its rANS-backend
-    # variant, read from the *current* run — ratio and throughput side by
-    # side, the tradeoff the backend axis exists to measure.
+    # Entropy-backend ablation: each study codec against its 2-way and
+    # 8-way rANS-backend variants, read from the *current* run — ratio and
+    # decode throughput side by side, the tradeoff the backend axis exists
+    # to measure (the speedup columns are relative to the Huffman backend).
     cur_tp = {t["compressor"]: t for t in current.get("throughput", [])}
-    pairs = [(name, cur_tp.get(name), cur_tp.get(f"{name}-rans"))
-             for name in ["sz", "zfp", "mgard"]]
-    pairs = [(n, h, r) for n, h, r in pairs if h and r]
-    if pairs:
-        print("## Entropy backend ablation — Huffman vs rANS, current run")
+    triples = [(name, cur_tp.get(name), cur_tp.get(f"{name}-rans"),
+                cur_tp.get(f"{name}-rans8"))
+               for name in ["sz", "zfp", "mgard"]]
+    triples = [(n, h, r, r8) for n, h, r, r8 in triples if h and r and r8]
+    if triples:
+        print("## Entropy backend ablation — Huffman vs rANS-2 vs rANS-8, "
+              "current run")
         print()
-        print("| codec | ratio huffman | ratio rans | compress huffman | "
-              "compress rans | speedup | decompress huffman | decompress rans "
-              "| speedup |")
+        print("| codec | ratio huffman | ratio rans | ratio rans8 | "
+              "decompress huffman | decompress rans | speedup | "
+              "decompress rans8 | speedup |")
         print("|---|---|---|---|---|---|---|---|---|")
-        for name, h, r in pairs:
-            hc, rc = h["compress_mb_per_s"], r["compress_mb_per_s"]
+        for name, h, r, r8 in triples:
             hd, rd = h["decompress_mb_per_s"], r["decompress_mb_per_s"]
+            r8d = r8["decompress_mb_per_s"]
             hr = h.get("compression_ratio")
             rr = r.get("compression_ratio")
-            print(f"| {name} | {fmt(hr)} | {fmt(rr)} | {fmt(hc)} | {fmt(rc)} "
-                  f"| {ratio(hc, rc)} | {fmt(hd)} | {fmt(rd)} "
-                  f"| {ratio(hd, rd)} |")
+            r8r = r8.get("compression_ratio")
+            print(f"| {name} | {fmt(hr)} | {fmt(rr)} | {fmt(r8r)} "
+                  f"| {fmt(hd)} | {fmt(rd)} | {ratio(hd, rd)} "
+                  f"| {fmt(r8d)} | {ratio(hd, r8d)} |")
         print()
 
     # Block-parallel framed codec: `<name>+framed` entries measure the same
@@ -478,6 +488,41 @@ def self_test():
         pass
     else:
         raise TableError("self-test failed: missing variants accepted")
+    # Dropping ONLY the rans8 sweep rows (a report from a binary that
+    # predates the 8-way backend) must fail the variant check.
+    no_rans8 = synth_sweep(1.0)
+    no_rans8["throughput"] = [t for t in no_rans8["throughput"]
+                              if "rans8" not in t["compressor"]]
+    try:
+        check_required(no_rans8, "<synthetic>", REQUIRED_VARIANTS,
+                       "compressor", "throughput")
+    except TableError:
+        pass
+    else:
+        raise TableError("self-test failed: missing rans8 sweep rows accepted")
+    # Dropping ONLY the rans8_decode kernel row must fail the kernel check.
+    no_rans8_kernel = synth_sweep(1.0)
+    no_rans8_kernel["kernels"] = [k for k in no_rans8_kernel["kernels"]
+                                  if k["kernel"] != "rans8_decode"]
+    try:
+        check_required(no_rans8_kernel, "<synthetic>", REQUIRED_KERNELS,
+                       "kernel", "kernels")
+    except TableError:
+        pass
+    else:
+        raise TableError("self-test failed: missing rans8_decode row accepted")
+    # Dropping ONLY the checksummed-frame load rows must fail the load
+    # variant check — the XXH64 verify cost cannot silently vanish.
+    no_ck = synth_load(1.0)
+    no_ck["variants"] = [v for v in no_ck["variants"]
+                         if not v["variant"].endswith("+framed+ck")]
+    try:
+        check_required(no_ck, "<synthetic>", REQUIRED_LOAD_VARIANTS,
+                       "variant", "variants")
+    except TableError:
+        pass
+    else:
+        raise TableError("self-test failed: missing +framed+ck rows accepted")
     print("bench_table.py --self-test: all checks passed "
           "(gate fails on synthetic regression, clean errors on malformed "
           "input)")

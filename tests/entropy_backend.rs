@@ -30,11 +30,18 @@ fn wavy(ny: usize, nx: usize, seed: u64) -> Field2D {
     })
 }
 
+/// Huffman-baseline vs rANS-variant pairs: both the 2-way and the 8-way
+/// interleaved backend of every codec, so each pair-driven invariant below
+/// (bit-identical decode, cross-decode, scratch stability, framing,
+/// truncation) covers the whole backend axis.
 fn backend_pairs() -> Vec<(Box<dyn Compressor>, Box<dyn Compressor>)> {
     vec![
         (Box::new(SzCompressor::default()), Box::new(SzCompressor::rans())),
+        (Box::new(SzCompressor::default()), Box::new(SzCompressor::rans8())),
         (Box::new(ZfpCompressor::default()), Box::new(ZfpCompressor::rans())),
+        (Box::new(ZfpCompressor::default()), Box::new(ZfpCompressor::rans8())),
         (Box::new(MgardCompressor::default()), Box::new(MgardCompressor::rans())),
+        (Box::new(MgardCompressor::default()), Box::new(MgardCompressor::rans8())),
     ]
 }
 
@@ -136,17 +143,32 @@ fn sweep_exercises_both_backends() {
     let registry = entropy_ablation_registry();
     let config = SweepConfig { bounds: vec![ErrorBound::Absolute(1e-3)], ..SweepConfig::default() };
     let records = run_sweep(&fields, &registry, &config).unwrap();
-    assert_eq!(records.len(), 6, "one record per registry variant");
+    assert_eq!(records.len(), 9, "one record per registry variant");
     let names: Vec<&str> = records.iter().map(|r| r.compressor.as_ref()).collect();
-    for name in ["sz", "sz-rans", "zfp", "zfp-rans", "mgard", "mgard-rans"] {
+    for name in [
+        "sz",
+        "sz-rans",
+        "sz-rans8",
+        "zfp",
+        "zfp-rans",
+        "zfp-rans8",
+        "mgard",
+        "mgard-rans",
+        "mgard-rans8",
+    ] {
         assert!(names.contains(&name), "sweep is missing {name}");
     }
-    // Backend pairs must report identical error metrics (identical decode).
+    // Backend variants must report identical error metrics (identical decode).
     for base in ["sz", "zfp", "mgard"] {
         let h = records.iter().find(|r| r.compressor.as_ref() == base).unwrap();
-        let r = records.iter().find(|r| r.compressor.as_ref() == format!("{base}-rans")).unwrap();
-        assert_eq!(h.max_abs_error, r.max_abs_error, "{base} backends disagree on error");
-        assert!(r.compression_ratio > 1.0);
+        for suffix in ["-rans", "-rans8"] {
+            let r = records
+                .iter()
+                .find(|r| r.compressor.as_ref() == format!("{base}{suffix}"))
+                .unwrap();
+            assert_eq!(h.max_abs_error, r.max_abs_error, "{base}{suffix} disagrees on error");
+            assert!(r.compression_ratio > 1.0);
+        }
     }
 }
 
@@ -255,13 +277,24 @@ fn unknown_backend_bytes_are_rejected() {
     section[0] = 9;
     assert_corrupt(&sz, &forge_sz_rans_container(16, 16, &section), "unknown rans mode");
 
-    // Unknown ZFP container tag.
+    // Unknown ZFP container tag (3 is now the valid rans8 tag, so the first
+    // unknown value is 4).
     let zfp = ZfpCompressor::rans();
     let field = wavy(16, 16, 5);
     let mut stream = zfp.compress_field(&field, ErrorBound::Absolute(1e-3)).unwrap();
     assert_eq!(stream[0], 2, "rans container tag");
-    stream[0] = 3;
+    stream[0] = 4;
     assert_corrupt(&zfp, &stream, "unknown zfp tag");
+
+    // Forging the 2-way tag into the 8-way tag must be rejected by the
+    // rans8 decoder's mode byte (and vice versa) — the formats do not alias.
+    stream[0] = 3;
+    assert_corrupt(&zfp, &stream, "rans stream behind rans8 tag");
+    let zfp8 = ZfpCompressor::rans8();
+    let mut stream8 = zfp8.compress_field(&field, ErrorBound::Absolute(1e-3)).unwrap();
+    assert_eq!(stream8[0], 3, "rans8 container tag");
+    stream8[0] = 2;
+    assert_corrupt(&zfp8, &stream8, "rans8 stream behind rans tag");
 }
 
 #[test]

@@ -7,8 +7,9 @@
 //! divergence in the corners nobody thought to pin.
 
 use lcc::lossless::{
-    lz77_compress_with_at, lz77_decompress, rans_decode_with_at, rans_encode, supported_levels,
-    xxh64_at, CodecScratch, RansScratch, SimdLevel,
+    lz77_compress_with_at, lz77_decompress, rans8_decode_with_at, rans8_encode,
+    rans_decode_with_at, rans_encode, supported_levels, xxh64_at, CodecScratch, RansScratch,
+    SimdLevel,
 };
 use lcc::sz::quantize::{quantize_plane_row_at, Quantizer};
 use lcc::zfp::transform::{fwd_transform_at, inv_transform_at};
@@ -38,6 +39,23 @@ proptest! {
         for &level in supported_levels() {
             let mut out = Vec::new();
             let consumed = rans_decode_with_at(&mut scratch, level, &encoded, &mut out)
+                .expect("well-formed stream");
+            prop_assert_eq!(&out, &symbols);
+            prop_assert_eq!(consumed, encoded.len());
+        }
+    }
+
+    #[test]
+    fn rans8_decode_is_level_invariant(symbols in proptest::collection::vec(0u32..5000, 0..30_000)) {
+        // The 8-way stream has three decode paths (scalar round-robin, the
+        // SSE4-tier 8-chain, and the AVX2 gathered/vector-renorm kernel)
+        // plus a careful tail; proptest hunts for length/alphabet corners
+        // where any pair could diverge.
+        let mut scratch = RansScratch::new();
+        let encoded = rans8_encode(&symbols);
+        for &level in supported_levels() {
+            let mut out = Vec::new();
+            let consumed = rans8_decode_with_at(&mut scratch, level, &encoded, &mut out)
                 .expect("well-formed stream");
             prop_assert_eq!(&out, &symbols);
             prop_assert_eq!(consumed, encoded.len());
