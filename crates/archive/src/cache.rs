@@ -1,0 +1,301 @@
+//! Sharded, byte-budgeted LRU cache of decoded tiles.
+//!
+//! Region reads of hot tiles should skip entropy decode entirely: the cache
+//! keys decoded tile buffers by (archive, entry, tile) and hands out
+//! `Arc`-shared copies, so a cache hit is a lock + memcpy. Contention is
+//! kept off the hot path the same way [`lcc_pressio`]'s `FrameAssembler`
+//! does it — plain `std::sync::Mutex`es, but **sharded** by key hash so
+//! concurrent readers of different tiles almost never touch the same lock.
+//! Each shard enforces its slice of the byte budget with
+//! least-recently-used eviction (linear scan: a shard holds few entries).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity of one decoded tile: which open archive (a process-unique id,
+/// so re-opening a file never aliases stale tiles), which entry, which
+/// row-major tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileKey {
+    /// Process-unique id of the open archive ([`crate::Archive`] draws one
+    /// per `open`).
+    pub archive: u64,
+    /// Entry index within the archive.
+    pub entry: u32,
+    /// Row-major tile id within the entry.
+    pub tile: u32,
+}
+
+/// A decoded tile as stored in (and handed out by) the cache: the flat
+/// row-major values plus the tile's shape. The buffer is `Arc`-shared —
+/// readers copy the window they need out of it without cloning the tile.
+#[derive(Debug, Clone)]
+pub struct CachedTile {
+    /// Row-major decoded values, `ny * nx` long.
+    pub data: Arc<Vec<f64>>,
+    /// Tile rows.
+    pub ny: usize,
+    /// Tile columns.
+    pub nx: usize,
+}
+
+struct ShardEntry {
+    tile: CachedTile,
+    last_used: u64,
+}
+
+impl ShardEntry {
+    fn cost(&self) -> usize {
+        self.tile.data.len() * 8 + ENTRY_OVERHEAD
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<TileKey, ShardEntry>,
+    /// Sum of `cost()` over the resident entries.
+    bytes: usize,
+    /// Monotone per-shard clock stamping recency (no wall time involved).
+    tick: u64,
+}
+
+/// Default shard count: enough that a handful of serving threads rarely
+/// collide on one lock, few enough that the per-shard budget stays useful.
+const DEFAULT_SHARDS: usize = 16;
+/// Flat bookkeeping bytes charged per cached tile (key, map slot, `Arc`
+/// header) so a budget of N bytes really bounds resident memory near N.
+const ENTRY_OVERHEAD: usize = 96;
+
+/// Aggregate cache counters, cheap enough to snapshot per report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a decoded tile.
+    pub hits: u64,
+    /// Lookups that missed (the caller then decodes and inserts).
+    pub misses: u64,
+    /// Tiles evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Resident tiles right now.
+    pub entries: u64,
+    /// Resident bytes right now (values + bookkeeping overhead).
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The sharded decoded-tile LRU cache. One instance is meant to be shared
+/// (`Arc`) across every archive and serving thread in a process; the byte
+/// budget bounds the sum of all resident tiles.
+pub struct TileCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl TileCache {
+    /// Cache with the default shard count and a total byte budget.
+    pub fn new(byte_budget: usize) -> Self {
+        TileCache::with_shards(byte_budget, DEFAULT_SHARDS)
+    }
+
+    /// Cache with an explicit shard count; the budget splits evenly across
+    /// shards (each shard evicts independently against its slice).
+    pub fn with_shards(byte_budget: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        TileCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: (byte_budget / shards).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &TileKey) -> &Mutex<Shard> {
+        // FNV-1a over the key words: cheap, and spreads sequential tile ids
+        // across shards so a scan doesn't hammer one lock.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for word in [key.archive, key.entry as u64, key.tile as u64] {
+            h ^= word;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Look a tile up, refreshing its recency. Counts a hit or a miss.
+    pub fn get(&self, key: &TileKey) -> Option<CachedTile> {
+        let mut shard = self.shard(key).lock().expect("cache shard lock is never poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.tile.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) a decoded tile, evicting least-recently-used
+    /// tiles from the shard until it fits its budget slice. Returns `false`
+    /// without caching when the tile alone exceeds the slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != ny * nx`.
+    pub fn insert(&self, key: TileKey, data: Arc<Vec<f64>>, ny: usize, nx: usize) -> bool {
+        assert_eq!(data.len(), ny * nx, "tile data must match its shape");
+        let entry = ShardEntry { tile: CachedTile { data, ny, nx }, last_used: 0 };
+        let cost = entry.cost();
+        if cost > self.shard_budget {
+            return false;
+        }
+        let mut shard = self.shard(&key).lock().expect("cache shard lock is never poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(prev) = shard.map.insert(key, ShardEntry { last_used: tick, ..entry }) {
+            shard.bytes -= prev.cost();
+        }
+        shard.bytes += cost;
+        while shard.bytes > self.shard_budget {
+            // The freshly inserted tile carries the newest tick, so it is
+            // never the victim unless it is alone — and alone it fits.
+            let victim = *shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+                .expect("an over-budget shard is non-empty");
+            let removed = shard.map.remove(&victim).expect("victim key was just found");
+            shard.bytes -= removed.cost();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Snapshot the aggregate counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard lock is never poisoned");
+            entries += shard.map.len() as u64;
+            bytes += shard.bytes as u64;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+
+    /// Drop every resident tile and zero the counters (bench warm/cold
+    /// phases reset between measurements).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard lock is never poisoned");
+            shard.map.clear();
+            shard.bytes = 0;
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tile: u32) -> TileKey {
+        TileKey { archive: 1, entry: 0, tile }
+    }
+
+    fn tile(v: f64, cells: usize) -> Arc<Vec<f64>> {
+        Arc::new(vec![v; cells])
+    }
+
+    #[test]
+    fn get_after_insert_returns_the_tile_and_counts_hits() {
+        let cache = TileCache::new(1 << 20);
+        assert!(cache.get(&key(0)).is_none());
+        assert!(cache.insert(key(0), tile(7.0, 16), 4, 4));
+        let got = cache.get(&key(0)).expect("tile is resident");
+        assert_eq!((got.ny, got.nx), (4, 4));
+        assert_eq!(*got.data, vec![7.0; 16]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used_first() {
+        // One shard so the budget and recency order are fully deterministic:
+        // room for exactly two 16-cell tiles.
+        let cost = 16 * 8 + 96;
+        let cache = TileCache::with_shards(2 * cost, 1);
+        assert!(cache.insert(key(0), tile(0.0, 16), 4, 4));
+        assert!(cache.insert(key(1), tile(1.0, 16), 4, 4));
+        // Touch tile 0 so tile 1 is the LRU victim.
+        assert!(cache.get(&key(0)).is_some());
+        assert!(cache.insert(key(2), tile(2.0, 16), 4, 4));
+        assert!(cache.get(&key(0)).is_some(), "recently used tile survives");
+        assert!(cache.get(&key(1)).is_none(), "LRU tile was evicted");
+        assert!(cache.get(&key(2)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.stats().bytes <= 2 * cost as u64);
+    }
+
+    #[test]
+    fn oversized_tiles_are_refused_not_cached() {
+        let cache = TileCache::with_shards(64, 1);
+        assert!(!cache.insert(key(0), tile(0.0, 1024), 32, 32));
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting_bytes() {
+        let cache = TileCache::with_shards(1 << 20, 1);
+        assert!(cache.insert(key(0), tile(1.0, 16), 4, 4));
+        let before = cache.stats().bytes;
+        assert!(cache.insert(key(0), tile(2.0, 16), 4, 4));
+        assert_eq!(cache.stats().bytes, before);
+        assert_eq!(*cache.get(&key(0)).unwrap().data, vec![2.0; 16]);
+    }
+
+    #[test]
+    fn clear_empties_the_cache_and_resets_counters() {
+        let cache = TileCache::new(1 << 20);
+        cache.insert(key(0), tile(1.0, 16), 4, 4);
+        cache.get(&key(0));
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats::default());
+        assert!(cache.get(&key(0)).is_none());
+    }
+
+    #[test]
+    fn distinct_archives_do_not_alias() {
+        let cache = TileCache::new(1 << 20);
+        cache.insert(TileKey { archive: 1, entry: 0, tile: 0 }, tile(1.0, 4), 2, 2);
+        assert!(cache.get(&TileKey { archive: 2, entry: 0, tile: 0 }).is_none());
+    }
+}

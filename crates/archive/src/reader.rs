@@ -1,0 +1,455 @@
+//! Magic-detected archive reader with seek-only region decode.
+
+use crate::cache::{TileCache, TileKey};
+use crate::format::{
+    parse_entry, ArchiveEntry, Cursor, ARCHIVE_MAGIC, ARCHIVE_VERSION, FOOTER_LEN, HEAD_LEN,
+    MIN_ENTRY_RECORD,
+};
+use lcc_grid::{disjoint_window_rows, Field2D, FieldView, Window};
+use lcc_lossless::xxh64;
+use lcc_par::{parallel_block_map, ThreadPoolConfig};
+use lcc_pressio::frame::decompress_framed_with;
+use lcc_pressio::{CompressError, Compressor, FrameScratch, TiledIndex, FRAME_MAGIC};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Positioned reads over an archive byte source. Implementations exist for
+/// in-memory buffers and (on unix) `std::fs::File`, and the trait is the
+/// seam where mmap or remote blob backends plug in. `Sync` because region
+/// reads fan tile fetches out across the pool.
+pub trait ReadAt: Sync {
+    /// Total length of the source in bytes.
+    fn len(&self) -> u64;
+
+    /// Fill `buf` from `offset`; a short source is an error, not a partial
+    /// read.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), CompressError>;
+
+    /// True when the source holds no bytes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ReadAt for Vec<u8> {
+    fn len(&self) -> u64 {
+        self.as_slice().len() as u64
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), CompressError> {
+        let at = usize::try_from(offset).ok().filter(|&at| at <= self.as_slice().len());
+        match at.and_then(|at| self.as_slice().get(at..at + buf.len())) {
+            Some(src) => {
+                buf.copy_from_slice(src);
+                Ok(())
+            }
+            None => Err(CompressError::CorruptStream(format!(
+                "archive: read of {} bytes at {offset} exceeds the {}-byte source",
+                buf.len(),
+                self.as_slice().len()
+            ))),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl ReadAt for std::fs::File {
+    fn len(&self) -> u64 {
+        self.metadata().map(|m| m.len()).unwrap_or(0)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), CompressError> {
+        use std::os::unix::fs::FileExt;
+        self.read_exact_at(buf, offset).map_err(|e| {
+            CompressError::CorruptStream(format!("archive: read at {offset} failed: {e}"))
+        })
+    }
+}
+
+/// What one [`Archive::read_region`] call did, for cache accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegionStats {
+    /// Tiles the window overlapped.
+    pub tiles: usize,
+    /// Of those, tiles served from the decoded-tile cache.
+    pub tiles_from_cache: usize,
+}
+
+struct EntryState {
+    meta: ArchiveEntry,
+    index: TiledIndex,
+}
+
+/// Process-unique ids for open archives, so cache keys from a re-opened
+/// (possibly different) file never alias a previous generation's tiles.
+static NEXT_ARCHIVE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// An open archive: validated entry metadata plus each entry's parsed tile
+/// seek index, over any [`ReadAt`] source. Opening reads only the head,
+/// footer, entry table and per-entry frame prefixes — never a tile payload
+/// — so opening a multi-gigabyte archive stays cheap.
+pub struct Archive<R: ReadAt> {
+    source: R,
+    id: u64,
+    entries: Vec<EntryState>,
+    cache: Option<Arc<TileCache>>,
+}
+
+/// Per-worker reusable tile-fetch buffer, parked in the worker's
+/// [`ScratchArena`](lcc_pressio::ScratchArena) between reads.
+#[derive(Default)]
+struct TileReadBuf(Vec<u8>);
+
+impl<R: ReadAt> Archive<R> {
+    /// Open and validate an archive. Every structural claim — footer
+    /// magic/version, table placement, entry offsets and overlaps, tile
+    /// index consistency — is checked here, and every allocation is bounded
+    /// by bytes the source actually holds.
+    pub fn open(source: R) -> Result<Self, CompressError> {
+        let corrupt = |msg: String| CompressError::CorruptStream(format!("archive: {msg}"));
+        let total = source.len();
+        if total < (HEAD_LEN + FOOTER_LEN) as u64 {
+            return Err(corrupt(format!("{total} bytes is too short for an archive")));
+        }
+        let mut head = [0u8; HEAD_LEN];
+        source.read_at(0, &mut head)?;
+        if head[..4] != ARCHIVE_MAGIC {
+            return Err(corrupt("missing LCCA magic".into()));
+        }
+        if head[4] != ARCHIVE_VERSION {
+            return Err(corrupt(format!("unsupported archive version {}", head[4])));
+        }
+        let mut footer = [0u8; FOOTER_LEN];
+        source.read_at(total - FOOTER_LEN as u64, &mut footer)?;
+        if footer[21..25] != ARCHIVE_MAGIC || footer[20] != ARCHIVE_VERSION {
+            return Err(corrupt("footer magic/version mismatch (truncated archive?)".into()));
+        }
+        let table_offset = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+        let table_bytes = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+        let n_entries = u32::from_le_bytes(footer[16..20].try_into().unwrap()) as usize;
+        // The table must sit flush between the payloads and the footer;
+        // anything else means forged or inconsistent offsets.
+        if table_offset < HEAD_LEN as u64
+            || table_offset.checked_add(table_bytes) != Some(total - FOOTER_LEN as u64)
+        {
+            return Err(corrupt(format!(
+                "entry table [{table_offset}, +{table_bytes}) does not fit the archive"
+            )));
+        }
+        // Bound the table allocation and the entry count by actual bytes.
+        if (n_entries as u64).saturating_mul(MIN_ENTRY_RECORD as u64) > table_bytes {
+            return Err(corrupt(format!(
+                "{n_entries} entries cannot fit in a {table_bytes}-byte table"
+            )));
+        }
+        let mut table = vec![0u8; table_bytes as usize];
+        source.read_at(table_offset, &mut table)?;
+        let mut cursor = Cursor::new(&table);
+        let mut metas = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let meta = parse_entry(&mut cursor)?;
+            // The payload span must lie strictly between head and table.
+            let end = meta.offset.checked_add(meta.length);
+            if meta.length == 0 || meta.offset < HEAD_LEN as u64 || end > Some(table_offset) {
+                return Err(corrupt(format!(
+                    "entry '{}' span [{}, +{}) is outside the payload region",
+                    meta.name, meta.offset, meta.length
+                )));
+            }
+            metas.push(meta);
+        }
+        if cursor.remaining() != 0 {
+            return Err(corrupt(format!(
+                "{} stray bytes after the last entry record",
+                cursor.remaining()
+            )));
+        }
+        // Entries must not overlap one another.
+        let mut order: Vec<usize> = (0..metas.len()).collect();
+        order.sort_by_key(|&k| metas[k].offset);
+        for pair in order.windows(2) {
+            let (a, b) = (&metas[pair[0]], &metas[pair[1]]);
+            if a.offset + a.length > b.offset {
+                return Err(corrupt(format!("entries '{}' and '{}' overlap", a.name, b.name)));
+            }
+        }
+        // Index every entry from its frame prefix (header + tables only).
+        let mut entries = Vec::with_capacity(metas.len());
+        for meta in metas {
+            let index = Self::index_entry(&source, &meta)?;
+            entries.push(EntryState { meta, index });
+        }
+        Ok(Archive {
+            source,
+            id: NEXT_ARCHIVE_ID.fetch_add(1, Ordering::Relaxed),
+            entries,
+            cache: None,
+        })
+    }
+
+    /// Parse (or, for raw single-tile entries, synthesize) the tile seek
+    /// index of one entry, reading only the frame's header and tables.
+    fn index_entry(source: &R, meta: &ArchiveEntry) -> Result<TiledIndex, CompressError> {
+        let corrupt = |msg: String| CompressError::CorruptStream(format!("archive: {msg}"));
+        let frame_len = meta.length as usize;
+        let mut magic = [0u8; 4];
+        if frame_len >= TiledIndex::PREFIX_LEN {
+            source.read_at(meta.offset, &mut magic)?;
+        }
+        let index = if frame_len >= TiledIndex::PREFIX_LEN && magic == FRAME_MAGIC {
+            let mut prefix = vec![0u8; TiledIndex::PREFIX_LEN];
+            source.read_at(meta.offset, &mut prefix)?;
+            let span = TiledIndex::table_span(&prefix, frame_len)?;
+            prefix.resize(span, 0);
+            source.read_at(meta.offset, &mut prefix)?;
+            TiledIndex::parse(&prefix, frame_len)?
+        } else {
+            // No frame magic: the entry is the inner codec's raw stream,
+            // which the v2 passthrough rule only permits for a single-tile
+            // tiling. Synthesize the trivial index.
+            if meta.n_tiles() != 1 {
+                return Err(corrupt(format!(
+                    "entry '{}' claims {} tiles but its payload is not a tiled frame",
+                    meta.name,
+                    meta.n_tiles()
+                )));
+            }
+            TiledIndex {
+                ny: meta.ny,
+                nx: meta.nx,
+                tile_ny: meta.ny,
+                tile_nx: meta.nx,
+                checksummed: false,
+                body_at: 0,
+                lengths: vec![frame_len],
+                offsets: vec![0],
+                digests: None,
+            }
+        };
+        if (index.ny, index.nx) != (meta.ny, meta.nx)
+            || (index.tile_ny, index.tile_nx) != (meta.tile_ny, meta.tile_nx)
+        {
+            return Err(corrupt(format!(
+                "entry '{}' metadata ({}x{} in {}x{} tiles) disagrees with its \
+                 frame header ({}x{} in {}x{} tiles)",
+                meta.name,
+                meta.ny,
+                meta.nx,
+                meta.tile_ny,
+                meta.tile_nx,
+                index.ny,
+                index.nx,
+                index.tile_ny,
+                index.tile_nx
+            )));
+        }
+        if index.n_tiles() != meta.tile_stats.len() {
+            return Err(corrupt(format!(
+                "entry '{}' carries {} tile stats for {} tiles",
+                meta.name,
+                meta.tile_stats.len(),
+                index.n_tiles()
+            )));
+        }
+        Ok(index)
+    }
+
+    /// Attach a shared decoded-tile cache; subsequent region reads consult
+    /// and fill it.
+    pub fn with_cache(mut self, cache: Arc<TileCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<TileCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the archive holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Metadata of entry `k`.
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range.
+    pub fn entry(&self, k: usize) -> &ArchiveEntry {
+        &self.entries[k].meta
+    }
+
+    /// Tile seek index of entry `k`.
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range.
+    pub fn tile_index(&self, k: usize) -> &TiledIndex {
+        &self.entries[k].index
+    }
+
+    /// Index of the entry named `name` at `timestep`, if present.
+    pub fn find(&self, name: &str, timestep: u64) -> Option<usize> {
+        self.entries.iter().position(|e| e.meta.name == name && e.meta.timestep == timestep)
+    }
+
+    /// Decode entry `k` in full into `out` (the whole-frame path — region
+    /// reads should beat this by the ratio of window to field).
+    pub fn read_entry(
+        &self,
+        k: usize,
+        compressor: &dyn Compressor,
+        pool: ThreadPoolConfig,
+        scratch: &mut FrameScratch,
+        out: &mut Field2D,
+    ) -> Result<(), CompressError> {
+        let state = self.entries.get(k).ok_or_else(|| {
+            CompressError::InvalidInput(format!("archive: entry {k} out of range"))
+        })?;
+        let mut frame = vec![0u8; state.meta.length as usize];
+        self.source.read_at(state.meta.offset, &mut frame)?;
+        decompress_framed_with(compressor, &frame, pool, scratch, out)
+    }
+
+    /// Decode exactly the tiles of entry `k` overlapping `window` into
+    /// `out` (resized to the window's shape). Cached tiles are copied on
+    /// the calling thread; missing tiles are fetched (one positioned read
+    /// each), digest-verified, decoded in parallel over `pool` into
+    /// disjoint sub-rectangles of `out`, and inserted into the cache.
+    ///
+    /// The decoded window is bit-identical to the same window of a
+    /// full-frame decode, with or without a cache attached.
+    pub fn read_region(
+        &self,
+        k: usize,
+        window: &Window,
+        compressor: &dyn Compressor,
+        pool: ThreadPoolConfig,
+        scratch: &mut FrameScratch,
+        out: &mut Field2D,
+    ) -> Result<RegionStats, CompressError> {
+        let state = self.entries.get(k).ok_or_else(|| {
+            CompressError::InvalidInput(format!("archive: entry {k} out of range"))
+        })?;
+        let index = &state.index;
+        if window.height == 0
+            || window.width == 0
+            || window.i0 + window.height > index.ny
+            || window.j0 + window.width > index.nx
+        {
+            return Err(CompressError::InvalidInput(format!(
+                "archive: window {window:?} does not fit the {}x{} entry",
+                index.ny, index.nx
+            )));
+        }
+        out.resize(window.height, window.width);
+        let tiles = index.tiles_overlapping(window);
+        let mut stats = RegionStats { tiles: tiles.len(), tiles_from_cache: 0 };
+
+        // The intersection geometry of one tile with the window, split into
+        // the destination rectangle (window coords) and the source corner
+        // (tile coords).
+        struct Miss {
+            tile: u32,
+            tile_win: Window,
+            dst: Window,
+            src_i0: usize,
+            src_j0: usize,
+            at: u64,
+            len: usize,
+            digest: Option<u64>,
+        }
+        let mut misses: Vec<Miss> = Vec::new();
+        for t in tiles {
+            let tile_win = index.tile_window(t);
+            let i0 = tile_win.i0.max(window.i0);
+            let j0 = tile_win.j0.max(window.j0);
+            let i1 = (tile_win.i0 + tile_win.height).min(window.i0 + window.height);
+            let j1 = (tile_win.j0 + tile_win.width).min(window.j0 + window.width);
+            let dst =
+                Window { i0: i0 - window.i0, j0: j0 - window.j0, height: i1 - i0, width: j1 - j0 };
+            let key = TileKey { archive: self.id, entry: k as u32, tile: t as u32 };
+            if let Some(cached) = self.cache.as_ref().and_then(|c| c.get(&key)) {
+                // Hit: pure memcpy of the intersection, no decode.
+                let tile_view = FieldView::new(&cached.data, cached.ny, cached.nx, cached.nx)
+                    .expect("cached tile shape is validated on insert")
+                    .subview(i0 - tile_win.i0, j0 - tile_win.j0, dst.height, dst.width);
+                out.copy_window_from(dst.i0, dst.j0, &tile_view);
+                stats.tiles_from_cache += 1;
+            } else {
+                let (at, len) = index.tile_span(t);
+                misses.push(Miss {
+                    tile: t as u32,
+                    tile_win,
+                    dst,
+                    src_i0: i0 - tile_win.i0,
+                    src_j0: j0 - tile_win.j0,
+                    at: state.meta.offset + at as u64,
+                    len,
+                    digest: index.digests.as_ref().map(|d| d[t]),
+                });
+            }
+        }
+        if misses.is_empty() {
+            return Ok(stats);
+        }
+
+        let dst_windows: Vec<Window> = misses.iter().map(|m| m.dst).collect();
+        let segments = disjoint_window_rows(out.as_mut_slice(), window.width, &dst_windows);
+        let items: Vec<(Miss, Vec<&mut [f64]>)> = misses.into_iter().zip(segments).collect();
+        let source = &self.source;
+        let cache = self.cache.as_deref();
+        let archive_id = self.id;
+        let workers = scratch.workers(pool.threads().min(items.len()));
+        let decoded: Vec<Result<(), CompressError>> =
+            parallel_block_map(pool, workers, items, move |worker, _j, (miss, mut segs)| {
+                // Fetch exactly this tile's bytes into the worker's
+                // reusable buffer (taken out of the arena so the arena is
+                // free for the inner decoder).
+                let mut buf = std::mem::take(&mut worker.arena.get_or_default::<TileReadBuf>().0);
+                buf.resize(miss.len, 0);
+                source.read_at(miss.at, &mut buf)?;
+                if let Some(digest) = miss.digest {
+                    if xxh64(&buf, 0) != digest {
+                        return Err(CompressError::CorruptStream(format!(
+                            "archive: tile {} checksum mismatch",
+                            miss.tile
+                        )));
+                    }
+                }
+                let block = worker.block.get_or_insert_with(|| Field2D::zeros(1, 1));
+                let result = compressor.decompress_view_with(&buf, &mut worker.arena, block);
+                worker.arena.get_or_default::<TileReadBuf>().0 = buf;
+                result?;
+                if block.shape() != (miss.tile_win.height, miss.tile_win.width) {
+                    return Err(CompressError::CorruptStream(format!(
+                        "archive: tile {} decoded to {:?}, expected ({}, {})",
+                        miss.tile,
+                        block.shape(),
+                        miss.tile_win.height,
+                        miss.tile_win.width
+                    )));
+                }
+                let tile_view =
+                    block.view().subview(miss.src_i0, miss.src_j0, miss.dst.height, miss.dst.width);
+                for (seg, row) in segs.iter_mut().zip(tile_view.rows()) {
+                    seg.copy_from_slice(row);
+                }
+                if let Some(cache) = cache {
+                    cache.insert(
+                        TileKey { archive: archive_id, entry: k as u32, tile: miss.tile },
+                        Arc::new(block.as_slice().to_vec()),
+                        miss.tile_win.height,
+                        miss.tile_win.width,
+                    );
+                }
+                Ok(())
+            });
+        decoded.into_iter().collect::<Result<(), _>>()?;
+        Ok(stats)
+    }
+}

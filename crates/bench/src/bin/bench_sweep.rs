@@ -13,11 +13,12 @@
 //! same for every `ThreadPoolConfig::auto()` call in the process).
 //!
 //! `--stage <name>` runs a single stage (`stats`, `codecs`, `framed`,
-//! `kernels`, or `sweep`) instead of all of them — the fast loop when
-//! iterating on one kernel or codec; the written report then holds only
-//! that stage's rows, so don't gate a partial report against the full
+//! `regions`, `kernels`, or `sweep`) instead of all of them — the fast loop
+//! when iterating on one kernel or codec; the written report then holds
+//! only that stage's rows, so don't gate a partial report against the full
 //! baseline.
 
+use lcc_archive::{Archive, ArchiveWriter, TileCache};
 use lcc_bench::CliOptions;
 use lcc_core::benchreport::{CodecThroughput, KernelThroughput, StageTimings};
 use lcc_core::dataset::StudyDatasets;
@@ -26,7 +27,7 @@ use lcc_core::registry::{entropy_ablation_registry, framed_variant_name};
 use lcc_core::statistics::{CorrelationStatistics, StatisticsConfig};
 use lcc_geostat::variogram::estimate_range;
 use lcc_geostat::{local_range_std, local_svd_truncation_std, LocalStatConfig};
-use lcc_grid::Field2D;
+use lcc_grid::{Field2D, Window};
 use lcc_lossless::{
     lz77_compress_with_at, rans8_decode_with_at, rans8_encode, rans_decode_with_at, rans_encode,
     simd_level, CodecScratch, RansScratch, SimdLevel,
@@ -39,10 +40,11 @@ use lcc_zfp::transform::{
     fwd_transform_at, fwd_transform_batch_at, inv_transform_at, inv_transform_batch_at,
 };
 use lcc_zfp::BLOCK_LEN;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Valid `--stage` names; `all` (the default) runs every stage in order.
-const STAGES: [&str; 6] = ["all", "stats", "codecs", "framed", "kernels", "sweep"];
+const STAGES: [&str; 7] = ["all", "stats", "codecs", "framed", "regions", "kernels", "sweep"];
 
 fn main() {
     let opts = CliOptions::from_env();
@@ -70,7 +72,7 @@ fn main() {
     // The paper-scale field feeds the stats, codecs, and framed stages;
     // kernel microbenches and the sweep build their own payloads, so a
     // filtered run skips the (multi-second) generation when it can.
-    let field = (run("stats") || run("codecs") || run("framed")).then(|| {
+    let field = (run("stats") || run("codecs") || run("framed") || run("regions")).then(|| {
         report.time("generate_field", || {
             generate_single_range(&GaussianFieldConfig::new(size, size, 16.0, seed))
         })
@@ -195,7 +197,131 @@ fn main() {
         }
     }
 
-    // Stage 2c: per-kernel SIMD microbenches — each hot kernel timed at the
+    // Stage 2c: archive region reads — the random-access numbers the tiled
+    // LCCF v2 format exists for. The paper-scale field goes into an
+    // in-memory `LCCA` archive as one 64×64-tiled sz-rans8 entry; the three
+    // rows then measure (per read, best/mean of a seeded window set):
+    // `region_full_decode` — decoding the whole entry, the v1 baseline for
+    // any window; `region_read_cold` — a 64×64 window through the seek
+    // index with no cache (tiles decoded on demand); `region_read_hot` —
+    // the same windows through a warmed decoded-tile cache. All three land
+    // as throughput rows (compress side zeroed: these are read paths) so
+    // `bench_table.py --gate` tracks region-read latency like any codec.
+    let mut region_lines = None;
+    if run("regions") {
+        let field = field.as_ref().expect("regions stage generated the field");
+        let tile = 64usize.min(size);
+        let uncompressed_bytes = (field.len() * std::mem::size_of::<f64>()) as f64;
+        let window_bytes = (tile * tile * std::mem::size_of::<f64>()) as f64;
+        let sz8 = registry.get("sz-rans8").expect("ablation registry has sz-rans8");
+        let mut frame_scratch = FrameScratch::new();
+
+        let mut writer = ArchiveWriter::new();
+        writer
+            .add_entry(
+                "bench-field",
+                0,
+                field,
+                sz8.as_ref(),
+                bound,
+                tile,
+                tile,
+                pool,
+                &mut frame_scratch,
+            )
+            .expect("archive entry compresses");
+        let archive_bytes = writer.finish();
+        let cold = Archive::open(archive_bytes.clone()).expect("archive opens");
+        let entry_ratio = uncompressed_bytes / cold.entry(0).length.max(1) as f64;
+
+        // A seeded set of tile-aligned windows: every read is one tile's
+        // worth of values, scattered across the entry.
+        let mut state = seed | 1;
+        let mut lcg = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let anchors = (size - tile) / tile + 1;
+        let windows: Vec<Window> = (0..32)
+            .map(|_| Window {
+                i0: (lcg() as usize % anchors) * tile,
+                j0: (lcg() as usize % anchors) * tile,
+                height: tile,
+                width: tile,
+            })
+            .collect();
+
+        // Full-entry decode: the only way to serve a window without the
+        // tile index.
+        let mut full_seconds = f64::MAX;
+        for _ in 0..reps {
+            let start = Instant::now();
+            cold.read_entry(0, sz8.as_ref(), pool, &mut frame_scratch, &mut recon)
+                .expect("entry decodes");
+            full_seconds = full_seconds.min(start.elapsed().as_secs_f64());
+            assert_eq!(recon.shape(), field.shape());
+        }
+        report.record("region_full_decode", full_seconds);
+        report.record_throughput(CodecThroughput {
+            compressor: "region_full_decode".into(),
+            megabytes: uncompressed_bytes / 1e6,
+            compress_seconds: 0.0,
+            decompress_seconds: full_seconds,
+            compression_ratio: entry_ratio,
+        });
+
+        // Cold region reads: per-read mean over the window set, best of
+        // `reps` sweeps (no cache attached, every tile decodes).
+        let mut cold_seconds = f64::MAX;
+        for _ in 0..reps {
+            let start = Instant::now();
+            for window in &windows {
+                cold.read_region(0, window, sz8.as_ref(), pool, &mut frame_scratch, &mut recon)
+                    .expect("region decodes");
+            }
+            cold_seconds = cold_seconds.min(start.elapsed().as_secs_f64() / windows.len() as f64);
+        }
+        report.record("region_read_cold", cold_seconds);
+        report.record_throughput(CodecThroughput {
+            compressor: "region_read_cold".into(),
+            megabytes: window_bytes / 1e6,
+            compress_seconds: 0.0,
+            decompress_seconds: cold_seconds,
+            compression_ratio: entry_ratio,
+        });
+
+        // Hot region reads: warm a comfortably-sized decoded-tile cache
+        // with one pass, then every timed read is all cache hits.
+        let hot = Archive::open(archive_bytes)
+            .expect("archive opens")
+            .with_cache(Arc::new(TileCache::new(256 * 1_000_000)));
+        for window in &windows {
+            hot.read_region(0, window, sz8.as_ref(), pool, &mut frame_scratch, &mut recon)
+                .expect("warmup region decodes");
+        }
+        let mut hot_seconds = f64::MAX;
+        for _ in 0..reps {
+            let start = Instant::now();
+            for window in &windows {
+                let stats = hot
+                    .read_region(0, window, sz8.as_ref(), pool, &mut frame_scratch, &mut recon)
+                    .expect("cached region decodes");
+                assert_eq!(stats.tiles_from_cache, stats.tiles, "warmed read must be all hits");
+            }
+            hot_seconds = hot_seconds.min(start.elapsed().as_secs_f64() / windows.len() as f64);
+        }
+        report.record("region_read_hot", hot_seconds);
+        report.record_throughput(CodecThroughput {
+            compressor: "region_read_hot".into(),
+            megabytes: window_bytes / 1e6,
+            compress_seconds: 0.0,
+            decompress_seconds: hot_seconds,
+            compression_ratio: entry_ratio,
+        });
+        region_lines = Some((full_seconds, cold_seconds, hot_seconds));
+    }
+
+    // Stage 2d: per-kernel SIMD microbenches — each hot kernel timed at the
     // scalar tier and at the detected dispatch tier over the same payload,
     // best of `--reps`. These are the numbers that attribute a codec-level
     // speedup to the kernel that produced it (and the rows
@@ -455,6 +581,17 @@ fn main() {
                 t.decompress_mb_per_s() / single.decompress_mb_per_s().max(f64::MIN_POSITIVE),
             );
         }
+    }
+    if let Some((full, cold, hot)) = region_lines {
+        println!(
+            "  region reads (64x64 of {size}x{size}, sz-rans8): full decode {:.2} ms — cold \
+             {:.3} ms ({:.1}x faster) — hot {:.3} ms ({:.1}x over cold)",
+            full * 1e3,
+            cold * 1e3,
+            full / cold.max(f64::MIN_POSITIVE),
+            hot * 1e3,
+            cold / hot.max(f64::MIN_POSITIVE),
+        );
     }
     if let Some(records) = &sweep_records {
         println!("  sweep records: {}", records.len());

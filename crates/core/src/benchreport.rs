@@ -413,7 +413,7 @@ impl LatencyHistogram {
 /// ratio under sustained mixed traffic.
 #[derive(Debug, Clone, Default)]
 pub struct LoadVariant {
-    /// Variant key (`"sz"`, `"sz+framed"`, `"mgard-rans"`, …).
+    /// Variant key (`"sz"`, `"sz+framed"`, `"region_sz-rans8"`, …).
     pub variant: String,
     /// Round trips completed without error.
     pub requests: u64,
@@ -426,8 +426,15 @@ pub struct LoadVariant {
     /// Sum of this variant's request latencies in seconds — single-core
     /// occupancy time, the denominator of MB/s *per core*.
     pub busy_seconds: f64,
-    /// Mean compression ratio over the variant's requests.
+    /// Mean compression ratio over the variant's requests (0 for region
+    /// rows, which measure seek-and-decode, not a compress round trip).
     pub compression_ratio: f64,
+    /// Archive tiles touched by this variant's requests (0 for non-region
+    /// rows).
+    pub tiles: u64,
+    /// Of [`tiles`](LoadVariant::tiles), how many were served from the
+    /// decoded-tile cache instead of being fetched and entropy-decoded.
+    pub tiles_from_cache: u64,
     /// Round-trip latency distribution (compress + decompress + verify).
     pub latency: LatencyHistogram,
 }
@@ -440,6 +447,64 @@ impl LoadVariant {
     pub fn mb_per_s_per_core(&self) -> f64 {
         if self.busy_seconds > 0.0 {
             self.megabytes / self.busy_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregate decoded-tile cache behaviour of a load run's region-read
+/// traffic: lookup counters snapshotted from the shared cache plus the
+/// hit-path vs miss-path volume/latency split, so the report can state
+/// both the hit rate *and* what a hit is worth in MB/s.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TileCacheSummary {
+    /// Tile lookups served from cache.
+    pub hits: u64,
+    /// Tile lookups that fell through to fetch + decode.
+    pub misses: u64,
+    /// Tiles evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Tiles resident at the end of the run.
+    pub entries: u64,
+    /// Bytes resident at the end of the run.
+    pub bytes: u64,
+    /// Configured cache byte budget.
+    pub budget_bytes: u64,
+    /// Uncompressed megabytes of region reads served entirely from cache.
+    pub hit_megabytes: f64,
+    /// Busy seconds of those fully-cached reads.
+    pub hit_busy_seconds: f64,
+    /// Uncompressed megabytes of region reads that decoded at least one tile.
+    pub miss_megabytes: f64,
+    /// Busy seconds of those decoding reads.
+    pub miss_busy_seconds: f64,
+}
+
+impl TileCacheSummary {
+    /// Fraction of tile lookups served from cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Throughput of fully-cached region reads, MB/s per busy core.
+    pub fn hit_mb_per_s(&self) -> f64 {
+        if self.hit_busy_seconds > 0.0 {
+            self.hit_megabytes / self.hit_busy_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Throughput of region reads that decoded tiles, MB/s per busy core.
+    pub fn miss_mb_per_s(&self) -> f64 {
+        if self.miss_busy_seconds > 0.0 {
+            self.miss_megabytes / self.miss_busy_seconds
         } else {
             0.0
         }
@@ -462,6 +527,9 @@ pub struct LoadReport {
     /// Mean allocations per request in the steady state (warmup excluded);
     /// `None` when the counting allocator was not compiled in.
     pub allocs_per_request: Option<f64>,
+    /// Decoded-tile cache behaviour of the run's region-read traffic;
+    /// `None` when the run had no region variants.
+    pub tile_cache: Option<TileCacheSummary>,
     /// Per-variant rows, in the order they were registered.
     pub variants: Vec<LoadVariant>,
 }
@@ -530,6 +598,30 @@ impl LoadReport {
             Some(a) => out.push_str(&format!("  \"allocs_per_request\": {a:.3},\n")),
             None => out.push_str("  \"allocs_per_request\": null,\n"),
         }
+        match &self.tile_cache {
+            Some(c) => out.push_str(&format!(
+                "  \"tile_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+                 \"entries\": {}, \"bytes\": {}, \"budget_bytes\": {}, \
+                 \"hit_rate\": {:.4}, \"hit_megabytes\": {:.6}, \
+                 \"hit_busy_seconds\": {:.6}, \"hit_mb_per_s\": {:.3}, \
+                 \"miss_megabytes\": {:.6}, \"miss_busy_seconds\": {:.6}, \
+                 \"miss_mb_per_s\": {:.3}}},\n",
+                c.hits,
+                c.misses,
+                c.evictions,
+                c.entries,
+                c.bytes,
+                c.budget_bytes,
+                c.hit_rate(),
+                c.hit_megabytes,
+                c.hit_busy_seconds,
+                c.hit_mb_per_s(),
+                c.miss_megabytes,
+                c.miss_busy_seconds,
+                c.miss_mb_per_s(),
+            )),
+            None => out.push_str("  \"tile_cache\": null,\n"),
+        }
         out.push_str("  \"variants\": [\n");
         for (k, v) in self.variants.iter().enumerate() {
             let comma = if k + 1 < self.variants.len() { "," } else { "" };
@@ -537,6 +629,7 @@ impl LoadReport {
                 "    {{\"variant\": \"{}\", \"requests\": {}, \"errors\": {}, \
                  \"megabytes\": {:.6}, \"busy_seconds\": {:.6}, \
                  \"mb_per_s_per_core\": {:.3}, \"compression_ratio\": {:.3}, \
+                 \"tiles\": {}, \"tiles_from_cache\": {}, \
                  \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \
                  \"max_us\": {:.1}}}{comma}\n",
                 escape(&v.variant),
@@ -546,6 +639,8 @@ impl LoadReport {
                 v.busy_seconds,
                 v.mb_per_s_per_core(),
                 v.compression_ratio,
+                v.tiles,
+                v.tiles_from_cache,
                 v.latency.quantile_us(0.50),
                 v.latency.quantile_us(0.90),
                 v.latency.quantile_us(0.99),
@@ -812,6 +907,7 @@ mod tests {
             workers: 4,
             duration_seconds: 0.5,
             allocs_per_request: Some(3.25),
+            tile_cache: None,
             variants: vec![sz, framed],
         };
         assert_eq!(report.total_requests(), 11);
@@ -840,12 +936,56 @@ mod tests {
             workers: 1,
             duration_seconds: 0.0,
             allocs_per_request: None,
+            tile_cache: None,
             variants: Vec::new(),
         };
         let json = report.to_json();
         assert!(json.contains("\"allocs_per_request\": null"));
+        assert!(json.contains("\"tile_cache\": null"));
         assert_eq!(report.mb_per_s(), 0.0);
         assert_eq!(report.mb_per_s_per_core(), 0.0);
+    }
+
+    #[test]
+    fn tile_cache_summary_rates_and_serialization() {
+        let summary = TileCacheSummary {
+            hits: 75,
+            misses: 25,
+            evictions: 3,
+            entries: 12,
+            bytes: 400_000,
+            budget_bytes: 8_000_000,
+            hit_megabytes: 2.0,
+            hit_busy_seconds: 0.01,
+            miss_megabytes: 1.0,
+            miss_busy_seconds: 0.1,
+        };
+        assert!((summary.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((summary.hit_mb_per_s() - 200.0).abs() < 1e-9);
+        assert!((summary.miss_mb_per_s() - 10.0).abs() < 1e-9);
+        assert_eq!(TileCacheSummary::default().hit_rate(), 0.0);
+        assert_eq!(TileCacheSummary::default().hit_mb_per_s(), 0.0);
+        assert_eq!(TileCacheSummary::default().miss_mb_per_s(), 0.0);
+
+        let mut region =
+            LoadVariant { variant: "region_sz-rans8".into(), ..LoadVariant::default() };
+        region.requests = 100;
+        region.tiles = 100;
+        region.tiles_from_cache = 75;
+        let report = LoadReport {
+            label: "regions".into(),
+            workers: 2,
+            tile_cache: Some(summary),
+            variants: vec![region],
+            ..LoadReport::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"tile_cache\": {\"hits\": 75, \"misses\": 25"));
+        assert!(json.contains("\"hit_rate\": 0.7500"));
+        assert!(json.contains("\"hit_mb_per_s\": 200.000"));
+        assert!(json.contains("\"miss_mb_per_s\": 10.000"));
+        assert!(json.contains("\"variant\": \"region_sz-rans8\""));
+        assert!(json.contains("\"tiles\": 100, \"tiles_from_cache\": 75"));
     }
 
     #[test]

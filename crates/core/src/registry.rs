@@ -59,6 +59,14 @@ pub fn checksummed_variant_name(name: &str) -> String {
     format!("{name}+framed+ck")
 }
 
+/// Report key of a compressor measured through archive region reads
+/// (`"sz-rans8"` → `"region_sz-rans8"`): one tiled-archive window request
+/// per round trip instead of a whole-field compress+decompress, so the row
+/// reflects seek-and-decode latency, not codec throughput.
+pub fn region_variant_name(name: &str) -> String {
+    format!("region_{name}")
+}
+
 /// Build a registry holding only SZ and ZFP (the paper omits MGARD from the
 /// local-SVD figures because it is insensitive to those statistics).
 pub fn sz_zfp_registry() -> Registry {
@@ -96,6 +104,7 @@ mod tests {
         assert_eq!(framed_variant_name("mgard-rans"), "mgard-rans+framed");
         assert_eq!(checksummed_variant_name("sz"), "sz+framed+ck");
         assert_eq!(checksummed_variant_name("zfp-rans8"), "zfp-rans8+framed+ck");
+        assert_eq!(region_variant_name("sz-rans8"), "region_sz-rans8");
     }
 
     #[test]

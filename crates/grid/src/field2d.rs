@@ -68,6 +68,28 @@ impl Field2D {
         }
     }
 
+    /// Copy a borrowed view into the rectangle of this field whose top-left
+    /// corner is `(dst_i0, dst_j0)` and whose shape is the view's shape,
+    /// leaving every cell outside that rectangle untouched. This is the
+    /// sub-rect write primitive region decodes use to stitch decoded tiles
+    /// into a caller-shaped output window.
+    ///
+    /// # Panics
+    /// Panics if the destination rectangle does not fit inside the field.
+    pub fn copy_window_from(&mut self, dst_i0: usize, dst_j0: usize, src: &FieldView<'_>) {
+        let (h, w) = src.shape();
+        assert!(
+            dst_i0 + h <= self.ny && dst_j0 + w <= self.nx,
+            "window {h}x{w} at ({dst_i0},{dst_j0}) exceeds field {}x{}",
+            self.ny,
+            self.nx
+        );
+        for (di, row) in src.rows().enumerate() {
+            let at = (dst_i0 + di) * self.nx + dst_j0;
+            self.data[at..at + w].copy_from_slice(row);
+        }
+    }
+
     /// Reshape this field to `ny × nx`, reusing the existing buffer
     /// allocation where possible. The contents after a resize are
     /// unspecified (a mix of stale values and zeros): this is the decode
@@ -329,6 +351,32 @@ mod tests {
             assert_eq!(target, view.to_field());
         }
         assert_eq!(target.shape(), (6, 7));
+    }
+
+    #[test]
+    fn copy_window_from_writes_only_the_target_rectangle() {
+        let src = ramp(3, 4);
+        let mut dst = Field2D::filled(6, 7, -1.0);
+        dst.copy_window_from(2, 1, &src.view());
+        for i in 0..6 {
+            for j in 0..7 {
+                let inside = (2..5).contains(&i) && (1..5).contains(&j);
+                let expect = if inside { src.get(i - 2, j - 1) } else { -1.0 };
+                assert_eq!(dst.get(i, j), expect, "cell ({i},{j})");
+            }
+        }
+        // Strided source views land identically to their owned copy.
+        let sub = src.view().subview(1, 1, 2, 2);
+        dst.copy_window_from(0, 0, &sub);
+        assert_eq!(dst.subfield(0, 0, 2, 2), sub.to_field());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds field")]
+    fn copy_window_from_rejects_out_of_bounds_rectangles() {
+        let src = ramp(3, 3);
+        let mut dst = Field2D::zeros(4, 4);
+        dst.copy_window_from(2, 2, &src.view());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! indexes directly into the flat buffer, which keeps the hot loops friendly
 //! to the optimizer and allows zero-copy views.
 
+pub mod disjoint;
 pub mod field2d;
 pub mod field3d;
 pub mod io;
@@ -26,6 +27,7 @@ pub mod stats;
 pub mod view;
 pub mod window;
 
+pub use disjoint::disjoint_window_rows;
 pub use field2d::Field2D;
 pub use field3d::Field3D;
 pub use stats::Summary;

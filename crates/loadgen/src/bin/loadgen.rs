@@ -6,11 +6,14 @@
 //!     --duration-ms 2000 --workers 4 --sizes 64,96,128 --out target/bench
 //! ```
 //!
-//! Drives N concurrent workers through all 27 registry variants (9 codecs ×
-//! {single-stream, framed, framed+checksummed}) with a seeded deterministic
-//! request mix, prints a per-variant p50/p99/MB-per-core table, and exits
-//! non-zero when any round trip failed verification — the CI smoke
-//! contract. Build with
+//! Drives N concurrent workers through all 30 registry variants (9 codecs ×
+//! {single-stream, framed, framed+checksummed} plus the three archive
+//! region-read variants) with a seeded deterministic request mix, prints a
+//! per-variant p50/p99/MB-per-core table and the decoded-tile-cache summary,
+//! and exits non-zero when any round trip failed verification — the CI smoke
+//! contract. `--regions-only` serves just the region band (the CI region
+//! smoke mode); `--archive-size`, `--archive-tile` and `--tile-cache-mb`
+//! shape the region workload. Build with
 //! `--features loadgen-alloc` to also report steady-state allocations per
 //! request (the binary then runs under a counting global allocator).
 
@@ -39,6 +42,10 @@ fn main() {
         .filter(|&s| s >= 8)
         .collect();
     let out_dir = PathBuf::from(opts.get_str("out", "target/bench"));
+    let archive_size = opts.get_usize("archive-size", 256);
+    let archive_tile = opts.get_usize("archive-tile", 64);
+    let tile_cache_mb = opts.get_usize("tile-cache-mb", 8);
+    let regions_only = opts.flag("regions-only");
 
     let mut config = LoadgenConfig {
         workers,
@@ -47,15 +54,20 @@ fn main() {
         queue_capacity,
         bound,
         framed_blocks,
+        archive_size,
+        archive_tile,
+        tile_cache_mb,
+        regions_only,
         ..LoadgenConfig::default()
     };
     if !sizes.is_empty() {
         config.sizes = sizes;
     }
-    // Guarantee at least two full round-robins over the 27 variants so even
-    // a near-zero duration produces a row (with a warmup-free histogram)
-    // for every variant.
-    config.min_requests = 54;
+    // Guarantee at least two full round-robins over the variant table (30
+    // rows, or just the 3 region rows under --regions-only) so even a
+    // near-zero duration produces a row (with a warmup-free histogram) for
+    // every variant.
+    config.min_requests = if regions_only { 6 } else { 60 };
 
     let report = match run_load(&config) {
         Ok(report) => report,
@@ -91,6 +103,20 @@ fn main() {
         report.mb_per_s(),
         report.mb_per_s_per_core(),
     );
+    if let Some(cache) = &report.tile_cache {
+        println!(
+            "  tile cache: {:.1}% hit rate ({} hits, {} misses, {} evictions), \
+             {}/{} bytes resident — hits {:.2} MB/s vs misses {:.2} MB/s",
+            cache.hit_rate() * 100.0,
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.bytes,
+            cache.budget_bytes,
+            cache.hit_mb_per_s(),
+            cache.miss_mb_per_s(),
+        );
+    }
     match report.allocs_per_request {
         Some(a) => println!("  steady-state allocations per request: {a:.2}"),
         None => println!(

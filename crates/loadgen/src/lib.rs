@@ -22,21 +22,35 @@
 //! merged [`LoadReport`] (`BENCH_load.json`) carries p50/p90/p99/max, MB/s
 //! per core, and — with the `loadgen-alloc` feature — steady-state
 //! allocations per request.
+//!
+//! On top of the 27 round-trip variants, three **region-read** variants
+//! (`region_sz-rans8`, `region_zfp-rans8`, `region_mgard-rans8`) serve
+//! tile-sized windows out of an in-memory tiled [`lcc_archive`] through a
+//! shared decoded-tile cache, with a Zipf-skewed window popularity
+//! schedule — so `BENCH_load.json` carries region-read p50/p99 and the
+//! cache hit rate as first-class serving metrics.
 
 pub mod alloc_count;
 pub mod schedule;
 
-use lcc_core::benchreport::{LatencyHistogram, LoadReport, LoadVariant};
+use lcc_archive::{Archive, ArchiveWriter, TileCache};
+use lcc_core::benchreport::{LatencyHistogram, LoadReport, LoadVariant, TileCacheSummary};
 use lcc_core::registry::{
-    checksummed_variant_name, entropy_ablation_registry, framed_variant_name,
+    checksummed_variant_name, entropy_ablation_registry, framed_variant_name, region_variant_name,
 };
-use lcc_grid::Field2D;
+use lcc_grid::{Field2D, FieldView, Window};
 use lcc_par::{run_bounded_queue, ThreadPoolConfig};
 use lcc_pressio::{frame, CompressError, Compressor, ErrorBound, FrameScratch, ScratchArena};
 use lcc_synth::{generate_single_range, GaussianFieldConfig};
 use schedule::{Request, Schedule};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Codecs served through the archive region-read path: the rans8 tier of
+/// each family, the serving-grade default.
+const REGION_CODECS: [&str; 3] = ["sz-rans8", "zfp-rans8", "mgard-rans8"];
+/// Zipf exponent of the window-popularity schedule (weight ∝ 1/(k+1)^s).
+const ZIPF_EXPONENT: f64 = 1.1;
 
 /// Configuration of one load run.
 #[derive(Debug, Clone)]
@@ -66,6 +80,16 @@ pub struct LoadgenConfig {
     /// Per-worker requests excluded from the steady-state allocation
     /// average (scratch arenas grow to their high-water mark first).
     pub warmup_requests: u64,
+    /// Edge length of the square archive entries the region variants read
+    /// from (clamped up to 64).
+    pub archive_size: usize,
+    /// Tile edge of the archive entries (clamped to `[8, archive_size]`);
+    /// region requests read one tile-sized window each.
+    pub archive_tile: usize,
+    /// Decoded-tile cache budget in megabytes (10^6 bytes, minimum 1).
+    pub tile_cache_mb: usize,
+    /// Serve only the region-read variants — the CI region smoke mode.
+    pub regions_only: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -80,6 +104,10 @@ impl Default for LoadgenConfig {
             bound: 1e-3,
             framed_blocks: 4,
             warmup_requests: 4,
+            archive_size: 256,
+            archive_tile: 64,
+            tile_cache_mb: 8,
+            regions_only: false,
         }
     }
 }
@@ -115,6 +143,9 @@ enum VariantMode {
     Framed,
     /// `LCCF` frame with per-block XXH64 checksums verified on decode.
     FramedChecksummed,
+    /// Archive region read of entry `k` — one tile-sized window per
+    /// request, through the shared decoded-tile cache.
+    Region(usize),
 }
 
 /// One entry of the run's variant table: a registry compressor in
@@ -144,6 +175,14 @@ struct VariantStats {
     busy_seconds: f64,
     ratio_sum: f64,
     latency: LatencyHistogram,
+    /// Region-read only: tiles touched / served from cache, and the
+    /// fully-cached vs decoding split of volume and busy time.
+    tiles: u64,
+    tiles_from_cache: u64,
+    hit_bytes: f64,
+    hit_busy_seconds: f64,
+    miss_bytes: f64,
+    miss_busy_seconds: f64,
 }
 
 /// Per-worker state: persistent scratch plus accumulators, handed to the
@@ -182,10 +221,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// FNV-1a over a field's values in row-major bit pattern.
-fn hash_field(field: &Field2D) -> u64 {
+/// FNV-1a over a view's values in row-major bit pattern.
+fn hash_view(view: &FieldView<'_>) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for v in field.as_slice() {
+    for v in view.iter() {
         for b in v.to_le_bytes() {
             hash ^= u64::from(b);
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
@@ -194,26 +233,120 @@ fn hash_field(field: &Field2D) -> u64 {
     hash
 }
 
+/// FNV-1a over a field's values in row-major bit pattern.
+fn hash_field(field: &Field2D) -> u64 {
+    hash_view(&field.view())
+}
+
+/// The compressors serving the region-read variants, in
+/// [`REGION_CODECS`] order (entry `k` of the archive is written by codec
+/// `k`).
+fn region_compressors() -> Vec<Arc<dyn Compressor>> {
+    let registry = entropy_ablation_registry();
+    REGION_CODECS
+        .iter()
+        .map(|name| registry.get(name).expect("ablation registry carries the rans8 codecs"))
+        .collect()
+}
+
 /// Build the run's variant table from the ablation registry: every codec in
 /// single-stream form first (registry order), then every codec framed, then
 /// every codec checksummed-framed — the same ordering `bench_sweep` uses
-/// for its throughput rows.
-fn build_variants() -> Vec<Variant> {
+/// for its throughput rows — and finally the archive region-read variants.
+/// `regions_only` keeps just the region band (the CI region smoke mode).
+fn build_variants(regions_only: bool) -> Vec<Variant> {
     let registry = entropy_ablation_registry();
-    let mut variants = Vec::with_capacity(registry.len() * 3);
-    for compressor in registry.compressors() {
-        let label = compressor.name().to_string();
-        variants.push(Variant { compressor, mode: VariantMode::Single, label });
+    let mut variants = Vec::with_capacity(registry.len() * 3 + REGION_CODECS.len());
+    if !regions_only {
+        for compressor in registry.compressors() {
+            let label = compressor.name().to_string();
+            variants.push(Variant { compressor, mode: VariantMode::Single, label });
+        }
+        for compressor in registry.compressors() {
+            let label = framed_variant_name(compressor.name());
+            variants.push(Variant { compressor, mode: VariantMode::Framed, label });
+        }
+        for compressor in registry.compressors() {
+            let label = checksummed_variant_name(compressor.name());
+            variants.push(Variant { compressor, mode: VariantMode::FramedChecksummed, label });
+        }
     }
-    for compressor in registry.compressors() {
-        let label = framed_variant_name(compressor.name());
-        variants.push(Variant { compressor, mode: VariantMode::Framed, label });
-    }
-    for compressor in registry.compressors() {
-        let label = checksummed_variant_name(compressor.name());
-        variants.push(Variant { compressor, mode: VariantMode::FramedChecksummed, label });
+    for (ordinal, compressor) in region_compressors().into_iter().enumerate() {
+        let label = region_variant_name(compressor.name());
+        variants.push(Variant { compressor, mode: VariantMode::Region(ordinal), label });
     }
     variants
+}
+
+/// The region-read side of a run: the in-memory tiled archive (one entry
+/// per region codec), its shared decoded-tile cache, the window table, and
+/// the per-(entry, window) reference hashes a region read must reproduce.
+struct RegionWorkload {
+    archive: Archive<Vec<u8>>,
+    cache: Arc<TileCache>,
+    windows: Vec<Window>,
+    /// `refs[ordinal][window]` — hash of the window of a full-frame decode.
+    refs: Vec<Vec<u64>>,
+}
+
+/// Build the region workload: compress one Gaussian field per region codec
+/// into a tiled archive, attach the shared cache, enumerate the window
+/// table (every tile-aligned **and** half-tile-offset anchor, so reads both
+/// align with tiles and straddle tile boundaries), and record reference
+/// hashes from full-frame decodes.
+fn build_region_workload(config: &LoadgenConfig) -> Result<RegionWorkload, CompressError> {
+    let size = config.archive_size.max(64);
+    let tile = config.archive_tile.clamp(8, size);
+    let bound = ErrorBound::Absolute(config.bound);
+    let pool = ThreadPoolConfig::with_threads(2);
+    let mut scratch = FrameScratch::new();
+    let compressors = region_compressors();
+
+    let mut writer = ArchiveWriter::new();
+    for (k, compressor) in compressors.iter().enumerate() {
+        let cfg = GaussianFieldConfig::new(
+            size,
+            size,
+            (size as f64 / 8.0).max(2.0),
+            config.seed.wrapping_add(9000 + k as u64),
+        );
+        let field = generate_single_range(&cfg);
+        writer.add_entry(
+            "region-field",
+            k as u64,
+            &field,
+            compressor.as_ref(),
+            bound,
+            tile,
+            tile,
+            pool,
+            &mut scratch,
+        )?;
+    }
+    let cache = Arc::new(TileCache::new(config.tile_cache_mb.max(1) * 1_000_000));
+    let archive = Archive::open(writer.finish())?.with_cache(cache.clone());
+
+    let step = (tile / 2).max(1);
+    let mut anchors = Vec::new();
+    let mut at = 0;
+    while at + tile <= size {
+        anchors.push(at);
+        at += step;
+    }
+    let mut windows = Vec::with_capacity(anchors.len() * anchors.len());
+    for &i0 in &anchors {
+        for &j0 in &anchors {
+            windows.push(Window { i0, j0, height: tile, width: tile });
+        }
+    }
+
+    let mut refs = Vec::with_capacity(compressors.len());
+    let mut full = Field2D::zeros(1, 1);
+    for (k, compressor) in compressors.iter().enumerate() {
+        archive.read_entry(k, compressor.as_ref(), pool, &mut scratch, &mut full)?;
+        refs.push(windows.iter().map(|w| hash_view(&full.view().window(w))).collect());
+    }
+    Ok(RegionWorkload { archive, cache, windows, refs })
 }
 
 /// Generate the payload table: two Gaussian random fields per configured
@@ -251,7 +384,9 @@ fn round_trip(
     let pool = ThreadPoolConfig::with_threads(1);
     let compress = match variant.mode {
         VariantMode::Framed => frame::compress_framed_with,
-        _ => frame::compress_framed_checksummed_with,
+        VariantMode::FramedChecksummed => frame::compress_framed_checksummed_with,
+        VariantMode::Single => unreachable!("handled above"),
+        VariantMode::Region(_) => unreachable!("region requests go through serve_region"),
     };
     let stream =
         compress(variant.compressor.as_ref(), &field.view(), bound, blocks, pool, frame_scratch)?;
@@ -281,6 +416,11 @@ fn build_references(
     variants
         .iter()
         .map(|variant| {
+            if matches!(variant.mode, VariantMode::Region(_)) {
+                // Region variants verify against the per-window hashes in
+                // the RegionWorkload instead of the round-trip table.
+                return Ok(Vec::new());
+            }
             fields
                 .iter()
                 .map(|field| {
@@ -311,15 +451,65 @@ struct Workload {
     variants: Vec<Variant>,
     fields: Vec<Field2D>,
     references: Vec<Vec<Reference>>,
+    regions: RegionWorkload,
     bound: ErrorBound,
     blocks: usize,
     warmup: u64,
 }
 
+/// Serve one region-read request: decode one Zipf-popular window out of the
+/// shared archive through the decoded-tile cache, verify the output hash
+/// against the full-decode reference, and split the accumulators by whether
+/// the read was served entirely from cache (the "hit" latency class) or had
+/// to decode at least one tile.
+fn serve_region(worker: &mut Worker, request: Request, ordinal: usize, load: &Workload) {
+    let variant = &load.variants[request.variant];
+    let regions = &load.regions;
+    let window = &regions.windows[request.window];
+    let window_bytes = (window.height * window.width * std::mem::size_of::<f64>()) as f64;
+
+    let start = Instant::now();
+    let outcome = regions.archive.read_region(
+        ordinal,
+        window,
+        variant.compressor.as_ref(),
+        ThreadPoolConfig::with_threads(1),
+        &mut worker.frame,
+        &mut worker.recon,
+    );
+    let elapsed = start.elapsed();
+
+    worker.served += 1;
+    let stats = &mut worker.per_variant[request.variant];
+    match outcome {
+        Ok(region) if hash_field(&worker.recon) == regions.refs[ordinal][request.window] => {
+            stats.requests += 1;
+            stats.bytes += window_bytes;
+            stats.busy_seconds += elapsed.as_secs_f64();
+            stats.latency.record_duration(elapsed);
+            stats.tiles += region.tiles as u64;
+            stats.tiles_from_cache += region.tiles_from_cache as u64;
+            if region.tiles_from_cache == region.tiles {
+                stats.hit_bytes += window_bytes;
+                stats.hit_busy_seconds += elapsed.as_secs_f64();
+            } else {
+                stats.miss_bytes += window_bytes;
+                stats.miss_busy_seconds += elapsed.as_secs_f64();
+            }
+        }
+        _ => stats.errors += 1,
+    }
+}
+
 /// Serve one request on a worker: round trip, verify against the reference,
-/// record latency/bytes/ratio or an error.
+/// record latency/bytes/ratio or an error. Region requests dispatch to
+/// [`serve_region`].
 fn serve(worker: &mut Worker, request: Request, load: &Workload) {
     let variant = &load.variants[request.variant];
+    if let VariantMode::Region(ordinal) = variant.mode {
+        serve_region(worker, request, ordinal, load);
+        return;
+    }
     let field = &load.fields[request.field];
     let reference = &load.references[request.variant][request.field];
     let uncompressed_bytes = (field.len() * std::mem::size_of::<f64>()) as f64;
@@ -375,15 +565,29 @@ pub fn run_load(config: &LoadgenConfig) -> Result<LoadReport, CompressError> {
     let workers = config.workers.max(1);
     let bound = ErrorBound::Absolute(config.bound);
     let blocks = config.framed_blocks.max(2);
-    let variants = build_variants();
+    let variants = build_variants(config.regions_only);
     let fields = build_fields(config);
     let references = build_references(&variants, &fields, bound, blocks)?;
-    let load =
-        Workload { variants, fields, references, bound, blocks, warmup: config.warmup_requests };
+    let regions = build_region_workload(config)?;
+    let region_start = variants
+        .iter()
+        .position(|v| matches!(v.mode, VariantMode::Region(_)))
+        .unwrap_or(variants.len());
+    let n_windows = regions.windows.len();
+    let load = Workload {
+        variants,
+        fields,
+        references,
+        regions,
+        bound,
+        blocks,
+        warmup: config.warmup_requests,
+    };
 
     let mut states: Vec<Worker> =
         std::iter::repeat_with(|| Worker::new(load.variants.len())).take(workers).collect();
-    let mut schedule = Schedule::new(config.seed, load.variants.len(), load.fields.len());
+    let mut schedule = Schedule::new(config.seed, load.variants.len(), load.fields.len())
+        .with_regions(region_start, n_windows, ZIPF_EXPONENT);
 
     let started = Instant::now();
     let deadline = started + config.duration;
@@ -413,6 +617,10 @@ pub fn run_load(config: &LoadgenConfig) -> Result<LoadReport, CompressError> {
         .collect();
     let mut alloc_calls = 0u64;
     let mut alloc_requests = 0u64;
+    let mut hit_bytes = 0.0f64;
+    let mut hit_busy = 0.0f64;
+    let mut miss_bytes = 0.0f64;
+    let mut miss_busy = 0.0f64;
     for worker in &states {
         alloc_calls += worker.alloc_calls;
         alloc_requests += worker.alloc_requests;
@@ -422,7 +630,15 @@ pub fn run_load(config: &LoadgenConfig) -> Result<LoadReport, CompressError> {
             row.megabytes += stats.bytes / 1e6;
             row.busy_seconds += stats.busy_seconds;
             row.compression_ratio += stats.ratio_sum;
+            row.tiles += stats.tiles;
+            row.tiles_from_cache += stats.tiles_from_cache;
             row.latency.merge(&stats.latency);
+        }
+        for stats in &worker.per_variant {
+            hit_bytes += stats.hit_bytes;
+            hit_busy += stats.hit_busy_seconds;
+            miss_bytes += stats.miss_bytes;
+            miss_busy += stats.miss_busy_seconds;
         }
     }
     for row in &mut rows {
@@ -430,6 +646,20 @@ pub fn run_load(config: &LoadgenConfig) -> Result<LoadReport, CompressError> {
             row.compression_ratio /= row.requests as f64;
         }
     }
+
+    let cache_stats = load.regions.cache.stats();
+    let tile_cache = Some(TileCacheSummary {
+        hits: cache_stats.hits,
+        misses: cache_stats.misses,
+        evictions: cache_stats.evictions,
+        entries: cache_stats.entries,
+        bytes: cache_stats.bytes,
+        budget_bytes: (config.tile_cache_mb.max(1) * 1_000_000) as u64,
+        hit_megabytes: hit_bytes / 1e6,
+        hit_busy_seconds: hit_busy,
+        miss_megabytes: miss_bytes / 1e6,
+        miss_busy_seconds: miss_busy,
+    });
 
     let allocs_per_request = (alloc_count::enabled() && alloc_requests > 0)
         .then(|| alloc_calls as f64 / alloc_requests as f64);
@@ -439,6 +669,7 @@ pub fn run_load(config: &LoadgenConfig) -> Result<LoadReport, CompressError> {
         workers,
         duration_seconds,
         allocs_per_request,
+        tile_cache,
         variants: rows,
     })
 }
@@ -469,8 +700,8 @@ mod tests {
 
     #[test]
     fn variant_table_is_all_codecs_single_then_framed_then_checksummed() {
-        let variants = build_variants();
-        assert_eq!(variants.len(), 27);
+        let variants = build_variants(false);
+        assert_eq!(variants.len(), 30);
         let labels: Vec<&str> = variants.iter().map(|v| v.label.as_str()).collect();
         let codecs = [
             "mgard",
@@ -488,11 +719,36 @@ mod tests {
             .map(|c| c.to_string())
             .chain(codecs.iter().map(|c| format!("{c}+framed")))
             .chain(codecs.iter().map(|c| format!("{c}+framed+ck")))
+            .chain(REGION_CODECS.iter().map(|c| format!("region_{c}")))
             .collect();
         assert_eq!(labels, expected);
         assert!(variants[..9].iter().all(|v| v.mode == VariantMode::Single));
         assert!(variants[9..18].iter().all(|v| v.mode == VariantMode::Framed));
-        assert!(variants[18..].iter().all(|v| v.mode == VariantMode::FramedChecksummed));
+        assert!(variants[18..27].iter().all(|v| v.mode == VariantMode::FramedChecksummed));
+        assert!(variants[27..].iter().enumerate().all(|(k, v)| v.mode == VariantMode::Region(k)));
+    }
+
+    #[test]
+    fn regions_only_variant_table_is_just_the_region_band() {
+        let variants = build_variants(true);
+        assert_eq!(variants.len(), 3);
+        assert!(variants.iter().all(|v| matches!(v.mode, VariantMode::Region(_))));
+        assert!(variants.iter().all(|v| v.label.starts_with("region_")));
+    }
+
+    #[test]
+    fn region_workload_windows_cover_and_refs_are_deterministic() {
+        let config =
+            LoadgenConfig { archive_size: 96, archive_tile: 32, ..LoadgenConfig::default() };
+        let a = build_region_workload(&config).unwrap();
+        let b = build_region_workload(&config).unwrap();
+        // 96/16-step anchors with at+32<=96 → at ∈ {0,16,32,48,64} → 25 windows.
+        assert_eq!(a.windows.len(), 25);
+        assert!(a.windows.iter().all(|w| w.height == 32 && w.width == 32));
+        assert!(a.windows.iter().all(|w| w.i0 + w.height <= 96 && w.j0 + w.width <= 96));
+        assert_eq!(a.refs, b.refs, "same seed must give identical references");
+        assert_eq!(a.refs.len(), REGION_CODECS.len());
+        assert!(a.refs.iter().all(|r| r.len() == 25));
     }
 
     #[test]
@@ -514,7 +770,7 @@ mod tests {
         // The reference table must not depend on arena reuse order:
         // computing a single cell with fresh scratch gives the same hashes.
         let config = LoadgenConfig { sizes: vec![32], ..LoadgenConfig::default() };
-        let variants = build_variants();
+        let variants = build_variants(false);
         let fields = build_fields(&config);
         let bound = ErrorBound::Absolute(config.bound);
         let refs = build_references(&variants, &fields, bound, 4).unwrap();
@@ -522,6 +778,10 @@ mod tests {
         let mut frame_scratch = FrameScratch::new();
         let mut recon = Field2D::zeros(1, 1);
         for (v, variant) in variants.iter().enumerate() {
+            if matches!(variant.mode, VariantMode::Region(_)) {
+                assert!(refs[v].is_empty(), "region variants carry no round-trip references");
+                continue;
+            }
             let stream = round_trip(
                 variant,
                 &fields[1],

@@ -29,6 +29,36 @@
 //! *inner* compressor, and the block lengths must sum exactly to the bytes
 //! that follow the table(s).
 //!
+//! ## Frame format version 2: tiled blocks (flag bit `0x20`)
+//!
+//! A v2 frame replaces row bands with **2D tiles**: blocks are
+//! `tile_ny × tile_nx` rectangles covering the field in row-major tile
+//! order (exactly [`lcc_grid::WindowIter::over`]'s tiling, edge tiles
+//! clipped), and the header grows two fields:
+//!
+//! ```text
+//! offset  size        field
+//! 0       4           magic  b"LCCF"
+//! 4       1           version (1 | 0x20, optionally | 0x40)
+//! 5       8           ny  (u64 LE, total rows)
+//! 13      8           nx  (u64 LE, columns)
+//! 21      4           n_blocks (u32 LE, == tiles_y * tiles_x, >= 2)
+//! 25      4           tile_ny (u32 LE)
+//! 29      4           tile_nx (u32 LE)
+//! 33      8*n_blocks  per-tile compressed byte length (u64 LE each)
+//! …       8*n_blocks  per-tile XXH64 digest — only with `FLAG_CHECKSUM`
+//! …       …           the n_blocks tile streams, concatenated
+//! ```
+//!
+//! Because tile order is fixed, the length table doubles as a **seek
+//! index**: prefix-summing it locates any tile's bytes without touching the
+//! rest of the stream ([`TiledIndex`] exposes exactly that), which is what
+//! archive-style region readers use to decode only the tiles overlapping a
+//! query window. A tiling that collapses to one tile is the
+//! raw inner stream (same passthrough rule as v1), and v1 row-band frames
+//! keep decoding forever — the decoder masks both flag bits and branches on
+//! `FLAG_TILED`.
+//!
 //! ## Per-block checksums
 //!
 //! The high bit group of the version byte carries flags: `0x41` is a
@@ -72,7 +102,7 @@
 //! bound still holds point-wise: it is enforced per block.
 
 use crate::{CompressError, Compressor, ErrorBound, ScratchArena};
-use lcc_grid::{Field2D, FieldView};
+use lcc_grid::{disjoint_window_rows, Field2D, FieldView, Window, WindowIter};
 use lcc_lossless::xxh64;
 use lcc_par::{parallel_block_map, split_ranges, ThreadPoolConfig};
 use std::sync::Mutex;
@@ -84,9 +114,15 @@ pub const FRAME_VERSION: u8 = 1;
 /// Version-byte flag bit: the length table is followed by a per-block
 /// XXH64 digest table, verified before each block decodes.
 pub const FLAG_CHECKSUM: u8 = 0x40;
+/// Version-byte flag bit: blocks are 2D `tile_ny × tile_nx` tiles in
+/// row-major tile order (frame format v2) and the header carries the tile
+/// shape; the length table is then a seek index over the tiles.
+pub const FLAG_TILED: u8 = 0x20;
 
 /// Fixed header bytes before the block-length table.
 const HEADER_LEN: usize = 4 + 1 + 8 + 8 + 4;
+/// Fixed header bytes of a tiled (v2) frame: the v1 header plus tile dims.
+const TILED_HEADER_LEN: usize = HEADER_LEN + 4 + 4;
 /// Smallest row count a block may cover before auto-splitting stops.
 const MIN_ROWS_PER_BLOCK: usize = 32;
 /// Smallest cell count a block may cover before auto-splitting stops
@@ -109,11 +145,16 @@ pub struct FrameScratch {
     workers: Vec<FrameWorker>,
 }
 
+/// One worker's persistent state: the inner compressor's scratch arena plus
+/// a reusable per-block decode field. Public so external block-parallel
+/// consumers (the archive's region reader) can drive the same per-worker
+/// reuse discipline the framed codec uses.
 #[derive(Debug, Default)]
-struct FrameWorker {
-    arena: ScratchArena,
+pub struct FrameWorker {
+    /// The inner compressor's reusable buffers.
+    pub arena: ScratchArena,
     /// Reusable per-block decode target (lazy: `Field2D` has no empty value).
-    block: Option<Field2D>,
+    pub block: Option<Field2D>,
 }
 
 impl FrameScratch {
@@ -123,7 +164,7 @@ impl FrameScratch {
     }
 
     /// The first `n` worker states, growing the pool if needed.
-    fn workers(&mut self, n: usize) -> &mut [FrameWorker] {
+    pub fn workers(&mut self, n: usize) -> &mut [FrameWorker] {
         if self.workers.len() < n {
             self.workers.resize_with(n, FrameWorker::default);
         }
@@ -220,28 +261,119 @@ fn compress_framed_impl(
         ranges.iter().map(|r| view.subview(r.start, 0, r.len(), nx)).collect();
     let n_blocks = sub_views.len();
 
-    // Pipelined stream assembly: the header and zeroed length (and, when
-    // checksummed, digest) tables are reserved up front, and every finished
-    // block appends its bytes and backfills its table slots as soon as all
-    // earlier blocks have landed — assembly of early blocks overlaps with
-    // encoding of later ones instead of waiting at a barrier and
-    // concatenating afterwards. The emitted bytes are identical to the
-    // barrier version: same header, same tables, same in-order
-    // concatenation.
-    let tables = if checksum { 16 } else { 8 };
-    let mut header = Vec::with_capacity(HEADER_LEN + tables * n_blocks);
+    let mut header = Vec::with_capacity(HEADER_LEN);
     header.extend_from_slice(&FRAME_MAGIC);
     header.push(if checksum { FRAME_VERSION | FLAG_CHECKSUM } else { FRAME_VERSION });
     header.extend_from_slice(&(ny as u64).to_le_bytes());
     header.extend_from_slice(&(nx as u64).to_le_bytes());
     header.extend_from_slice(&(n_blocks as u32).to_le_bytes());
-    header.resize(HEADER_LEN + tables * n_blocks, 0);
+    encode_blocks(compressor, sub_views, bound, pool, scratch, checksum, header)
+}
+
+/// Compress a view as a v2 **tiled** frame: blocks are `tile_ny × tile_nx`
+/// rectangles covering the field in row-major tile order (exactly
+/// [`WindowIter::over`]'s tiling), so the length table doubles as a seek
+/// index over the tiles. Tile dims are clamped to the field; a tiling that
+/// collapses to a single tile emits the inner compressor's raw stream,
+/// byte-identical to [`Compressor::compress_view`]. The produced stream is
+/// independent of the pool width.
+pub fn compress_tiled_with(
+    compressor: &dyn Compressor,
+    view: &FieldView<'_>,
+    bound: ErrorBound,
+    tile_ny: usize,
+    tile_nx: usize,
+    pool: ThreadPoolConfig,
+    scratch: &mut FrameScratch,
+) -> Result<Vec<u8>, CompressError> {
+    compress_tiled_impl(compressor, view, bound, tile_ny, tile_nx, pool, scratch, false)
+}
+
+/// [`compress_tiled_with`] plus the per-tile XXH64 digest table of
+/// [`compress_framed_checksummed_with`]: the version byte carries both
+/// `FLAG_TILED` and `FLAG_CHECKSUM`, and every tile's digest is verified
+/// before that tile decodes — including single-tile region reads.
+#[allow(clippy::too_many_arguments)]
+pub fn compress_tiled_checksummed_with(
+    compressor: &dyn Compressor,
+    view: &FieldView<'_>,
+    bound: ErrorBound,
+    tile_ny: usize,
+    tile_nx: usize,
+    pool: ThreadPoolConfig,
+    scratch: &mut FrameScratch,
+) -> Result<Vec<u8>, CompressError> {
+    compress_tiled_impl(compressor, view, bound, tile_ny, tile_nx, pool, scratch, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compress_tiled_impl(
+    compressor: &dyn Compressor,
+    view: &FieldView<'_>,
+    bound: ErrorBound,
+    tile_ny: usize,
+    tile_nx: usize,
+    pool: ThreadPoolConfig,
+    scratch: &mut FrameScratch,
+    checksum: bool,
+) -> Result<Vec<u8>, CompressError> {
+    if tile_ny == 0 || tile_nx == 0 {
+        return Err(CompressError::InvalidInput("tile dimensions must be non-zero".into()));
+    }
+    let (ny, nx) = view.shape();
+    let tile_ny = tile_ny.min(ny);
+    let tile_nx = tile_nx.min(nx);
+    let windows: Vec<Window> = WindowIter::over(ny, nx, tile_ny, tile_nx).collect();
+    if windows.len() == 1 {
+        return compressor.compress_view_with(view, bound, &mut scratch.workers(1)[0].arena);
+    }
+    let sub_views: Vec<FieldView<'_>> = windows.iter().map(|w| view.window(w)).collect();
+    let n_blocks = sub_views.len();
+
+    let mut header = Vec::with_capacity(TILED_HEADER_LEN);
+    header.extend_from_slice(&FRAME_MAGIC);
+    header.push(FRAME_VERSION | FLAG_TILED | if checksum { FLAG_CHECKSUM } else { 0 });
+    header.extend_from_slice(&(ny as u64).to_le_bytes());
+    header.extend_from_slice(&(nx as u64).to_le_bytes());
+    header.extend_from_slice(&(n_blocks as u32).to_le_bytes());
+    header.extend_from_slice(&(tile_ny as u32).to_le_bytes());
+    header.extend_from_slice(&(tile_nx as u32).to_le_bytes());
+    encode_blocks(compressor, sub_views, bound, pool, scratch, checksum, header)
+}
+
+/// Encode `sub_views` as the blocks of a frame whose fixed header is
+/// already in `header`, reserving and backfilling the length (and optional
+/// digest) tables. Shared by the row-band (v1) and tiled (v2) encoders —
+/// the formats differ only in the header prefix and how the views tile the
+/// field.
+///
+/// Pipelined stream assembly: the header and zeroed length (and, when
+/// checksummed, digest) tables are reserved up front, and every finished
+/// block appends its bytes and backfills its table slots as soon as all
+/// earlier blocks have landed — assembly of early blocks overlaps with
+/// encoding of later ones instead of waiting at a barrier and concatenating
+/// afterwards. The emitted bytes are identical to the barrier version: same
+/// header, same tables, same in-order concatenation.
+fn encode_blocks(
+    compressor: &dyn Compressor,
+    sub_views: Vec<FieldView<'_>>,
+    bound: ErrorBound,
+    pool: ThreadPoolConfig,
+    scratch: &mut FrameScratch,
+    checksum: bool,
+    mut header: Vec<u8>,
+) -> Result<Vec<u8>, CompressError> {
+    let n_blocks = sub_views.len();
+    let tables = if checksum { 16 } else { 8 };
+    let table_at = header.len();
+    header.resize(table_at + tables * n_blocks, 0);
     let assembler = Mutex::new(FrameAssembler {
         out: header,
         next: 0,
         pending: (0..n_blocks).map(|_| None).collect(),
         error: None,
-        hash_table_at: checksum.then_some(HEADER_LEN + 8 * n_blocks),
+        table_at,
+        hash_table_at: checksum.then_some(table_at + 8 * n_blocks),
     });
 
     let workers = scratch.workers(pool.threads().min(n_blocks));
@@ -277,6 +409,9 @@ struct FrameAssembler {
     pending: Vec<Option<(Vec<u8>, Option<u64>)>>,
     /// First compression error observed (the frame is abandoned).
     error: Option<CompressError>,
+    /// Byte offset of the reserved length table (header-format dependent:
+    /// 25 for v1 row-band frames, 33 for v2 tiled frames).
+    table_at: usize,
     /// Byte offset of the reserved digest table, when checksumming.
     hash_table_at: Option<usize>,
 }
@@ -296,7 +431,7 @@ impl FrameAssembler {
                 while let Some((stream, digest)) =
                     self.pending.get_mut(self.next).and_then(Option::take)
                 {
-                    let slot = HEADER_LEN + 8 * self.next;
+                    let slot = self.table_at + 8 * self.next;
                     self.out[slot..slot + 8].copy_from_slice(&(stream.len() as u64).to_le_bytes());
                     if let (Some(base), Some(digest)) = (self.hash_table_at, digest) {
                         let slot = base + 8 * self.next;
@@ -307,6 +442,199 @@ impl FrameAssembler {
                 }
             }
         }
+    }
+}
+
+/// Parsed header + seek index of a v2 tiled frame: everything a reader
+/// needs to locate one tile's compressed bytes without touching the rest of
+/// the stream. Parsing consumes only the frame's leading bytes — read
+/// [`TiledIndex::PREFIX_LEN`] bytes, size the rest with
+/// [`TiledIndex::table_span`], then hand that prefix to
+/// [`TiledIndex::parse`] — so an archive can index a multi-megabyte entry
+/// from a few kilobytes of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiledIndex {
+    /// Field rows.
+    pub ny: usize,
+    /// Field columns.
+    pub nx: usize,
+    /// Tile height (edge tiles may be shorter).
+    pub tile_ny: usize,
+    /// Tile width (edge tiles may be narrower).
+    pub tile_nx: usize,
+    /// Whether a digest table follows the length table.
+    pub checksummed: bool,
+    /// Byte offset (within the frame) of the first tile's stream.
+    pub body_at: usize,
+    /// Per-tile compressed byte length, row-major tile order.
+    pub lengths: Vec<usize>,
+    /// Per-tile byte offset within the frame (prefix sums over `lengths`).
+    pub offsets: Vec<usize>,
+    /// Per-tile XXH64 digest when `checksummed`.
+    pub digests: Option<Vec<u64>>,
+}
+
+impl TiledIndex {
+    /// Bytes of a tiled frame a reader must fetch before
+    /// [`table_span`](Self::table_span) can size the rest of the prefix.
+    pub const PREFIX_LEN: usize = TILED_HEADER_LEN;
+
+    /// Total header + table span (in bytes) of the tiled frame whose first
+    /// [`PREFIX_LEN`](Self::PREFIX_LEN) bytes are `prefix`, validated
+    /// against the total frame length so a forged block count cannot demand
+    /// more bytes than the frame holds.
+    pub fn table_span(prefix: &[u8], frame_len: usize) -> Result<usize, CompressError> {
+        let corrupt = |msg: &str| CompressError::CorruptStream(format!("frame: {msg}"));
+        if prefix.len() < TILED_HEADER_LEN || prefix[..4] != FRAME_MAGIC {
+            return Err(corrupt("tiled header truncated or missing magic"));
+        }
+        if prefix[4] & !(FLAG_CHECKSUM | FLAG_TILED) != FRAME_VERSION || prefix[4] & FLAG_TILED == 0
+        {
+            return Err(corrupt(&format!("version byte {:#04x} is not a tiled frame", prefix[4])));
+        }
+        let per_block = if prefix[4] & FLAG_CHECKSUM != 0 { 16 } else { 8 };
+        let n_blocks = u32::from_le_bytes(prefix[21..25].try_into().unwrap()) as usize;
+        n_blocks
+            .checked_mul(per_block)
+            .and_then(|t| t.checked_add(TILED_HEADER_LEN))
+            .filter(|&t| t <= frame_len)
+            .ok_or_else(|| corrupt(&format!("tile table for {n_blocks} tiles exceeds stream")))
+    }
+
+    /// Parse the seek index from a tiled frame's leading bytes. `prefix`
+    /// must hold at least [`table_span`](Self::table_span) bytes (the whole
+    /// stream also works); `frame_len` is the total frame size the tile
+    /// lengths must sum to. Every claim is validated before anything sized
+    /// by it is allocated, so a forged header costs at most one bounded
+    /// table read.
+    pub fn parse(prefix: &[u8], frame_len: usize) -> Result<TiledIndex, CompressError> {
+        let corrupt = |msg: &str| CompressError::CorruptStream(format!("frame: {msg}"));
+        let span = Self::table_span(prefix, frame_len)?;
+        if prefix.len() < span {
+            return Err(corrupt("tile table truncated"));
+        }
+        let checksummed = prefix[4] & FLAG_CHECKSUM != 0;
+        let ny = usize::try_from(u64::from_le_bytes(prefix[5..13].try_into().unwrap()))
+            .map_err(|_| corrupt("row count overflows usize"))?;
+        let nx = usize::try_from(u64::from_le_bytes(prefix[13..21].try_into().unwrap()))
+            .map_err(|_| corrupt("column count overflows usize"))?;
+        let n_blocks = u32::from_le_bytes(prefix[21..25].try_into().unwrap()) as usize;
+        let tile_ny = u32::from_le_bytes(prefix[25..29].try_into().unwrap()) as usize;
+        let tile_nx = u32::from_le_bytes(prefix[29..33].try_into().unwrap()) as usize;
+        if ny == 0 || nx == 0 {
+            return Err(corrupt("empty field shape"));
+        }
+        if tile_ny == 0 || tile_nx == 0 || tile_ny > ny || tile_nx > nx {
+            return Err(corrupt(&format!(
+                "tile shape {tile_ny}x{tile_nx} invalid for a {ny}x{nx} field"
+            )));
+        }
+        let tiles = ny
+            .div_ceil(tile_ny)
+            .checked_mul(nx.div_ceil(tile_nx))
+            .ok_or_else(|| corrupt("tile count overflows usize"))?;
+        if n_blocks != tiles || n_blocks < 2 {
+            // The encoder writes exactly one block per tile of the cover
+            // (single-tile output is raw passthrough), so a mismatch means
+            // the claimed tiling does not cover the claimed field.
+            return Err(corrupt(&format!(
+                "tile count {n_blocks} does not cover a {ny}x{nx} field \
+                 with {tile_ny}x{tile_nx} tiles (expected {tiles})"
+            )));
+        }
+        let mut lengths = Vec::with_capacity(n_blocks);
+        let mut offsets = Vec::with_capacity(n_blocks);
+        let mut at = span;
+        for entry in prefix[TILED_HEADER_LEN..TILED_HEADER_LEN + 8 * n_blocks].chunks_exact(8) {
+            let len = usize::try_from(u64::from_le_bytes(entry.try_into().unwrap()))
+                .map_err(|_| corrupt("tile length overflows usize"))?;
+            offsets.push(at);
+            at = at.checked_add(len).ok_or_else(|| corrupt("tile lengths overflow"))?;
+            lengths.push(len);
+        }
+        if at != frame_len {
+            return Err(corrupt(&format!(
+                "tile lengths end at byte {at} but the frame holds {frame_len}"
+            )));
+        }
+        // Same decode-side allocation guard as v1: the claimed cell count
+        // must be plausible for the actual payload bytes.
+        let cells = ny.checked_mul(nx).ok_or_else(|| corrupt("cell count overflows usize"))?;
+        if cells > (frame_len - span).saturating_mul(MAX_CELLS_PER_STREAM_BYTE) {
+            return Err(corrupt(&format!(
+                "claimed {cells} cells exceed the plausible yield of {} payload bytes",
+                frame_len - span
+            )));
+        }
+        let digests = checksummed.then(|| {
+            prefix[TILED_HEADER_LEN + 8 * n_blocks..span]
+                .chunks_exact(8)
+                .map(|e| u64::from_le_bytes(e.try_into().unwrap()))
+                .collect()
+        });
+        Ok(TiledIndex {
+            ny,
+            nx,
+            tile_ny,
+            tile_nx,
+            checksummed,
+            body_at: span,
+            lengths,
+            offsets,
+            digests,
+        })
+    }
+
+    /// Number of tiles (== frame blocks).
+    pub fn n_tiles(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Tiles per row of the tile grid.
+    pub fn tiles_x(&self) -> usize {
+        self.nx.div_ceil(self.tile_nx)
+    }
+
+    /// Tile rows of the tile grid.
+    pub fn tiles_y(&self) -> usize {
+        self.ny.div_ceil(self.tile_ny)
+    }
+
+    /// The field rectangle tile `t` covers (edge tiles are clipped).
+    pub fn tile_window(&self, t: usize) -> Window {
+        let (ty, tx) = (t / self.tiles_x(), t % self.tiles_x());
+        let i0 = ty * self.tile_ny;
+        let j0 = tx * self.tile_nx;
+        Window {
+            i0,
+            j0,
+            height: self.tile_ny.min(self.ny - i0),
+            width: self.tile_nx.min(self.nx - j0),
+        }
+    }
+
+    /// `(offset, length)` of tile `t`'s compressed bytes within the frame.
+    pub fn tile_span(&self, t: usize) -> (usize, usize) {
+        (self.offsets[t], self.lengths[t])
+    }
+
+    /// Row-major ids of the tiles overlapping `window` (clipped to the
+    /// field; empty when the window lies entirely outside it).
+    pub fn tiles_overlapping(&self, window: &Window) -> Vec<usize> {
+        let i1 = window.i0.saturating_add(window.height).min(self.ny);
+        let j1 = window.j0.saturating_add(window.width).min(self.nx);
+        if window.i0 >= i1 || window.j0 >= j1 {
+            return Vec::new();
+        }
+        let (ty0, ty1) = (window.i0 / self.tile_ny, (i1 - 1) / self.tile_ny);
+        let (tx0, tx1) = (window.j0 / self.tile_nx, (j1 - 1) / self.tile_nx);
+        let mut out = Vec::with_capacity((ty1 - ty0 + 1) * (tx1 - tx0 + 1));
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                out.push(ty * self.tiles_x() + tx);
+            }
+        }
+        out
     }
 }
 
@@ -345,11 +673,15 @@ pub fn decompress_framed_with(
     }
     let corrupt = |msg: &str| CompressError::CorruptStream(format!("frame: {msg}"));
     // The version byte carries flag bits above the version number; mask
-    // the known flags off before comparing so checksummed (0x41) and plain
-    // (0x01) version-1 frames both decode — and so plain v1 streams keep
-    // decoding forever, whatever flags later encoders add to *new* streams.
-    if stream[4] & !FLAG_CHECKSUM != FRAME_VERSION {
+    // the known flags off before comparing so checksummed (0x41), tiled
+    // (0x21) and plain (0x01) frames all decode — and so plain v1 streams
+    // keep decoding forever, whatever flags later encoders add to *new*
+    // streams.
+    if stream[4] & !(FLAG_CHECKSUM | FLAG_TILED) != FRAME_VERSION {
         return Err(corrupt(&format!("unsupported version byte {:#04x}", stream[4])));
+    }
+    if stream[4] & FLAG_TILED != 0 {
+        return decompress_tiled(compressor, stream, pool, scratch, out);
     }
     let checksummed = stream[4] & FLAG_CHECKSUM != 0;
     let ny = u64::from_le_bytes(stream[5..13].try_into().unwrap());
@@ -448,6 +780,64 @@ pub fn decompress_framed_with(
                 )));
             }
             chunk.copy_from_slice(block.as_slice());
+            Ok(())
+        });
+    decoded.into_iter().collect()
+}
+
+/// One tile's decode work item: its rectangle, its compressed bytes, and
+/// the disjoint output row segments it writes.
+type TileItem<'a> = (Window, &'a [u8], Vec<&'a mut [f64]>);
+
+/// Decode a whole v2 tiled frame: parse the seek index, carve `out` into
+/// per-tile disjoint row segments ([`disjoint_window_rows`] — safe
+/// `split_at_mut` slicing, no aliasing), and decode every tile on its own
+/// worker straight into its rectangle.
+fn decompress_tiled(
+    compressor: &dyn Compressor,
+    stream: &[u8],
+    pool: ThreadPoolConfig,
+    scratch: &mut FrameScratch,
+    out: &mut Field2D,
+) -> Result<(), CompressError> {
+    let index = TiledIndex::parse(stream, stream.len())?;
+    let n_tiles = index.n_tiles();
+    let windows: Vec<Window> = (0..n_tiles).map(|t| index.tile_window(t)).collect();
+    out.resize(index.ny, index.nx);
+    let segments = disjoint_window_rows(out.as_mut_slice(), index.nx, &windows);
+    let items: Vec<TileItem<'_>> = windows
+        .iter()
+        .zip(segments)
+        .enumerate()
+        .map(|(t, (w, segs))| {
+            let (at, len) = index.tile_span(t);
+            (*w, &stream[at..at + len], segs)
+        })
+        .collect();
+    let digests = index.digests.as_deref();
+    let workers = scratch.workers(pool.threads().min(n_tiles));
+    let decoded: Vec<Result<(), CompressError>> =
+        parallel_block_map(pool, workers, items, |worker, t, (win, sub, mut segs)| {
+            if let Some(digests) = digests {
+                if xxh64(sub, 0) != digests[t] {
+                    return Err(CompressError::CorruptStream(format!(
+                        "frame: tile {t} checksum mismatch"
+                    )));
+                }
+            }
+            let block = worker.block.get_or_insert_with(|| Field2D::zeros(1, 1));
+            compressor.decompress_view_with(sub, &mut worker.arena, block)?;
+            if block.shape() != (win.height, win.width) {
+                return Err(CompressError::CorruptStream(format!(
+                    "frame: tile {t} decoded to {:?}, expected ({}, {})",
+                    block.shape(),
+                    win.height,
+                    win.width
+                )));
+            }
+            for (seg, row) in segs.iter_mut().zip(block.view().rows()) {
+                seg.copy_from_slice(row);
+            }
             Ok(())
         });
     decoded.into_iter().collect()
@@ -800,6 +1190,248 @@ mod tests {
             decompress_framed(&Store, &bad, pool()),
             Err(CompressError::CorruptStream(_))
         ));
+    }
+
+    #[test]
+    fn tiled_single_tile_is_the_raw_stream() {
+        // Tile dims >= the field collapse to one tile: the v2 single-tile
+        // output must equal the unframed stream, byte for byte.
+        let field = ramp(8, 5);
+        let bound = ErrorBound::Absolute(1.0);
+        let raw = Store.compress_view(&field.view(), bound).unwrap();
+        for (ty, tx) in [(8, 5), (100, 100), (8, 9)] {
+            let tiled = compress_tiled_with(
+                &Store,
+                &field.view(),
+                bound,
+                ty,
+                tx,
+                pool(),
+                &mut FrameScratch::new(),
+            )
+            .unwrap();
+            assert_eq!(tiled, raw, "{ty}x{tx} tiles");
+            assert!(!is_framed(&tiled));
+        }
+    }
+
+    #[test]
+    fn tiled_frames_roundtrip_across_tile_shapes() {
+        let field = ramp(23, 17); // non-divisible on both axes
+        let bound = ErrorBound::Absolute(1.0);
+        for (ty, tx) in [(8, 8), (23, 5), (5, 17), (7, 11), (1, 1)] {
+            let mut scratch = FrameScratch::new();
+            let tiled =
+                compress_tiled_with(&Store, &field.view(), bound, ty, tx, pool(), &mut scratch)
+                    .unwrap();
+            assert!(is_framed(&tiled), "{ty}x{tx}");
+            assert_eq!(tiled[4], FRAME_VERSION | FLAG_TILED, "{ty}x{tx}");
+            let back = decompress_framed(&Store, &tiled, pool()).unwrap();
+            assert_eq!(back, field, "{ty}x{tx} tiles");
+        }
+    }
+
+    #[test]
+    fn tiled_checksummed_frames_roundtrip_and_flag_both_bits() {
+        let field = ramp(23, 17);
+        let bound = ErrorBound::Absolute(1.0);
+        let mut scratch = FrameScratch::new();
+        let tiled = compress_tiled_checksummed_with(
+            &Store,
+            &field.view(),
+            bound,
+            8,
+            8,
+            pool(),
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(tiled[4], FRAME_VERSION | FLAG_TILED | FLAG_CHECKSUM);
+        assert_eq!(decompress_framed(&Store, &tiled, pool()).unwrap(), field);
+
+        // A flipped payload bit is caught by the per-tile digest.
+        let mut bad = tiled.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x08;
+        assert!(matches!(
+            decompress_framed(&Store, &bad, pool()),
+            Err(CompressError::CorruptStream(msg)) if msg.contains("checksum mismatch")
+        ));
+    }
+
+    #[test]
+    fn tiled_stream_is_independent_of_pool_width() {
+        let field = ramp(40, 26);
+        let bound = ErrorBound::Absolute(1.0);
+        let mut streams = Vec::new();
+        for threads in [1, 2, 5] {
+            streams.push(
+                compress_tiled_with(
+                    &Store,
+                    &field.view(),
+                    bound,
+                    16,
+                    16,
+                    ThreadPoolConfig::with_threads(threads),
+                    &mut FrameScratch::new(),
+                )
+                .unwrap(),
+            );
+        }
+        assert_eq!(streams[0], streams[1]);
+        assert_eq!(streams[0], streams[2]);
+    }
+
+    #[test]
+    fn tiled_index_locates_every_tile_exactly() {
+        // Each tile's (offset, length) span must decode, on its own, to the
+        // matching subfield — the property the archive's seek path rests on.
+        let field = ramp(23, 17);
+        let bound = ErrorBound::Absolute(1.0);
+        let tiled = compress_tiled_with(
+            &Store,
+            &field.view(),
+            bound,
+            8,
+            8,
+            pool(),
+            &mut FrameScratch::new(),
+        )
+        .unwrap();
+        let index = TiledIndex::parse(&tiled, tiled.len()).unwrap();
+        assert_eq!((index.ny, index.nx), (23, 17));
+        assert_eq!((index.tile_ny, index.tile_nx), (8, 8));
+        assert_eq!(index.n_tiles(), 9);
+        assert_eq!((index.tiles_y(), index.tiles_x()), (3, 3));
+        let mut scratch = ScratchArena::new();
+        let mut block = Field2D::zeros(1, 1);
+        for t in 0..index.n_tiles() {
+            let w = index.tile_window(t);
+            let (at, len) = index.tile_span(t);
+            Store.decompress_view_with(&tiled[at..at + len], &mut scratch, &mut block).unwrap();
+            assert_eq!(block, field.subfield(w.i0, w.j0, w.height, w.width), "tile {t}");
+        }
+        // The two-step prefix parse (header, then exactly table_span bytes)
+        // must agree with parsing the whole stream.
+        let span = TiledIndex::table_span(&tiled[..TiledIndex::PREFIX_LEN], tiled.len()).unwrap();
+        assert_eq!(span, index.body_at);
+        assert_eq!(TiledIndex::parse(&tiled[..span], tiled.len()).unwrap(), index);
+    }
+
+    #[test]
+    fn tiled_index_tiles_overlapping_matches_geometry() {
+        let field = ramp(23, 17);
+        let tiled = compress_tiled_with(
+            &Store,
+            &field.view(),
+            ErrorBound::Absolute(1.0),
+            8,
+            8,
+            pool(),
+            &mut FrameScratch::new(),
+        )
+        .unwrap();
+        let index = TiledIndex::parse(&tiled, tiled.len()).unwrap();
+        // One interior cell: exactly one tile.
+        assert_eq!(index.tiles_overlapping(&Window { i0: 9, j0: 9, height: 1, width: 1 }), [4]);
+        // A window crossing both seams: the 2x2 tile block around it.
+        assert_eq!(
+            index.tiles_overlapping(&Window { i0: 6, j0: 6, height: 4, width: 4 }),
+            [0, 1, 3, 4]
+        );
+        // The whole field: every tile.
+        assert_eq!(
+            index.tiles_overlapping(&Window { i0: 0, j0: 0, height: 23, width: 17 }),
+            (0..9).collect::<Vec<_>>()
+        );
+        // Entirely outside: none.
+        assert!(index.tiles_overlapping(&Window { i0: 23, j0: 0, height: 4, width: 4 }).is_empty());
+    }
+
+    #[test]
+    fn corrupt_tiled_frames_are_rejected() {
+        let field = ramp(23, 17);
+        let bound = ErrorBound::Absolute(1.0);
+        let good = compress_tiled_with(
+            &Store,
+            &field.view(),
+            bound,
+            8,
+            8,
+            pool(),
+            &mut FrameScratch::new(),
+        )
+        .unwrap();
+
+        // Zero tile dims at encode time are invalid input, not a panic.
+        assert!(matches!(
+            compress_tiled_with(
+                &Store,
+                &field.view(),
+                bound,
+                0,
+                8,
+                pool(),
+                &mut FrameScratch::new()
+            ),
+            Err(CompressError::InvalidInput(_))
+        ));
+
+        // Tile dims that don't cover the field: claimed 4x4 tiling of a
+        // 23x17 field needs 30 tiles, but the header still says 9.
+        let mut bad = good.clone();
+        bad[25..29].copy_from_slice(&4u32.to_le_bytes());
+        bad[29..33].copy_from_slice(&4u32.to_le_bytes());
+        assert!(matches!(
+            decompress_framed(&Store, &bad, pool()),
+            Err(CompressError::CorruptStream(msg)) if msg.contains("does not cover")
+        ));
+
+        // Zero tile dims in the header.
+        let mut bad = good.clone();
+        bad[25..29].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decompress_framed(&Store, &bad, pool()),
+            Err(CompressError::CorruptStream(msg)) if msg.contains("tile shape")
+        ));
+
+        // Overflowing tile length in the seek index.
+        let mut bad = good.clone();
+        bad[33..41].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decompress_framed(&Store, &bad, pool()).is_err());
+
+        // Truncated stream: lengths no longer reach the end of the frame.
+        assert!(decompress_framed(&Store, &good[..good.len() - 3], pool()).is_err());
+
+        // An unknown flag bit on a tiled frame is an unsupported version.
+        let mut bad = good.clone();
+        bad[4] |= 0x80;
+        assert!(matches!(
+            decompress_framed(&Store, &bad, pool()),
+            Err(CompressError::CorruptStream(msg)) if msg.contains("unsupported version")
+        ));
+
+        // A forged tiled header claiming a huge field over a tiny payload
+        // trips the allocation guard before `out` is sized.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&FRAME_MAGIC);
+        bad.push(FRAME_VERSION | FLAG_TILED);
+        bad.extend_from_slice(&(1u64 << 32).to_le_bytes());
+        bad.extend_from_slice(&(1u64 << 32).to_le_bytes());
+        bad.extend_from_slice(&4u32.to_le_bytes());
+        bad.extend_from_slice(&(1u32 << 31).to_le_bytes());
+        bad.extend_from_slice(&(1u32 << 31).to_le_bytes());
+        for len in [8u64, 8, 8, 8] {
+            bad.extend_from_slice(&len.to_le_bytes());
+        }
+        bad.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            decompress_framed(&Store, &bad, pool()),
+            Err(CompressError::CorruptStream(_))
+        ));
+
+        // The untouched stream still decodes.
+        assert_eq!(decompress_framed(&Store, &good, pool()).unwrap(), field);
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub mod registry;
 pub mod scratch;
 
 pub use bound::ErrorBound;
-pub use frame::{FrameScratch, FLAG_CHECKSUM, FRAME_MAGIC, FRAME_VERSION};
+pub use frame::{
+    FrameScratch, FrameWorker, TiledIndex, FLAG_CHECKSUM, FLAG_TILED, FRAME_MAGIC, FRAME_VERSION,
+};
 pub use metrics::Metrics;
 pub use registry::{CompressorInfo, Registry};
 pub use scratch::ScratchArena;

@@ -40,13 +40,22 @@ import sys
 # lcc_core::registry::entropy_ablation_registry().
 REQUIRED_VARIANTS = ["mgard", "mgard-rans", "mgard-rans8", "sz", "sz-rans",
                      "sz-rans8", "zfp", "zfp-rans", "zfp-rans8"]
+# Archive region-read rows bench_sweep's `regions` stage must have
+# measured: a full-entry decode baseline, a cold (cache-less) tiled window
+# read, and a warmed decoded-tile-cache read. Keep in sync with
+# bench_sweep's Stage 2c.
+REQUIRED_REGION_ROWS = ["region_full_decode", "region_read_cold",
+                        "region_read_hot"]
 # The load generator measures the same registry: every codec single-stream,
 # framed, and framed+checksummed (lcc_core::registry::framed_variant_name /
 # checksummed_variant_name) — the +framed+ck rows are where the XXH64
-# verify cost must stay visible.
+# verify cost must stay visible — plus the archive region-read variants
+# (lcc_core::registry::region_variant_name over the rans8 tier).
 REQUIRED_LOAD_VARIANTS = (REQUIRED_VARIANTS
                           + [f"{n}+framed" for n in REQUIRED_VARIANTS]
-                          + [f"{n}+framed+ck" for n in REQUIRED_VARIANTS])
+                          + [f"{n}+framed+ck" for n in REQUIRED_VARIANTS]
+                          + [f"region_{n}-rans8" for n in
+                             ["sz", "zfp", "mgard"]])
 # Every hot kernel bench_sweep's SIMD pass must have measured scalar vs
 # dispatched. Keep in sync with bench_sweep's Stage 2c.
 REQUIRED_KERNELS = ["rans_decode", "rans8_decode", "lorenzo_quant",
@@ -220,6 +229,33 @@ def render_sweep(baseline, current):
                   f"| {ratio(sd, fd)} |")
         print()
 
+    # Archive region reads: per-read latency of the tiled random-access
+    # path, from the *current* run — the cold column's speedup over the
+    # full-entry decode is what the seek index buys, the hot column's
+    # speedup over cold is what the decoded-tile cache buys.
+    region = {name: cur_tp.get(name) for name in REQUIRED_REGION_ROWS}
+    if all(region.values()):
+        full_s = region["region_full_decode"].get("decompress_seconds")
+        cold_s = region["region_read_cold"].get("decompress_seconds")
+        hot_s = region["region_read_hot"].get("decompress_seconds")
+        print("## Archive region reads — current run")
+        print()
+        print("| row | per-read ms | MB/s | vs full decode | vs cold |")
+        print("|---|---|---|---|---|")
+        for name in REQUIRED_REGION_ROWS:
+            t = region[name]
+            s = t.get("decompress_seconds")
+            ms = f"{s * 1e3:.3f}" if s else "—"
+            vs_full = (f"{full_s / s:.1f}x"
+                       if s and full_s and name != "region_full_decode"
+                       else "—")
+            vs_cold = (f"{cold_s / s:.1f}x"
+                       if s and cold_s and name == "region_read_hot"
+                       else "—")
+            print(f"| {name} | {ms} | {fmt(t['decompress_mb_per_s'])} "
+                  f"| {vs_full} | {vs_cold} |")
+        print()
+
     # SIMD kernel pass: scalar vs dispatched throughput per hot kernel, from
     # the *current* run (the speedup column is the whole point of the SIMD
     # tier), plus the dispatched number's trajectory against the baseline.
@@ -282,6 +318,34 @@ def render_load(baseline, current):
               f"| {fmt(v.get('max_us'))} "
               f"| {fmt(bm)} | {fmt(am)} | {ratio(bm, am)} |")
     print()
+
+    # Decoded-tile cache: hit rate and the fully-cached vs decoding split
+    # of region-read throughput — the columns that justify (or indict) the
+    # cache's byte budget. Older reports carry no `tile_cache` object.
+    cache = current.get("tile_cache")
+    if cache:
+        base_cache = baseline.get("tile_cache") or {}
+        hit_pct = cache.get("hit_rate", 0.0) * 100.0
+        base_hit = base_cache.get("hit_rate")
+        base_note = (f" (baseline {base_hit * 100.0:.1f}%)"
+                     if base_hit is not None else "")
+        print("## Decoded-tile cache — region reads, current run")
+        print()
+        print(f"Hit rate {hit_pct:.1f}%{base_note}: "
+              f"{cache.get('hits', 0)} hits, {cache.get('misses', 0)} misses, "
+              f"{cache.get('evictions', 0)} evictions; "
+              f"{cache.get('bytes', 0)} of {cache.get('budget_bytes', 0)} "
+              f"budget bytes resident.")
+        print()
+        print("| read class | MB served | busy s | MB/s |")
+        print("|---|---|---|---|")
+        print(f"| all-hits | {cache.get('hit_megabytes', 0.0):.2f} "
+              f"| {cache.get('hit_busy_seconds', 0.0):.4f} "
+              f"| {fmt(cache.get('hit_mb_per_s', 0.0))} |")
+        print(f"| decoding | {cache.get('miss_megabytes', 0.0):.2f} "
+              f"| {cache.get('miss_busy_seconds', 0.0):.4f} "
+              f"| {fmt(cache.get('miss_mb_per_s', 0.0))} |")
+        print()
 
 
 def gate_rows(baseline, current):
@@ -357,7 +421,8 @@ def compare(baseline_path, current_path, gate_pct):
     else:
         check_required(
             current, current_path, REQUIRED_VARIANTS
-            + [f"{n}+framed" for n in REQUIRED_VARIANTS],
+            + [f"{n}+framed" for n in REQUIRED_VARIANTS]
+            + REQUIRED_REGION_ROWS,
             "compressor", "throughput")
         check_required(current, current_path, REQUIRED_KERNELS,
                        "kernel", "kernels")
@@ -380,6 +445,16 @@ def synth_sweep(scale, kernel_scale=None):
             "decompress_mb_per_s": 600.0 * scale,
             "compression_ratio": 10.0,
         })
+    for name in REQUIRED_REGION_ROWS:
+        # Region rows are read paths: the compress side is structurally
+        # zero, so only decompress throughput is gate-comparable.
+        throughput.append({
+            "compressor": name,
+            "compress_mb_per_s": 0.0,
+            "decompress_seconds": 0.001,
+            "decompress_mb_per_s": 900.0 * scale,
+            "compression_ratio": 10.0,
+        })
     kernel_scale = scale if kernel_scale is None else kernel_scale
     kernels = [{
         "kernel": name,
@@ -396,10 +471,14 @@ def synth_sweep(scale, kernel_scale=None):
 def synth_load(scale):
     variants = []
     for name in REQUIRED_LOAD_VARIANTS:
+        region = name.startswith("region_")
         variants.append({
             "variant": name, "requests": 100, "errors": 0,
             "megabytes": 3.2, "busy_seconds": 0.1,
-            "mb_per_s_per_core": 32.0 * scale, "compression_ratio": 10.0,
+            "mb_per_s_per_core": 32.0 * scale,
+            "compression_ratio": 0.0 if region else 10.0,
+            "tiles": 400 if region else 0,
+            "tiles_from_cache": 300 if region else 0,
             "p50_us": 200.0, "p90_us": 300.0, "p99_us": 400.0,
             "max_us": 500.0,
         })
@@ -407,6 +486,13 @@ def synth_load(scale):
             "duration_seconds": 1.0, "total_requests": 1200,
             "total_errors": 0, "total_megabytes": 38.4, "mb_per_s": 38.4,
             "mb_per_s_per_core": 9.6, "allocs_per_request": None,
+            "tile_cache": {"hits": 900, "misses": 300, "evictions": 0,
+                           "entries": 300, "bytes": 9830400,
+                           "budget_bytes": 8000000, "hit_rate": 0.75,
+                           "hit_megabytes": 29.5, "hit_busy_seconds": 0.01,
+                           "hit_mb_per_s": 2950.0, "miss_megabytes": 9.8,
+                           "miss_busy_seconds": 0.04,
+                           "miss_mb_per_s": 245.0},
             "variants": variants}
 
 
@@ -523,6 +609,44 @@ def self_test():
         pass
     else:
         raise TableError("self-test failed: missing +framed+ck rows accepted")
+    # Dropping ONLY the region sweep rows (a bench_sweep binary that
+    # predates the archive) must fail the sweep row check.
+    no_region_sweep = synth_sweep(1.0)
+    no_region_sweep["throughput"] = [
+        t for t in no_region_sweep["throughput"]
+        if not t["compressor"].startswith("region_")]
+    try:
+        check_required(no_region_sweep, "<synthetic>",
+                       REQUIRED_VARIANTS + REQUIRED_REGION_ROWS,
+                       "compressor", "throughput")
+    except TableError:
+        pass
+    else:
+        raise TableError("self-test failed: missing region sweep rows "
+                         "accepted")
+    # Dropping ONLY the region load rows must fail the load variant check —
+    # region-read latency is a gated serving metric, not an optional extra.
+    no_region_load = synth_load(1.0)
+    no_region_load["variants"] = [
+        v for v in no_region_load["variants"]
+        if not v["variant"].startswith("region_")]
+    try:
+        check_required(no_region_load, "<synthetic>", REQUIRED_LOAD_VARIANTS,
+                       "variant", "variants")
+    except TableError:
+        pass
+    else:
+        raise TableError("self-test failed: missing region load rows "
+                         "accepted")
+    # A halved region-read decompress rate must breach the gate even though
+    # the region rows' compress side is structurally zero.
+    slow_regions = synth_sweep(1.0)
+    for t in slow_regions["throughput"]:
+        if t["compressor"].startswith("region_"):
+            t["decompress_mb_per_s"] *= 0.5
+    expect(run_gate_quietly(synth_sweep(1.0), slow_regions,
+                            DEFAULT_GATE_PCT) > 0,
+           "gate passed a region-read-only regression")
     print("bench_table.py --self-test: all checks passed "
           "(gate fails on synthetic regression, clean errors on malformed "
           "input)")

@@ -32,6 +32,7 @@
 //! | statistics | [`geostat`] (variograms, local SVD, regressions) |
 //! | study | [`core`] (experiment pipelines regenerating every figure) |
 
+pub use lcc_archive as archive;
 pub use lcc_core as core;
 pub use lcc_fft as fft;
 pub use lcc_geostat as geostat;

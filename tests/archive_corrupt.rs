@@ -1,0 +1,232 @@
+//! Corrupt-archive suite: every structural lie an LCCA byte stream can
+//! tell must surface as a [`CompressError`] — never a panic, never an
+//! allocation sized by forged metadata instead of actual bytes.
+//!
+//! Covered: truncation at arbitrary cuts, forged head/footer magic and
+//! versions, entry offsets outside the payload region, overlapping
+//! entries, footer entry counts the table cannot hold, frame headers that
+//! disagree with the entry metadata, tile-length overflow in the frame's
+//! seek index, stray table bytes, and raw (unframed) payloads claiming a
+//! multi-tile shape.
+
+use lcc::archive::format::{write_entry, ARCHIVE_MAGIC, ARCHIVE_VERSION, FOOTER_LEN, HEAD_LEN};
+use lcc::archive::{Archive, ArchiveEntry, ArchiveWriter};
+use lcc::grid::Field2D;
+use lcc::par::ThreadPoolConfig;
+use lcc::pressio::{CompressError, ErrorBound, FrameScratch};
+use lcc::sz::SzCompressor;
+
+fn wavy(ny: usize, nx: usize) -> Field2D {
+    Field2D::from_fn(ny, nx, |i, j| (i as f64 * 0.13).sin() + (j as f64 * 0.09).cos())
+}
+
+/// A small, genuine archive: one 32×24 sz entry in 8×8 tiles (12 tiles)
+/// plus one single-tile (raw passthrough) 9×9 entry.
+fn build() -> Vec<u8> {
+    let mut scratch = FrameScratch::default();
+    let mut writer = ArchiveWriter::new();
+    let sz = SzCompressor::default();
+    let bound = ErrorBound::Absolute(1e-3);
+    let pool = ThreadPoolConfig::with_threads(2);
+    writer.add_entry("density", 0, &wavy(32, 24), &sz, bound, 8, 8, pool, &mut scratch).unwrap();
+    writer.add_entry("energy", 0, &wavy(9, 9), &sz, bound, 16, 16, pool, &mut scratch).unwrap();
+    writer.finish()
+}
+
+fn open_err(bytes: Vec<u8>) -> String {
+    match Archive::open(bytes) {
+        Err(CompressError::CorruptStream(msg)) => msg,
+        Err(other) => panic!("expected CorruptStream, got {other:?}"),
+        Ok(_) => panic!("corrupt archive opened successfully"),
+    }
+}
+
+/// The archive's parsed structure: (payload bytes after the head, entry
+/// metadata, original table offset) — enough to reassemble with forged
+/// metadata via [`reassemble`].
+fn dissect(bytes: &[u8]) -> (Vec<u8>, Vec<ArchiveEntry>) {
+    let foot = &bytes[bytes.len() - FOOTER_LEN..];
+    let table_offset = u64::from_le_bytes(foot[0..8].try_into().unwrap()) as usize;
+    let payload = bytes[HEAD_LEN..table_offset].to_vec();
+    let archive = Archive::open(bytes.to_vec()).expect("dissect needs a valid archive");
+    let entries = (0..archive.len()).map(|k| archive.entry(k).clone()).collect();
+    (payload, entries)
+}
+
+/// Rebuild an archive from a payload and (possibly forged) entry records.
+fn reassemble(payload: &[u8], entries: &[ArchiveEntry]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&ARCHIVE_MAGIC);
+    bytes.push(ARCHIVE_VERSION);
+    bytes.extend_from_slice(payload);
+    let table_offset = bytes.len() as u64;
+    for e in entries {
+        write_entry(&mut bytes, e);
+    }
+    let table_bytes = bytes.len() as u64 - table_offset;
+    bytes.extend_from_slice(&table_offset.to_le_bytes());
+    bytes.extend_from_slice(&table_bytes.to_le_bytes());
+    bytes.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    bytes.push(ARCHIVE_VERSION);
+    bytes.extend_from_slice(&ARCHIVE_MAGIC);
+    bytes
+}
+
+#[test]
+fn reassembled_archive_is_valid_as_a_control() {
+    let bytes = build();
+    let (payload, entries) = dissect(&bytes);
+    assert_eq!(reassemble(&payload, &entries), bytes, "dissect/reassemble is the identity");
+}
+
+#[test]
+fn truncation_anywhere_is_rejected() {
+    let bytes = build();
+    for cut in [0, 3, 4, 5, HEAD_LEN + 1, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            Archive::open(bytes[..cut].to_vec()).is_err(),
+            "truncated to {cut} bytes still opened"
+        );
+    }
+}
+
+#[test]
+fn forged_magic_and_versions_are_rejected() {
+    let good = build();
+    let n = good.len();
+
+    let mut bad = good.clone();
+    bad[0] ^= 0xff;
+    assert!(open_err(bad).contains("magic"));
+
+    let mut bad = good.clone();
+    bad[4] = 99;
+    assert!(open_err(bad).contains("version"));
+
+    let mut bad = good.clone();
+    bad[n - 1] ^= 0xff; // footer magic
+    assert!(open_err(bad).contains("footer"));
+
+    let mut bad = good.clone();
+    bad[n - 5] = 99; // footer version byte
+    assert!(open_err(bad).contains("footer"));
+}
+
+#[test]
+fn entry_offsets_outside_the_payload_region_are_rejected() {
+    let (payload, entries) = dissect(&build());
+
+    // Offset pointing past the payload into the table.
+    let mut forged = entries.clone();
+    forged[0].offset = (HEAD_LEN + payload.len()) as u64;
+    assert!(open_err(reassemble(&payload, &forged)).contains("outside the payload region"));
+
+    // Offset fine, length reaching past the payload.
+    let mut forged = entries.clone();
+    forged[1].length += payload.len() as u64;
+    assert!(open_err(reassemble(&payload, &forged)).contains("outside the payload region"));
+
+    // Offset inside the 5-byte head.
+    let mut forged = entries.clone();
+    forged[0].offset = 2;
+    assert!(open_err(reassemble(&payload, &forged)).contains("outside the payload region"));
+
+    // Zero-length entry.
+    let mut forged = entries;
+    forged[0].length = 0;
+    assert!(open_err(reassemble(&payload, &forged)).contains("outside the payload region"));
+}
+
+#[test]
+fn overlapping_entries_are_rejected() {
+    let (payload, mut entries) = dissect(&build());
+    entries[1].offset = entries[0].offset + 1;
+    assert!(open_err(reassemble(&payload, &entries)).contains("overlap"));
+}
+
+#[test]
+fn entry_counts_the_table_cannot_hold_are_rejected() {
+    // A forged footer claiming u32::MAX entries must be refused by
+    // arithmetic on the actual table size, not by attempting to parse (or
+    // preallocate) four billion records.
+    let mut bytes = build();
+    let n = bytes.len();
+    bytes[n - 9..n - 5].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(open_err(bytes).contains("cannot fit"));
+}
+
+#[test]
+fn table_span_must_sit_flush_against_the_footer() {
+    let good = build();
+    let n = good.len();
+
+    // table_offset shifted by one: [offset, +bytes) no longer ends at the
+    // footer.
+    let mut bad = good.clone();
+    let table_offset = u64::from_le_bytes(bad[n - FOOTER_LEN..n - 17].try_into().unwrap());
+    bad[n - FOOTER_LEN..n - 17].copy_from_slice(&(table_offset + 1).to_le_bytes());
+    assert!(open_err(bad).contains("does not fit"));
+
+    // table_bytes forged huge: rejected before any allocation of that size.
+    let mut bad = good;
+    bad[n - 17..n - 9].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    assert!(open_err(bad).contains("does not fit"));
+}
+
+#[test]
+fn stray_bytes_after_the_last_entry_record_are_rejected() {
+    let (payload, entries) = dissect(&build());
+    let mut bytes = reassemble(&payload, &entries);
+    // Splice one extra byte into the table span and grow table_bytes to
+    // match, keeping the footer arithmetic consistent.
+    let n = bytes.len();
+    let table_bytes = u64::from_le_bytes(bytes[n - 17..n - 9].try_into().unwrap());
+    bytes[n - 17..n - 9].copy_from_slice(&(table_bytes + 1).to_le_bytes());
+    bytes.insert(n - FOOTER_LEN, 0);
+    assert!(open_err(bytes).contains("stray bytes"));
+}
+
+#[test]
+fn frame_headers_disagreeing_with_metadata_are_rejected() {
+    // Forge the metadata to a 4×24 tiling of the 32×24 field (8 tiles,
+    // with stats re-counted to match, so the record itself parses) — the
+    // frame header still says 8×8, and that disagreement must be fatal.
+    let (payload, mut entries) = dissect(&build());
+    entries[0].tile_ny = 4;
+    entries[0].tile_nx = 24;
+    let n_tiles = entries[0].n_tiles();
+    entries[0].tile_stats =
+        vec![lcc::archive::TileStats { min: 0.0, max: 0.0, mean: 0.0, variance: 0.0 }; n_tiles];
+    assert!(open_err(reassemble(&payload, &entries)).contains("disagrees"));
+}
+
+#[test]
+fn raw_payloads_claiming_multiple_tiles_are_rejected() {
+    // Entry 1 is a single-tile raw passthrough stream; forge its metadata
+    // to claim a 5×9 tiling (2 tiles) of the same 9×9 field.
+    let (payload, mut entries) = dissect(&build());
+    entries[1].tile_ny = 5;
+    entries[1].tile_nx = 9;
+    entries[1].tile_stats =
+        vec![lcc::archive::TileStats { min: 0.0, max: 0.0, mean: 0.0, variance: 0.0 }; 2];
+    assert!(open_err(reassemble(&payload, &entries)).contains("not a tiled frame"));
+}
+
+#[test]
+fn tile_length_overflow_in_the_seek_index_is_rejected() {
+    // Corrupt the first u64 of the tiled frame's length table in place:
+    // the seek index must refuse it at open time (overflow-checked prefix
+    // sums), long before any tile is fetched.
+    let bytes = build();
+    let (_, entries) = dissect(&bytes);
+    let table_at = entries[0].offset as usize + 33; // v2 header is 33 bytes
+    let mut bad = bytes.clone();
+    bad[table_at..table_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(Archive::open(bad).is_err());
+
+    // And a truncated frame: shrink the entry's claimed length so the tile
+    // lengths no longer sum to it.
+    let (payload, mut entries) = dissect(&bytes);
+    entries[0].length -= 1;
+    assert!(Archive::open(reassemble(&payload, &entries)).is_err());
+}
