@@ -220,7 +220,10 @@ pub fn parse_entry(cur: &mut Cursor<'_>) -> Result<ArchiveEntry, CompressError> 
             "entry '{name}' tile shape {tile_ny}x{tile_nx} invalid for a {ny}x{nx} field"
         )));
     }
-    let expected = ny.div_ceil(tile_ny) * nx.div_ceil(tile_nx);
+    let expected = ny
+        .div_ceil(tile_ny)
+        .checked_mul(nx.div_ceil(tile_nx))
+        .ok_or_else(|| corrupt(format!("entry '{name}' tile count overflows")))?;
     if n_tiles != expected {
         return Err(corrupt(format!(
             "entry '{name}' claims {n_tiles} tile stats but its \

@@ -148,9 +148,14 @@ impl<R: ReadAt> Archive<R> {
         let mut metas = Vec::with_capacity(n_entries);
         for _ in 0..n_entries {
             let meta = parse_entry(&mut cursor)?;
-            // The payload span must lie strictly between head and table.
+            // The payload span must lie strictly between head and table;
+            // offset+length overflowing u64 is as forged as any other
+            // out-of-bounds span.
             let end = meta.offset.checked_add(meta.length);
-            if meta.length == 0 || meta.offset < HEAD_LEN as u64 || end > Some(table_offset) {
+            if meta.length == 0
+                || meta.offset < HEAD_LEN as u64
+                || end.map_or(true, |e| e > table_offset)
+            {
                 return Err(corrupt(format!(
                     "entry '{}' span [{}, +{}) is outside the payload region",
                     meta.name, meta.offset, meta.length
@@ -169,7 +174,7 @@ impl<R: ReadAt> Archive<R> {
         order.sort_by_key(|&k| metas[k].offset);
         for pair in order.windows(2) {
             let (a, b) = (&metas[pair[0]], &metas[pair[1]]);
-            if a.offset + a.length > b.offset {
+            if a.offset.checked_add(a.length).map_or(true, |e| e > b.offset) {
                 return Err(corrupt(format!("entries '{}' and '{}' overlap", a.name, b.name)));
             }
         }
@@ -338,8 +343,8 @@ impl<R: ReadAt> Archive<R> {
         let index = &state.index;
         if window.height == 0
             || window.width == 0
-            || window.i0 + window.height > index.ny
-            || window.j0 + window.width > index.nx
+            || window.i0.checked_add(window.height).map_or(true, |e| e > index.ny)
+            || window.j0.checked_add(window.width).map_or(true, |e| e > index.nx)
         {
             return Err(CompressError::InvalidInput(format!(
                 "archive: window {window:?} does not fit the {}x{} entry",

@@ -138,6 +138,24 @@ fn entry_offsets_outside_the_payload_region_are_rejected() {
 }
 
 #[test]
+fn entry_spans_overflowing_u64_are_rejected() {
+    // offset + length wrapping past u64::MAX must read as an out-of-bounds
+    // span (None from checked_add), not slip past the comparison — for the
+    // tiled entry and for the raw single-tile passthrough, whose synthesized
+    // index would otherwise carry the forged length into a read-time
+    // allocation.
+    let (payload, entries) = dissect(&build());
+    for k in 0..entries.len() {
+        let mut forged = entries.clone();
+        forged[k].length = u64::MAX - forged[k].offset + 3; // end wraps to 2
+        assert!(
+            open_err(reassemble(&payload, &forged)).contains("outside the payload region"),
+            "entry {k}: overflowing span was not rejected"
+        );
+    }
+}
+
+#[test]
 fn overlapping_entries_are_rejected() {
     let (payload, mut entries) = dissect(&build());
     entries[1].offset = entries[0].offset + 1;

@@ -8,7 +8,7 @@
 use lcc::archive::{Archive, ArchiveWriter, TileCache};
 use lcc::grid::{Field2D, Window};
 use lcc::par::ThreadPoolConfig;
-use lcc::pressio::{ErrorBound, FrameScratch};
+use lcc::pressio::{CompressError, ErrorBound, FrameScratch};
 use lcc::sz::SzCompressor;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -85,6 +85,44 @@ proptest! {
             prop_assert_eq!(out.as_slice(), want.as_slice());
             prop_assert_eq!(hot.tiles, cold.tiles);
             prop_assert_eq!(hot.tiles_from_cache, hot.tiles);
+        }
+    }
+}
+
+#[test]
+fn degenerate_windows_are_rejected_as_invalid_input() {
+    let sz = SzCompressor::default();
+    let mut scratch = FrameScratch::default();
+    let mut writer = ArchiveWriter::new();
+    writer
+        .add_entry(
+            "f",
+            0,
+            &wavy(16, 16, 7),
+            &sz,
+            ErrorBound::Absolute(1e-3),
+            8,
+            8,
+            ThreadPoolConfig::with_threads(1),
+            &mut scratch,
+        )
+        .unwrap();
+    let archive = Archive::open(writer.finish()).unwrap();
+    let mut out = Field2D::zeros(1, 1);
+    let pool = ThreadPoolConfig::with_threads(1);
+    for window in [
+        Window { i0: 0, j0: 0, height: 0, width: 1 },
+        Window { i0: 0, j0: 0, height: 1, width: 0 },
+        Window { i0: 8, j0: 0, height: 9, width: 1 },
+        Window { i0: 0, j0: 8, height: 1, width: 9 },
+        // Extents whose corner + size overflows usize must be InvalidInput,
+        // not a wrap-around that sneaks past the bounds check.
+        Window { i0: 1, j0: 0, height: usize::MAX, width: 1 },
+        Window { i0: 0, j0: 1, height: 1, width: usize::MAX },
+    ] {
+        match archive.read_region(0, &window, &sz, pool, &mut scratch, &mut out) {
+            Err(CompressError::InvalidInput(_)) => {}
+            other => panic!("window {window:?}: expected InvalidInput, got {other:?}"),
         }
     }
 }
