@@ -11,7 +11,22 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// FNV-1a over the bit patterns of the decoded values: the integrity digest
+/// stored with each tile when the cache verifies hits. Cheap (one xor +
+/// multiply per value), allocation-free, and — unlike the stream-level
+/// XXH64 digests — computed over *decoded* data, so it catches corruption
+/// that happens after decode (a poisoned cache entry), which no checksum of
+/// the compressed bytes can see.
+fn value_digest(data: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in data {
+        h ^= v.to_bits();
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Identity of one decoded tile: which open archive (a process-unique id,
 /// so re-opening a file never aliases stale tiles), which entry, which
@@ -43,6 +58,9 @@ pub struct CachedTile {
 struct ShardEntry {
     tile: CachedTile,
     last_used: u64,
+    /// [`value_digest`] of the decoded values at insert time; present only
+    /// when the cache verifies hits.
+    digest: Option<u64>,
 }
 
 impl ShardEntry {
@@ -76,6 +94,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Tiles evicted to stay under the byte budget.
     pub evictions: u64,
+    /// Verified lookups whose resident data no longer matched its insert-time
+    /// digest; the poisoned entry was evicted and the caller re-decoded from
+    /// source. Always 0 when the cache does not verify hits.
+    pub integrity_failures: u64,
     /// Resident tiles right now.
     pub entries: u64,
     /// Resident bytes right now (values + bookkeeping overhead).
@@ -94,15 +116,34 @@ impl CacheStats {
     }
 }
 
+/// Outcome of a verifying lookup ([`TileCache::get_checked`]).
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// Resident and (when the cache verifies) matching its digest.
+    Hit(CachedTile),
+    /// Resident but failing its integrity digest; the entry was evicted and
+    /// the caller should re-decode from source (counted as recovered).
+    Corrupt,
+    /// Not resident.
+    Miss,
+}
+
 /// The sharded decoded-tile LRU cache. One instance is meant to be shared
 /// (`Arc`) across every archive and serving thread in a process; the byte
 /// budget bounds the sum of all resident tiles.
 pub struct TileCache {
     shards: Vec<Mutex<Shard>>,
     shard_budget: usize,
+    /// When set, every insert stores a [`value_digest`] of the decoded
+    /// values and [`TileCache::get_checked`] re-hashes on each hit,
+    /// evicting entries whose resident data no longer matches. Off by
+    /// default: the re-hash costs a few microseconds per hit, so only
+    /// integrity-sensitive callers (chaos runs, degraded readers) opt in.
+    verify: bool,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    integrity_failures: AtomicU64,
 }
 
 impl TileCache {
@@ -118,10 +159,26 @@ impl TileCache {
         TileCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             shard_budget: (byte_budget / shards).max(1),
+            verify: false,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            integrity_failures: AtomicU64::new(0),
         }
+    }
+
+    /// Builder: turn hit verification on/off (see the `verify` field docs).
+    /// Tiles inserted while verification is off carry no digest and are
+    /// treated as corrupt by a later verified lookup, so flip this before
+    /// populating the cache.
+    pub fn with_verification(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Whether this cache verifies hits against insert-time digests.
+    pub fn verifies(&self) -> bool {
+        self.verify
     }
 
     fn shard(&self, key: &TileKey) -> &Mutex<Shard> {
@@ -135,21 +192,80 @@ impl TileCache {
         &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
+    /// Lock a shard, recovering from poisoning per the workspace policy
+    /// documented in `lcc_par`: shard state is updated in single critical
+    /// sections, so a poisoned lock carries no torn-invariant information.
+    fn lock_shard<'a>(&self, shard: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+        shard.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Look a tile up, refreshing its recency. Counts a hit or a miss.
     pub fn get(&self, key: &TileKey) -> Option<CachedTile> {
-        let mut shard = self.shard(key).lock().expect("cache shard lock is never poisoned");
+        match self.get_checked(key) {
+            Lookup::Hit(tile) => Some(tile),
+            Lookup::Corrupt | Lookup::Miss => None,
+        }
+    }
+
+    /// Look a tile up like [`TileCache::get`], but distinguish a miss from
+    /// a resident entry that failed its integrity digest. A corrupt entry
+    /// is evicted on the spot and reported as [`Lookup::Corrupt`] so the
+    /// caller can re-decode from source and account the tile as recovered
+    /// rather than merely uncached. On a non-verifying cache this never
+    /// returns `Corrupt`.
+    pub fn get_checked(&self, key: &TileKey) -> Lookup {
+        let mut shard = self.lock_shard(self.shard(key));
         shard.tick += 1;
         let tick = shard.tick;
-        match shard.map.get_mut(key) {
-            Some(entry) => {
+        if let Some(entry) = shard.map.get_mut(key) {
+            let corrupt = self.verify && entry.digest != Some(value_digest(&entry.tile.data));
+            if !corrupt {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.tile.clone())
+                return Lookup::Hit(entry.tile.clone());
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss;
+        }
+        // Resident but failing its digest: evict so the caller's re-decode
+        // replaces it with a good copy.
+        let removed = shard.map.remove(key).expect("corrupt entry is resident");
+        shard.bytes -= removed.cost();
+        self.integrity_failures.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Lookup::Corrupt
+    }
+
+    /// Evict one tile if resident (the degraded reader drops a tile whose
+    /// decode went bad so the next read re-fetches from source).
+    pub fn remove(&self, key: &TileKey) -> bool {
+        let mut shard = self.lock_shard(self.shard(key));
+        match shard.map.remove(key) {
+            Some(entry) => {
+                shard.bytes -= entry.cost();
+                true
             }
+            None => false,
+        }
+    }
+
+    /// Fault-injection hook: flip the low mantissa bit of the first value of
+    /// a resident tile *without* updating its digest, modelling in-memory
+    /// corruption of decoded data. Returns `false` when the tile is not
+    /// resident. Outstanding `Arc` clones handed to earlier readers are
+    /// unaffected (copy-on-write).
+    pub fn tamper(&self, key: &TileKey) -> bool {
+        let mut shard = self.lock_shard(self.shard(key));
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                let data = Arc::make_mut(&mut entry.tile.data);
+                if let Some(v) = data.first_mut() {
+                    *v = f64::from_bits(v.to_bits() ^ 1);
+                }
+                true
+            }
+            None => false,
         }
     }
 
@@ -161,12 +277,13 @@ impl TileCache {
     /// Panics if `data.len() != ny * nx`.
     pub fn insert(&self, key: TileKey, data: Arc<Vec<f64>>, ny: usize, nx: usize) -> bool {
         assert_eq!(data.len(), ny * nx, "tile data must match its shape");
-        let entry = ShardEntry { tile: CachedTile { data, ny, nx }, last_used: 0 };
+        let digest = self.verify.then(|| value_digest(&data));
+        let entry = ShardEntry { tile: CachedTile { data, ny, nx }, last_used: 0, digest };
         let cost = entry.cost();
         if cost > self.shard_budget {
             return false;
         }
-        let mut shard = self.shard(&key).lock().expect("cache shard lock is never poisoned");
+        let mut shard = self.lock_shard(self.shard(&key));
         shard.tick += 1;
         let tick = shard.tick;
         if let Some(prev) = shard.map.insert(key, ShardEntry { last_used: tick, ..entry }) {
@@ -194,7 +311,7 @@ impl TileCache {
         let mut entries = 0u64;
         let mut bytes = 0u64;
         for shard in &self.shards {
-            let shard = shard.lock().expect("cache shard lock is never poisoned");
+            let shard = self.lock_shard(shard);
             entries += shard.map.len() as u64;
             bytes += shard.bytes as u64;
         }
@@ -202,6 +319,7 @@ impl TileCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            integrity_failures: self.integrity_failures.load(Ordering::Relaxed),
             entries,
             bytes,
         }
@@ -211,13 +329,14 @@ impl TileCache {
     /// phases reset between measurements).
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut shard = shard.lock().expect("cache shard lock is never poisoned");
+            let mut shard = self.lock_shard(shard);
             shard.map.clear();
             shard.bytes = 0;
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.integrity_failures.store(0, Ordering::Relaxed);
     }
 }
 
@@ -290,6 +409,59 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats, CacheStats::default());
         assert!(cache.get(&key(0)).is_none());
+    }
+
+    #[test]
+    fn remove_evicts_one_tile_and_reclaims_bytes() {
+        let cache = TileCache::with_shards(1 << 20, 1);
+        assert!(!cache.remove(&key(0)), "absent tile");
+        cache.insert(key(0), tile(1.0, 16), 4, 4);
+        cache.insert(key(1), tile(2.0, 16), 4, 4);
+        let before = cache.stats().bytes;
+        assert!(cache.remove(&key(0)));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes < before);
+        assert!(cache.get(&key(0)).is_none());
+        assert!(cache.get(&key(1)).is_some());
+    }
+
+    #[test]
+    fn verified_cache_detects_tampered_tiles_and_evicts_them() {
+        let cache = TileCache::new(1 << 20).with_verification(true);
+        assert!(cache.verifies());
+        cache.insert(key(0), tile(3.0, 16), 4, 4);
+        assert!(matches!(cache.get_checked(&key(0)), Lookup::Hit(_)));
+        assert!(cache.tamper(&key(0)));
+        match cache.get_checked(&key(0)) {
+            Lookup::Corrupt => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Evicted on detection: the next lookup is a plain miss.
+        assert!(matches!(cache.get_checked(&key(0)), Lookup::Miss));
+        let stats = cache.stats();
+        assert_eq!(stats.integrity_failures, 1);
+        assert_eq!(stats.entries, 0);
+        // Reinserting a clean copy heals the key.
+        cache.insert(key(0), tile(3.0, 16), 4, 4);
+        assert!(matches!(cache.get_checked(&key(0)), Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn unverified_cache_serves_tampered_tiles_blindly() {
+        // Documents the default tradeoff: without verification, tampering is
+        // invisible to the cache (no digest is stored or checked).
+        let cache = TileCache::new(1 << 20);
+        cache.insert(key(0), tile(3.0, 16), 4, 4);
+        assert!(cache.tamper(&key(0)));
+        assert!(matches!(cache.get_checked(&key(0)), Lookup::Hit(_)));
+        assert_eq!(cache.stats().integrity_failures, 0);
+    }
+
+    #[test]
+    fn tamper_reports_absent_tiles() {
+        let cache = TileCache::new(1 << 20);
+        assert!(!cache.tamper(&key(9)));
     }
 
     #[test]

@@ -21,15 +21,27 @@
 //! Region reads are bit-identical to the matching window of a full-frame
 //! decode, cache or no cache, at any pool width — the property the
 //! `archive_region` proptests pin down.
+//!
+//! ## Resilience
+//!
+//! Serving builds on three per-tile mechanisms: a corrupt cached tile
+//! (caught by the cache's opt-in integrity digests) or a bad fetch/decode
+//! is retried once from the source before the read gives up;
+//! [`read_region_degraded`](Archive::read_region_degraded) zero-fills
+//! tiles that stay bad and reports an accurate per-tile [`TileStatus`]
+//! mask instead of failing the whole window; and
+//! [`read_region_deadline`](Archive::read_region_deadline) checks a
+//! [`CancelToken`](lcc_par::CancelToken) at tile granularity so an expired
+//! deadline is a `DeadlineExceeded` error, never a hang.
 
 pub mod cache;
 pub mod format;
 pub mod reader;
 pub mod writer;
 
-pub use cache::{CacheStats, CachedTile, TileCache, TileKey};
+pub use cache::{CacheStats, CachedTile, Lookup, TileCache, TileKey};
 pub use format::{ArchiveEntry, TileStats, ARCHIVE_MAGIC, ARCHIVE_VERSION};
-pub use reader::{Archive, ReadAt, RegionStats};
+pub use reader::{Archive, DegradedRegion, ReadAt, RegionStats, TileStatus};
 pub use writer::ArchiveWriter;
 
 #[cfg(test)]
@@ -178,7 +190,7 @@ mod tests {
         let window = Window { i0: 2, j0: 3, height: 4, width: 5 };
         let stats =
             archive.read_region(2, &window, &Store, pool(), &mut scratch, &mut out).unwrap();
-        assert_eq!(stats, RegionStats { tiles: 1, tiles_from_cache: 0 });
+        assert_eq!(stats, RegionStats { tiles: 1, tiles_from_cache: 0, tiles_recovered: 0 });
         let full = ramp(9, 9, 2.0);
         let want: Vec<f64> = full.view().window(&window).iter().collect();
         assert_eq!(out.as_slice(), want.as_slice());
@@ -218,11 +230,11 @@ mod tests {
         let window = Window { i0: 4, j0: 4, height: 8, width: 8 };
 
         let cold = archive.read_region(0, &window, &Store, pool(), &mut scratch, &mut out).unwrap();
-        assert_eq!(cold, RegionStats { tiles: 4, tiles_from_cache: 0 });
+        assert_eq!(cold, RegionStats { tiles: 4, tiles_from_cache: 0, tiles_recovered: 0 });
         let first = out.clone();
 
         let hot = archive.read_region(0, &window, &Store, pool(), &mut scratch, &mut out).unwrap();
-        assert_eq!(hot, RegionStats { tiles: 4, tiles_from_cache: 4 });
+        assert_eq!(hot, RegionStats { tiles: 4, tiles_from_cache: 4, tiles_recovered: 0 });
         assert_eq!(out.as_slice(), first.as_slice(), "hit path is bit-identical");
 
         let stats = cache.stats();
@@ -254,6 +266,107 @@ mod tests {
             archive.read_entry(9, &Store, pool(), &mut scratch, &mut out),
             Err(CompressError::InvalidInput(_))
         ));
+    }
+
+    #[test]
+    fn tampered_cache_tiles_recover_from_the_source() {
+        let bytes = build_archive();
+        let cache = Arc::new(TileCache::new(1 << 20).with_verification(true));
+        let archive = Archive::open(bytes).unwrap().with_cache(cache.clone());
+        let mut scratch = FrameScratch::default();
+        let mut out = Field2D::zeros(1, 1);
+        let window = Window { i0: 4, j0: 4, height: 8, width: 8 };
+
+        archive.read_region(0, &window, &Store, pool(), &mut scratch, &mut out).unwrap();
+        let clean = out.clone();
+        assert!(cache.tamper(&archive.tile_key(0, 0)), "tile 0 is resident after the cold read");
+
+        // The verified hit path catches the flip, evicts, and the re-read
+        // from source produces bytes identical to the clean pass.
+        let stats =
+            archive.read_region(0, &window, &Store, pool(), &mut scratch, &mut out).unwrap();
+        assert_eq!(stats, RegionStats { tiles: 4, tiles_from_cache: 3, tiles_recovered: 1 });
+        assert_eq!(out.as_slice(), clean.as_slice(), "recovered read is bit-identical");
+        assert_eq!(cache.stats().integrity_failures, 1);
+
+        // The recovery re-populated the cache with a good copy.
+        let warm = archive.read_region(0, &window, &Store, pool(), &mut scratch, &mut out).unwrap();
+        assert_eq!(warm, RegionStats { tiles: 4, tiles_from_cache: 4, tiles_recovered: 0 });
+    }
+
+    #[test]
+    fn degraded_reads_mask_tiles_the_source_cannot_heal() {
+        let mut bytes = build_archive();
+        // Locate tile 0 of entry 0 in the byte stream and corrupt it at the
+        // source, so the one-shot retry re-reads the same bad bytes.
+        let (tile_at, tile_len) = {
+            let archive = Archive::open(bytes.clone()).unwrap();
+            let (at, len) = archive.tile_index(0).tile_span(0);
+            (archive.entry(0).offset as usize + at, len)
+        };
+        bytes[tile_at + tile_len / 2] ^= 0xFF;
+        let archive = Archive::open(bytes).unwrap();
+        let mut scratch = FrameScratch::default();
+        let mut out = Field2D::zeros(1, 1);
+        let window = Window { i0: 4, j0: 4, height: 8, width: 8 };
+
+        // Strict mode refuses the window outright.
+        assert!(matches!(
+            archive.read_region(0, &window, &Store, pool(), &mut scratch, &mut out),
+            Err(CompressError::CorruptStream(_))
+        ));
+
+        // Degraded mode serves the three good tiles, zero-fills the bad
+        // one, and the status mask says exactly which is which.
+        let region = archive
+            .read_region_degraded(0, &window, &Store, pool(), &mut scratch, &mut out)
+            .unwrap();
+        assert!(!region.is_complete());
+        assert_eq!(region.stats.tiles, 4);
+        assert_eq!(region.tiles.len(), 4);
+        for &(t, status) in &region.tiles {
+            let expect = if t == 0 { TileStatus::Failed } else { TileStatus::Ok };
+            assert_eq!(status, expect, "tile {t}");
+        }
+        let full = ramp(23, 17, 0.0);
+        for i in 0..8 {
+            for j in 0..8 {
+                let (gi, gj) = (window.i0 + i, window.j0 + j);
+                let want = if gi < 8 && gj < 8 { 0.0 } else { full.view().at(gi, gj) };
+                assert_eq!(out.view().at(i, j), want, "({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadlines_abandon_region_reads() {
+        use lcc_par::CancelToken;
+        let archive = Archive::open(build_archive()).unwrap();
+        let mut scratch = FrameScratch::default();
+        let mut out = Field2D::zeros(1, 1);
+        let window = Window { i0: 0, j0: 0, height: 16, width: 16 };
+
+        let expired = CancelToken::with_timeout(std::time::Duration::ZERO);
+        assert!(matches!(
+            archive.read_region_deadline(
+                0,
+                &window,
+                &Store,
+                pool(),
+                &mut scratch,
+                &mut out,
+                &expired
+            ),
+            Err(CompressError::DeadlineExceeded(_))
+        ));
+
+        let generous = CancelToken::with_timeout(std::time::Duration::from_secs(60));
+        let stats = archive
+            .read_region_deadline(0, &window, &Store, pool(), &mut scratch, &mut out, &generous)
+            .unwrap();
+        assert_eq!(stats.tiles, 4);
+        let want: Vec<f64> = ramp(23, 17, 0.0).view().window(&window).iter().collect();
+        assert_eq!(out.as_slice(), want.as_slice());
     }
 
     #[cfg(unix)]

@@ -1,14 +1,14 @@
 //! Magic-detected archive reader with seek-only region decode.
 
-use crate::cache::{TileCache, TileKey};
+use crate::cache::{Lookup, TileCache, TileKey};
 use crate::format::{
     parse_entry, ArchiveEntry, Cursor, ARCHIVE_MAGIC, ARCHIVE_VERSION, FOOTER_LEN, HEAD_LEN,
     MIN_ENTRY_RECORD,
 };
 use lcc_grid::{disjoint_window_rows, Field2D, FieldView, Window};
 use lcc_lossless::xxh64;
-use lcc_par::{parallel_block_map, ThreadPoolConfig};
-use lcc_pressio::frame::decompress_framed_with;
+use lcc_par::{try_parallel_block_map, CancelToken, JobPanicked, ThreadPoolConfig};
+use lcc_pressio::frame::{decompress_framed_with, FrameWorker};
 use lcc_pressio::{CompressError, Compressor, FrameScratch, TiledIndex, FRAME_MAGIC};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -73,6 +73,40 @@ pub struct RegionStats {
     pub tiles: usize,
     /// Of those, tiles served from the decoded-tile cache.
     pub tiles_from_cache: usize,
+    /// Tiles whose first copy (cached or freshly fetched) was corrupt but
+    /// whose one-shot re-read from the source decoded cleanly.
+    pub tiles_recovered: usize,
+}
+
+/// Per-tile outcome of a region read, reported by
+/// [`Archive::read_region_degraded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileStatus {
+    /// Served cleanly from cache or a first fetch.
+    Ok,
+    /// First copy was corrupt; the one-shot source re-read succeeded.
+    Recovered,
+    /// Corrupt even after the source re-read; the tile's window rectangle
+    /// was zero-filled.
+    Failed,
+}
+
+/// A degraded-mode region read: the best-effort window plus an accurate
+/// per-tile status mask, so callers can render what survived and mask or
+/// re-request what did not.
+#[derive(Debug, Clone)]
+pub struct DegradedRegion {
+    /// Cache/recovery accounting, as for [`Archive::read_region`].
+    pub stats: RegionStats,
+    /// One `(tile_index, status)` per overlapped tile, ascending by tile.
+    pub tiles: Vec<(usize, TileStatus)>,
+}
+
+impl DegradedRegion {
+    /// True when every tile decoded (possibly after recovery).
+    pub fn is_complete(&self) -> bool {
+        self.tiles.iter().all(|&(_, s)| s != TileStatus::Failed)
+    }
 }
 
 struct EntryState {
@@ -99,6 +133,68 @@ pub struct Archive<R: ReadAt> {
 /// [`ScratchArena`](lcc_pressio::ScratchArena) between reads.
 #[derive(Default)]
 struct TileReadBuf(Vec<u8>);
+
+/// The intersection geometry of one uncached tile with the requested
+/// window: the destination rectangle (window coords), the source corner
+/// (tile coords), and the tile's byte span in the archive.
+struct Miss {
+    tile: u32,
+    tile_win: Window,
+    dst: Window,
+    src_i0: usize,
+    src_j0: usize,
+    at: u64,
+    len: usize,
+    digest: Option<u64>,
+    /// The cache held this tile but it failed its integrity digest; a
+    /// successful source fetch then counts as recovered, not merely uncached.
+    cache_corrupt: bool,
+}
+
+fn expired(cancel: Option<&CancelToken>) -> bool {
+    cancel.is_some_and(|c| c.is_cancelled())
+}
+
+fn job_panic(err: JobPanicked) -> CompressError {
+    CompressError::Internal(format!("archive: {err}"))
+}
+
+/// Fetch one tile's bytes, digest-verify, and decode into `worker.block`,
+/// validating the decoded shape. Every call issues a fresh positioned read,
+/// so a retry observes the source anew rather than replaying a bad buffer.
+fn fetch_tile<R: ReadAt>(
+    source: &R,
+    compressor: &dyn Compressor,
+    worker: &mut FrameWorker,
+    miss: &Miss,
+) -> Result<(), CompressError> {
+    let mut buf = std::mem::take(&mut worker.arena.get_or_default::<TileReadBuf>().0);
+    buf.resize(miss.len, 0);
+    let verified = source.read_at(miss.at, &mut buf).and_then(|()| match miss.digest {
+        Some(digest) if xxh64(&buf, 0) != digest => Err(CompressError::CorruptStream(format!(
+            "archive: tile {} checksum mismatch",
+            miss.tile
+        ))),
+        _ => Ok(()),
+    });
+    let decoded = verified.and_then(|()| {
+        let block = worker.block.get_or_insert_with(|| Field2D::zeros(1, 1));
+        compressor.decompress_view_with(&buf, &mut worker.arena, block)
+    });
+    worker.arena.get_or_default::<TileReadBuf>().0 = buf;
+    decoded?;
+    let block = worker.block.as_ref().expect("decode filled the block");
+    if block.shape() != (miss.tile_win.height, miss.tile_win.width) {
+        return Err(CompressError::CorruptStream(format!(
+            "archive: tile {} decoded to {:?}, expected ({}, {})",
+            miss.tile,
+            block.shape(),
+            miss.tile_win.height,
+            miss.tile_win.width
+        )));
+    }
+    Ok(())
+}
 
 impl<R: ReadAt> Archive<R> {
     /// Open and validate an archive. Every structural claim — footer
@@ -271,6 +367,13 @@ impl<R: ReadAt> Archive<R> {
         self.cache.as_ref()
     }
 
+    /// The cache key this archive uses for tile `tile` of entry `entry`,
+    /// carrying the archive's process-unique generation id. Fault-injection
+    /// harnesses use it to tamper with or evict specific resident tiles.
+    pub fn tile_key(&self, entry: usize, tile: usize) -> TileKey {
+        TileKey { archive: self.id, entry: entry as u32, tile: tile as u32 }
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -326,6 +429,12 @@ impl<R: ReadAt> Archive<R> {
     /// each), digest-verified, decoded in parallel over `pool` into
     /// disjoint sub-rectangles of `out`, and inserted into the cache.
     ///
+    /// A tile whose cached copy fails the cache's integrity digest, or
+    /// whose fetched bytes fail their checksum or decode, is retried once
+    /// from the source before the read gives up on it (strict mode: the
+    /// whole call errors; see [`Archive::read_region_degraded`] for the
+    /// best-effort variant).
+    ///
     /// The decoded window is bit-identical to the same window of a
     /// full-frame decode, with or without a cache attached.
     pub fn read_region(
@@ -337,6 +446,62 @@ impl<R: ReadAt> Archive<R> {
         scratch: &mut FrameScratch,
         out: &mut Field2D,
     ) -> Result<RegionStats, CompressError> {
+        self.read_region_impl(k, window, compressor, pool, scratch, out, None, false)
+            .map(|(stats, _)| stats)
+    }
+
+    /// [`Archive::read_region`] under a deadline: the cancel token is
+    /// checked before each tile fetch/decode and again after, so an
+    /// expired deadline surfaces as [`CompressError::DeadlineExceeded`]
+    /// at tile granularity instead of a hang.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_region_deadline(
+        &self,
+        k: usize,
+        window: &Window,
+        compressor: &dyn Compressor,
+        pool: ThreadPoolConfig,
+        scratch: &mut FrameScratch,
+        out: &mut Field2D,
+        cancel: &CancelToken,
+    ) -> Result<RegionStats, CompressError> {
+        self.read_region_impl(k, window, compressor, pool, scratch, out, Some(cancel), false)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Best-effort region read: tiles that stay corrupt after the one-shot
+    /// source retry are zero-filled instead of failing the call, and the
+    /// returned [`DegradedRegion`] reports an accurate per-tile
+    /// [`TileStatus`] mask. Structural errors (bad entry index, window out
+    /// of bounds, worker panics) still fail the call.
+    pub fn read_region_degraded(
+        &self,
+        k: usize,
+        window: &Window,
+        compressor: &dyn Compressor,
+        pool: ThreadPoolConfig,
+        scratch: &mut FrameScratch,
+        out: &mut Field2D,
+    ) -> Result<DegradedRegion, CompressError> {
+        self.read_region_impl(k, window, compressor, pool, scratch, out, None, true)
+            .map(|(stats, tiles)| DegradedRegion { stats, tiles })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn read_region_impl(
+        &self,
+        k: usize,
+        window: &Window,
+        compressor: &dyn Compressor,
+        pool: ThreadPoolConfig,
+        scratch: &mut FrameScratch,
+        out: &mut Field2D,
+        cancel: Option<&CancelToken>,
+        degraded: bool,
+    ) -> Result<(RegionStats, Vec<(usize, TileStatus)>), CompressError> {
+        if expired(cancel) {
+            return Err(CompressError::DeadlineExceeded("archive: region read abandoned".into()));
+        }
         let state = self.entries.get(k).ok_or_else(|| {
             CompressError::InvalidInput(format!("archive: entry {k} out of range"))
         })?;
@@ -353,21 +518,9 @@ impl<R: ReadAt> Archive<R> {
         }
         out.resize(window.height, window.width);
         let tiles = index.tiles_overlapping(window);
-        let mut stats = RegionStats { tiles: tiles.len(), tiles_from_cache: 0 };
+        let mut stats = RegionStats { tiles: tiles.len(), tiles_from_cache: 0, tiles_recovered: 0 };
+        let mut tile_status: Vec<(usize, TileStatus)> = Vec::with_capacity(tiles.len());
 
-        // The intersection geometry of one tile with the window, split into
-        // the destination rectangle (window coords) and the source corner
-        // (tile coords).
-        struct Miss {
-            tile: u32,
-            tile_win: Window,
-            dst: Window,
-            src_i0: usize,
-            src_j0: usize,
-            at: u64,
-            len: usize,
-            digest: Option<u64>,
-        }
         let mut misses: Vec<Miss> = Vec::new();
         for t in tiles {
             let tile_win = index.tile_window(t);
@@ -378,14 +531,19 @@ impl<R: ReadAt> Archive<R> {
             let dst =
                 Window { i0: i0 - window.i0, j0: j0 - window.j0, height: i1 - i0, width: j1 - j0 };
             let key = TileKey { archive: self.id, entry: k as u32, tile: t as u32 };
-            if let Some(cached) = self.cache.as_ref().and_then(|c| c.get(&key)) {
+            let lookup = self.cache.as_ref().map(|c| c.get_checked(&key));
+            if let Some(Lookup::Hit(cached)) = lookup {
                 // Hit: pure memcpy of the intersection, no decode.
                 let tile_view = FieldView::new(&cached.data, cached.ny, cached.nx, cached.nx)
                     .expect("cached tile shape is validated on insert")
                     .subview(i0 - tile_win.i0, j0 - tile_win.j0, dst.height, dst.width);
                 out.copy_window_from(dst.i0, dst.j0, &tile_view);
                 stats.tiles_from_cache += 1;
+                tile_status.push((t, TileStatus::Ok));
             } else {
+                // A corrupt cached copy was evicted by `get_checked`; the
+                // tile falls through to a source fetch and, on success,
+                // counts as recovered.
                 let (at, len) = index.tile_span(t);
                 misses.push(Miss {
                     tile: t as u32,
@@ -396,65 +554,95 @@ impl<R: ReadAt> Archive<R> {
                     at: state.meta.offset + at as u64,
                     len,
                     digest: index.digests.as_ref().map(|d| d[t]),
+                    cache_corrupt: matches!(lookup, Some(Lookup::Corrupt)),
                 });
             }
         }
-        if misses.is_empty() {
-            return Ok(stats);
-        }
-
-        let dst_windows: Vec<Window> = misses.iter().map(|m| m.dst).collect();
-        let segments = disjoint_window_rows(out.as_mut_slice(), window.width, &dst_windows);
-        let items: Vec<(Miss, Vec<&mut [f64]>)> = misses.into_iter().zip(segments).collect();
-        let source = &self.source;
-        let cache = self.cache.as_deref();
-        let archive_id = self.id;
-        let workers = scratch.workers(pool.threads().min(items.len()));
-        let decoded: Vec<Result<(), CompressError>> =
-            parallel_block_map(pool, workers, items, move |worker, _j, (miss, mut segs)| {
-                // Fetch exactly this tile's bytes into the worker's
-                // reusable buffer (taken out of the arena so the arena is
-                // free for the inner decoder).
-                let mut buf = std::mem::take(&mut worker.arena.get_or_default::<TileReadBuf>().0);
-                buf.resize(miss.len, 0);
-                source.read_at(miss.at, &mut buf)?;
-                if let Some(digest) = miss.digest {
-                    if xxh64(&buf, 0) != digest {
-                        return Err(CompressError::CorruptStream(format!(
-                            "archive: tile {} checksum mismatch",
+        if !misses.is_empty() {
+            let dst_windows: Vec<Window> = misses.iter().map(|m| m.dst).collect();
+            let segments = disjoint_window_rows(out.as_mut_slice(), window.width, &dst_windows);
+            let items: Vec<(Miss, Vec<&mut [f64]>)> = misses.into_iter().zip(segments).collect();
+            let source = &self.source;
+            let cache = self.cache.as_deref();
+            let archive_id = self.id;
+            let workers = scratch.workers(pool.threads().min(items.len()));
+            let decoded: Vec<Result<(u32, TileStatus), CompressError>> = try_parallel_block_map(
+                pool,
+                workers,
+                items,
+                move |worker, _j, (miss, mut segs)| {
+                    if expired(cancel) {
+                        return Err(CompressError::DeadlineExceeded(format!(
+                            "archive: tile {} abandoned",
                             miss.tile
                         )));
                     }
+                    // First attempt, then at most one retry whose fresh
+                    // positioned read bypasses whatever buffer went bad.
+                    let mut recovered = miss.cache_corrupt;
+                    let mut outcome = fetch_tile(source, compressor, worker, &miss);
+                    if outcome.is_err() {
+                        recovered = true;
+                        outcome = fetch_tile(source, compressor, worker, &miss);
+                    }
+                    if outcome.is_ok() && expired(cancel) {
+                        outcome = Err(CompressError::DeadlineExceeded(format!(
+                            "archive: tile {} finished past the deadline",
+                            miss.tile
+                        )));
+                    }
+                    match outcome {
+                        Ok(()) => {
+                            let block = worker.block.as_ref().expect("decode filled the block");
+                            let tile_view = block.view().subview(
+                                miss.src_i0,
+                                miss.src_j0,
+                                miss.dst.height,
+                                miss.dst.width,
+                            );
+                            for (seg, row) in segs.iter_mut().zip(tile_view.rows()) {
+                                seg.copy_from_slice(row);
+                            }
+                            if let Some(cache) = cache {
+                                cache.insert(
+                                    TileKey {
+                                        archive: archive_id,
+                                        entry: k as u32,
+                                        tile: miss.tile,
+                                    },
+                                    Arc::new(block.as_slice().to_vec()),
+                                    miss.tile_win.height,
+                                    miss.tile_win.width,
+                                );
+                            }
+                            let status =
+                                if recovered { TileStatus::Recovered } else { TileStatus::Ok };
+                            Ok((miss.tile, status))
+                        }
+                        Err(err)
+                            if degraded && !matches!(err, CompressError::DeadlineExceeded(_)) =>
+                        {
+                            // Best effort: blank the rectangle so the caller
+                            // never sees stale bytes, and report the tile.
+                            for seg in segs.iter_mut() {
+                                seg.fill(0.0);
+                            }
+                            Ok((miss.tile, TileStatus::Failed))
+                        }
+                        Err(err) => Err(err),
+                    }
+                },
+            )
+            .map_err(job_panic)?;
+            for result in decoded {
+                let (tile, status) = result?;
+                if status == TileStatus::Recovered {
+                    stats.tiles_recovered += 1;
                 }
-                let block = worker.block.get_or_insert_with(|| Field2D::zeros(1, 1));
-                let result = compressor.decompress_view_with(&buf, &mut worker.arena, block);
-                worker.arena.get_or_default::<TileReadBuf>().0 = buf;
-                result?;
-                if block.shape() != (miss.tile_win.height, miss.tile_win.width) {
-                    return Err(CompressError::CorruptStream(format!(
-                        "archive: tile {} decoded to {:?}, expected ({}, {})",
-                        miss.tile,
-                        block.shape(),
-                        miss.tile_win.height,
-                        miss.tile_win.width
-                    )));
-                }
-                let tile_view =
-                    block.view().subview(miss.src_i0, miss.src_j0, miss.dst.height, miss.dst.width);
-                for (seg, row) in segs.iter_mut().zip(tile_view.rows()) {
-                    seg.copy_from_slice(row);
-                }
-                if let Some(cache) = cache {
-                    cache.insert(
-                        TileKey { archive: archive_id, entry: k as u32, tile: miss.tile },
-                        Arc::new(block.as_slice().to_vec()),
-                        miss.tile_win.height,
-                        miss.tile_win.width,
-                    );
-                }
-                Ok(())
-            });
-        decoded.into_iter().collect::<Result<(), _>>()?;
-        Ok(stats)
+                tile_status.push((tile as usize, status));
+            }
+        }
+        tile_status.sort_unstable_by_key(|&(t, _)| t);
+        Ok((stats, tile_status))
     }
 }

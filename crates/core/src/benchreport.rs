@@ -511,6 +511,50 @@ impl TileCacheSummary {
     }
 }
 
+/// Fault-injection accounting of a chaos-mode load run: how many faults the
+/// seeded plan landed, and where each one surfaced. The run is sound when
+/// `injected == detected + recovered` — every injection either produced a
+/// visible error/timeout or was healed by a resilience mechanism — and
+/// `unexplained_errors == 0` (no request failed without an injection to
+/// blame).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChaosSummary {
+    /// Seed of the fault plan, recorded so the run can be replayed.
+    pub seed: u64,
+    /// Per-site byte-fault probability (`--chaos <rate>`).
+    pub rate: f64,
+    /// Byte-level faults the plan applied (bit flips, truncations, failed
+    /// reads, delays).
+    pub injected: u64,
+    /// Injections that surfaced as a request error, verification mismatch
+    /// or deadline timeout.
+    pub detected: u64,
+    /// Injections healed invisibly (cache eviction + source re-read,
+    /// retry, or a delay absorbed within the deadline).
+    pub recovered: u64,
+    /// Of [`detected`](ChaosSummary::detected), injections that surfaced
+    /// as `DeadlineExceeded`.
+    pub timeouts: u64,
+    /// Worker panics the plan injected.
+    pub panics_injected: u64,
+    /// Worker panics the serving loop absorbed per-job (must equal
+    /// [`panics_injected`](ChaosSummary::panics_injected) — any other
+    /// panic is a real bug).
+    pub panics_absorbed: u64,
+    /// Requests that failed with no injection attributed to them.
+    pub unexplained_errors: u64,
+}
+
+impl ChaosSummary {
+    /// The accounting invariant: every injected byte fault is either
+    /// detected or recovered, and nothing failed for unexplained reasons.
+    pub fn is_accounted(&self) -> bool {
+        self.injected == self.detected + self.recovered
+            && self.panics_absorbed == self.panics_injected
+            && self.unexplained_errors == 0
+    }
+}
+
 /// Sustained-traffic load report — the `BENCH_load.json` sibling of the
 /// sweep report, one row per registry variant.
 #[derive(Debug, Clone, Default)]
@@ -530,6 +574,8 @@ pub struct LoadReport {
     /// Decoded-tile cache behaviour of the run's region-read traffic;
     /// `None` when the run had no region variants.
     pub tile_cache: Option<TileCacheSummary>,
+    /// Fault-injection accounting; `None` outside chaos mode.
+    pub chaos: Option<ChaosSummary>,
     /// Per-variant rows, in the order they were registered.
     pub variants: Vec<LoadVariant>,
 }
@@ -621,6 +667,24 @@ impl LoadReport {
                 c.miss_mb_per_s(),
             )),
             None => out.push_str("  \"tile_cache\": null,\n"),
+        }
+        match &self.chaos {
+            Some(c) => out.push_str(&format!(
+                "  \"chaos\": {{\"enabled\": true, \"seed\": {}, \"rate\": {:.4}, \
+                 \"injected\": {}, \"detected\": {}, \"recovered\": {}, \
+                 \"timeouts\": {}, \"panics_injected\": {}, \"panics_absorbed\": {}, \
+                 \"unexplained_errors\": {}}},\n",
+                c.seed,
+                c.rate,
+                c.injected,
+                c.detected,
+                c.recovered,
+                c.timeouts,
+                c.panics_injected,
+                c.panics_absorbed,
+                c.unexplained_errors,
+            )),
+            None => out.push_str("  \"chaos\": null,\n"),
         }
         out.push_str("  \"variants\": [\n");
         for (k, v) in self.variants.iter().enumerate() {
@@ -908,6 +972,7 @@ mod tests {
             duration_seconds: 0.5,
             allocs_per_request: Some(3.25),
             tile_cache: None,
+            chaos: None,
             variants: vec![sz, framed],
         };
         assert_eq!(report.total_requests(), 11);
@@ -937,11 +1002,13 @@ mod tests {
             duration_seconds: 0.0,
             allocs_per_request: None,
             tile_cache: None,
+            chaos: None,
             variants: Vec::new(),
         };
         let json = report.to_json();
         assert!(json.contains("\"allocs_per_request\": null"));
         assert!(json.contains("\"tile_cache\": null"));
+        assert!(json.contains("\"chaos\": null"));
         assert_eq!(report.mb_per_s(), 0.0);
         assert_eq!(report.mb_per_s_per_core(), 0.0);
     }
@@ -986,6 +1053,36 @@ mod tests {
         assert!(json.contains("\"miss_mb_per_s\": 10.000"));
         assert!(json.contains("\"variant\": \"region_sz-rans8\""));
         assert!(json.contains("\"tiles\": 100, \"tiles_from_cache\": 75"));
+    }
+
+    #[test]
+    fn chaos_summaries_serialize_and_check_their_invariant() {
+        let chaos = ChaosSummary {
+            seed: 2021,
+            rate: 0.02,
+            injected: 40,
+            detected: 25,
+            recovered: 15,
+            timeouts: 3,
+            panics_injected: 2,
+            panics_absorbed: 2,
+            unexplained_errors: 0,
+        };
+        assert!(chaos.is_accounted());
+        let report =
+            LoadReport { label: "chaos".into(), chaos: Some(chaos), ..LoadReport::default() };
+        let json = report.to_json();
+        assert!(json.contains("\"chaos\": {\"enabled\": true"), "{json}");
+        assert!(json.contains("\"rate\": 0.0200"));
+        assert!(json.contains("\"injected\": 40, \"detected\": 25, \"recovered\": 15"));
+        assert!(json.contains("\"panics_injected\": 2, \"panics_absorbed\": 2"));
+
+        let leak = ChaosSummary { injected: 5, detected: 2, recovered: 2, ..chaos };
+        assert!(!leak.is_accounted(), "an unaccounted injection must trip the invariant");
+        let unexplained = ChaosSummary { unexplained_errors: 1, ..chaos };
+        assert!(!unexplained.is_accounted());
+        let real_panic = ChaosSummary { panics_absorbed: 3, ..chaos };
+        assert!(!real_panic.is_accounted());
     }
 
     #[test]

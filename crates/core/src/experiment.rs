@@ -17,7 +17,7 @@ use lcc_geostat::variogram::{estimate_range_view, VariogramFit};
 use lcc_geostat::{log_regression, window_range, window_truncation_level, LogRegression};
 use lcc_grid::io::CsvSeries;
 use lcc_grid::{stats, FieldView};
-use lcc_par::{parallel_map_with_state, ThreadPoolConfig};
+use lcc_par::{try_parallel_map_with_state, CancelToken, ThreadPoolConfig};
 use lcc_pressio::{Compressor, ErrorBound, Metrics, Registry, ScratchArena};
 use std::sync::Arc;
 
@@ -30,6 +30,11 @@ pub struct SweepConfig {
     pub statistics: StatisticsConfig,
     /// Worker threads (`None` = automatic).
     pub threads: Option<usize>,
+    /// Optional deadline/cancellation token: checked before every job, so
+    /// an expired sweep fails fast with a "deadline"-tagged
+    /// [`CoreError::Compression`] instead of grinding through the
+    /// remaining schedule.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SweepConfig {
@@ -38,6 +43,7 @@ impl Default for SweepConfig {
             bounds: ErrorBound::paper_bounds().to_vec(),
             statistics: StatisticsConfig::default(),
             threads: None,
+            cancel: None,
         }
     }
 }
@@ -165,27 +171,42 @@ pub fn run_sweep(
     // reallocating them per cell — in both directions, since
     // `compress_measured_with` also decodes through the arena via
     // `decompress_view_with`.
-    let outputs =
-        parallel_map_with_state(pool, &jobs, ScratchArena::new, |scratch, _, job| match job {
-            SweepJob::Global { field } => {
-                SweepJobOutput::Global(estimate_range_view(&views[*field], &stats_cfg.variogram))
+    // A panicking job (a buggy codec on one cell) is isolated by the pool
+    // and surfaced here as the sweep's error instead of aborting the
+    // process; an expired deadline abandons jobs not yet started.
+    let cancel = config.cancel.as_ref();
+    let outputs: Vec<Result<SweepJobOutput, CoreError>> =
+        try_parallel_map_with_state(pool, &jobs, ScratchArena::new, |scratch, _, job| {
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                return Err(CoreError::Compression(
+                    "sweep: deadline exceeded, remaining jobs abandoned".into(),
+                ));
             }
-            SweepJob::RangeWindow { view, .. } => {
-                SweepJobOutput::Range(window_range(view, &local_cfg.variogram))
-            }
-            SweepJob::SvdWindow { view, .. } => SweepJobOutput::Svd(
-                window_truncation_level(view, stats_cfg.svd_fraction)
-                    .map_or(f64::NAN, |level| level as f64),
-            ),
-            SweepJob::Cell { field, compressor, bound } => {
-                let comp: &Arc<dyn Compressor> = &compressors[*compressor];
-                SweepJobOutput::Cell(
-                    comp.compress_measured_with(&views[*field], config.bounds[*bound], scratch)
-                        .map(|result| result.metrics)
-                        .map_err(|e| format!("{} on {}: {e}", comp.name(), fields[*field].name)),
-                )
-            }
-        });
+            Ok(match job {
+                SweepJob::Global { field } => SweepJobOutput::Global(estimate_range_view(
+                    &views[*field],
+                    &stats_cfg.variogram,
+                )),
+                SweepJob::RangeWindow { view, .. } => {
+                    SweepJobOutput::Range(window_range(view, &local_cfg.variogram))
+                }
+                SweepJob::SvdWindow { view, .. } => SweepJobOutput::Svd(
+                    window_truncation_level(view, stats_cfg.svd_fraction)
+                        .map_or(f64::NAN, |level| level as f64),
+                ),
+                SweepJob::Cell { field, compressor, bound } => {
+                    let comp: &Arc<dyn Compressor> = &compressors[*compressor];
+                    SweepJobOutput::Cell(
+                        comp.compress_measured_with(&views[*field], config.bounds[*bound], scratch)
+                            .map(|result| result.metrics)
+                            .map_err(|e| {
+                                format!("{} on {}: {e}", comp.name(), fields[*field].name)
+                            }),
+                    )
+                }
+            })
+        })
+        .map_err(|panic| CoreError::Compression(format!("sweep: {panic}")))?;
 
     // Aggregate: fold window results into the per-field stats cache and park
     // cell metrics at their (field, compressor, bound) slot.
@@ -194,7 +215,7 @@ pub fn run_sweep(
     let mut cells: Vec<Option<Result<Metrics, String>>> = Vec::new();
     cells.resize_with(fields.len() * n_cells_per_field, || None);
     for (job, output) in jobs.iter().zip(outputs) {
-        match (job, output) {
+        match (job, output?) {
             (SweepJob::Global { field }, SweepJobOutput::Global(fit)) => {
                 stats_cache[*field].global = Some(fit);
             }
@@ -405,6 +426,56 @@ mod tests {
         assert_eq!(csv.len(), records.len());
         assert_eq!(csv.header().len(), 9);
         assert!(csv.to_csv_string().contains("compression_ratio"));
+    }
+
+    #[test]
+    fn expired_deadlines_fail_the_sweep_fast() {
+        let fields = StudyDatasets::tiny().single_range_fields();
+        let registry = default_registry();
+        let mut cfg = quick_config();
+        cfg.cancel = Some(CancelToken::with_timeout(std::time::Duration::ZERO));
+        let err = run_sweep(&fields, &registry, &cfg).unwrap_err();
+        assert!(err.to_string().contains("deadline"), "{err}");
+
+        // A generous deadline changes nothing about the result.
+        cfg.cancel = Some(CancelToken::with_timeout(std::time::Duration::from_secs(600)));
+        let records = run_sweep(&fields, &registry, &cfg).unwrap();
+        assert_eq!(records.len(), fields.len() * registry.len() * 2);
+    }
+
+    #[test]
+    fn a_panicking_codec_fails_the_sweep_without_aborting() {
+        use lcc_grid::FieldView;
+        use lcc_pressio::{CompressError, ErrorBound};
+
+        struct Explosive;
+        impl lcc_pressio::Compressor for Explosive {
+            fn name(&self) -> &str {
+                "explosive"
+            }
+            fn compress_view(
+                &self,
+                _view: &FieldView<'_>,
+                _bound: ErrorBound,
+            ) -> Result<Vec<u8>, CompressError> {
+                panic!("injected codec panic");
+            }
+            fn decompress_view_with(
+                &self,
+                _stream: &[u8],
+                _scratch: &mut lcc_pressio::ScratchArena,
+                _out: &mut lcc_grid::Field2D,
+            ) -> Result<(), CompressError> {
+                panic!("injected codec panic");
+            }
+        }
+
+        let fields = StudyDatasets::tiny().single_range_fields();
+        let mut registry = lcc_pressio::Registry::new();
+        registry.register(Arc::new(Explosive), "0.0");
+        let err = run_sweep(&fields, &registry, &quick_config()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("panicked") && msg.contains("injected codec panic"), "{msg}");
     }
 
     #[test]

@@ -13,7 +13,12 @@
 //! and exits non-zero when any round trip failed verification — the CI smoke
 //! contract. `--regions-only` serves just the region band (the CI region
 //! smoke mode); `--archive-size`, `--archive-tile` and `--tile-cache-mb`
-//! shape the region workload. Build with
+//! shape the region workload. `--chaos <rate>` arms the deterministic fault
+//! injector: the given fraction of reads/streams is corrupted (bit flips,
+//! truncations, failed reads, stalls) plus a proportional dose of worker
+//! panics, and the exit contract flips from "no errors" to "every injected
+//! fault accounted for" — injected faults are *supposed* to surface as
+//! detected or recovered errors. Build with
 //! `--features loadgen-alloc` to also report steady-state allocations per
 //! request (the binary then runs under a counting global allocator).
 
@@ -46,6 +51,7 @@ fn main() {
     let archive_tile = opts.get_usize("archive-tile", 64);
     let tile_cache_mb = opts.get_usize("tile-cache-mb", 8);
     let regions_only = opts.flag("regions-only");
+    let chaos_rate = opts.get_f64("chaos", 0.0).clamp(0.0, 1.0);
 
     let mut config = LoadgenConfig {
         workers,
@@ -58,6 +64,7 @@ fn main() {
         archive_tile,
         tile_cache_mb,
         regions_only,
+        chaos_rate,
         ..LoadgenConfig::default()
     };
     if !sizes.is_empty() {
@@ -117,6 +124,21 @@ fn main() {
             cache.miss_mb_per_s(),
         );
     }
+    if let Some(chaos) = &report.chaos {
+        println!(
+            "  chaos: rate {:.4} seed {} — {} faults injected ({} detected, {} recovered, \
+             {} timed out), {}/{} panics absorbed, {} unexplained errors",
+            chaos.rate,
+            chaos.seed,
+            chaos.injected,
+            chaos.detected,
+            chaos.recovered,
+            chaos.timeouts,
+            chaos.panics_absorbed,
+            chaos.panics_injected,
+            chaos.unexplained_errors,
+        );
+    }
     match report.allocs_per_request {
         Some(a) => println!("  steady-state allocations per request: {a:.2}"),
         None => println!(
@@ -128,11 +150,35 @@ fn main() {
     report.write(&path).expect("write BENCH_load.json");
     println!("wrote {}", path.display());
 
-    if report.total_errors() > 0 {
-        eprintln!(
-            "loadgen: {} round trip(s) failed verification under concurrent traffic",
-            report.total_errors()
-        );
-        std::process::exit(1);
+    // Exit contract. Without chaos any error is a real verification failure.
+    // With chaos armed, injected faults are *supposed* to produce errors; the
+    // bar instead is that every one of them is accounted for (detected or
+    // recovered, panics absorbed per-job) and nothing failed for a reason we
+    // did not inject.
+    match &report.chaos {
+        None => {
+            if report.total_errors() > 0 {
+                eprintln!(
+                    "loadgen: {} round trip(s) failed verification under concurrent traffic",
+                    report.total_errors()
+                );
+                std::process::exit(1);
+            }
+        }
+        Some(chaos) => {
+            if !chaos.is_accounted() {
+                eprintln!(
+                    "loadgen: chaos accounting broken — injected {} != detected {} + \
+                     recovered {}, or panics {}/{} mismatched, or {} unexplained error(s)",
+                    chaos.injected,
+                    chaos.detected,
+                    chaos.recovered,
+                    chaos.panics_absorbed,
+                    chaos.panics_injected,
+                    chaos.unexplained_errors,
+                );
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -34,12 +34,15 @@ pub mod alloc_count;
 pub mod schedule;
 
 use lcc_archive::{Archive, ArchiveWriter, TileCache};
-use lcc_core::benchreport::{LatencyHistogram, LoadReport, LoadVariant, TileCacheSummary};
+use lcc_core::benchreport::{
+    ChaosSummary, LatencyHistogram, LoadReport, LoadVariant, TileCacheSummary,
+};
 use lcc_core::registry::{
     checksummed_variant_name, entropy_ablation_registry, framed_variant_name, region_variant_name,
 };
+use lcc_fault::{take_thread_injections, FaultPlan, FaultyReadAt, CHAOS_PANIC_TAG};
 use lcc_grid::{Field2D, FieldView, Window};
-use lcc_par::{run_bounded_queue, ThreadPoolConfig};
+use lcc_par::{run_bounded_queue, CancelToken, ThreadPoolConfig};
 use lcc_pressio::{frame, CompressError, Compressor, ErrorBound, FrameScratch, ScratchArena};
 use lcc_synth::{generate_single_range, GaussianFieldConfig};
 use schedule::{Request, Schedule};
@@ -90,6 +93,17 @@ pub struct LoadgenConfig {
     pub tile_cache_mb: usize,
     /// Serve only the region-read variants — the CI region smoke mode.
     pub regions_only: bool,
+    /// Per-site fault-injection probability (`--chaos <rate>`); 0 disables
+    /// chaos mode. When enabled, archive reads go through a seeded
+    /// [`FaultyReadAt`], round-trip streams are corrupted at the same rate,
+    /// rare worker panics are injected, the tile cache verifies hits, and
+    /// the report carries a [`ChaosSummary`] proving
+    /// `injected == detected + recovered`.
+    pub chaos_rate: f64,
+    /// Per-request deadline of region reads in chaos mode. Injected device
+    /// stalls last 5× this, so every stall surfaces as `DeadlineExceeded`;
+    /// clean reads finish orders of magnitude inside it.
+    pub chaos_deadline: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -108,6 +122,8 @@ impl Default for LoadgenConfig {
             archive_tile: 64,
             tile_cache_mb: 8,
             regions_only: false,
+            chaos_rate: 0.0,
+            chaos_deadline: Duration::from_millis(50),
         }
     }
 }
@@ -132,7 +148,16 @@ impl LoadgenConfig {
             self.workers.max(1) * 4
         }
     }
+
+    fn chaos_enabled(&self) -> bool {
+        self.chaos_rate > 0.0
+    }
 }
+
+/// Injected worker panics are this fraction of the byte-fault rate: rare
+/// enough that the run still measures throughput, frequent enough that a
+/// multi-second smoke run exercises per-job panic absorption.
+const CHAOS_PANIC_FRACTION: f64 = 0.1;
 
 /// Container form of one variant-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +210,35 @@ struct VariantStats {
     miss_busy_seconds: f64,
 }
 
+/// Per-worker chaos ledger: where this worker's share of the injected
+/// faults surfaced. Summed into the report's [`ChaosSummary`].
+#[derive(Default)]
+struct ChaosLedger {
+    detected: u64,
+    recovered: u64,
+    timeouts: u64,
+    unexplained: u64,
+}
+
+impl ChaosLedger {
+    /// Attribute one request's injection delta to its outcome: a verified
+    /// request recovered its faults, a failed one detected them (timeouts
+    /// tracked separately), and a failure with nothing injected is
+    /// unexplained — a real bug the chaos run flushes out.
+    fn settle(&mut self, injections: u64, verified: bool, timed_out: bool) {
+        if verified {
+            self.recovered += injections;
+        } else if injections > 0 {
+            self.detected += injections;
+            if timed_out {
+                self.timeouts += injections;
+            }
+        } else {
+            self.unexplained += 1;
+        }
+    }
+}
+
 /// Per-worker state: persistent scratch plus accumulators, handed to the
 /// worker thread by [`run_bounded_queue`] for the whole run.
 struct Worker {
@@ -195,6 +249,7 @@ struct Worker {
     served: u64,
     alloc_calls: u64,
     alloc_requests: u64,
+    chaos: ChaosLedger,
 }
 
 impl Worker {
@@ -207,6 +262,7 @@ impl Worker {
             served: 0,
             alloc_calls: 0,
             alloc_requests: 0,
+            chaos: ChaosLedger::default(),
         }
     }
 }
@@ -282,7 +338,9 @@ fn build_variants(regions_only: bool) -> Vec<Variant> {
 /// per region codec), its shared decoded-tile cache, the window table, and
 /// the per-(entry, window) reference hashes a region read must reproduce.
 struct RegionWorkload {
-    archive: Archive<Vec<u8>>,
+    /// The archive always reads through the fault seam; outside chaos mode
+    /// the plan stays disarmed and the wrapper is a strict passthrough.
+    archive: Archive<FaultyReadAt<Vec<u8>>>,
     cache: Arc<TileCache>,
     windows: Vec<Window>,
     /// `refs[ordinal][window]` — hash of the window of a full-frame decode.
@@ -293,8 +351,13 @@ struct RegionWorkload {
 /// into a tiled archive, attach the shared cache, enumerate the window
 /// table (every tile-aligned **and** half-tile-offset anchor, so reads both
 /// align with tiles and straddle tile boundaries), and record reference
-/// hashes from full-frame decodes.
-fn build_region_workload(config: &LoadgenConfig) -> Result<RegionWorkload, CompressError> {
+/// hashes from full-frame decodes. `plan` must still be disarmed here so
+/// the build and references run clean; in chaos mode the cache verifies
+/// its hits, closing the decoded-tile (post-checksum) corruption window.
+fn build_region_workload(
+    config: &LoadgenConfig,
+    plan: &Arc<FaultPlan>,
+) -> Result<RegionWorkload, CompressError> {
     let size = config.archive_size.max(64);
     let tile = config.archive_tile.clamp(8, size);
     let bound = ErrorBound::Absolute(config.bound);
@@ -323,8 +386,12 @@ fn build_region_workload(config: &LoadgenConfig) -> Result<RegionWorkload, Compr
             &mut scratch,
         )?;
     }
-    let cache = Arc::new(TileCache::new(config.tile_cache_mb.max(1) * 1_000_000));
-    let archive = Archive::open(writer.finish())?.with_cache(cache.clone());
+    let cache = Arc::new(
+        TileCache::new(config.tile_cache_mb.max(1) * 1_000_000)
+            .with_verification(config.chaos_enabled()),
+    );
+    let faulty = FaultyReadAt::new(writer.finish(), Arc::clone(plan));
+    let archive = Archive::open(faulty)?.with_cache(cache.clone());
 
     let step = (tile / 2).max(1);
     let mut anchors = Vec::new();
@@ -368,7 +435,11 @@ fn build_fields(config: &LoadgenConfig) -> Vec<Field2D> {
 
 /// Run one (variant, field) round trip through the given worker scratch,
 /// returning the stream. Framed variants run their blocks sequentially on a
-/// single-thread pool: request-level workers are the concurrency.
+/// single-thread pool: request-level workers are the concurrency. In chaos
+/// mode `sabotage` corrupts the encoded stream *between* encode and decode
+/// — modelling bytes damaged at rest — so the decode/verify side must
+/// catch every injection.
+#[allow(clippy::too_many_arguments)]
 fn round_trip(
     variant: &Variant,
     field: &Field2D,
@@ -377,8 +448,15 @@ fn round_trip(
     arena: &mut ScratchArena,
     frame_scratch: &mut FrameScratch,
     recon: &mut Field2D,
+    sabotage: Option<(&FaultPlan, u64)>,
 ) -> Result<Vec<u8>, CompressError> {
     if variant.mode == VariantMode::Single {
+        if let Some((plan, site)) = sabotage {
+            let mut stream = variant.compressor.compress_view_with(&field.view(), bound, arena)?;
+            plan.corrupt_stream(site, &mut stream);
+            variant.compressor.decompress_view_with(&stream, arena, recon)?;
+            return Ok(stream);
+        }
         return variant.compressor.roundtrip_with(&field.view(), bound, arena, recon);
     }
     let pool = ThreadPoolConfig::with_threads(1);
@@ -388,8 +466,11 @@ fn round_trip(
         VariantMode::Single => unreachable!("handled above"),
         VariantMode::Region(_) => unreachable!("region requests go through serve_region"),
     };
-    let stream =
+    let mut stream =
         compress(variant.compressor.as_ref(), &field.view(), bound, blocks, pool, frame_scratch)?;
+    if let Some((plan, site)) = sabotage {
+        plan.corrupt_stream(site, &mut stream);
+    }
     // Checksummed frames self-describe; the one decode path verifies when
     // the flag is present.
     frame::decompress_framed_with(
@@ -432,6 +513,7 @@ fn build_references(
                         &mut arena,
                         &mut frame_scratch,
                         &mut recon,
+                        None,
                     )?;
                     Ok(Reference {
                         stream_hash: fnv1a(&stream),
@@ -455,6 +537,9 @@ struct Workload {
     bound: ErrorBound,
     blocks: usize,
     warmup: u64,
+    /// Armed fault plan plus the region-read deadline; `None` outside
+    /// chaos mode.
+    chaos: Option<(Arc<FaultPlan>, Duration)>,
 }
 
 /// Serve one region-read request: decode one Zipf-popular window out of the
@@ -467,22 +552,45 @@ fn serve_region(worker: &mut Worker, request: Request, ordinal: usize, load: &Wo
     let regions = &load.regions;
     let window = &regions.windows[request.window];
     let window_bytes = (window.height * window.width * std::mem::size_of::<f64>()) as f64;
+    let pool = ThreadPoolConfig::with_threads(1);
 
     let start = Instant::now();
-    let outcome = regions.archive.read_region(
-        ordinal,
-        window,
-        variant.compressor.as_ref(),
-        ThreadPoolConfig::with_threads(1),
-        &mut worker.frame,
-        &mut worker.recon,
-    );
+    // Chaos mode serves under a per-request deadline, so an injected
+    // device stall (5× the deadline) surfaces as `DeadlineExceeded`
+    // instead of silently stretching the tail. The 1-wide pool keeps the
+    // whole read on this thread, so the plan's thread-local injection
+    // counter attributes every fault to this request.
+    let outcome = match &load.chaos {
+        Some((_, deadline)) => regions.archive.read_region_deadline(
+            ordinal,
+            window,
+            variant.compressor.as_ref(),
+            pool,
+            &mut worker.frame,
+            &mut worker.recon,
+            &CancelToken::with_timeout(*deadline),
+        ),
+        None => regions.archive.read_region(
+            ordinal,
+            window,
+            variant.compressor.as_ref(),
+            pool,
+            &mut worker.frame,
+            &mut worker.recon,
+        ),
+    };
     let elapsed = start.elapsed();
 
     worker.served += 1;
+    let verified =
+        outcome.is_ok() && hash_field(&worker.recon) == regions.refs[ordinal][request.window];
+    if load.chaos.is_some() {
+        let timed_out = matches!(&outcome, Err(CompressError::DeadlineExceeded(_)));
+        worker.chaos.settle(take_thread_injections(), verified, timed_out);
+    }
     let stats = &mut worker.per_variant[request.variant];
     match outcome {
-        Ok(region) if hash_field(&worker.recon) == regions.refs[ordinal][request.window] => {
+        Ok(region) if verified => {
             stats.requests += 1;
             stats.bytes += window_bytes;
             stats.busy_seconds += elapsed.as_secs_f64();
@@ -506,6 +614,14 @@ fn serve_region(worker: &mut Worker, request: Request, ordinal: usize, load: &Wo
 /// [`serve_region`].
 fn serve(worker: &mut Worker, request: Request, load: &Workload) {
     let variant = &load.variants[request.variant];
+    // Injected worker panic: fires before any fault site, so the absorbed
+    // job carries no injection delta. The bounded-queue harness catches it
+    // per job and the pool keeps serving.
+    if let Some((plan, _)) = &load.chaos {
+        if plan.draw_panic(worker.served) {
+            lcc_fault::inject_panic(worker.served);
+        }
+    }
     if let VariantMode::Region(ordinal) = variant.mode {
         serve_region(worker, request, ordinal, load);
         return;
@@ -513,6 +629,7 @@ fn serve(worker: &mut Worker, request: Request, load: &Workload) {
     let field = &load.fields[request.field];
     let reference = &load.references[request.variant][request.field];
     let uncompressed_bytes = (field.len() * std::mem::size_of::<f64>()) as f64;
+    let sabotage = load.chaos.as_ref().map(|(plan, _)| (plan.as_ref(), worker.served));
 
     let allocs_before = alloc_count::thread_allocs();
     let start = Instant::now();
@@ -524,6 +641,7 @@ fn serve(worker: &mut Worker, request: Request, load: &Workload) {
         &mut worker.arena,
         &mut worker.frame,
         &mut worker.recon,
+        sabotage,
     );
     let elapsed = start.elapsed();
     let alloc_delta = alloc_count::thread_allocs() - allocs_before;
@@ -542,6 +660,9 @@ fn serve(worker: &mut Worker, request: Request, load: &Workload) {
         }
         Err(_) => false,
     };
+    if load.chaos.is_some() {
+        worker.chaos.settle(take_thread_injections(), verified, false);
+    }
     if verified {
         stats.requests += 1;
         stats.bytes += uncompressed_bytes;
@@ -565,10 +686,22 @@ pub fn run_load(config: &LoadgenConfig) -> Result<LoadReport, CompressError> {
     let workers = config.workers.max(1);
     let bound = ErrorBound::Absolute(config.bound);
     let blocks = config.framed_blocks.max(2);
+    let chaos_on = config.chaos_enabled();
+    // The plan exists in every run (the region archive always reads
+    // through the fault seam) but stays disarmed — and therefore inert —
+    // until the measured window of a chaos run begins.
+    let mut plan = FaultPlan::new(config.seed, config.chaos_rate);
+    if chaos_on {
+        plan = plan
+            .with_panic_rate(config.chaos_rate * CHAOS_PANIC_FRACTION)
+            .with_delay(config.chaos_deadline * 5);
+        install_chaos_panic_hook();
+    }
+    let plan = Arc::new(plan);
     let variants = build_variants(config.regions_only);
     let fields = build_fields(config);
     let references = build_references(&variants, &fields, bound, blocks)?;
-    let regions = build_region_workload(config)?;
+    let regions = build_region_workload(config, &plan)?;
     let region_start = variants
         .iter()
         .position(|v| matches!(v.mode, VariantMode::Region(_)))
@@ -582,6 +715,7 @@ pub fn run_load(config: &LoadgenConfig) -> Result<LoadReport, CompressError> {
         bound,
         blocks,
         warmup: config.warmup_requests,
+        chaos: chaos_on.then(|| (Arc::clone(&plan), config.chaos_deadline)),
     };
 
     let mut states: Vec<Worker> =
@@ -592,7 +726,10 @@ pub fn run_load(config: &LoadgenConfig) -> Result<LoadReport, CompressError> {
     let started = Instant::now();
     let deadline = started + config.duration;
     let min_requests = config.min_requests;
-    run_bounded_queue(
+    if chaos_on {
+        plan.arm();
+    }
+    let queue_report = run_bounded_queue(
         ThreadPoolConfig::with_threads(workers),
         &mut states,
         config.capacity(),
@@ -607,6 +744,7 @@ pub fn run_load(config: &LoadgenConfig) -> Result<LoadReport, CompressError> {
         },
         |worker, _, request| serve(worker, request, &load),
     );
+    plan.disarm();
     let duration_seconds = started.elapsed().as_secs_f64();
 
     // Merge the per-worker accumulators into one report row per variant.
@@ -663,6 +801,23 @@ pub fn run_load(config: &LoadgenConfig) -> Result<LoadReport, CompressError> {
 
     let allocs_per_request = (alloc_count::enabled() && alloc_requests > 0)
         .then(|| alloc_calls as f64 / alloc_requests as f64);
+    let chaos = chaos_on.then(|| {
+        let mut summary = ChaosSummary {
+            seed: config.seed,
+            rate: config.chaos_rate,
+            injected: plan.injected(),
+            panics_injected: plan.injected_panics(),
+            panics_absorbed: queue_report.job_panics,
+            ..ChaosSummary::default()
+        };
+        for worker in &states {
+            summary.detected += worker.chaos.detected;
+            summary.recovered += worker.chaos.recovered;
+            summary.timeouts += worker.chaos.timeouts;
+            summary.unexplained_errors += worker.chaos.unexplained;
+        }
+        summary
+    });
     Ok(LoadReport {
         label: config.label(),
         simd_level: lcc_lossless::simd_level().label().to_string(),
@@ -670,8 +825,30 @@ pub fn run_load(config: &LoadgenConfig) -> Result<LoadReport, CompressError> {
         duration_seconds,
         allocs_per_request,
         tile_cache,
+        chaos,
         variants: rows,
     })
+}
+
+/// Install (once per process) a panic hook that silences injected chaos
+/// panics — their payload carries [`CHAOS_PANIC_TAG`] — while chaining any
+/// other panic to the previously installed hook. Without this, a 2-second
+/// chaos run spews dozens of expected backtraces over the report.
+fn install_chaos_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            if !message.is_some_and(|m| m.contains(CHAOS_PANIC_TAG)) {
+                previous(info);
+            }
+        }));
+    });
 }
 
 #[cfg(test)]
@@ -740,8 +917,9 @@ mod tests {
     fn region_workload_windows_cover_and_refs_are_deterministic() {
         let config =
             LoadgenConfig { archive_size: 96, archive_tile: 32, ..LoadgenConfig::default() };
-        let a = build_region_workload(&config).unwrap();
-        let b = build_region_workload(&config).unwrap();
+        let plan = Arc::new(FaultPlan::new(config.seed, 0.0));
+        let a = build_region_workload(&config, &plan).unwrap();
+        let b = build_region_workload(&config, &plan).unwrap();
         // 96/16-step anchors with at+32<=96 → at ∈ {0,16,32,48,64} → 25 windows.
         assert_eq!(a.windows.len(), 25);
         assert!(a.windows.iter().all(|w| w.height == 32 && w.width == 32));
@@ -763,6 +941,59 @@ mod tests {
         let other = LoadgenConfig { seed: 1234, ..config };
         let c = build_fields(&other);
         assert_ne!(hash_field(&a[0]), hash_field(&c[0]));
+    }
+
+    #[test]
+    fn clean_runs_carry_no_chaos_summary_and_no_errors() {
+        let config = LoadgenConfig {
+            workers: 2,
+            duration: Duration::from_millis(50),
+            sizes: vec![32],
+            min_requests: 40,
+            regions_only: true,
+            archive_size: 64,
+            archive_tile: 16,
+            ..LoadgenConfig::default()
+        };
+        let report = run_load(&config).unwrap();
+        assert!(report.chaos.is_none());
+        assert_eq!(report.total_errors(), 0, "clean runs must verify byte-identically");
+        assert!(report.total_requests() >= 40);
+    }
+
+    #[test]
+    fn chaos_runs_account_for_every_injected_fault() {
+        let config = LoadgenConfig {
+            workers: 2,
+            duration: Duration::from_millis(150),
+            sizes: vec![32],
+            min_requests: 150,
+            regions_only: true,
+            archive_size: 64,
+            archive_tile: 16,
+            chaos_rate: 0.25,
+            ..LoadgenConfig::default()
+        };
+        let report = run_load(&config).unwrap();
+        let chaos = report.chaos.expect("chaos mode records a summary");
+        assert_eq!(chaos.rate, 0.25);
+        assert_eq!(chaos.seed, config.seed);
+        assert!(chaos.injected > 0, "a 25% plan over 150+ region reads injects faults");
+        assert!(
+            chaos.is_accounted(),
+            "injected {} != detected {} + recovered {}",
+            chaos.injected,
+            chaos.detected,
+            chaos.recovered
+        );
+        assert_eq!(
+            chaos.panics_absorbed, chaos.panics_injected,
+            "every absorbed panic must be one the plan injected"
+        );
+        assert_eq!(chaos.unexplained_errors, 0);
+        // Recovery actually happens: the verified cache + source re-read
+        // heal at least some corrupt reads in a 150-request run.
+        assert!(chaos.recovered > 0, "no injection was recovered: {chaos:?}");
     }
 
     #[test]
@@ -790,6 +1021,7 @@ mod tests {
                 &mut arena,
                 &mut frame_scratch,
                 &mut recon,
+                None,
             )
             .unwrap();
             assert_eq!(fnv1a(&stream), refs[v][1].stream_hash, "variant {}", variant.label);

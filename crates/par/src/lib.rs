@@ -23,14 +23,109 @@
 //! noise of a work-stealing deque while staying trivially correct; the
 //! threads themselves come from [`std::thread::scope`], so borrowed inputs
 //! need no `'static` bound and no `Arc` cloning.
+//!
+//! ## Panic isolation
+//!
+//! Every job body run by the helpers here is wrapped in
+//! [`std::panic::catch_unwind`]: a panicking job never takes down its worker
+//! thread, the pool, or sibling jobs. The fallible entry points
+//! ([`try_parallel_map_with_state`], [`try_parallel_block_map`]) surface the
+//! *first* panic as a [`JobPanicked`] value (first-error-wins, matching the
+//! framed codec's `FrameAssembler` contract) and stop siblings from claiming
+//! further items; the infallible wrappers re-raise that first panic on the
+//! *calling* thread after every worker has exited cleanly.
+//! [`queue::run_bounded_queue`] instead absorbs panics per job — the job is
+//! dropped, a counter ticks, and the worker keeps serving — because a
+//! sustained serving loop must outlive any single bad request.
+//!
+//! ## Mutex-poisoning policy (workspace-wide)
+//!
+//! Every `std::sync::Mutex` in this workspace recovers from poisoning with
+//! `unwrap_or_else(PoisonError::into_inner)` instead of unwrapping, and this
+//! crate is the reference for that idiom (see [`queue::BoundedQueue`]).
+//! Rationale: panics inside parallel jobs are already isolated per job (see
+//! above), and every guarded structure here — queue state, frame assemblers,
+//! cache shards — is updated in a single critical section that leaves either
+//! the pre- or post-update state, never a torn one. Poisoning therefore
+//! carries no information beyond "some job panicked", which is already
+//! reported through [`JobPanicked`]; propagating it would only cascade one
+//! failed job into unrelated lock sites. (The vendored `parking_lot` stub
+//! does not poison at all.)
 
+pub mod cancel;
 pub mod queue;
 
-pub use queue::{run_bounded_queue, BoundedQueue};
+pub use cancel::CancelToken;
+pub use queue::{run_bounded_queue, BoundedQueue, PushError, QueueRunReport};
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+/// A job inside one of the parallel helpers panicked.
+///
+/// Carries the index of the offending work item plus the stringified panic
+/// payload. Callers at the codec/archive layer convert this into their own
+/// error taxonomy (`CompressError::Internal`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanicked {
+    /// Index of the work item whose closure panicked.
+    pub job: usize,
+    /// Stringified panic payload.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.job, self.message)
+    }
+}
+
+impl std::error::Error for JobPanicked {}
+
+/// Extract a human-readable message from a caught panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Shared first-panic slot used by the fallible helpers: records the first
+/// [`JobPanicked`] and flips the abort flag so siblings stop claiming items.
+struct FirstPanic {
+    slot: Mutex<Option<JobPanicked>>,
+    abort: AtomicBool,
+}
+
+impl FirstPanic {
+    fn new() -> Self {
+        FirstPanic { slot: Mutex::new(None), abort: AtomicBool::new(false) }
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, job: usize, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.slot.lock();
+        if slot.is_none() {
+            *slot = Some(JobPanicked { job, message: panic_message(&*payload) });
+        }
+        self.abort.store(true, Ordering::Relaxed);
+    }
+
+    fn into_result<U>(self, ok: Vec<U>) -> Result<Vec<U>, JobPanicked> {
+        match self.slot.into_inner() {
+            Some(err) => Err(err),
+            None => Ok(ok),
+        }
+    }
+}
 
 /// Controls how many worker threads the parallel helpers spawn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,20 +245,53 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &T) -> U + Sync,
 {
+    match try_parallel_map_with_state(config, items, init, f) {
+        Ok(out) => out,
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// Fallible form of [`parallel_map_with_state`]: a panicking job is caught
+/// per job (`catch_unwind`), siblings stop claiming further items, every
+/// worker thread exits cleanly, and the *first* panic comes back as
+/// `Err(JobPanicked)` — the pool itself survives.
+pub fn try_parallel_map_with_state<T, U, S, I, F>(
+    config: ThreadPoolConfig,
+    items: &[T],
+    init: I,
+    f: F,
+) -> Result<Vec<U>, JobPanicked>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
     let n = items.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let threads = config.threads().min(n);
     if threads <= 1 {
         let mut state = init();
-        return items.iter().enumerate().map(|(i, item)| f(&mut state, i, item)).collect();
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in items.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(&mut state, i, item))) {
+                Ok(value) => out.push(value),
+                Err(payload) => {
+                    return Err(JobPanicked { job: i, message: panic_message(&*payload) })
+                }
+            }
+        }
+        return Ok(out);
     }
 
     let cursor = AtomicUsize::new(0);
+    let failure = FirstPanic::new();
     let init = &init;
     let f = &f;
     let cursor = &cursor;
+    let failure_ref = &failure;
     let per_thread: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -171,17 +299,26 @@ where
                     let mut state = init();
                     let mut local: Vec<(usize, U)> = Vec::with_capacity(n / threads + 1);
                     loop {
+                        if failure_ref.aborted() {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(&mut state, i, &items[i])));
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut state, i, &items[i]))) {
+                            Ok(value) => local.push((i, value)),
+                            Err(payload) => {
+                                failure_ref.record(i, payload);
+                                break;
+                            }
+                        }
                     }
                     local
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        handles.into_iter().map(|h| h.join().expect("parallel worker harness panicked")).collect()
     });
 
     let mut indexed: Vec<(usize, U)> = Vec::with_capacity(n);
@@ -189,7 +326,7 @@ where
         indexed.extend(buffer);
     }
     indexed.sort_unstable_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, value)| value).collect()
+    failure.into_result(indexed.into_iter().map(|(_, value)| value).collect())
 }
 
 /// A work item waiting to be claimed by a worker, behind a take-once mutex.
@@ -224,22 +361,57 @@ where
     U: Send,
     F: Fn(&mut S, usize, T) -> U + Sync,
 {
+    match try_parallel_block_map(config, states, items, f) {
+        Ok(out) => out,
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// Fallible form of [`parallel_block_map`]: a panicking block is caught per
+/// job, siblings stop claiming further blocks, and the first panic comes
+/// back as `Err(JobPanicked)` with every worker thread joined cleanly.
+///
+/// # Panics
+/// Panics if `states` is empty while `items` is not.
+pub fn try_parallel_block_map<T, S, U, F>(
+    config: ThreadPoolConfig,
+    states: &mut [S],
+    items: Vec<T>,
+    f: F,
+) -> Result<Vec<U>, JobPanicked>
+where
+    T: Send,
+    S: Send,
+    U: Send,
+    F: Fn(&mut S, usize, T) -> U + Sync,
+{
     let n = items.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     assert!(!states.is_empty(), "at least one worker state is required");
     let workers = config.threads().min(states.len()).min(n);
     if workers <= 1 {
         let state = &mut states[0];
-        return items.into_iter().enumerate().map(|(i, item)| f(state, i, item)).collect();
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in items.into_iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(state, i, item))) {
+                Ok(value) => out.push(value),
+                Err(payload) => {
+                    return Err(JobPanicked { job: i, message: panic_message(&*payload) })
+                }
+            }
+        }
+        return Ok(out);
     }
 
     let cursor = AtomicUsize::new(0);
+    let failure = FirstPanic::new();
     let slots: Vec<TakeSlot<T>> = items.into_iter().map(|item| Mutex::new(Some(item))).collect();
     let f = &f;
     let cursor = &cursor;
     let slots = &slots;
+    let failure_ref = &failure;
     let per_worker: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = states[..workers]
             .iter_mut()
@@ -247,18 +419,27 @@ where
                 scope.spawn(move || {
                     let mut local: Vec<(usize, U)> = Vec::with_capacity(n / workers + 1);
                     loop {
+                        if failure_ref.aborted() {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
                         let item = slots[i].lock().take().expect("each item is taken exactly once");
-                        local.push((i, f(state, i, item)));
+                        match catch_unwind(AssertUnwindSafe(|| f(state, i, item))) {
+                            Ok(value) => local.push((i, value)),
+                            Err(payload) => {
+                                failure_ref.record(i, payload);
+                                break;
+                            }
+                        }
                     }
                     local
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        handles.into_iter().map(|h| h.join().expect("parallel worker harness panicked")).collect()
     });
 
     let mut indexed: Vec<(usize, U)> = Vec::with_capacity(n);
@@ -266,7 +447,7 @@ where
         indexed.extend(buffer);
     }
     indexed.sort_unstable_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, value)| value).collect()
+    failure.into_result(indexed.into_iter().map(|(_, value)| value).collect())
 }
 
 /// A chunk waiting to be claimed by a worker: its offset in the original
@@ -583,6 +764,135 @@ mod tests {
             }
         });
         assert_eq!(data, vec![2u8; 5]);
+    }
+
+    #[test]
+    fn try_map_surfaces_first_panic_without_killing_the_pool() {
+        let items: Vec<usize> = (0..500).collect();
+        let err = try_parallel_map_with_state(
+            ThreadPoolConfig::with_threads(4),
+            &items,
+            || (),
+            |(), _, &x| {
+                if x == 137 {
+                    panic!("boom on {x}");
+                }
+                x * 2
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.job, 137);
+        assert!(err.message.contains("boom on 137"), "payload preserved: {}", err.message);
+        assert!(err.to_string().contains("job 137 panicked"));
+    }
+
+    #[test]
+    fn try_map_single_thread_path_catches_panics_too() {
+        let items = vec![1, 2, 3];
+        let err = try_parallel_map_with_state(
+            ThreadPoolConfig::with_threads(1),
+            &items,
+            || (),
+            |(), i, _| {
+                if i == 1 {
+                    panic!("sequential boom");
+                }
+                i
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.job, 1);
+        assert!(err.message.contains("sequential boom"));
+    }
+
+    #[test]
+    fn try_map_siblings_stop_early_after_a_panic() {
+        // After the first panic the abort flag stops further claims: the
+        // number of executed jobs must be well below the full input on a
+        // large map (each worker can finish at most the jobs it had claimed
+        // before observing the flag).
+        let executed = AtomicU64::new(0);
+        let items: Vec<usize> = (0..100_000).collect();
+        let err = try_parallel_map_with_state(
+            ThreadPoolConfig::with_threads(4),
+            &items,
+            || (),
+            |(), _, &x| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if x == 0 {
+                    panic!("first job fails");
+                }
+                x
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.job, 0);
+        assert!(
+            executed.load(Ordering::Relaxed) < 100_000,
+            "siblings kept draining the whole input after the panic"
+        );
+    }
+
+    #[test]
+    fn try_map_ok_path_matches_infallible_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = try_parallel_map_with_state(
+            ThreadPoolConfig::with_threads(4),
+            &items,
+            || (),
+            |(), _, &x| x * 3,
+        )
+        .unwrap();
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_block_map_surfaces_panic_and_preserves_states() {
+        let mut states = vec![0usize; 4];
+        let err = try_parallel_block_map(
+            ThreadPoolConfig::with_threads(4),
+            &mut states,
+            (0..200usize).collect::<Vec<_>>(),
+            |seen, _, item| {
+                if item == 42 {
+                    panic!("block 42 went bad");
+                }
+                *seen += 1;
+                item
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.job, 42);
+        // The caller still owns its states afterwards (the scope joined
+        // every worker cleanly) and non-panicking jobs ran on them.
+        assert!(states.iter().sum::<usize>() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 7 panicked")]
+    fn infallible_map_reraises_on_the_calling_thread() {
+        let items: Vec<usize> = (0..16).collect();
+        let _ = parallel_map_with_state(
+            ThreadPoolConfig::with_threads(1),
+            &items,
+            || (),
+            |(), i, _| {
+                if i == 7 {
+                    panic!("kept behavior");
+                }
+                i
+            },
+        );
+    }
+
+    #[test]
+    fn panic_message_handles_common_payloads() {
+        let from_str = catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(&*from_str), "static str");
+        let from_string = catch_unwind(|| panic!("{}", String::from("formatted"))).unwrap_err();
+        assert_eq!(panic_message(&*from_string), "formatted");
+        let opaque = catch_unwind(|| std::panic::panic_any(17u32)).unwrap_err();
+        assert_eq!(panic_message(&*opaque), "non-string panic payload");
     }
 
     #[test]

@@ -11,9 +11,34 @@
 //! calling thread until it returns.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
-use crate::ThreadPoolConfig;
+use crate::cancel::CancelToken;
+use crate::{panic_message, ThreadPoolConfig};
+
+/// Why a bounded [`BoundedQueue::push_timeout`] / cancel-aware push failed.
+/// The rejected item rides along so the producer can retry or drop it.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was closed before the item could be enqueued.
+    Closed(T),
+    /// The timeout elapsed (or the [`CancelToken`] fired) with the queue
+    /// still at capacity — the guard against a producer blocking forever
+    /// when every consumer has stopped draining.
+    TimedOut(T),
+}
+
+impl<T> PushError<T> {
+    /// Recover the item that could not be enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Closed(item) | PushError::TimedOut(item) => item,
+        }
+    }
+}
 
 /// A fixed-capacity multi-producer/multi-consumer queue.
 ///
@@ -87,6 +112,61 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
+    /// Like [`BoundedQueue::push`], but gives up once `timeout` elapses with
+    /// the queue still full. This is the producer's guard against the
+    /// pathological case where every consumer has stopped draining (all
+    /// workers wedged or dead): instead of blocking forever, the producer
+    /// gets `Err(PushError::TimedOut)` and can shut the run down.
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), PushError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        while state.items.len() >= self.capacity && !state.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PushError::TimedOut(item));
+            }
+            let (guard, _) = self
+                .not_full
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = guard;
+        }
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Like [`BoundedQueue::push`], but abandons the wait once `cancel`
+    /// fires (deadline or explicit cancellation), returning
+    /// `Err(PushError::TimedOut)`. The wait polls the token every few
+    /// milliseconds — cancellation is a slow path, so the coarse poll keeps
+    /// the uncontended fast path identical to `push`.
+    pub fn push_with_cancel(&self, item: T, cancel: &CancelToken) -> Result<(), PushError<T>> {
+        const POLL: Duration = Duration::from_millis(5);
+        let mut state = self.lock();
+        while state.items.len() >= self.capacity && !state.closed {
+            if cancel.is_cancelled() {
+                return Err(PushError::TimedOut(item));
+            }
+            let (guard, _) = self
+                .not_full
+                .wait_timeout(state, POLL)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = guard;
+        }
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Dequeue one item, blocking while the queue is empty and open.
     /// Returns `None` once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
@@ -141,15 +221,22 @@ impl<T> BoundedQueue<T> {
 /// of growing an unbounded backlog — steady-state memory is `capacity`
 /// items regardless of run length.
 ///
+/// A job whose closure panicked is *absorbed*: the item is dropped, the
+/// panic is counted, and the worker keeps draining — a sustained serving
+/// loop must outlive any single bad request. The counts come back in the
+/// returned [`QueueRunReport`] so callers can account for every absorbed
+/// panic (the loadgen chaos mode asserts injected == absorbed).
+///
 /// # Panics
-/// Panics if `states` is empty, or propagates a worker panic at join.
+/// Panics if `states` is empty.
 pub fn run_bounded_queue<T, S, P, F>(
     config: ThreadPoolConfig,
     states: &mut [S],
     capacity: usize,
     producer: P,
     worker: F,
-) where
+) -> QueueRunReport
+where
     T: Send,
     S: Send,
     P: FnOnce(&BoundedQueue<T>),
@@ -158,19 +245,43 @@ pub fn run_bounded_queue<T, S, P, F>(
     assert!(!states.is_empty(), "at least one worker state is required");
     let workers = config.threads().min(states.len()).max(1);
     let queue = BoundedQueue::new(capacity);
+    let panics = AtomicU64::new(0);
+    let first_panic: Mutex<Option<String>> = Mutex::new(None);
     let queue = &queue;
     let worker = &worker;
+    let panics = &panics;
+    let first_panic = &first_panic;
     std::thread::scope(|scope| {
         for (w, state) in states[..workers].iter_mut().enumerate() {
             scope.spawn(move || {
                 while let Some(item) = queue.pop() {
-                    worker(state, w, item);
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| worker(state, w, item)))
+                    {
+                        panics.fetch_add(1, Ordering::Relaxed);
+                        let mut slot =
+                            first_panic.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(panic_message(&*payload));
+                        }
+                    }
                 }
             });
         }
         producer(queue);
         queue.close();
     });
+    let first = first_panic.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).take();
+    QueueRunReport { job_panics: panics.load(Ordering::Relaxed), first_panic: first }
+}
+
+/// What [`run_bounded_queue`] observed over a whole run.
+#[derive(Debug, Default, Clone)]
+pub struct QueueRunReport {
+    /// Jobs whose closure panicked; each was absorbed per job and the worker
+    /// kept serving.
+    pub job_panics: u64,
+    /// Stringified payload of the first absorbed panic, for diagnostics.
+    pub first_panic: Option<String>,
 }
 
 #[cfg(test)]
@@ -280,6 +391,95 @@ mod tests {
             |(), _, _| std::thread::yield_now(),
         );
         assert!(max_seen.load(Ordering::Relaxed) <= capacity);
+    }
+
+    #[test]
+    fn push_timeout_times_out_when_no_consumer_drains() {
+        // The all-workers-dead shape: queue full, nobody popping. The
+        // producer must come back with TimedOut instead of blocking forever.
+        let q = BoundedQueue::new(1);
+        q.push(1u32).unwrap();
+        let start = Instant::now();
+        match q.push_timeout(2, Duration::from_millis(20)) {
+            Err(PushError::TimedOut(item)) => assert_eq!(item, 2),
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        // With headroom the same call succeeds immediately.
+        assert_eq!(q.pop(), Some(1));
+        q.push_timeout(3, Duration::from_millis(20)).unwrap();
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn push_timeout_reports_closed() {
+        let q = BoundedQueue::new(2);
+        q.close();
+        match q.push_timeout(9u8, Duration::from_millis(5)) {
+            Err(PushError::Closed(item)) => assert_eq!(item, 9),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(PushError::Closed(9u8).into_inner(), 9);
+    }
+
+    #[test]
+    fn push_with_cancel_abandons_the_wait_when_the_token_fires() {
+        let q = BoundedQueue::new(1);
+        q.push(1u32).unwrap();
+        let cancel = CancelToken::with_timeout(Duration::from_millis(15));
+        match q.push_with_cancel(2, &cancel) {
+            Err(PushError::TimedOut(item)) => assert_eq!(item, 2),
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        // A live token on a non-full queue pushes straight through.
+        assert_eq!(q.pop(), Some(1));
+        q.push_with_cancel(3, &CancelToken::new()).unwrap();
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn worker_panics_are_absorbed_per_job_and_counted() {
+        // Three poisoned items among 300: each panic is caught, the worker
+        // keeps draining, every other item is processed, and the report
+        // accounts for all three.
+        let mut states = vec![0usize; 2];
+        let report = run_bounded_queue(
+            ThreadPoolConfig::with_threads(2),
+            &mut states,
+            8,
+            |queue| {
+                for i in 0..300usize {
+                    queue.push(i).unwrap();
+                }
+            },
+            |seen, _, item| {
+                if item % 100 == 50 {
+                    panic!("injected panic on job {item}");
+                }
+                *seen += 1;
+            },
+        );
+        assert_eq!(report.job_panics, 3);
+        assert!(report.first_panic.as_deref().unwrap_or("").contains("injected panic"));
+        assert_eq!(states.iter().sum::<usize>(), 297, "all non-panicking jobs completed");
+    }
+
+    #[test]
+    fn clean_run_reports_zero_panics() {
+        let mut states = vec![(); 1];
+        let report = run_bounded_queue(
+            ThreadPoolConfig::with_threads(1),
+            &mut states,
+            4,
+            |queue| {
+                for i in 0..10usize {
+                    queue.push(i).unwrap();
+                }
+            },
+            |(), _, _| {},
+        );
+        assert_eq!(report.job_panics, 0);
+        assert!(report.first_panic.is_none());
     }
 
     #[test]

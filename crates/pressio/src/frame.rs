@@ -104,8 +104,20 @@
 use crate::{CompressError, Compressor, ErrorBound, ScratchArena};
 use lcc_grid::{disjoint_window_rows, Field2D, FieldView, Window, WindowIter};
 use lcc_lossless::xxh64;
-use lcc_par::{parallel_block_map, split_ranges, ThreadPoolConfig};
+use lcc_par::{split_ranges, try_parallel_block_map, CancelToken, JobPanicked, ThreadPoolConfig};
 use std::sync::Mutex;
+
+/// A panicking block job, isolated per job by `lcc_par`, surfaces as an
+/// internal error instead of aborting the process.
+fn job_panic(err: JobPanicked) -> CompressError {
+    CompressError::Internal(format!("frame: {err}"))
+}
+
+/// True when an optional cancellation token has fired — the per-block check
+/// both the encoder and decoder poll before touching a block.
+fn expired(cancel: Option<&CancelToken>) -> bool {
+    cancel.is_some_and(|c| c.is_cancelled())
+}
 
 /// Magic prefix of a version-1 multi-block frame.
 pub const FRAME_MAGIC: [u8; 4] = *b"LCCF";
@@ -217,7 +229,24 @@ pub fn compress_framed_with(
     pool: ThreadPoolConfig,
     scratch: &mut FrameScratch,
 ) -> Result<Vec<u8>, CompressError> {
-    compress_framed_impl(compressor, view, bound, blocks, pool, scratch, false)
+    compress_framed_impl(compressor, view, bound, blocks, pool, scratch, false, None)
+}
+
+/// [`compress_framed_with`] under a [`CancelToken`]: the token is polled
+/// before every block encodes, so an expired deadline abandons the frame at
+/// block granularity with [`CompressError::DeadlineExceeded`] — in-flight
+/// sibling blocks stop as soon as they observe the token.
+#[allow(clippy::too_many_arguments)]
+pub fn compress_framed_deadline_with(
+    compressor: &dyn Compressor,
+    view: &FieldView<'_>,
+    bound: ErrorBound,
+    blocks: usize,
+    pool: ThreadPoolConfig,
+    scratch: &mut FrameScratch,
+    cancel: &CancelToken,
+) -> Result<Vec<u8>, CompressError> {
+    compress_framed_impl(compressor, view, bound, blocks, pool, scratch, false, Some(cancel))
 }
 
 /// [`compress_framed_with`] plus a per-block XXH64 digest table: the
@@ -237,7 +266,7 @@ pub fn compress_framed_checksummed_with(
     pool: ThreadPoolConfig,
     scratch: &mut FrameScratch,
 ) -> Result<Vec<u8>, CompressError> {
-    compress_framed_impl(compressor, view, bound, blocks, pool, scratch, true)
+    compress_framed_impl(compressor, view, bound, blocks, pool, scratch, true, None)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -249,7 +278,11 @@ fn compress_framed_impl(
     pool: ThreadPoolConfig,
     scratch: &mut FrameScratch,
     checksum: bool,
+    cancel: Option<&CancelToken>,
 ) -> Result<Vec<u8>, CompressError> {
+    if expired(cancel) {
+        return Err(CompressError::DeadlineExceeded("frame: encode abandoned".into()));
+    }
     let (ny, nx) = view.shape();
     let blocks = blocks.clamp(1, ny);
     if blocks == 1 {
@@ -267,7 +300,7 @@ fn compress_framed_impl(
     header.extend_from_slice(&(ny as u64).to_le_bytes());
     header.extend_from_slice(&(nx as u64).to_le_bytes());
     header.extend_from_slice(&(n_blocks as u32).to_le_bytes());
-    encode_blocks(compressor, sub_views, bound, pool, scratch, checksum, header)
+    encode_blocks(compressor, sub_views, bound, pool, scratch, checksum, header, cancel)
 }
 
 /// Compress a view as a v2 **tiled** frame: blocks are `tile_ny × tile_nx`
@@ -338,7 +371,7 @@ fn compress_tiled_impl(
     header.extend_from_slice(&(n_blocks as u32).to_le_bytes());
     header.extend_from_slice(&(tile_ny as u32).to_le_bytes());
     header.extend_from_slice(&(tile_nx as u32).to_le_bytes());
-    encode_blocks(compressor, sub_views, bound, pool, scratch, checksum, header)
+    encode_blocks(compressor, sub_views, bound, pool, scratch, checksum, header, None)
 }
 
 /// Encode `sub_views` as the blocks of a frame whose fixed header is
@@ -354,6 +387,7 @@ fn compress_tiled_impl(
 /// encoding of later ones instead of waiting at a barrier and concatenating
 /// afterwards. The emitted bytes are identical to the barrier version: same
 /// header, same tables, same in-order concatenation.
+#[allow(clippy::too_many_arguments)]
 fn encode_blocks(
     compressor: &dyn Compressor,
     sub_views: Vec<FieldView<'_>>,
@@ -362,6 +396,7 @@ fn encode_blocks(
     scratch: &mut FrameScratch,
     checksum: bool,
     mut header: Vec<u8>,
+    cancel: Option<&CancelToken>,
 ) -> Result<Vec<u8>, CompressError> {
     let n_blocks = sub_views.len();
     let tables = if checksum { 16 } else { 8 };
@@ -377,17 +412,25 @@ fn encode_blocks(
     });
 
     let workers = scratch.workers(pool.threads().min(n_blocks));
-    parallel_block_map(pool, workers, sub_views, |worker, b, sub| {
-        // The digest is computed here, on the encoding worker, so hashing
-        // of one block overlaps with encoding of the others.
-        let result = compressor.compress_view_with(&sub, bound, &mut worker.arena).map(|stream| {
-            let digest = checksum.then(|| xxh64(&stream, 0));
-            (stream, digest)
-        });
-        assembler.lock().expect("assembler lock is never poisoned").submit(b, result);
-    });
+    try_parallel_block_map(pool, workers, sub_views, |worker, b, sub| {
+        // Poll the deadline before paying for the block: once the token
+        // fires, every not-yet-encoded block submits DeadlineExceeded
+        // immediately (first-error-wins) instead of finishing its work.
+        let result = if expired(cancel) {
+            Err(CompressError::DeadlineExceeded(format!("frame: block {b} abandoned")))
+        } else {
+            // The digest is computed here, on the encoding worker, so
+            // hashing of one block overlaps with encoding of the others.
+            compressor.compress_view_with(&sub, bound, &mut worker.arena).map(|stream| {
+                let digest = checksum.then(|| xxh64(&stream, 0));
+                (stream, digest)
+            })
+        };
+        assembler.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).submit(b, result);
+    })
+    .map_err(job_panic)?;
 
-    let assembler = assembler.into_inner().expect("assembler lock is never poisoned");
+    let assembler = assembler.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
     match assembler.error {
         Some(error) => Err(error),
         None => {
@@ -668,6 +711,35 @@ pub fn decompress_framed_with(
     scratch: &mut FrameScratch,
     out: &mut Field2D,
 ) -> Result<(), CompressError> {
+    decompress_framed_cancel(compressor, stream, pool, scratch, out, None)
+}
+
+/// [`decompress_framed_with`] under a [`CancelToken`], polled before every
+/// block/tile decodes: an expired deadline returns
+/// [`CompressError::DeadlineExceeded`] at block granularity and sibling
+/// workers stop early. `out` holds unspecified contents after an error.
+pub fn decompress_framed_deadline_with(
+    compressor: &dyn Compressor,
+    stream: &[u8],
+    pool: ThreadPoolConfig,
+    scratch: &mut FrameScratch,
+    out: &mut Field2D,
+    cancel: &CancelToken,
+) -> Result<(), CompressError> {
+    decompress_framed_cancel(compressor, stream, pool, scratch, out, Some(cancel))
+}
+
+fn decompress_framed_cancel(
+    compressor: &dyn Compressor,
+    stream: &[u8],
+    pool: ThreadPoolConfig,
+    scratch: &mut FrameScratch,
+    out: &mut Field2D,
+    cancel: Option<&CancelToken>,
+) -> Result<(), CompressError> {
+    if expired(cancel) {
+        return Err(CompressError::DeadlineExceeded("frame: decode abandoned".into()));
+    }
     if !is_framed(stream) {
         return compressor.decompress_view_with(stream, &mut scratch.workers(1)[0].arena, out);
     }
@@ -681,7 +753,7 @@ pub fn decompress_framed_with(
         return Err(corrupt(&format!("unsupported version byte {:#04x}", stream[4])));
     }
     if stream[4] & FLAG_TILED != 0 {
-        return decompress_tiled(compressor, stream, pool, scratch, out);
+        return decompress_tiled(compressor, stream, pool, scratch, out, cancel);
     }
     let checksummed = stream[4] & FLAG_CHECKSUM != 0;
     let ny = u64::from_le_bytes(stream[5..13].try_into().unwrap());
@@ -760,7 +832,10 @@ pub fn decompress_framed_with(
     }
     let workers = scratch.workers(pool.threads().min(n_blocks));
     let decoded: Vec<Result<(), CompressError>> =
-        parallel_block_map(pool, workers, items, |worker, b, (rows, sub, chunk)| {
+        try_parallel_block_map(pool, workers, items, |worker, b, (rows, sub, chunk)| {
+            if expired(cancel) {
+                return Err(CompressError::DeadlineExceeded(format!("frame: block {b} abandoned")));
+            }
             // Verify the digest before the inner decoder touches the bytes:
             // corruption surfaces as this crisp error, never as a garbled
             // entropy-decode failure (or, worse, a silently wrong field).
@@ -781,7 +856,8 @@ pub fn decompress_framed_with(
             }
             chunk.copy_from_slice(block.as_slice());
             Ok(())
-        });
+        })
+        .map_err(job_panic)?;
     decoded.into_iter().collect()
 }
 
@@ -799,6 +875,7 @@ fn decompress_tiled(
     pool: ThreadPoolConfig,
     scratch: &mut FrameScratch,
     out: &mut Field2D,
+    cancel: Option<&CancelToken>,
 ) -> Result<(), CompressError> {
     let index = TiledIndex::parse(stream, stream.len())?;
     let n_tiles = index.n_tiles();
@@ -817,7 +894,10 @@ fn decompress_tiled(
     let digests = index.digests.as_deref();
     let workers = scratch.workers(pool.threads().min(n_tiles));
     let decoded: Vec<Result<(), CompressError>> =
-        parallel_block_map(pool, workers, items, |worker, t, (win, sub, mut segs)| {
+        try_parallel_block_map(pool, workers, items, |worker, t, (win, sub, mut segs)| {
+            if expired(cancel) {
+                return Err(CompressError::DeadlineExceeded(format!("frame: tile {t} abandoned")));
+            }
             if let Some(digests) = digests {
                 if xxh64(sub, 0) != digests[t] {
                     return Err(CompressError::CorruptStream(format!(
@@ -839,7 +919,8 @@ fn decompress_tiled(
                 seg.copy_from_slice(row);
             }
             Ok(())
-        });
+        })
+        .map_err(job_panic)?;
     decoded.into_iter().collect()
 }
 
@@ -928,6 +1009,113 @@ mod tests {
             let back = decompress_framed(&Store, &framed, pool()).unwrap();
             assert_eq!(back, field, "{blocks} blocks");
         }
+    }
+
+    #[test]
+    fn expired_deadline_abandons_encode_and_decode() {
+        let field = ramp(64, 8);
+        let bound = ErrorBound::Absolute(1.0);
+        let expired = CancelToken::with_deadline(std::time::Instant::now());
+        let err = compress_framed_deadline_with(
+            &Store,
+            &field.view(),
+            bound,
+            4,
+            pool(),
+            &mut FrameScratch::new(),
+            &expired,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompressError::DeadlineExceeded(_)), "{err}");
+
+        let framed =
+            compress_framed_with(&Store, &field.view(), bound, 4, pool(), &mut FrameScratch::new())
+                .unwrap();
+        let mut out = Field2D::zeros(1, 1);
+        let err = decompress_framed_deadline_with(
+            &Store,
+            &framed,
+            pool(),
+            &mut FrameScratch::new(),
+            &mut out,
+            &expired,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompressError::DeadlineExceeded(_)), "{err}");
+
+        // A live token decodes normally through the same entry point.
+        let live = CancelToken::new();
+        decompress_framed_deadline_with(
+            &Store,
+            &framed,
+            pool(),
+            &mut FrameScratch::new(),
+            &mut out,
+            &live,
+        )
+        .unwrap();
+        assert_eq!(out, field);
+    }
+
+    /// Inner compressor that panics on every call: pillar-1 coverage that a
+    /// panicking block job surfaces as `CompressError::Internal` instead of
+    /// taking down the process.
+    struct PanicStore;
+
+    impl Compressor for PanicStore {
+        fn name(&self) -> &str {
+            "panic-store"
+        }
+
+        fn compress_view(
+            &self,
+            _view: &FieldView<'_>,
+            _bound: ErrorBound,
+        ) -> Result<Vec<u8>, CompressError> {
+            panic!("injected compressor panic");
+        }
+
+        fn decompress_view_with(
+            &self,
+            _stream: &[u8],
+            _scratch: &mut ScratchArena,
+            _out: &mut Field2D,
+        ) -> Result<(), CompressError> {
+            panic!("injected decoder panic");
+        }
+    }
+
+    #[test]
+    fn panicking_block_job_surfaces_as_internal_error() {
+        let field = ramp(64, 8);
+        let bound = ErrorBound::Absolute(1.0);
+        let err = compress_framed_with(
+            &PanicStore,
+            &field.view(),
+            bound,
+            4,
+            pool(),
+            &mut FrameScratch::new(),
+        )
+        .unwrap_err();
+        match &err {
+            CompressError::Internal(m) => assert!(m.contains("injected compressor panic"), "{m}"),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+
+        let framed =
+            compress_framed_with(&Store, &field.view(), bound, 4, pool(), &mut FrameScratch::new())
+                .unwrap();
+        let mut out = Field2D::zeros(1, 1);
+        let err = decompress_framed_with(
+            &PanicStore,
+            &framed,
+            pool(),
+            &mut FrameScratch::new(),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompressError::Internal(_)), "{err:?}");
     }
 
     #[test]

@@ -44,6 +44,13 @@ pub enum CompressError {
     CorruptStream(String),
     /// The compressor cannot satisfy the configuration.
     Unsupported(String),
+    /// A deadline or cancellation fired before the work completed; partial
+    /// output must be discarded. Carries the stage that observed expiry.
+    DeadlineExceeded(String),
+    /// An internal invariant failed — most commonly a job that panicked
+    /// inside a parallel worker, isolated per job and surfaced here instead
+    /// of aborting the process.
+    Internal(String),
 }
 
 impl std::fmt::Display for CompressError {
@@ -53,6 +60,8 @@ impl std::fmt::Display for CompressError {
             CompressError::InvalidInput(m) => write!(f, "invalid input: {m}"),
             CompressError::CorruptStream(m) => write!(f, "corrupt stream: {m}"),
             CompressError::Unsupported(m) => write!(f, "unsupported configuration: {m}"),
+            CompressError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            CompressError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -340,5 +349,7 @@ mod tests {
         assert!(CompressError::InvalidInput("x".into()).to_string().contains("input"));
         assert!(CompressError::CorruptStream("x".into()).to_string().contains("corrupt"));
         assert!(CompressError::Unsupported("x".into()).to_string().contains("unsupported"));
+        assert!(CompressError::DeadlineExceeded("x".into()).to_string().contains("deadline"));
+        assert!(CompressError::Internal("x".into()).to_string().contains("internal"));
     }
 }

@@ -125,8 +125,40 @@ def validate(report, path):
                     raise TableError(
                         f"{path}: variant row {row.get('variant', '?')!r} "
                         f"is missing '{key}'")
+        validate_chaos(report.get("chaos"), path)
     else:
         raise TableError(f"{path}: unknown report kind {k!r}")
+
+
+def validate_chaos(chaos, path):
+    """Check the fault-injection block of a load report. `None` (chaos off,
+    or a report predating the injector) is fine; when present, every counter
+    must exist and the accounting invariant must hold — a chaos run whose
+    injected faults are not all detected-or-recovered is a FAILED run even
+    if the loadgen binary forgot to say so."""
+    if chaos is None:
+        return
+    if not isinstance(chaos, dict):
+        raise TableError(f"{path}: 'chaos' is neither null nor an object")
+    for key in ("enabled", "seed", "rate", "injected", "detected",
+                "recovered", "timeouts", "panics_injected", "panics_absorbed",
+                "unexplained_errors"):
+        if key not in chaos:
+            raise TableError(f"{path}: chaos block is missing '{key}'")
+    if chaos["injected"] != chaos["detected"] + chaos["recovered"]:
+        raise TableError(
+            f"{path}: chaos accounting broken — {chaos['injected']} injected "
+            f"!= {chaos['detected']} detected + {chaos['recovered']} "
+            f"recovered")
+    if chaos["panics_absorbed"] != chaos["panics_injected"]:
+        raise TableError(
+            f"{path}: chaos panic accounting broken — "
+            f"{chaos['panics_injected']} injected worker panic(s) but "
+            f"{chaos['panics_absorbed']} absorbed")
+    if chaos["unexplained_errors"]:
+        raise TableError(
+            f"{path}: {chaos['unexplained_errors']} request(s) failed with "
+            f"no fault injected into them")
 
 
 def check_required(report, path, required, key, rows_key):
@@ -347,6 +379,32 @@ def render_load(baseline, current):
               f"| {fmt(cache.get('miss_mb_per_s', 0.0))} |")
         print()
 
+    # Fault injection: present only when the run was driven with --chaos.
+    # Validation already enforced the accounting invariant, so this section
+    # is pure reporting — how much abuse the run absorbed and where it went.
+    chaos = current.get("chaos")
+    if chaos:
+        print("## Injected faults & recovery — chaos run "
+              f"(rate {chaos.get('rate', 0.0):.4f}, "
+              f"seed {chaos.get('seed', '?')})")
+        print()
+        print("| counter | value |")
+        print("|---|---|")
+        print(f"| faults injected | {chaos.get('injected', 0)} |")
+        print(f"| detected (request errored) | {chaos.get('detected', 0)} |")
+        print(f"| recovered (request served clean) "
+              f"| {chaos.get('recovered', 0)} |")
+        print(f"| deadline timeouts | {chaos.get('timeouts', 0)} |")
+        print(f"| worker panics injected "
+              f"| {chaos.get('panics_injected', 0)} |")
+        print(f"| worker panics absorbed per-job "
+              f"| {chaos.get('panics_absorbed', 0)} |")
+        print(f"| unexplained errors | {chaos.get('unexplained_errors', 0)} |")
+        print()
+        print("Invariant held: injected == detected + recovered, every "
+              "injected panic absorbed, zero unexplained errors.")
+        print()
+
 
 def gate_rows(baseline, current):
     """Yield (label, metric, before, after) tuples the gate compares."""
@@ -468,7 +526,17 @@ def synth_sweep(scale, kernel_scale=None):
             "stages": [{"stage": "s", "seconds": 1.0}], "total_seconds": 1.0}
 
 
-def synth_load(scale):
+def synth_chaos(**overrides):
+    """A chaos block whose accounting holds; overrides break it on demand."""
+    chaos = {"enabled": True, "seed": 42, "rate": 0.02, "injected": 40,
+             "detected": 29, "recovered": 11, "timeouts": 1,
+             "panics_injected": 6, "panics_absorbed": 6,
+             "unexplained_errors": 0}
+    chaos.update(overrides)
+    return chaos
+
+
+def synth_load(scale, chaos=None):
     variants = []
     for name in REQUIRED_LOAD_VARIANTS:
         region = name.startswith("region_")
@@ -493,6 +561,7 @@ def synth_load(scale):
                            "hit_mb_per_s": 2950.0, "miss_megabytes": 9.8,
                            "miss_busy_seconds": 0.04,
                            "miss_mb_per_s": 245.0},
+            "chaos": chaos,
             "variants": variants}
 
 
@@ -638,6 +707,41 @@ def self_test():
     else:
         raise TableError("self-test failed: missing region load rows "
                          "accepted")
+    # Chaos accounting: a coherent block passes validation, every way the
+    # invariant can break must be rejected with a clean one-line error.
+    validate_chaos(None, "<synthetic>")          # chaos off: fine
+    validate_chaos(synth_chaos(), "<synthetic>")  # coherent block: fine
+    for label, broken in [
+        ("an unbalanced injected count", synth_chaos(injected=41)),
+        ("a swallowed worker panic", synth_chaos(panics_absorbed=5)),
+        ("an unexplained request failure", synth_chaos(unexplained_errors=2)),
+        ("a chaos block missing its counters", {"enabled": True}),
+    ]:
+        try:
+            validate_chaos(broken, "<synthetic>")
+        except TableError:
+            pass
+        else:
+            raise TableError(f"self-test failed: {label} was accepted")
+    # The same enforcement must fire through the full load() path, so a
+    # broken BENCH_load.json fails --check-only, not just direct calls.
+    import tempfile
+    with tempfile.NamedTemporaryFile("w", suffix=".json") as fh:
+        json.dump(synth_load(1.0, chaos=synth_chaos(recovered=0)), fh)
+        fh.flush()
+        try:
+            load(fh.name)
+        except TableError:
+            pass
+        else:
+            raise TableError("self-test failed: load() accepted a report "
+                             "with broken chaos accounting")
+    # And a chaos run whose books balance renders (and gates) like any
+    # other load report.
+    expect(run_gate_quietly(synth_load(1.0),
+                            synth_load(1.0, chaos=synth_chaos()),
+                            DEFAULT_GATE_PCT) == 0,
+           "gate failed a clean chaos run")
     # A halved region-read decompress rate must breach the gate even though
     # the region rows' compress side is structurally zero.
     slow_regions = synth_sweep(1.0)

@@ -34,6 +34,7 @@
 
 pub use lcc_archive as archive;
 pub use lcc_core as core;
+pub use lcc_fault as fault;
 pub use lcc_fft as fft;
 pub use lcc_geostat as geostat;
 pub use lcc_grid as grid;

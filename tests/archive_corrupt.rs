@@ -231,6 +231,47 @@ fn raw_payloads_claiming_multiple_tiles_are_rejected() {
 }
 
 #[test]
+fn every_single_byte_flip_is_survived() {
+    // Exhaustive single-byte fuzz: flip all eight bits of EVERY byte of the
+    // archive, one position at a time, and demand that `Archive::open` plus a
+    // full-window `read_region` of every entry either succeeds or fails with
+    // a clean `CompressError` — never a panic, never an abort. Degraded reads
+    // over the same corrupted bytes must uphold the same contract. This is
+    // the blanket guarantee the targeted structural tests above sample from.
+    use lcc::grid::Window;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let good = build();
+    let shapes: Vec<(usize, usize)> = {
+        let archive = Archive::open(good.clone()).expect("pristine archive opens");
+        (0..archive.len()).map(|k| (archive.entry(k).ny, archive.entry(k).nx)).collect()
+    };
+
+    let sz = SzCompressor::default();
+    let pool = ThreadPoolConfig::with_threads(1);
+    for pos in 0..good.len() {
+        let mut bad = good.clone();
+        bad[pos] ^= 0xFF;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let Ok(archive) = Archive::open(bad) else { return };
+            let mut scratch = FrameScratch::default();
+            let mut out = lcc::grid::Field2D::zeros(1, 1);
+            for (k, &(ny, nx)) in shapes.iter().enumerate() {
+                if k >= archive.len() {
+                    break;
+                }
+                let window = Window { i0: 0, j0: 0, height: ny, width: nx };
+                // Errors are legitimate (the flip may hit a tile checksum);
+                // only panics and runaway allocations are not.
+                let _ = archive.read_region(k, &window, &sz, pool, &mut scratch, &mut out);
+                let _ = archive.read_region_degraded(k, &window, &sz, pool, &mut scratch, &mut out);
+            }
+        }));
+        assert!(outcome.is_ok(), "flipping byte {pos} of {} caused a panic", good.len());
+    }
+}
+
+#[test]
 fn tile_length_overflow_in_the_seek_index_is_rejected() {
     // Corrupt the first u64 of the tiled frame's length table in place:
     // the seek index must refuse it at open time (overflow-checked prefix

@@ -87,6 +87,60 @@ proptest! {
             prop_assert_eq!(hot.tiles_from_cache, hot.tiles);
         }
     }
+
+    /// With no faults present, the degraded entry point is a strict
+    /// superset of [`Archive::read_region`]: identical window bytes,
+    /// identical stats, a complete all-`Ok` tile mask, and zero recoveries.
+    #[test]
+    fn degraded_reads_match_strict_reads_when_nothing_is_wrong(
+        ny in 1usize..40,
+        nx in 1usize..40,
+        tile_ny in 1usize..13,
+        tile_nx in 1usize..13,
+        wi in any::<u32>(),
+        wj in any::<u32>(),
+        wh in any::<u32>(),
+        ww in any::<u32>(),
+        seed in any::<u64>(),
+    ) {
+        use lcc::archive::TileStatus;
+
+        let i0 = wi as usize % ny;
+        let j0 = wj as usize % nx;
+        let window = Window {
+            i0,
+            j0,
+            height: 1 + wh as usize % (ny - i0),
+            width: 1 + ww as usize % (nx - j0),
+        };
+
+        let sz = SzCompressor::default();
+        let field = wavy(ny, nx, seed);
+        let mut scratch = FrameScratch::default();
+        let mut writer = ArchiveWriter::new();
+        writer.add_entry(
+            "f", 0, &field, &sz, ErrorBound::Absolute(1e-3), tile_ny, tile_nx,
+            ThreadPoolConfig::with_threads(2), &mut scratch,
+        ).unwrap();
+        let archive = Archive::open(writer.finish()).unwrap();
+
+        let pool = ThreadPoolConfig::with_threads(2);
+        let mut strict_out = Field2D::zeros(1, 1);
+        let strict =
+            archive.read_region(0, &window, &sz, pool, &mut scratch, &mut strict_out).unwrap();
+
+        let mut degraded_out = Field2D::zeros(1, 1);
+        let degraded = archive
+            .read_region_degraded(0, &window, &sz, pool, &mut scratch, &mut degraded_out)
+            .unwrap();
+
+        prop_assert_eq!(degraded_out.as_slice(), strict_out.as_slice());
+        prop_assert_eq!(degraded.stats, strict);
+        prop_assert!(degraded.is_complete());
+        prop_assert_eq!(degraded.tiles.len(), strict.tiles);
+        prop_assert_eq!(degraded.stats.tiles_recovered, 0);
+        prop_assert!(degraded.tiles.iter().all(|&(_, s)| s == TileStatus::Ok));
+    }
 }
 
 #[test]
